@@ -1,0 +1,131 @@
+// E15 (ablations) — sensitivity of the design knobs DESIGN.md calls out.
+//
+//   * elimination array size: 1 slot (a single rendezvous point, heavy
+//     collision contention) .. 64 slots (partners rarely meet);
+//   * elimination spin budget: how long a parked op waits for a partner;
+//   * hazard-pointer scan threshold: scan amortization vs garbage held;
+//   * counting-network width: toggles-per-token (log^2 w layers) vs
+//     per-wire contention.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_util.hpp"
+#include "counter/counters.hpp"
+#include "counter/counting_network.hpp"
+#include "reclaim/hazard.hpp"
+#include "stack/elimination_stack.hpp"
+#include "stack/treiber_stack.hpp"
+
+namespace {
+
+using namespace ccds;
+
+// ---------- elimination array size / spin budget ----------
+
+template <int Slots, int Budget>
+void BM_EliminationKnobs(benchmark::State& state) {
+  using Stack = EliminationBackoffStack<std::uint64_t, HazardDomain, Slots,
+                                        Budget>;
+  static Stack* stack = nullptr;
+  if (state.thread_index() == 0) {
+    stack = new Stack();
+    for (std::uint64_t i = 0; i < 1024; ++i) stack->push(i);
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    if (rng.next() & 1) {
+      stack->push(7);
+    } else {
+      benchmark::DoNotOptimize(stack->try_pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete stack;
+    stack = nullptr;
+  }
+}
+
+#define CCDS_ELIM(slots, budget)                       \
+  BENCHMARK(BM_EliminationKnobs<slots, budget>)        \
+      ->ThreadRange(2, 8)                              \
+      ->UseRealTime()
+
+CCDS_ELIM(1, 512);
+CCDS_ELIM(4, 512);
+CCDS_ELIM(16, 512);
+CCDS_ELIM(64, 512);
+CCDS_ELIM(16, 64);
+CCDS_ELIM(16, 4096);
+
+// ---------- hazard-pointer scan threshold ----------
+
+template <std::size_t Threshold>
+void BM_HpScanThreshold(benchmark::State& state) {
+  using Stack = TreiberStack<std::uint64_t, BasicHazardDomain<Threshold>>;
+  static Stack* stack = nullptr;
+  if (state.thread_index() == 0) {
+    stack = new Stack();
+    for (std::uint64_t i = 0; i < 1024; ++i) stack->push(i);
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    if (rng.next() & 1) {
+      stack->push(7);
+    } else {
+      benchmark::DoNotOptimize(stack->try_pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete stack;
+    stack = nullptr;
+  }
+}
+
+BENCHMARK(BM_HpScanThreshold<32>)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_HpScanThreshold<256>)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_HpScanThreshold<2048>)->ThreadRange(1, 8)->UseRealTime();
+
+// ---------- counting network width ----------
+
+template <int Width>
+void BM_CountingNetwork(benchmark::State& state) {
+  static CountingNetworkCounter<Width>* counter = nullptr;
+  if (state.thread_index() == 0) {
+    counter = new CountingNetworkCounter<Width>();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter->next());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete counter;
+    counter = nullptr;
+  }
+}
+
+BENCHMARK(BM_CountingNetwork<2>)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_CountingNetwork<4>)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_CountingNetwork<8>)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_CountingNetwork<16>)->ThreadRange(1, 8)->UseRealTime();
+
+// Reference: the single fetch_add word the network is trying to beat.
+void BM_CountingNetworkAtomicRef(benchmark::State& state) {
+  static AtomicCounter* counter = nullptr;
+  if (state.thread_index() == 0) counter = new AtomicCounter();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter->fetch_add(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete counter;
+    counter = nullptr;
+  }
+}
+BENCHMARK(BM_CountingNetworkAtomicRef)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

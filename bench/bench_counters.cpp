@@ -1,0 +1,95 @@
+// E1 + E13 — shared-counter throughput vs thread count.
+//
+// Reproduces the survey's opening figure: a mutex-protected counter
+// *degrades* as threads are added; fetch_add holds up better but still
+// serializes on one cache line; a sharded counter's increments scale freely
+// (reads pay the sum); the combining tree trades single-op latency for
+// bounded root contention; flat combining amortizes lock handoffs.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "counter/combining_tree.hpp"
+#include "counter/counters.hpp"
+#include "sync/flat_combining.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/ticket_lock.hpp"
+
+namespace {
+
+using namespace ccds;
+
+template <typename Counter>
+void BM_CounterIncrement(benchmark::State& state) {
+  static Counter* counter = nullptr;
+  if (state.thread_index() == 0) counter = new Counter();
+  for (auto _ : state) {
+    counter->fetch_add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete counter;
+    counter = nullptr;
+  }
+}
+
+void BM_ShardedCounterIncrement(benchmark::State& state) {
+  static ShardedCounter* counter = nullptr;
+  if (state.thread_index() == 0) counter = new ShardedCounter();
+  for (auto _ : state) {
+    counter->add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete counter;
+    counter = nullptr;
+  }
+}
+
+void BM_FlatCombiningCounter(benchmark::State& state) {
+  static FlatCombiner<std::uint64_t>* fc = nullptr;
+  if (state.thread_index() == 0) fc = new FlatCombiner<std::uint64_t>(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fc->apply([](std::uint64_t& v) { return v++; }));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete fc;
+    fc = nullptr;
+  }
+}
+
+// Mixed increment/read workload for the sharded counter (reads cost O(T)).
+void BM_ShardedCounterWithReads(benchmark::State& state) {
+  static ShardedCounter* counter = nullptr;
+  if (state.thread_index() == 0) counter = new ShardedCounter();
+  ccds::bench::make_rng(state);
+  int i = 0;
+  for (auto _ : state) {
+    if (++i % 100 == 0) {
+      benchmark::DoNotOptimize(counter->load());
+    } else {
+      counter->add(1);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete counter;
+    counter = nullptr;
+  }
+}
+
+BENCHMARK(BM_CounterIncrement<LockCounter<std::mutex>>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_CounterIncrement<LockCounter<TtasLock>>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_CounterIncrement<LockCounter<TicketLock>>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_CounterIncrement<AtomicCounter>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_CounterIncrement<CombiningTreeCounter>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_ShardedCounterIncrement) CCDS_BENCH_THREADS;
+BENCHMARK(BM_ShardedCounterWithReads) CCDS_BENCH_THREADS;
+BENCHMARK(BM_FlatCombiningCounter) CCDS_BENCH_THREADS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

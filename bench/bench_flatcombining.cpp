@@ -1,0 +1,91 @@
+// E12 — flat combining vs lock handoff vs lock-free, on a sequential FIFO.
+//
+// Survey / Hendler-et-al. claim: for short operations, the dominant cost of
+// a lock-based structure is the lock *handoff* (one coherence transfer per
+// operation).  Flat combining pays one handoff per *batch*: one thread
+// holds the lock and executes everyone's published ops.  It therefore beats
+// the coarse lock under bursty contention, while the MS queue — which never
+// hands anything off — tops the chart.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "queue/coarse_queue.hpp"
+#include "queue/ms_queue.hpp"
+#include "reclaim/epoch.hpp"
+#include "sync/flat_combining.hpp"
+#include "sync/spinlock.hpp"
+
+namespace {
+
+using namespace ccds;
+
+void BM_FlatCombiningQueue(benchmark::State& state) {
+  using Fc = FlatCombiner<std::deque<std::uint64_t>>;
+  static Fc* fc = nullptr;
+  if (state.thread_index() == 0) {
+    fc = new Fc();
+    fc->apply_locked([](std::deque<std::uint64_t>& q) {
+      for (std::uint64_t i = 0; i < 1024; ++i) q.push_back(i);
+    });
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    if (rng.next() & 1) {
+      fc->apply([](std::deque<std::uint64_t>& q) { q.push_back(42); });
+    } else {
+      benchmark::DoNotOptimize(
+          fc->apply([](std::deque<std::uint64_t>& q)
+                        -> std::optional<std::uint64_t> {
+            if (q.empty()) return std::nullopt;
+            std::uint64_t v = q.front();
+            q.pop_front();
+            return v;
+          }));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete fc;
+    fc = nullptr;
+  }
+}
+BENCHMARK(BM_FlatCombiningQueue) CCDS_BENCH_THREADS;
+
+template <typename Queue>
+void BM_BaselineQueue(benchmark::State& state) {
+  static Queue* q = nullptr;
+  if (state.thread_index() == 0) {
+    q = new Queue();
+    for (std::uint64_t i = 0; i < 1024; ++i) q->enqueue(i);
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    if (rng.next() & 1) {
+      q->enqueue(42);
+    } else {
+      benchmark::DoNotOptimize(q->try_dequeue());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete q;
+    q = nullptr;
+  }
+}
+
+using LockQueueTtasB = LockQueue<std::uint64_t, TtasLock>;
+using LockQueueMutexB = LockQueue<std::uint64_t, std::mutex>;
+using MsQueueEbrB = MSQueue<std::uint64_t, EpochDomain>;
+
+BENCHMARK(BM_BaselineQueue<LockQueueTtasB>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_BaselineQueue<LockQueueMutexB>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_BaselineQueue<MsQueueEbrB>) CCDS_BENCH_THREADS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// E7 — hash tables: coarse vs striped vs split-ordered lock-free.
+//
+// Survey claim: striping buys near-linear read scaling at low cost; the
+// split-ordered list keeps winning as the update share grows and removes
+// the stop-the-world resize entirely (the table never moves).
+//
+// The two lock-based structures are benchmarked through the map interface,
+// the split-ordered through the set interface; the per-op work (hash, probe
+// chain of ~2) is comparable.  Key range 64k, prefilled half.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "hash/coarse_hash_map.hpp"
+#include "hash/split_ordered_set.hpp"
+#include "hash/striped_hash_map.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+
+namespace {
+
+using namespace ccds;
+using namespace ccds::bench;
+
+constexpr std::uint64_t kKeyRange = 1 << 16;
+
+template <typename Map>
+void BM_HashMapMix(benchmark::State& state) {
+  // Magic static + call_once: see bench_lists.cpp for why (no teardown race).
+  static Map& map = *new Map(kKeyRange / 2);
+  static std::once_flag prefill_once;
+  std::call_once(prefill_once, [] { prefill_map(map, kKeyRange); });
+  run_map_mix(map, state, kKeyRange, static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(1)));
+}
+
+template <typename Set>
+void BM_HashSetMix(benchmark::State& state) {
+  static Set& set = *new Set();
+  static std::once_flag prefill_once;
+  std::call_once(prefill_once, [] { prefill_set(set, kKeyRange); });
+  run_set_mix(set, state, kKeyRange, static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(1)));
+}
+
+using CoarseMap = CoarseHashMap<std::uint64_t, std::uint64_t>;
+using StripedMap = StripedHashMap<std::uint64_t, std::uint64_t>;
+using SplitOrderedHP =
+    SplitOrderedHashSet<std::uint64_t, MixHash<std::uint64_t>, HazardDomain>;
+using SplitOrderedEBR =
+    SplitOrderedHashSet<std::uint64_t, MixHash<std::uint64_t>, EpochDomain>;
+
+BENCHMARK(BM_HashMapMix<CoarseMap>) CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
+BENCHMARK(BM_HashMapMix<StripedMap>) CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
+BENCHMARK(BM_HashSetMix<SplitOrderedHP>)
+    CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
+BENCHMARK(BM_HashSetMix<SplitOrderedEBR>)
+    CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

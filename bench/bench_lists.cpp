@@ -1,0 +1,59 @@
+// E6 — list-based set spectrum across workload mixes.
+//
+// Survey claim: coarse < hand-over-hand < optimistic < lazy <= lock-free,
+// with the gap widening as the read share grows (lazy/lock-free reads take
+// no locks at all, HoH reads still lock every node on the path).
+//
+// Args: {read%, insert%}; remove% is the remainder.  Key range 512 keeps
+// traversals meaningful without making single ops glacial.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "list/coarse_list.hpp"
+#include "list/harris_list.hpp"
+#include "list/hoh_list.hpp"
+#include "list/lazy_list.hpp"
+#include "list/optimistic_list.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+
+namespace {
+
+using namespace ccds;
+using namespace ccds::bench;
+
+constexpr std::uint64_t kKeyRange = 512;
+
+template <typename Set>
+void BM_ListSetMix(benchmark::State& state) {
+  // Magic static: construction is thread-safe and happens on first touch by
+  // whichever thread gets here first; call_once prefilling likewise.  The
+  // structure persists across configs/repetitions (balanced mixes keep the
+  // occupancy near half), which avoids any setup/teardown race entirely.
+  static Set& set = *new Set();
+  static std::once_flag prefill_once;
+  std::call_once(prefill_once, [] { prefill_set(set, kKeyRange); });
+  run_set_mix(set, state, kKeyRange, static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(1)));
+}
+
+using CoarseList = CoarseListSet<std::uint64_t>;
+using HohList = HandOverHandListSet<std::uint64_t>;
+using OptList = OptimisticListSet<std::uint64_t>;
+using LazyList = LazyListSet<std::uint64_t>;
+using HarrisHP = HarrisMichaelListSet<std::uint64_t, HazardDomain>;
+using HarrisEBR = HarrisMichaelListSet<std::uint64_t, EpochDomain>;
+
+BENCHMARK(BM_ListSetMix<CoarseList>) CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
+BENCHMARK(BM_ListSetMix<HohList>) CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
+BENCHMARK(BM_ListSetMix<OptList>) CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
+BENCHMARK(BM_ListSetMix<LazyList>) CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
+BENCHMARK(BM_ListSetMix<HarrisHP>) CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
+BENCHMARK(BM_ListSetMix<HarrisEBR>) CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// E2 — mutual-exclusion lock spectrum under contention.
+//
+// Reproduces the survey's lock-scaling claims: TAS collapses first (every
+// spin is a coherence storm), TTAS holds on a little longer, backoff
+// stretches further, and the FIFO/queue locks (ticket, Anderson, MCS, CLH)
+// degrade most gracefully because waiters spin locally.  The Arg is the
+// critical-section length in dependent-work units — short sections maximize
+// lock overhead, longer ones shift the bottleneck to the serial section
+// itself (Amdahl).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "sync/anderson_lock.hpp"
+#include "sync/clh_lock.hpp"
+#include "sync/mcs_lock.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/ticket_lock.hpp"
+
+namespace {
+
+using namespace ccds;
+
+// Shared data mutated in the critical section: a real protected payload so
+// the lock orders visible work, not an empty region.
+struct Protected {
+  std::uint64_t value = 0;
+};
+
+template <typename Lock>
+void BM_LockCriticalSection(benchmark::State& state) {
+  static Lock* lock = nullptr;
+  static Protected* data = nullptr;
+  if (state.thread_index() == 0) {
+    lock = new Lock();
+    data = new Protected();
+  }
+  const int cs_work = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::lock_guard<Lock> g(*lock);
+    // Dependent chain: cannot be vectorized away, models real CS work.
+    std::uint64_t v = data->value;
+    for (int i = 0; i < cs_work; ++i) v = v * 2654435761u + 1;
+    data->value = v + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete lock;
+    delete data;
+    lock = nullptr;
+    data = nullptr;
+  }
+}
+
+#define CCDS_LOCK_BENCH(Lock)                                     \
+  BENCHMARK(BM_LockCriticalSection<Lock>)                         \
+      ->Arg(0)                                                    \
+      ->Arg(64)                                                   \
+      ->ThreadRange(1, 8)                                         \
+      ->UseRealTime()
+
+CCDS_LOCK_BENCH(TasLock);
+CCDS_LOCK_BENCH(TtasLock);
+CCDS_LOCK_BENCH(TtasBackoffLock);
+CCDS_LOCK_BENCH(TicketLock);
+CCDS_LOCK_BENCH(AndersonLock);
+CCDS_LOCK_BENCH(McsLock);
+CCDS_LOCK_BENCH(ClhLock);
+CCDS_LOCK_BENCH(std::mutex);
+
+}  // namespace
+
+BENCHMARK_MAIN();

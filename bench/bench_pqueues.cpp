@@ -1,0 +1,51 @@
+// E9 — priority queues: coarse binary heap vs skiplist-based (Lotan-Shavit).
+//
+// Survey claim: heap-based priority queues serialize on the root (every
+// delete-min touches it), so a single lock around a binary heap is close to
+// optimal for heaps — and still loses to the skiplist PQ, whose inserts
+// touch disjoint regions and whose delete-mins contend only on claim flags.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_util.hpp"
+#include "skiplist/lockfree_skiplist.hpp"
+
+namespace {
+
+using namespace ccds;
+
+template <typename PQ>
+void BM_PriorityQueueMix(benchmark::State& state) {
+  static PQ* pq = nullptr;
+  if (state.thread_index() == 0) {
+    pq = new PQ();
+    Xoshiro256 seed_rng(1234);
+    for (int i = 0; i < 4096; ++i) {
+      pq->push(static_cast<std::uint32_t>(seed_rng.next_below(1 << 24)));
+    }
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    if (rng.next() & 1) {
+      pq->push(static_cast<std::uint32_t>(rng.next_below(1 << 24)));
+    } else {
+      benchmark::DoNotOptimize(pq->pop_min());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete pq;
+    pq = nullptr;
+  }
+}
+
+using CoarsePQ = CoarsePriorityQueue<std::uint32_t>;
+using SkipPQ = SkipListPriorityQueue<std::uint32_t>;
+
+BENCHMARK(BM_PriorityQueueMix<CoarsePQ>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_PriorityQueueMix<SkipPQ>) CCDS_BENCH_THREADS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// E4 — FIFO queue family: coarse lock vs two-lock vs Michael-Scott.
+//
+// 50/50 enqueue/dequeue over a prefilled queue.  Survey claim: the two-lock
+// queue roughly doubles the coarse queue (producers and consumers no longer
+// collide), and the lock-free MS queue wins beyond a few threads.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "queue/coarse_queue.hpp"
+#include "queue/ms_queue.hpp"
+#include "queue/two_lock_queue.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "sync/spinlock.hpp"
+
+namespace {
+
+using namespace ccds;
+
+template <typename Queue>
+void BM_QueueEnqDeq(benchmark::State& state) {
+  static Queue* queue = nullptr;
+  if (state.thread_index() == 0) {
+    queue = new Queue();
+    for (std::uint64_t i = 0; i < 1024; ++i) queue->enqueue(i);  // prefill
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    if (rng.next() & 1) {
+      queue->enqueue(42);
+    } else {
+      benchmark::DoNotOptimize(queue->try_dequeue());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete queue;
+    queue = nullptr;
+  }
+}
+
+using LockQueueMutex = LockQueue<std::uint64_t, std::mutex>;
+using LockQueueTtas = LockQueue<std::uint64_t, TtasLock>;
+using TwoLockMutex = TwoLockQueue<std::uint64_t, std::mutex>;
+using TwoLockTtas = TwoLockQueue<std::uint64_t, TtasLock>;
+using MSQueueHP = MSQueue<std::uint64_t, HazardDomain>;
+using MSQueueEBR = MSQueue<std::uint64_t, EpochDomain>;
+
+BENCHMARK(BM_QueueEnqDeq<LockQueueMutex>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_QueueEnqDeq<LockQueueTtas>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_QueueEnqDeq<TwoLockMutex>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_QueueEnqDeq<TwoLockTtas>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_QueueEnqDeq<MSQueueHP>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_QueueEnqDeq<MSQueueEBR>) CCDS_BENCH_THREADS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

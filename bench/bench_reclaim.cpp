@@ -1,0 +1,81 @@
+// E11 — the cost of safe memory reclamation.
+//
+// Survey claim: hazard pointers tax every protected read with a
+// store+fence+re-load; epochs amortize protection over a whole operation
+// (one pin/unpin) and get close to the unprotected (leaky) baseline.  The
+// flip side — epochs can't bound memory under a stalled reader — is a
+// space property benchmarks can't show; tests cover it instead.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "bench_util.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "reclaim/leaky.hpp"
+#include "stack/treiber_stack.hpp"
+
+namespace {
+
+using namespace ccds;
+
+// Whole-structure view: Treiber stack churn under each domain.
+template <typename Domain>
+void BM_TreiberChurn(benchmark::State& state) {
+  using Stack = TreiberStack<std::uint64_t, Domain>;
+  static Stack* stack = nullptr;
+  if (state.thread_index() == 0) {
+    stack = new Stack();
+    for (std::uint64_t i = 0; i < 1024; ++i) stack->push(i);
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    if (rng.next() & 1) {
+      stack->push(1);
+    } else {
+      benchmark::DoNotOptimize(stack->try_pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete stack;
+    stack = nullptr;
+  }
+}
+
+BENCHMARK(BM_TreiberChurn<LeakyDomain>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_TreiberChurn<HazardDomain>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_TreiberChurn<EpochDomain>) CCDS_BENCH_THREADS;
+
+// Read-side microcost: protect a stable pointer repeatedly.
+template <typename Domain>
+void BM_ProtectedRead(benchmark::State& state) {
+  static Domain* dom = nullptr;
+  static std::atomic<std::uint64_t*>* src = nullptr;
+  if (state.thread_index() == 0) {
+    dom = new Domain();
+    src = new std::atomic<std::uint64_t*>(new std::uint64_t(42));
+  }
+  for (auto _ : state) {
+    auto g = dom->guard();
+    std::uint64_t* p = g.protect(0, *src);
+    benchmark::DoNotOptimize(*p);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete src->load();
+    delete src;
+    delete dom;
+    src = nullptr;
+    dom = nullptr;
+  }
+}
+
+BENCHMARK(BM_ProtectedRead<LeakyDomain>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_ProtectedRead<HazardDomain>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_ProtectedRead<EpochDomain>) CCDS_BENCH_THREADS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// E14 — reader-writer locks: when sharing the read path pays.
+//
+// Survey claim: an RW lock beats a plain mutex exactly when reads dominate
+// AND the read-side critical section is long enough to amortize the RW
+// lock's heavier entry protocol; at high write shares the writer-preference
+// machinery makes it *worse* than a plain lock.  The Arg is the read
+// percentage.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+#include "bench_util.hpp"
+#include "hash/coarse_hash_map.hpp"
+#include "sync/rwlock.hpp"
+#include "sync/spinlock.hpp"
+
+namespace {
+
+using namespace ccds;
+
+// Protected payload: a small array scanned on read, one slot bumped on
+// write — a read-side section with real length.
+struct Table {
+  std::uint64_t slots[64] = {};
+};
+
+// RW-capable locks.
+template <typename Lock>
+void BM_RwLockMix(benchmark::State& state) {
+  static Lock* lock = nullptr;
+  static Table* table = nullptr;
+  if (state.thread_index() == 0) {
+    lock = new Lock();
+    table = new Table();
+  }
+  const int read_pct = static_cast<int>(state.range(0));
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    const std::uint64_t r = rng.next();
+    if (static_cast<int>(r % 100) < read_pct) {
+      std::shared_lock<Lock> g(*lock);
+      std::uint64_t sum = 0;
+      for (auto s : table->slots) sum += s;
+      benchmark::DoNotOptimize(sum);
+    } else {
+      std::lock_guard<Lock> g(*lock);
+      table->slots[r % 64] += 1;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete lock;
+    delete table;
+    lock = nullptr;
+    table = nullptr;
+  }
+}
+
+// Exclusive-only baseline: same workload, every access takes the one lock.
+template <typename Lock>
+void BM_ExclusiveLockMix(benchmark::State& state) {
+  static Lock* lock = nullptr;
+  static Table* table = nullptr;
+  if (state.thread_index() == 0) {
+    lock = new Lock();
+    table = new Table();
+  }
+  const int read_pct = static_cast<int>(state.range(0));
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    const std::uint64_t r = rng.next();
+    std::lock_guard<Lock> g(*lock);
+    if (static_cast<int>(r % 100) < read_pct) {
+      std::uint64_t sum = 0;
+      for (auto s : table->slots) sum += s;
+      benchmark::DoNotOptimize(sum);
+    } else {
+      table->slots[r % 64] += 1;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete lock;
+    delete table;
+    lock = nullptr;
+    table = nullptr;
+  }
+}
+
+#define CCDS_RW_ARGS ->Arg(99)->Arg(90)->Arg(50)->ThreadRange(1, 8)->UseRealTime()
+
+BENCHMARK(BM_RwLockMix<RwSpinLock>) CCDS_RW_ARGS;
+BENCHMARK(BM_RwLockMix<std::shared_mutex>) CCDS_RW_ARGS;
+BENCHMARK(BM_ExclusiveLockMix<TtasLock>) CCDS_RW_ARGS;
+BENCHMARK(BM_ExclusiveLockMix<std::mutex>) CCDS_RW_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// E3 — stack family: coarse lock vs Treiber vs elimination-backoff.
+//
+// 50/50 push/pop over a prefilled stack.  The survey's claim: the Treiber
+// stack beats any lock-based stack, and elimination extends scaling past
+// the point where the single Treiber head saturates (pairs cancel without
+// touching the head at all).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <mutex>
+
+#include "bench_util.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "stack/coarse_stack.hpp"
+#include "stack/elimination_stack.hpp"
+#include "stack/treiber_stack.hpp"
+#include "sync/spinlock.hpp"
+
+namespace {
+
+using namespace ccds;
+
+template <typename Stack>
+void BM_StackPushPop(benchmark::State& state) {
+  static Stack* stack = nullptr;
+  if (state.thread_index() == 0) {
+    stack = new Stack();
+    for (std::uint64_t i = 0; i < 1024; ++i) stack->push(i);  // prefill
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    if (rng.next() & 1) {
+      stack->push(42);
+    } else {
+      benchmark::DoNotOptimize(stack->try_pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete stack;
+    stack = nullptr;
+  }
+}
+
+using LockStackMutex = LockStack<std::uint64_t, std::mutex>;
+using LockStackTtas = LockStack<std::uint64_t, TtasLock>;
+using TreiberHP = TreiberStack<std::uint64_t, HazardDomain>;
+using TreiberEBR = TreiberStack<std::uint64_t, EpochDomain>;
+using ElimHP = EliminationBackoffStack<std::uint64_t, HazardDomain>;
+
+BENCHMARK(BM_StackPushPop<LockStackMutex>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_StackPushPop<LockStackTtas>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_StackPushPop<TreiberHP>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_StackPushPop<TreiberEBR>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_StackPushPop<ElimHP>) CCDS_BENCH_THREADS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Shared helpers for the ccds benchmark harness.
+//
+// Conventions used by every bench binary:
+//   * google-benchmark threaded mode (->ThreadRange): the same function body
+//     runs on every thread; thread 0 constructs/destroys the shared
+//     structure outside the timed loop (the framework barriers threads at
+//     loop start and end);
+//   * throughput is reported via items_processed, so every table prints an
+//     items_per_second column — the "ops/sec vs threads" series the survey
+//     figures use;
+//   * workload mixes follow the survey's convention: a (read%, insert%,
+//     remove%) triple over a fixed key range, prefilled to half occupancy.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+namespace ccds::bench {
+
+// Per-thread deterministic generator, distinct per (thread, run).
+inline Xoshiro256 make_rng(const benchmark::State& state) {
+  return Xoshiro256(0x9e3779b97f4a7c15ull * (state.thread_index() + 1) + 1);
+}
+
+// Mixed read/insert/remove loop over a key range for set-like structures
+// (contains/insert/remove).  Returns ops performed.
+template <typename Set>
+void run_set_mix(Set& set, benchmark::State& state, std::uint64_t key_range,
+                 int read_pct, int insert_pct) {
+  Xoshiro256 rng = make_rng(state);
+  for (auto _ : state) {
+    const std::uint64_t r = rng.next();
+    const std::uint64_t key = (r >> 32) % key_range;
+    const int op = static_cast<int>(r % 100);
+    if (op < read_pct) {
+      benchmark::DoNotOptimize(set.contains(key));
+    } else if (op < read_pct + insert_pct) {
+      benchmark::DoNotOptimize(set.insert(key));
+    } else {
+      benchmark::DoNotOptimize(set.remove(key));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Same for map-like structures (get/insert/erase).
+template <typename Map>
+void run_map_mix(Map& map, benchmark::State& state, std::uint64_t key_range,
+                 int read_pct, int insert_pct) {
+  Xoshiro256 rng = make_rng(state);
+  for (auto _ : state) {
+    const std::uint64_t r = rng.next();
+    const std::uint64_t key = (r >> 32) % key_range;
+    const int op = static_cast<int>(r % 100);
+    if (op < read_pct) {
+      benchmark::DoNotOptimize(map.get(key));
+    } else if (op < read_pct + insert_pct) {
+      benchmark::DoNotOptimize(map.insert(key, key));
+    } else {
+      benchmark::DoNotOptimize(map.erase(key));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Prefill with every other key (half occupancy), visiting keys in a
+// pseudo-random permutation rather than ascending order: sorted insertion
+// would degenerate unbalanced structures (the tombstone BST most of all)
+// into linked lists and poison every subsequent measurement.  Multiplying
+// the index by an odd constant mod a power of two is a bijection.
+inline std::uint64_t prefill_perturb(std::uint64_t i, std::uint64_t half) {
+  return ((i * 0x9e3779b1ull) & (half - 1)) * 2;  // half must be a power of 2
+}
+
+template <typename Set>
+void prefill_set(Set& set, std::uint64_t key_range) {
+  const std::uint64_t half = key_range / 2;
+  for (std::uint64_t i = 0; i < half; ++i) {
+    set.insert(prefill_perturb(i, half));
+  }
+}
+
+template <typename Map>
+void prefill_map(Map& map, std::uint64_t key_range) {
+  const std::uint64_t half = key_range / 2;
+  for (std::uint64_t i = 0; i < half; ++i) {
+    const std::uint64_t k = prefill_perturb(i, half);
+    map.insert(k, k);
+  }
+}
+
+// Standard mix arguments: {read%, insert%} (remove% is the remainder).
+// 90/9/1 read-heavy, 70/20/10 mixed, 50/25/25 update-heavy, 0/50/50 writes.
+#define CCDS_BENCH_MIX_ARGS                    \
+  ->Args({90, 9})->Args({70, 20})->Args({50, 25})->Args({0, 50})
+
+// Thread counts for scaling series.
+#define CCDS_BENCH_THREADS ->ThreadRange(1, 8)->UseRealTime()
+
+}  // namespace ccds::bench

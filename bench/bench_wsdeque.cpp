@@ -1,0 +1,59 @@
+// E10 — Chase-Lev work-stealing deque: owner throughput under stealers.
+//
+// Survey claim: the deque's asymmetry is the point — the owner's push/take
+// path has no RMW in the common case, so adding thieves barely dents owner
+// throughput; thieves pay the CAS.  Thread 0 is the owner; every other
+// thread steals.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_util.hpp"
+#include "queue/ws_deque.hpp"
+
+namespace {
+
+using namespace ccds;
+
+void BM_WsDequeOwnerWithThieves(benchmark::State& state) {
+  static WorkStealingDeque<std::uint64_t>* deque = nullptr;
+  if (state.thread_index() == 0) {
+    deque = new WorkStealingDeque<std::uint64_t>(1 << 16);
+  }
+  if (state.thread_index() == 0) {
+    // Owner: push/pop pairs (the scheduler hot path).
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+      deque->push(i++);
+      benchmark::DoNotOptimize(deque->try_pop());
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+  } else {
+    // Thieves: hammer steal.
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(deque->try_steal());
+    }
+    state.SetItemsProcessed(state.iterations());
+  }
+  if (state.thread_index() == 0) {
+    delete deque;
+    deque = nullptr;
+  }
+}
+BENCHMARK(BM_WsDequeOwnerWithThieves)->ThreadRange(1, 8)->UseRealTime();
+
+// Pure owner loop, no interference: the deque's speed-of-light.
+void BM_WsDequeOwnerAlone(benchmark::State& state) {
+  WorkStealingDeque<std::uint64_t> deque(1 << 16);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    deque.push(i++);
+    benchmark::DoNotOptimize(deque.try_pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_WsDequeOwnerAlone);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,183 @@
+// config_service — read-mostly shared state done three ways.
+//
+// Build & run:   ./build/examples/config_service [readers] [seconds-ish]
+//
+// A service holds configuration that every request consults and an
+// operator occasionally rewrites.  This example runs the same
+// readers-vs-reloader workload over the library's three read-optimized
+// primitives and reports read throughput:
+//
+//   * RcuCell<Config>      — readers get an immutable snapshot pointer;
+//                            writers copy-update-publish (epoch reclaimed);
+//   * SeqLock<Summary>     — readers optimistically copy a small POD and
+//                            retry on collision;
+//   * RwSpinLock + Config  — the classical reader-writer lock baseline.
+//
+// Each reader validates every observation (config invariants must hold on
+// every read), so the run doubles as a consistency check.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "reclaim/rcu_cell.hpp"
+#include "sync/rwlock.hpp"
+#include "sync/seqlock.hpp"
+
+using namespace ccds;
+
+namespace {
+
+// A "parsed configuration": big enough that copying matters, with an
+// internal invariant readers can check.
+struct Config {
+  std::uint64_t version = 0;
+  std::uint64_t limits[16] = {};
+  std::uint64_t checksum = 0;  // == version + sum(limits)
+
+  void bump(std::uint64_t v) {
+    version = v;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+      limits[i] = v * (i + 1);
+      sum += limits[i];
+    }
+    checksum = version + sum;
+  }
+  bool valid() const {
+    std::uint64_t sum = 0;
+    for (auto l : limits) sum += l;
+    return checksum == version + sum;
+  }
+};
+
+// Small POD summary for the seqlock variant.
+struct Summary {
+  std::uint64_t version;
+  std::uint64_t total_limit;
+  std::uint64_t checksum;  // == version + total_limit
+};
+
+struct Result {
+  const char* name;
+  std::uint64_t reads;
+  std::uint64_t writes;
+  bool consistent;
+};
+
+template <typename ReadFn, typename WriteFn>
+Result run(const char* name, int readers, int iters, ReadFn&& do_read,
+           WriteFn&& do_write) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<bool> torn{false};
+  SpinBarrier barrier(readers + 2);
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait();
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!do_read()) torn.store(true);
+        ++local;
+      }
+      reads.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::uint64_t writes = 0;
+  threads.emplace_back([&] {
+    barrier.arrive_and_wait();
+    for (int i = 1; i <= iters; ++i) {
+      do_write(static_cast<std::uint64_t>(i));
+      ++writes;
+      // Writers are rare: give readers room between reloads.
+      for (int spin = 0; spin < 2000; ++spin) cpu_relax();
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+
+  barrier.arrive_and_wait();
+  for (auto& t : threads) t.join();
+  return Result{name, reads.load(), writes, !torn.load()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int readers = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int reload_iters = argc > 2 ? std::atoi(argv[2]) * 2000 : 4000;
+
+  std::printf("config_service: %d readers, %d config reloads per variant\n\n",
+              readers, reload_iters);
+
+  std::vector<Result> results;
+
+  {  // RCU
+    RcuCell<Config> cell;
+    cell.update([](Config& c) { c.bump(0); });
+    results.push_back(run(
+        "RcuCell (RCU)", readers, reload_iters,
+        [&] {
+          auto snap = cell.read();
+          return snap->valid();
+        },
+        [&](std::uint64_t v) {
+          cell.update([v](Config& c) { c.bump(v); });
+        }));
+  }
+
+  {  // SeqLock over the summary
+    SeqLock<Summary> sl(Summary{0, 0, 0});
+    results.push_back(run(
+        "SeqLock (summary)", readers, reload_iters,
+        [&] {
+          const Summary s = sl.read();
+          return s.checksum == s.version + s.total_limit;
+        },
+        [&](std::uint64_t v) {
+          Config c;
+          c.bump(v);
+          std::uint64_t total = 0;
+          for (auto l : c.limits) total += l;
+          sl.store(Summary{v, total, v + total});
+        }));
+  }
+
+  {  // Reader-writer lock baseline
+    RwSpinLock lock;
+    Config cfg;
+    cfg.bump(0);
+    results.push_back(run(
+        "RwSpinLock", readers, reload_iters,
+        [&] {
+          std::shared_lock<RwSpinLock> g(lock);
+          return cfg.valid();
+        },
+        [&](std::uint64_t v) {
+          std::lock_guard<RwSpinLock> g(lock);
+          cfg.bump(v);
+        }));
+  }
+
+  std::printf("  %-20s %14s %10s %12s\n", "variant", "reads", "reloads",
+              "consistent");
+  bool all_ok = true;
+  for (const auto& r : results) {
+    std::printf("  %-20s %14llu %10llu %12s\n", r.name,
+                static_cast<unsigned long long>(r.reads),
+                static_cast<unsigned long long>(r.writes),
+                r.consistent ? "yes" : "NO (BUG!)");
+    all_ok = all_ok && r.consistent;
+  }
+  std::printf("\n(reads are throughput-comparable across variants: same "
+              "reader count,\n same reload schedule; every read validated "
+              "its config invariant)\n");
+  return all_ok ? 0 : 1;
+}

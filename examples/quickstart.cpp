@@ -1,0 +1,147 @@
+// quickstart — a ten-minute tour of the ccds library.
+//
+// Build & run:   ./build/examples/quickstart
+//
+// Walks through one structure from each family, first single-threaded (to
+// show the API), then under a small multi-threaded workload (to show that
+// the concurrent semantics hold: counts conserve, sets agree, queues don't
+// lose elements).
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "ccds.hpp"
+
+using namespace ccds;
+
+namespace {
+
+void demo_counters() {
+  std::printf("== counters ==\n");
+  AtomicCounter hits;
+  ShardedCounter fast_hits;
+
+  constexpr int kThreads = 4, kPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hits.fetch_add(1);
+        fast_hits.add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::printf("  atomic counter:  %llu (expected %d)\n",
+              static_cast<unsigned long long>(hits.load()),
+              kThreads * kPerThread);
+  std::printf("  sharded counter: %llu (expected %d)\n",
+              static_cast<unsigned long long>(fast_hits.load()),
+              kThreads * kPerThread);
+}
+
+void demo_stack_and_queue() {
+  std::printf("== treiber stack & michael-scott queue ==\n");
+  TreiberStack<int> stack;
+  MSQueue<int> queue;
+
+  for (int i = 1; i <= 3; ++i) {
+    stack.push(i);
+    queue.enqueue(i);
+  }
+  std::printf("  stack pops (LIFO):   ");
+  while (auto v = stack.try_pop()) std::printf("%d ", *v);
+  std::printf("\n  queue pops (FIFO):   ");
+  while (auto v = queue.try_dequeue()) std::printf("%d ", *v);
+  std::printf("\n");
+
+  // Concurrent conservation check.
+  std::atomic<int> popped{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        queue.enqueue(i);
+        if (queue.try_dequeue()) popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  int leftover = 0;
+  while (queue.try_dequeue()) ++leftover;
+  std::printf("  concurrent queue: popped %d + leftover %d == pushed %d\n",
+              popped.load(), leftover, 40000);
+}
+
+void demo_sets() {
+  std::printf("== concurrent sets (lazy list / skip list / hash) ==\n");
+  LazyListSet<int> list_set;
+  LockFreeSkipListSet<int> skip_set;
+  SplitOrderedHashSet<int> hash_set;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        const int key = t * 500 + i;
+        list_set.insert(key % 200);  // contended range
+        skip_set.insert(key);
+        hash_set.insert(key);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  int list_count = 0;
+  for (int k = 0; k < 200; ++k) list_count += list_set.contains(k) ? 1 : 0;
+  std::printf("  lazy list holds %d distinct keys (expected 200)\n",
+              list_count);
+
+  int skip_count = 0, hash_count = 0;
+  for (int k = 0; k < 2000; ++k) {
+    skip_count += skip_set.contains(k) ? 1 : 0;
+    hash_count += hash_set.contains(k) ? 1 : 0;
+  }
+  std::printf("  skip list holds %d keys, hash set holds %d (expected 2000)\n",
+              skip_count, hash_count);
+}
+
+void demo_map() {
+  std::printf("== striped hash map ==\n");
+  StripedHashMap<std::string, int> config;
+  config.insert("threads", 8);
+  config.insert("port", 8080);
+  config.insert("port", 9090);  // overwrite
+  std::printf("  port=%d threads=%d size=%zu\n", *config.get("port"),
+              *config.get("threads"), config.size());
+}
+
+void demo_flat_combining() {
+  std::printf("== flat combining over arbitrary sequential state ==\n");
+  FlatCombiner<std::vector<int>> shared_vec;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        shared_vec.apply([t](std::vector<int>& v) { v.push_back(t); });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const std::size_t n =
+      shared_vec.apply([](std::vector<int>& v) { return v.size(); });
+  std::printf("  combined vector has %zu entries (expected 4000)\n", n);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ccds quickstart\n===============\n");
+  demo_counters();
+  demo_stack_and_queue();
+  demo_sets();
+  demo_map();
+  demo_flat_combining();
+  std::printf("done.\n");
+  return 0;
+}

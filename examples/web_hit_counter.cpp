@@ -1,0 +1,164 @@
+// web_hit_counter — the classic motivating scenario for concurrent data
+// structures: a multi-threaded server tracking request statistics.
+//
+// Build & run:   ./build/examples/web_hit_counter [workers] [requests]
+//
+// Simulates `workers` threads handling `requests` requests each.  Each
+// request:
+//   * bumps a global hit counter,
+//   * records the client IP in a unique-visitor set,
+//   * bumps a per-endpoint counter.
+// The same workload is run twice: once on coarse-grained structures (one
+// mutex around everything — the "obviously correct" port of sequential
+// code) and once on the ccds concurrent structures (sharded counter,
+// striped map, split-ordered set).  Prints both runtimes and verifies the
+// two runs agree on every statistic.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "core/rng.hpp"
+#include "counter/counters.hpp"
+#include "hash/split_ordered_set.hpp"
+#include "hash/striped_hash_map.hpp"
+
+using namespace ccds;
+
+namespace {
+
+constexpr int kEndpoints = 16;
+const char* kEndpointNames[kEndpoints] = {
+    "/",         "/login",   "/logout",   "/search",  "/cart",  "/checkout",
+    "/profile",  "/orders",  "/help",     "/api/v1",  "/feed",  "/settings",
+    "/admin",    "/metrics", "/health",   "/static"};
+
+// A synthetic request: client IP (bounded pool, so uniques saturate) and
+// endpoint index.
+struct Request {
+  std::uint32_t ip;
+  int endpoint;
+};
+
+Request make_request(Xoshiro256& rng) {
+  return Request{static_cast<std::uint32_t>(rng.next_below(50000)),
+                 static_cast<int>(rng.next_below(kEndpoints))};
+}
+
+// ---------- coarse-grained server stats (the strawman) ----------
+
+class CoarseStats {
+ public:
+  void record(const Request& r) {
+    std::lock_guard<std::mutex> g(mu_);
+    ++hits_;
+    uniques_.insert(r.ip);
+    ++per_endpoint_[r.endpoint];
+  }
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return hits_;
+  }
+  std::size_t uniques() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return uniques_.size();
+  }
+  std::uint64_t endpoint_hits(int e) const {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = per_endpoint_.find(e);
+    return it == per_endpoint_.end() ? 0 : it->second;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t hits_ = 0;
+  std::set<std::uint32_t> uniques_;
+  std::unordered_map<int, std::uint64_t> per_endpoint_;
+};
+
+// ---------- ccds concurrent server stats ----------
+
+class ConcurrentStats {
+ public:
+  void record(const Request& r) {
+    hits_.add(1);
+    if (uniques_.insert(r.ip)) unique_count_.add(1);
+    endpoint_hits_[r.endpoint]->fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t hits() const { return hits_.load(); }
+  std::size_t uniques() const { return unique_count_.load(); }
+  std::uint64_t endpoint_hits(int e) const {
+    return endpoint_hits_[e]->load(std::memory_order_relaxed);
+  }
+
+ private:
+  ShardedCounter hits_;
+  ShardedCounter unique_count_;
+  SplitOrderedHashSet<std::uint32_t> uniques_;
+  Padded<std::atomic<std::uint64_t>> endpoint_hits_[kEndpoints] = {};
+};
+
+template <typename Stats>
+double run_workload(Stats& stats, int workers, int requests_per_worker) {
+  SpinBarrier barrier(workers + 1);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      Xoshiro256 rng(w + 1);  // same seeds for both runs => same requests
+      barrier.arrive_and_wait();
+      for (int i = 0; i < requests_per_worker; ++i) {
+        stats.record(make_request(rng));
+      }
+    });
+  }
+  barrier.arrive_and_wait();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int requests = argc > 2 ? std::atoi(argv[2]) : 200000;
+
+  std::printf("web_hit_counter: %d workers x %d requests\n", workers,
+              requests);
+
+  CoarseStats coarse;
+  const double coarse_secs = run_workload(coarse, workers, requests);
+  ConcurrentStats fast;
+  const double fast_secs = run_workload(fast, workers, requests);
+
+  const double total = static_cast<double>(workers) * requests;
+  std::printf("\n  %-22s %10s %14s\n", "implementation", "seconds", "req/sec");
+  std::printf("  %-22s %10.3f %14.0f\n", "coarse (one mutex)", coarse_secs,
+              total / coarse_secs);
+  std::printf("  %-22s %10.3f %14.0f\n", "ccds concurrent", fast_secs,
+              total / fast_secs);
+
+  // The two implementations processed identical request streams; their
+  // statistics must agree exactly.
+  bool ok = coarse.hits() == fast.hits() &&
+            coarse.uniques() == fast.uniques();
+  std::printf("\n  hits:    %llu vs %llu\n",
+              static_cast<unsigned long long>(coarse.hits()),
+              static_cast<unsigned long long>(fast.hits()));
+  std::printf("  uniques: %zu vs %zu\n", coarse.uniques(), fast.uniques());
+  std::printf("  top endpoints:\n");
+  for (int e = 0; e < 4; ++e) {
+    ok = ok && coarse.endpoint_hits(e) == fast.endpoint_hits(e);
+    std::printf("    %-10s %llu\n", kEndpointNames[e],
+                static_cast<unsigned long long>(fast.endpoint_hits(e)));
+  }
+  std::printf("\n  statistics %s\n", ok ? "AGREE" : "DISAGREE (BUG!)");
+  return ok ? 0 : 1;
+}

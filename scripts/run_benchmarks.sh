@@ -1,0 +1,19 @@
+#!/bin/bash
+# Run the full ccds benchmark harness and record the raw output.
+#
+# Usage: scripts/run_benchmarks.sh [build-dir] [min-time-seconds]
+# Output: bench_output.txt in the repository root.
+set -u
+build=${1:-build}
+min_time=${2:-0.05}
+root="$(cd "$(dirname "$0")/.." && pwd)"
+out="$root/bench_output.txt"
+: > "$out"
+for b in "$root/$build"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" >> "$out"
+  timeout 1800 "$b" --benchmark_min_time="$min_time" >> "$out" 2>&1
+  echo "----- exit: $? -----" >> "$out"
+done
+echo "ALL_BENCHES_DONE" >> "$out"
+echo "wrote $out"

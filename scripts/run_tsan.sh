@@ -1,0 +1,18 @@
+#!/bin/bash
+# Build and run the whole test suite under ThreadSanitizer.
+set -eu
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cmake -B "$root/build-tsan" -G Ninja -DCCDS_SANITIZE_THREAD=ON \
+      -DCCDS_BUILD_BENCHMARKS=OFF -DCCDS_BUILD_EXAMPLES=OFF "$root"
+cmake --build "$root/build-tsan"
+fail=0
+for t in "$root"/build-tsan/tests/test_*; do
+  [ -x "$t" ] || continue
+  echo "== $(basename "$t")"
+  if ! "$t" 2>&1 | grep -E "WARNING: ThreadSanitizer|FAILED" ; then
+    echo "   clean"
+  else
+    fail=1
+  fi
+done
+exit $fail

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Summarize bench_output.txt into compact per-experiment tables.
+
+Usage: scripts/summarize_benches.py [bench_output.txt]
+
+Parses google-benchmark console output and prints, per bench binary, a
+table of items/second with one row per (benchmark, args) and one column
+per thread count — the shape EXPERIMENTS.md quotes.
+"""
+import re
+import sys
+from collections import defaultdict
+
+
+def parse(path):
+    # sections[binary] -> {(name, args) -> {threads: mops}}
+    sections = defaultdict(lambda: defaultdict(dict))
+    binary = None
+    # Benchmark names may contain ", " inside template argument lists, so
+    # match the name lazily up to the optional /real_time//threads suffix
+    # followed by the whitespace-separated time column.
+    line_re = re.compile(
+        r"^(.+?)(?:/real_time)?(?:/threads:(\d+))?\s{2,}.*items_per_second=([\d.]+)([kMG]?)/s"
+    )
+    for line in open(path, errors="replace"):
+        m = re.match(r"^===== (.+?) =====", line)
+        if m:
+            binary = m.group(1)
+            continue
+        m = line_re.match(line.strip())
+        if not m or binary is None:
+            continue
+        full, threads, value, suffix = m.groups()
+        threads = int(threads) if threads else 1
+        v = float(value) * {"": 1e-6, "k": 1e-3, "M": 1.0, "G": 1e3}[suffix]
+        # Split trailing /arg components off the benchmark name.
+        parts = full.split("/")
+        name = parts[0]
+        args = "/".join(p for p in parts[1:] if p != "real_time" and
+                        not p.startswith("threads:"))
+        sections[binary][(name, args)][threads] = v
+    return sections
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    sections = parse(path)
+    for binary, rows in sections.items():
+        threads = sorted({t for r in rows.values() for t in r})
+        print(f"\n== {binary} (items/sec, M)")
+        header = f"  {'benchmark':58s}" + "".join(f"{f'T={t}':>10s}" for t in threads)
+        print(header)
+        for (name, args), per_t in rows.items():
+            label = name + (f" [{args}]" if args else "")
+            cells = "".join(
+                f"{per_t.get(t, float('nan')):>10.2f}" if t in per_t else f"{'-':>10s}"
+                for t in threads)
+            print(f"  {label:58.58s}{cells}")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # piping into head is fine
+        pass

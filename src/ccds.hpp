@@ -1,0 +1,79 @@
+// ccds — Concurrent C++ Data Structures: umbrella header.
+//
+// Include this to get the whole library, or include individual module
+// headers (core/, sync/, reclaim/, counter/, stack/, queue/, list/, hash/,
+// skiplist/, tree/, pool/) to keep compile times down.
+#pragma once
+
+// core: architecture utilities, padding, backoff, RNG, thread ids, barrier.
+#include "core/arch.hpp"
+#include "core/backoff.hpp"
+#include "core/barrier.hpp"
+#include "core/hash.hpp"
+#include "core/padded.hpp"
+#include "core/rng.hpp"
+#include "core/thread_registry.hpp"
+
+// sync: the mutual-exclusion spectrum and combining.
+#include "sync/anderson_lock.hpp"
+#include "sync/atomic_snapshot.hpp"
+#include "sync/clh_lock.hpp"
+#include "sync/flat_combining.hpp"
+#include "sync/mcs_lock.hpp"
+#include "sync/rwlock.hpp"
+#include "sync/seqlock.hpp"
+#include "sync/peterson.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/ticket_lock.hpp"
+
+// reclaim: safe memory reclamation for lock-free structures.
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "reclaim/leaky.hpp"
+#include "reclaim/rcu_cell.hpp"
+#include "reclaim/reclaim.hpp"
+
+// counter: shared counters.
+#include "counter/combining_tree.hpp"
+#include "counter/counters.hpp"
+#include "counter/counting_network.hpp"
+
+// stack: LIFO structures.
+#include "stack/coarse_stack.hpp"
+#include "stack/elimination_stack.hpp"
+#include "stack/treiber_stack.hpp"
+
+// queue: FIFO structures, rings, and work-stealing deques.
+#include "queue/blocking_queue.hpp"
+#include "queue/coarse_queue.hpp"
+#include "queue/mpmc_queue.hpp"
+#include "queue/ms_queue.hpp"
+#include "queue/spsc_ring.hpp"
+#include "queue/two_lock_queue.hpp"
+#include "queue/ws_deque.hpp"
+
+// list: the list-based set spectrum.
+#include "list/coarse_list.hpp"
+#include "list/harris_list.hpp"
+#include "list/hoh_list.hpp"
+#include "list/lazy_list.hpp"
+#include "list/optimistic_list.hpp"
+
+// hash: hash maps and the split-ordered lock-free set.
+#include "hash/coarse_hash_map.hpp"
+#include "hash/split_ordered_set.hpp"
+#include "hash/striped_hash_map.hpp"
+
+// skiplist: concurrent skip lists and priority queues.
+#include "skiplist/lazy_skiplist.hpp"
+#include "skiplist/lockfree_skiplist.hpp"
+#include "skiplist/seq_skiplist.hpp"
+
+// tree: search-tree baselines and the lock-free tombstone BST.
+#include "tree/fine_bst.hpp"
+#include "tree/seq_avl.hpp"
+#include "tree/tombstone_bst.hpp"
+
+// pool: unordered pools and exchangers.
+#include "pool/exchanger.hpp"
+#include "pool/stealing_pool.hpp"

@@ -1,0 +1,67 @@
+// Architecture- and compiler-level utilities shared by every ccds module.
+//
+// Everything here is deliberately tiny: cache-line geometry, a spin-wait
+// hint, and an assertion macro that stays active in release builds (lock-free
+// code is exactly the code you want checked in production benchmarks).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+namespace ccds {
+
+// Size used to pad shared variables so that logically-independent hot fields
+// never share a cache line (avoids false sharing).  We use 128 rather than
+// std::hardware_destructive_interference_size because adjacent-line
+// prefetchers on x86 effectively couple pairs of 64-byte lines.
+inline constexpr std::size_t kCacheLineSize = 128;
+
+#define CCDS_CACHELINE_ALIGNED alignas(::ccds::kCacheLineSize)
+
+// Pause/yield hint for spin loops.  On x86 this lowers to `pause`, which
+// de-pipelines the spin and releases resources to the sibling hyperthread.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Spin-then-yield helper for unbounded wait loops.  Pure cpu_relax spinning
+// burns a full scheduler quantum whenever the awaited thread is preempted
+// (catastrophic on oversubscribed or single-core hosts), so after a bounded
+// number of pause iterations we donate the time slice.  `counter` is the
+// caller's per-wait loop counter.
+inline void spin_wait(std::uint32_t& counter) noexcept {
+  if ((++counter & 0x3ff) == 0) {
+    std::this_thread::yield();
+  } else {
+    cpu_relax();
+  }
+}
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) noexcept {
+  std::fprintf(stderr, "ccds assertion failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+// Always-on assertion: concurrent-structure invariants are cheap relative to
+// the synchronization around them, and silent corruption is far worse than
+// the branch.
+#define CCDS_ASSERT(expr)                                 \
+  do {                                                    \
+    if (__builtin_expect(!(expr), 0)) {                   \
+      ::ccds::assert_fail(#expr, __FILE__, __LINE__);     \
+    }                                                     \
+  } while (0)
+
+}  // namespace ccds

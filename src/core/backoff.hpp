@@ -1,0 +1,43 @@
+// Bounded exponential backoff for contended retry loops.
+//
+// Backoff is the survey's first tool for taming contention on CAS retry loops
+// and test-and-set locks: on failure, spin for a randomized, exponentially
+// growing number of iterations before retrying, so that colliding threads
+// de-synchronize.
+#pragma once
+
+#include <cstdint>
+
+#include "core/arch.hpp"
+#include "core/rng.hpp"
+
+namespace ccds {
+
+class Backoff {
+ public:
+  // `min_spins`/`max_spins` bound the randomized spin count per step.
+  explicit Backoff(std::uint32_t min_spins = 4,
+                   std::uint32_t max_spins = 1024) noexcept
+      : limit_(min_spins), max_(max_spins) {}
+
+  // Spin for a random duration in [1, current limit], then double the limit.
+  void spin() noexcept {
+    const std::uint32_t spins = 1 + static_cast<std::uint32_t>(
+                                        thread_rng().next() % limit_);
+    for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+    if (limit_ < max_) limit_ <<= 1;
+  }
+
+  // True once the limit has saturated; callers may then fall back to a
+  // different strategy (e.g. elimination, or parking the thread).
+  bool saturated() const noexcept { return limit_ >= max_; }
+
+  void reset() noexcept { limit_ = min_; }
+
+ private:
+  std::uint32_t limit_;
+  std::uint32_t min_ = limit_;
+  std::uint32_t max_;
+};
+
+}  // namespace ccds

@@ -1,0 +1,40 @@
+// Sense-reversing centralized spin barrier.
+//
+// Used by tests and benchmarks to start all worker threads at once so that
+// throughput measurements do not include thread-startup skew.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "core/arch.hpp"
+
+namespace ccds {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties), sense_(false) {}
+
+  // Blocks (spinning) until `parties` threads have arrived.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    // acq_rel: the last arriver's flip must publish all pre-barrier writes.
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      std::uint32_t spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        spin_wait(spins);
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  CCDS_CACHELINE_ALIGNED std::atomic<std::size_t> remaining_;
+  CCDS_CACHELINE_ALIGNED std::atomic<bool> sense_;
+};
+
+}  // namespace ccds

@@ -1,0 +1,49 @@
+// Hash mixing and bit-manipulation helpers.
+//
+// Split-ordered hash tables (hash module) need bit reversal; every hash table
+// needs a finalizer strong enough that power-of-two masking is safe on
+// low-entropy keys.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ccds {
+
+// Moremur / splitmix-style 64-bit finalizer: full-avalanche, invertible.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Bit-reversal of a 64-bit word (byte-table free, O(log w) swaps).
+inline std::uint64_t reverse_bits64(std::uint64_t v) noexcept {
+  v = ((v >> 1) & 0x5555555555555555ull) | ((v & 0x5555555555555555ull) << 1);
+  v = ((v >> 2) & 0x3333333333333333ull) | ((v & 0x3333333333333333ull) << 2);
+  v = ((v >> 4) & 0x0f0f0f0f0f0f0f0full) | ((v & 0x0f0f0f0f0f0f0f0full) << 4);
+  v = ((v >> 8) & 0x00ff00ff00ff00ffull) | ((v & 0x00ff00ff00ff00ffull) << 8);
+  v = ((v >> 16) & 0x0000ffff0000ffffull) |
+      ((v & 0x0000ffff0000ffffull) << 16);
+  return (v >> 32) | (v << 32);
+}
+
+// Default hasher used across ccds hash structures: std::hash then mix64, so
+// identity std::hash implementations (libstdc++ integers) still spread.
+template <typename Key>
+struct MixHash {
+  std::uint64_t operator()(const Key& k) const noexcept {
+    return mix64(static_cast<std::uint64_t>(std::hash<Key>{}(k)));
+  }
+};
+
+// Round up to the next power of two (returns 1 for 0).
+inline std::uint64_t next_pow2(std::uint64_t v) noexcept {
+  if (v <= 1) return 1;
+  return 1ull << (64 - __builtin_clzll(v - 1));
+}
+
+}  // namespace ccds

@@ -1,0 +1,37 @@
+// Cache-line padded wrappers.
+//
+// `Padded<T>` gives a value its own cache line; arrays of Padded<T> are the
+// standard representation for per-thread slots (sharded counters, Anderson
+// lock flags, hazard-pointer records, ...).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "core/arch.hpp"
+
+namespace ccds {
+
+// A T aligned to — and occupying a whole multiple of — a cache line.
+template <typename T>
+struct CCDS_CACHELINE_ALIGNED Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Trailing pad so sizeof(Padded<T>) is a multiple of the line even when
+  // alignment alone would not force it (e.g. T larger than one line).
+  char pad_[kCacheLineSize - (sizeof(T) % kCacheLineSize)];
+};
+
+static_assert(sizeof(Padded<char>) == kCacheLineSize);
+static_assert(alignof(Padded<char>) == kCacheLineSize);
+
+}  // namespace ccds

@@ -1,0 +1,76 @@
+// Small fast PRNGs for concurrent code.
+//
+// std::mt19937 is too heavy (and its thread_local construction too slow) for
+// use inside lock retry loops and randomized structures like skip lists, so
+// we provide SplitMix64 (seeding) and xoshiro256** (bulk generation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ccds {
+
+// SplitMix64 (Steele, Lea, Flood) — used to expand a 64-bit seed into state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** 1.0 (Blackman, Vigna) — fast, high-quality, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Unbiased-enough bounded draw for non-cryptographic use (Lemire's
+  // multiply-shift; bias is < 2^-64 * bound, irrelevant here).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+// Per-thread generator, seeded uniquely per thread from a global counter.
+inline Xoshiro256& thread_rng() noexcept {
+  static std::atomic<std::uint64_t> seed_seq{0x2545f4914f6cdd1dull};
+  thread_local Xoshiro256 rng(
+      seed_seq.fetch_add(0x9e3779b97f4a7c15ull, std::memory_order_relaxed));
+  return rng;
+}
+
+}  // namespace ccds

@@ -1,0 +1,71 @@
+// Dense thread ids.
+//
+// Hazard-pointer domains, sharded counters, Anderson locks, and flat
+// combining all want a small dense integer per participating thread rather
+// than std::thread::id.  The registry hands out ids 0..kMaxThreads-1 and
+// recycles them when threads exit, so long-running programs that churn
+// threads do not exhaust the space.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+
+namespace ccds {
+
+// Upper bound on simultaneously-registered threads.  Fixed at compile time so
+// per-thread slot arrays in lock-free structures can be flat and allocation
+// free.  96 comfortably covers a large host while keeping slot scans cheap.
+inline constexpr std::size_t kMaxThreads = 96;
+
+namespace detail {
+
+class ThreadRegistry {
+ public:
+  static ThreadRegistry& instance() noexcept {
+    static ThreadRegistry reg;
+    return reg;
+  }
+
+  std::size_t acquire() noexcept {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      // acq_rel: pairs with the release in release() so slot reuse
+      // happens-after the previous owner's teardown.
+      if (in_use_[i]->compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+        return i;
+      }
+    }
+    assert_fail("thread registry exhausted (raise ccds::kMaxThreads)",
+                __FILE__, __LINE__);
+  }
+
+  void release(std::size_t id) noexcept {
+    in_use_[id]->store(false, std::memory_order_release);
+  }
+
+ private:
+  ThreadRegistry() = default;
+  Padded<std::atomic<bool>> in_use_[kMaxThreads];
+};
+
+struct ThreadIdSlot {
+  std::size_t id;
+  ThreadIdSlot() : id(ThreadRegistry::instance().acquire()) {}
+  ~ThreadIdSlot() { ThreadRegistry::instance().release(id); }
+};
+
+}  // namespace detail
+
+// Dense id of the calling thread, assigned on first use, recycled at thread
+// exit.  Always < kMaxThreads.
+inline std::size_t thread_id() noexcept {
+  thread_local detail::ThreadIdSlot slot;
+  return slot.id;
+}
+
+}  // namespace ccds

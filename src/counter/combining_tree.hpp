@@ -1,0 +1,182 @@
+// Software combining tree counter (Goodman, Vernon & Woest; presentation
+// follows Herlihy & Shavit, "The Art of Multiprocessor Programming" ch. 12).
+//
+// Threads climb a binary tree from per-pair leaves; when two threads meet at
+// a node, the second parks and the first carries the *combined* increment
+// upward, so a single RMW at the root can apply many increments.  Latency of
+// an individual increment is O(log n) node handoffs — worse than fetch_add —
+// but total root contention is O(n / combining-factor): the classic
+// latency-for-scalability trade (experiment E13).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/thread_registry.hpp"
+
+namespace ccds {
+
+class CombiningTreeCounter {
+ public:
+  CombiningTreeCounter() : nodes_(2 * kLeaves - 1) {
+    nodes_[0].status = Node::kRoot;
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+      nodes_[i].parent = &nodes_[(i - 1) / 2];
+    }
+    for (std::size_t i = 0; i < kLeaves; ++i) {
+      leaf_[i] = &nodes_[kLeaves - 1 + i];
+    }
+  }
+
+  // Atomically add `d`, returning the prior value (fetch-and-add semantics —
+  // unlike ShardedCounter, increments here are totally ordered).
+  std::uint64_t fetch_add(std::uint64_t d = 1) {
+    Node* leaf = leaf_[thread_id() / 2];
+
+    // Precombining phase: climb while we are the FIRST arrival at each node;
+    // stop at the first node where a partner already claimed FIRST (we
+    // become its SECOND) or at the root.
+    Node* node = leaf;
+    while (node->precombine()) node = node->parent;
+    Node* stop = node;
+
+    // Combining phase: re-walk leaf -> stop, accumulating any partner
+    // contributions deposited at the nodes we own.  Tree depth is log2 of
+    // kLeaves, so a fixed path array avoids per-increment allocation.
+    std::uint64_t combined = d;
+    Node* path[kDepth];
+    std::size_t depth = 0;
+    for (Node* n = leaf; n != stop; n = n->parent) {
+      combined = n->combine(combined);
+      path[depth++] = n;
+    }
+
+    // Operation phase: apply the combined delta at the stop node (root: do
+    // the arithmetic; interior: deposit for the partner and wait for result).
+    const std::uint64_t prior = stop->op(combined);
+
+    // Distribution phase: walk back down, handing each waiting partner its
+    // slice of the result.
+    while (depth > 0) path[--depth]->distribute(prior);
+    return prior;
+  }
+
+  std::uint64_t load() {
+    std::lock_guard<std::mutex> g(nodes_[0].m);
+    return nodes_[0].result;
+  }
+
+ private:
+  struct Node {
+    enum Status { kIdle, kFirst, kSecond, kResult, kRoot };
+
+    std::mutex m;
+    std::condition_variable cv;
+    Status status = kIdle;
+    bool locked = false;
+    std::uint64_t first_value = 0;
+    std::uint64_t second_value = 0;
+    std::uint64_t result = 0;
+    Node* parent = nullptr;
+
+    // Returns true if the caller should keep climbing (it is the first
+    // arrival here); false if it must stop (partner present, or root).
+    bool precombine() {
+      std::unique_lock<std::mutex> l(m);
+      cv.wait(l, [&] { return !locked; });
+      switch (status) {
+        case kIdle:
+          status = kFirst;
+          return true;
+        case kFirst:
+          // A later phase of us-as-first is pending; the caller becomes the
+          // passive second party and stops climbing here.
+          locked = true;
+          status = kSecond;
+          return false;
+        case kRoot:
+          return false;
+        default:
+          assert_fail("combining tree: bad precombine status", __FILE__,
+                      __LINE__);
+      }
+    }
+
+    // Active thread passing through: lock the node, deposit its accumulated
+    // value, and pick up the partner's value if one parked here.
+    std::uint64_t combine(std::uint64_t combined) {
+      std::unique_lock<std::mutex> l(m);
+      cv.wait(l, [&] { return !locked; });
+      locked = true;
+      first_value = combined;
+      switch (status) {
+        case kFirst:
+          return combined;
+        case kSecond:
+          return combined + second_value;
+        default:
+          assert_fail("combining tree: bad combine status", __FILE__,
+                      __LINE__);
+      }
+    }
+
+    std::uint64_t op(std::uint64_t combined) {
+      std::unique_lock<std::mutex> l(m);
+      switch (status) {
+        case kRoot: {
+          const std::uint64_t prior = result;
+          result += combined;
+          return prior;
+        }
+        case kSecond: {
+          // Passive party: deposit our value, wake the active partner
+          // (blocked in combine() on `locked`), then wait for our result.
+          second_value = combined;
+          locked = false;
+          cv.notify_all();
+          cv.wait(l, [&] { return status == kResult; });
+          locked = false;
+          status = kIdle;
+          cv.notify_all();
+          return result;
+        }
+        default:
+          assert_fail("combining tree: bad op status", __FILE__, __LINE__);
+      }
+    }
+
+    void distribute(std::uint64_t prior) {
+      std::unique_lock<std::mutex> l(m);
+      switch (status) {
+        case kFirst:
+          // No partner showed up: just reopen the node.
+          status = kIdle;
+          locked = false;
+          break;
+        case kSecond:
+          // Partner's increments were ordered after ours within the batch.
+          result = prior + first_value;
+          status = kResult;
+          break;
+        default:
+          assert_fail("combining tree: bad distribute status", __FILE__,
+                      __LINE__);
+      }
+      cv.notify_all();
+    }
+  };
+
+  // One leaf per pair of thread ids, padded up to a power of two.
+  static constexpr std::size_t kLeaves = 64;
+  static constexpr std::size_t kDepth = 7;  // log2(kLeaves) + 1
+  static_assert(kLeaves * 2 >= kMaxThreads);
+  static_assert((std::size_t{1} << (kDepth - 1)) == kLeaves);
+
+  std::vector<Node> nodes_;
+  Node* leaf_[kLeaves];
+};
+
+}  // namespace ccds

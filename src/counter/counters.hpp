@@ -1,0 +1,87 @@
+// Shared counters: the survey's opening example of the contention spectrum.
+//
+//   LockCounter<Lock>  — coarse-grained baseline; every increment serializes.
+//   AtomicCounter      — single fetch_add word; hardware-arbitrated, still a
+//                        single contended cache line.
+//   ShardedCounter     — per-thread stripes; increments are uncontended and
+//                        relaxed, reads sum the stripes (a "statistical"
+//                        counter: reads are linearizable only at quiescence,
+//                        like folly's ThreadCachedInt / Java's LongAdder).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ccds {
+
+// Coarse-grained counter protected by any BasicLockable.
+template <typename Lock = std::mutex>
+class LockCounter {
+ public:
+  std::uint64_t fetch_add(std::uint64_t d = 1) noexcept {
+    std::lock_guard<Lock> g(lock_);
+    const std::uint64_t prior = value_;
+    value_ += d;
+    return prior;
+  }
+
+  std::uint64_t load() const noexcept {
+    std::lock_guard<Lock> g(lock_);
+    return value_;
+  }
+
+ private:
+  mutable Lock lock_;
+  std::uint64_t value_ = 0;
+};
+
+// Single atomic word.
+class AtomicCounter {
+ public:
+  std::uint64_t fetch_add(std::uint64_t d = 1) noexcept {
+    // relaxed: a pure counter carries no dependent data; tests that need
+    // happens-before pair it with explicit fences or use load(acquire) via
+    // exact_load below.  The RMW itself is still atomic and totally ordered
+    // per-location, which is all a counter needs.
+    return value_.fetch_add(d, std::memory_order_relaxed);
+  }
+
+  std::uint64_t load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  CCDS_CACHELINE_ALIGNED std::atomic<std::uint64_t> value_{0};
+};
+
+// Striped counter: per-thread cache-line-private cells.  fetch-and-add
+// semantics are NOT provided (no single total order across stripes); this is
+// an increment/read-sum counter, which is what hit counters, metrics and
+// allocator statistics actually need.
+class ShardedCounter {
+ public:
+  void add(std::uint64_t d = 1) noexcept {
+    stripes_[thread_id()]->fetch_add(d, std::memory_order_relaxed);
+  }
+
+  // Sum of all stripes.  Each stripe is read atomically; the total is exact
+  // once writers are quiescent and a consistent lower bound while they run.
+  std::uint64_t load() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : stripes_) {
+      sum += s->load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  Padded<std::atomic<std::uint64_t>> stripes_[kMaxThreads] = {};
+};
+
+}  // namespace ccds

@@ -1,0 +1,158 @@
+// Bitonic counting network (Aspnes, Herlihy, Shavit 1991; presentation
+// follows Herlihy & Shavit ch. 12).
+//
+// A network of 2-input/2-output *balancers*: each balancer forwards
+// alternate tokens to its top and bottom wires.  The bitonic wiring
+// guarantees the *step property* on the output wires — token counts across
+// output wires differ by at most one, with the excess on the lowest wires —
+// so attaching a counter to wire k that hands out k, k+w, k+2w, ... yields
+// a shared counter whose RMW traffic is spread across w*log^2(w)/2 toggles
+// instead of one hot word.
+//
+// The trade: counting networks are *quiescently consistent*, not
+// linearizable — values handed out concurrently may not respect real-time
+// order (each value is still handed out exactly once).  Perfect for ticket
+// dispensers and load balancing; wrong for a sequence-number generator.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+
+namespace ccds {
+
+namespace detail {
+
+// One balancer: alternates tokens between output 0 and output 1.
+class Balancer {
+ public:
+  int traverse() noexcept {
+    // Each toggle is an independent RMW word; acq_rel keeps toggles of one
+    // token ordered with the counters at the wires.
+    return static_cast<int>(toggle_.fetch_xor(1, std::memory_order_acq_rel));
+  }
+
+ private:
+  CCDS_CACHELINE_ALIGNED std::atomic<std::uint32_t> toggle_{0};
+};
+
+// Bitonic merger M[w]: merges two step sequences of width w/2 into one of
+// width w.  M_even takes the even wires of the first input and odd wires of
+// the second; M_odd the complement; one final balancer layer interleaves.
+class Merger {
+ public:
+  explicit Merger(int width) : width_(width), layer_(width / 2) {
+    if (width > 2) {
+      even_ = std::make_unique<Merger>(width / 2);
+      odd_ = std::make_unique<Merger>(width / 2);
+    }
+  }
+
+  // `input` in [0, width): first half are x-wires, second half y-wires.
+  int traverse(int input) noexcept {
+    if (width_ == 2) {
+      return layer_[0].traverse();
+    }
+    const int half = width_ / 2;
+    int sub_output;
+    if (input < half) {               // x-wire j = input
+      const int j = input;
+      Merger* sub = (j % 2 == 0) ? even_.get() : odd_.get();
+      sub_output = sub->traverse(j / 2);  // x-side position
+    } else {                          // y-wire j = input - half
+      const int j = input - half;
+      Merger* sub = (j % 2 == 1) ? even_.get() : odd_.get();
+      sub_output = sub->traverse(half / 2 + j / 2);  // y-side position
+    }
+    // Final layer: balancer k interleaves sub-merger output k into wires
+    // 2k / 2k+1.
+    return 2 * sub_output + layer_[sub_output].traverse();
+  }
+
+ private:
+  const int width_;
+  std::unique_ptr<Merger> even_;
+  std::unique_ptr<Merger> odd_;
+  std::vector<Balancer> layer_;
+};
+
+// Bitonic[w]: two Bitonic[w/2] halves feeding a Merger[w].
+class Bitonic {
+ public:
+  explicit Bitonic(int width) : width_(width), merger_(width) {
+    if (width > 2) {
+      upper_ = std::make_unique<Bitonic>(width / 2);
+      lower_ = std::make_unique<Bitonic>(width / 2);
+    }
+  }
+
+  int traverse(int input) noexcept {
+    if (width_ == 2) {
+      return merger_.traverse(input);
+    }
+    const int half = width_ / 2;
+    int wire;
+    if (input < half) {
+      wire = upper_->traverse(input);          // becomes merger x-wire
+    } else {
+      wire = half + lower_->traverse(input - half);  // merger y-wire
+    }
+    return merger_.traverse(wire);
+  }
+
+ private:
+  const int width_;
+  std::unique_ptr<Bitonic> upper_;
+  std::unique_ptr<Bitonic> lower_;
+  Merger merger_;
+};
+
+}  // namespace detail
+
+// Shared counter on a bitonic counting network of width `Width` (power of
+// two).  fetch_add(1)-style interface; each call returns a unique value.
+// Quiescently consistent (see file comment), NOT linearizable.
+template <int Width = 8>
+class CountingNetworkCounter {
+  static_assert(Width >= 2 && (Width & (Width - 1)) == 0,
+                "width must be a power of two");
+
+ public:
+  CountingNetworkCounter() : network_(Width) {
+    for (int k = 0; k < Width; ++k) {
+      wire_counters_[k]->store(static_cast<std::uint64_t>(k),
+                               std::memory_order_relaxed);
+    }
+  }
+
+  // Returns a unique value; over any quiescent prefix the returned values
+  // are exactly {0, 1, ..., n-1}.
+  std::uint64_t next() noexcept {
+    // Enter on a wire derived from the thread id to spread input load.
+    const int wire =
+        network_.traverse(static_cast<int>(thread_id() % Width));
+    return wire_counters_[wire]->fetch_add(Width, std::memory_order_acq_rel);
+  }
+
+  // Total tokens that have traversed (exact at quiescence).
+  std::uint64_t issued() const noexcept {
+    std::uint64_t total = 0;
+    for (int k = 0; k < Width; ++k) {
+      const std::uint64_t v =
+          wire_counters_[k]->load(std::memory_order_acquire);
+      total += (v - static_cast<std::uint64_t>(k)) / Width;
+    }
+    return total;
+  }
+
+ private:
+  detail::Bitonic network_;
+  Padded<std::atomic<std::uint64_t>> wire_counters_[Width] = {};
+};
+
+}  // namespace ccds

@@ -1,0 +1,123 @@
+// Coarse-grained chained hash map: one lock around a sequential table.
+//
+// Baseline for experiment E7.  Resizing is trivial because the single lock
+// already excludes everyone.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/hash.hpp"
+
+namespace ccds {
+
+template <typename Key, typename Value, typename Hash = MixHash<Key>,
+          typename Lock = std::mutex>
+class CoarseHashMap {
+ public:
+  explicit CoarseHashMap(std::size_t initial_buckets = 16)
+      : buckets_(next_pow2(initial_buckets)) {}
+
+  CoarseHashMap(const CoarseHashMap&) = delete;
+  CoarseHashMap& operator=(const CoarseHashMap&) = delete;
+
+  ~CoarseHashMap() {
+    for (auto& head : buckets_) {
+      Node* n = head;
+      while (n != nullptr) {
+        Node* next = n->next;
+        delete n;
+        n = next;
+      }
+    }
+  }
+
+  // Returns true if a new entry was created (false: value overwritten).
+  bool insert(const Key& key, Value value) {
+    std::lock_guard<Lock> g(lock_);
+    if (size_ + 1 > buckets_.size() * 2) rehash(buckets_.size() * 2);
+    Node*& head = bucket(key);
+    for (Node* n = head; n != nullptr; n = n->next) {
+      if (n->key == key) {
+        n->value = std::move(value);
+        return false;
+      }
+    }
+    head = new Node{key, std::move(value), head};
+    ++size_;
+    return true;
+  }
+
+  std::optional<Value> get(const Key& key) const {
+    std::lock_guard<Lock> g(lock_);
+    for (Node* n = bucket(key); n != nullptr; n = n->next) {
+      if (n->key == key) return n->value;
+    }
+    return std::nullopt;
+  }
+
+  bool contains(const Key& key) const {
+    std::lock_guard<Lock> g(lock_);
+    for (Node* n = bucket(key); n != nullptr; n = n->next) {
+      if (n->key == key) return true;
+    }
+    return false;
+  }
+
+  bool erase(const Key& key) {
+    std::lock_guard<Lock> g(lock_);
+    Node** prev = &bucket(key);
+    for (Node* n = *prev; n != nullptr; prev = &n->next, n = n->next) {
+      if (n->key == key) {
+        *prev = n->next;
+        delete n;
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<Lock> g(lock_);
+    return size_;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    Value value;
+    Node* next;
+  };
+
+  Node*& bucket(const Key& key) {
+    return buckets_[hash_(key) & (buckets_.size() - 1)];
+  }
+  Node* bucket(const Key& key) const {
+    return buckets_[hash_(key) & (buckets_.size() - 1)];
+  }
+
+  void rehash(std::size_t new_count) {
+    std::vector<Node*> fresh(new_count, nullptr);
+    for (Node* head : buckets_) {
+      while (head != nullptr) {
+        Node* next = head->next;
+        Node*& slot = fresh[hash_(head->key) & (new_count - 1)];
+        head->next = slot;
+        slot = head;
+        head = next;
+      }
+    }
+    buckets_.swap(fresh);
+  }
+
+  mutable Lock lock_;
+  std::vector<Node*> buckets_;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Hash hash_{};
+};
+
+}  // namespace ccds

@@ -1,0 +1,314 @@
+// Split-ordered lock-free hash set (Shalev & Shavit, "Split-Ordered Lists:
+// Lock-Free Extensible Hash Tables", JACM 2006).
+//
+// The trick: keep ALL elements in one Harris-Michael list sorted by the
+// *bit-reversal* of their hash ("split order"), and make buckets mere
+// shortcuts — dummy nodes inserted at the position where each bucket's
+// region begins.  Doubling the table never moves an element: bucket b's
+// region simply splits off the tail of its parent bucket's region
+// (parent(b) = b with its top set bit cleared), so growth is a matter of
+// lazily inserting one new dummy per new bucket.
+//
+// Key encoding: regular nodes carry so_key = reverse(hash) | 1 (odd); bucket
+// dummies carry so_key = reverse(b) (even, unique per bucket).  Hash
+// collisions (same so_key, different keys) are resolved by scanning the
+// equal-so_key run with operator==.
+//
+// The bucket table is a static array of lazily-allocated fixed-size
+// segments, so it also never moves.  Dummy nodes are never deleted, which
+// keeps bucket pointers eternally valid.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "core/arch.hpp"
+#include "core/hash.hpp"
+#include "reclaim/hazard.hpp"
+
+namespace ccds {
+
+template <typename Key, typename Hash = MixHash<Key>,
+          typename Domain = HazardDomain>
+class SplitOrderedHashSet {
+ public:
+  SplitOrderedHashSet() {
+    // Bucket 0's dummy (so_key 0) is the list head anchor.
+    Node* d0 = new Node(0);
+    list_head_.store(d0, std::memory_order_relaxed);
+    segment_for(0)[0].store(d0, std::memory_order_relaxed);
+  }
+
+  SplitOrderedHashSet(const SplitOrderedHashSet&) = delete;
+  SplitOrderedHashSet& operator=(const SplitOrderedHashSet&) = delete;
+
+  ~SplitOrderedHashSet() {
+    Node* n = list_head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = unmark(n->next.load(std::memory_order_relaxed));
+      delete n;
+      n = next;
+    }
+    for (auto& seg : segments_) {
+      delete[] seg.load(std::memory_order_relaxed);
+    }
+  }
+
+  bool contains(const Key& key) {
+    const std::uint64_t h = hash_(key);
+    Node* bucket = bucket_for(h);
+    auto g = domain_.guard();
+    Window w = find(&bucket->next, so_regular(h), &key, g);
+    return w.found;
+  }
+
+  bool insert(const Key& key) {
+    const std::uint64_t h = hash_(key);
+    Node* bucket = bucket_for(h);
+    Node* n = new Node(so_regular(h), key);
+    auto g = domain_.guard();
+    for (;;) {
+      Window w = find(&bucket->next, n->so_key, &key, g);
+      if (w.found) {
+        delete n;
+        return false;
+      }
+      n->next.store(w.curr, std::memory_order_relaxed);
+      if (w.prev->compare_exchange_strong(w.curr, n,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+        const std::uint64_t count =
+            size_.fetch_add(1, std::memory_order_relaxed) + 1;
+        maybe_grow(count);
+        return true;
+      }
+    }
+  }
+
+  bool remove(const Key& key) {
+    const std::uint64_t h = hash_(key);
+    Node* bucket = bucket_for(h);
+    auto g = domain_.guard();
+    for (;;) {
+      Window w = find(&bucket->next, so_regular(h), &key, g);
+      if (!w.found) return false;
+      Node* next = w.curr->next.load(std::memory_order_acquire);
+      if (is_marked(next)) continue;
+      if (!w.curr->next.compare_exchange_strong(
+              next, mark(next), std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        continue;
+      }
+      Node* expected = w.curr;
+      if (w.prev->compare_exchange_strong(expected, next,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+        domain_.retire(w.curr);
+      } else {
+        find(&bucket->next, so_regular(h), &key, g);  // help unlink
+      }
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t bucket_count() const noexcept {
+    return bucket_count_.load(std::memory_order_relaxed);
+  }
+
+  Domain& domain() noexcept { return domain_; }
+
+ private:
+  struct Node {
+    const std::uint64_t so_key;
+    const bool dummy;
+    Key key{};  // valid iff !dummy
+    std::atomic<Node*> next{nullptr};
+
+    explicit Node(std::uint64_t so) : so_key(so), dummy(true) {}
+    Node(std::uint64_t so, const Key& k) : so_key(so), dummy(false), key(k) {}
+  };
+
+  struct Window {
+    std::atomic<Node*>* prev;
+    Node* curr;
+    bool found;
+  };
+
+  // ----- marked pointers -----
+  static bool is_marked(Node* p) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(p) & 1u) != 0;
+  }
+  static Node* mark(Node* p) noexcept {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) | 1u);
+  }
+  static Node* unmark(Node* p) noexcept {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) &
+                                   ~std::uintptr_t{1});
+  }
+
+  // ----- split-order keys -----
+  static std::uint64_t so_regular(std::uint64_t h) noexcept {
+    return reverse_bits64(h) | 1u;  // odd
+  }
+  static std::uint64_t so_dummy(std::uint64_t b) noexcept {
+    return reverse_bits64(b);  // even (b < 2^63)
+  }
+  static std::uint64_t parent_bucket(std::uint64_t b) noexcept {
+    // Clear the most significant set bit (b > 0).
+    return b & ~(1ull << (63 - __builtin_clzll(b)));
+  }
+
+  // ----- bucket table (segmented, never moves) -----
+  static constexpr std::size_t kSegmentBits = 9;  // 512 buckets per segment
+  static constexpr std::size_t kSegmentSize = 1ull << kSegmentBits;
+  static constexpr std::size_t kMaxSegments = 1024;  // up to 2^19 buckets
+  static constexpr std::uint64_t kInitialBuckets = 2;
+  static constexpr std::uint64_t kMaxBuckets = kSegmentSize * kMaxSegments;
+
+  std::atomic<Node*>* segment_for(std::uint64_t bucket) {
+    auto& slot = segments_[bucket >> kSegmentBits];
+    std::atomic<Node*>* seg = slot.load(std::memory_order_acquire);
+    if (seg == nullptr) {
+      auto* fresh = new std::atomic<Node*>[kSegmentSize] {};
+      if (slot.compare_exchange_strong(seg, fresh,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        seg = fresh;
+      } else {
+        delete[] fresh;  // lost the race; `seg` holds the winner
+      }
+    }
+    return seg;
+  }
+
+  // Dummy node for the bucket of hash h, initializing the bucket (and,
+  // recursively, its ancestors) on first touch.  Must be called with no live
+  // guard (it opens its own).
+  Node* bucket_for(std::uint64_t h) {
+    const std::uint64_t b =
+        h & (bucket_count_.load(std::memory_order_acquire) - 1);
+    return get_bucket(b);
+  }
+
+  Node* get_bucket(std::uint64_t b) {
+    std::atomic<Node*>& slot = segment_for(b)[b & (kSegmentSize - 1)];
+    Node* d = slot.load(std::memory_order_acquire);
+    if (d != nullptr) return d;
+    return initialize_bucket(b, slot);
+  }
+
+  Node* initialize_bucket(std::uint64_t b, std::atomic<Node*>& slot) {
+    CCDS_ASSERT(b != 0);  // bucket 0 is created in the constructor
+    Node* parent = get_bucket(parent_bucket(b));
+    Node* dummy = new Node(so_dummy(b));
+    Node* winner;
+    {
+      auto g = domain_.guard();
+      for (;;) {
+        Window w = find(&parent->next, dummy->so_key, nullptr, g);
+        if (w.found) {
+          delete dummy;
+          winner = w.curr;
+          break;
+        }
+        dummy->next.store(w.curr, std::memory_order_relaxed);
+        if (w.prev->compare_exchange_strong(w.curr, dummy,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+          winner = dummy;
+          break;
+        }
+      }
+    }
+    Node* expected = nullptr;
+    slot.compare_exchange_strong(expected, winner,
+                                 std::memory_order_acq_rel,
+                                 std::memory_order_relaxed);
+    // Either we set it or a concurrent initializer found the same (unique)
+    // dummy; the slot is authoritative now.
+    return slot.load(std::memory_order_acquire);
+  }
+
+  void maybe_grow(std::uint64_t count) {
+    std::uint64_t buckets = bucket_count_.load(std::memory_order_relaxed);
+    // Load factor 2: double when count exceeds 2x buckets.
+    if (count > buckets * 2 && buckets < kMaxBuckets) {
+      bucket_count_.compare_exchange_strong(buckets, buckets * 2,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed);
+    }
+  }
+
+  // Harris-Michael window search over split-order keys, starting at `start`
+  // (a never-removed dummy's next link).  `key == nullptr` targets the
+  // (unique) dummy with so_key == so; otherwise targets a regular node with
+  // this so_key and an equal key, scanning the collision run.
+  Window find(std::atomic<Node*>* start, std::uint64_t so, const Key* key,
+              typename Domain::Guard& g) {
+  retry:
+    std::atomic<Node*>* prev = start;
+    g.clear(0);
+    Node* curr = g.protect(1, *prev);
+    // `start` is a dummy's next link and dummies are never deleted, so the
+    // link itself is never mark-tagged (a mark on X->next tags X, not the
+    // successor).
+    CCDS_ASSERT(!is_marked(curr));
+    for (;;) {
+      if (curr == nullptr) return {prev, nullptr, false};
+      Node* next_raw = curr->next.load(std::memory_order_acquire);
+      if (is_marked(next_raw)) {
+        Node* next = unmark(next_raw);
+        g.set(2, next);
+        if (curr->next.load(std::memory_order_acquire) != next_raw) {
+          goto retry;
+        }
+        Node* expected = curr;
+        if (!prev->compare_exchange_strong(expected, next,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+          goto retry;
+        }
+        domain_.retire(curr);
+        curr = next;
+        g.set(1, curr);
+        continue;
+      }
+      if (prev->load(std::memory_order_acquire) != curr) goto retry;
+      if (curr->so_key > so) return {prev, curr, false};
+      if (curr->so_key == so) {
+        if (key == nullptr) {
+          // Dummy target: dummies are unique per so_key.
+          if (curr->dummy) return {prev, curr, true};
+          // A regular node cannot share an (even) dummy so_key.
+          return {prev, curr, false};
+        }
+        if (!curr->dummy && curr->key == *key) return {prev, curr, true};
+        // Collision run: fall through and keep scanning while so_key == so.
+      }
+      // Advance.
+      Node* next = unmark(next_raw);
+      g.set(0, curr);
+      g.set(2, next);
+      if (curr->next.load(std::memory_order_acquire) != next_raw) goto retry;
+      prev = &curr->next;
+      curr = next;
+      g.set(1, curr);
+    }
+  }
+
+  CCDS_CACHELINE_ALIGNED std::atomic<Node*> list_head_{nullptr};
+  CCDS_CACHELINE_ALIGNED std::atomic<std::uint64_t> bucket_count_{
+      kInitialBuckets};
+  CCDS_CACHELINE_ALIGNED std::atomic<std::uint64_t> size_{0};
+  std::atomic<std::atomic<Node*>*> segments_[kMaxSegments] = {};
+  Domain domain_;
+  [[no_unique_address]] Hash hash_{};
+};
+
+}  // namespace ccds

@@ -1,0 +1,82 @@
+// Coarse-grained sorted linked-list set: one lock around a sequential list.
+//
+// The baseline for the list-based-set spectrum (experiment E6).  Every
+// operation — including pure lookups — serializes.
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+namespace ccds {
+
+template <typename Key, typename Compare = std::less<Key>,
+          typename Lock = std::mutex>
+class CoarseListSet {
+ public:
+  CoarseListSet() = default;
+  CoarseListSet(const CoarseListSet&) = delete;
+  CoarseListSet& operator=(const CoarseListSet&) = delete;
+
+  ~CoarseListSet() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  bool contains(const Key& key) const {
+    std::lock_guard<Lock> g(lock_);
+    Node* curr = head_;
+    while (curr != nullptr && comp_(curr->key, key)) curr = curr->next;
+    return curr != nullptr && !comp_(key, curr->key);
+  }
+
+  bool insert(const Key& key) {
+    std::lock_guard<Lock> g(lock_);
+    Node** prev = &head_;
+    Node* curr = head_;
+    while (curr != nullptr && comp_(curr->key, key)) {
+      prev = &curr->next;
+      curr = curr->next;
+    }
+    if (curr != nullptr && !comp_(key, curr->key)) return false;  // present
+    *prev = new Node{key, curr};
+    ++size_;
+    return true;
+  }
+
+  bool remove(const Key& key) {
+    std::lock_guard<Lock> g(lock_);
+    Node** prev = &head_;
+    Node* curr = head_;
+    while (curr != nullptr && comp_(curr->key, key)) {
+      prev = &curr->next;
+      curr = curr->next;
+    }
+    if (curr == nullptr || comp_(key, curr->key)) return false;  // absent
+    *prev = curr->next;
+    delete curr;
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<Lock> g(lock_);
+    return size_;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    Node* next;
+  };
+
+  mutable Lock lock_;
+  Node* head_ = nullptr;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Compare comp_{};
+};
+
+}  // namespace ccds

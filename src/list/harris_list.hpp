@@ -1,0 +1,181 @@
+// Harris–Michael lock-free sorted linked-list set (Harris 2001, with
+// Michael's 2002 hazard-pointer-compatible formulation).
+//
+// Deletion is two-phase: CAS a *mark bit* into the victim's next pointer
+// (the logical delete and linearization point), then CAS the predecessor's
+// link to unlink it physically.  Traversals that encounter a marked node
+// help unlink it.  Because marking and unlinking are separate CASes, an
+// insert CAS at a marked node fails (its expected next is unmarked), which
+// is precisely what makes the algorithm linearizable without locks.
+//
+// Reclamation discipline (three guard slots, per Michael 2002):
+//   slot 0 — node containing `prev` (none when prev is the head)
+//   slot 1 — curr
+//   slot 2 — next (only while unlinking / advancing)
+// Every protection of a link-derived pointer is validated by re-reading the
+// link; any inconsistency restarts the traversal from the head.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "core/arch.hpp"
+#include "reclaim/hazard.hpp"
+
+namespace ccds {
+
+template <typename Key, typename Domain = HazardDomain,
+          typename Compare = std::less<Key>>
+class HarrisMichaelListSet {
+ public:
+  HarrisMichaelListSet() = default;
+  HarrisMichaelListSet(const HarrisMichaelListSet&) = delete;
+  HarrisMichaelListSet& operator=(const HarrisMichaelListSet&) = delete;
+
+  ~HarrisMichaelListSet() {
+    Node* n = unmark(head_.load(std::memory_order_relaxed));
+    while (n != nullptr) {
+      Node* next = unmark(n->next.load(std::memory_order_relaxed));
+      delete n;
+      n = next;
+    }
+  }
+
+  bool contains(const Key& key) {
+    auto g = domain_.guard();
+    Window w = find(key, g);
+    return w.found;
+  }
+
+  bool insert(const Key& key) {
+    Node* n = new Node(key);
+    auto g = domain_.guard();
+    for (;;) {
+      Window w = find(key, g);
+      if (w.found) {
+        delete n;
+        return false;
+      }
+      n->next.store(w.curr, std::memory_order_relaxed);
+      // release: publish the node's key and link.
+      if (w.prev->compare_exchange_strong(w.curr, n,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+        return true;
+      }
+      // Window moved; retraverse.
+    }
+  }
+
+  bool remove(const Key& key) {
+    auto g = domain_.guard();
+    for (;;) {
+      Window w = find(key, g);
+      if (!w.found) return false;
+      Node* next = w.curr->next.load(std::memory_order_acquire);
+      if (is_marked(next)) continue;  // someone else is deleting it; re-find
+      // Logical delete: mark curr's next (linearization point on success).
+      if (!w.curr->next.compare_exchange_strong(
+              next, mark(next), std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        continue;  // link changed under us; retraverse
+      }
+      // Physical unlink; on failure some traversal will help eventually.
+      Node* expected = w.curr;
+      if (w.prev->compare_exchange_strong(expected, next,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+        domain_.retire(w.curr);
+      } else {
+        find(key, g);  // help: cleans up marked nodes on the search path
+      }
+      return true;
+    }
+  }
+
+  Domain& domain() noexcept { return domain_; }
+
+ private:
+  struct Node {
+    const Key key;
+    std::atomic<Node*> next{nullptr};
+    explicit Node(const Key& k) : key(k) {}
+    Node() : key() {}
+  };
+
+  struct Window {
+    std::atomic<Node*>* prev;  // link that pointed to curr
+    Node* curr;                // first node with key >= target (or null)
+    bool found;
+  };
+
+  // ----- marked-pointer helpers (mark lives in bit 0) -----
+  static bool is_marked(Node* p) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(p) & 1u) != 0;
+  }
+  static Node* mark(Node* p) noexcept {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) | 1u);
+  }
+  static Node* unmark(Node* p) noexcept {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) &
+                                   ~std::uintptr_t{1});
+  }
+
+  // Traverse to the window for `key`, helping unlink marked nodes.  On
+  // return, slot 1 protects w.curr and slot 0 protects the node containing
+  // w.prev (when it is not the head).
+  Window find(const Key& key, typename Domain::Guard& g) {
+  retry:
+    std::atomic<Node*>* prev = &head_;
+    g.clear(0);
+    Node* curr = g.protect(1, head_);
+    if (is_marked(curr)) goto retry;  // head link itself is never marked
+    for (;;) {
+      if (curr == nullptr) return {prev, nullptr, false};
+      Node* next_raw = curr->next.load(std::memory_order_acquire);
+      if (is_marked(next_raw)) {
+        // curr is logically deleted: help unlink it, then continue from the
+        // successor.
+        Node* next = unmark(next_raw);
+        g.set(2, next);
+        // Validate next is still curr's successor after protecting it.
+        if (curr->next.load(std::memory_order_acquire) != next_raw) {
+          goto retry;
+        }
+        Node* expected = curr;
+        if (!prev->compare_exchange_strong(expected, next,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+          goto retry;  // prev changed; our window is stale
+        }
+        domain_.retire(curr);
+        curr = next;
+        g.set(1, curr);  // slot 2 still covers it during the handover
+        continue;
+      }
+      // Validate the window: prev must still link to curr (this also
+      // re-validates our protection of curr obtained via links).
+      if (prev->load(std::memory_order_acquire) != curr) goto retry;
+      if (!comp_(curr->key, key)) {
+        return {prev, curr, !comp_(key, curr->key)};
+      }
+      // Advance: curr becomes the node containing prev.
+      Node* next = unmark(next_raw);
+      g.set(0, curr);  // keep curr alive as prev-container (slot 1 -> 0)
+      g.set(2, next);
+      if (curr->next.load(std::memory_order_acquire) != next_raw) {
+        goto retry;  // next changed before we protected it
+      }
+      prev = &curr->next;
+      curr = next;
+      g.set(1, curr);
+    }
+  }
+
+  CCDS_CACHELINE_ALIGNED std::atomic<Node*> head_{nullptr};
+  Domain domain_;
+  [[no_unique_address]] Compare comp_{};
+};
+
+}  // namespace ccds

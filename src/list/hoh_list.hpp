@@ -1,0 +1,113 @@
+// Hand-over-hand ("lock coupling") sorted linked-list set.
+//
+// Each node carries its own lock; traversal holds at most two locks at a
+// time, acquiring the next before releasing the previous.  Disjoint
+// operations on different list regions proceed in parallel, but every
+// operation still *traverses* through every lock in its prefix, so the head
+// remains a bottleneck — the survey's stepping stone between coarse locking
+// and optimistic designs (experiment E6).
+//
+// Reclamation is trivial: a node can only be unlinked while both it and its
+// predecessor are locked, and no other thread can hold a reference to it at
+// that point (any contender is blocked at or before the predecessor), so
+// `delete` is immediate and safe.
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "sync/spinlock.hpp"
+
+namespace ccds {
+
+template <typename Key, typename Compare = std::less<Key>,
+          typename Lock = TtasLock>
+class HandOverHandListSet {
+ public:
+  HandOverHandListSet() : head_(new Node) {}
+  HandOverHandListSet(const HandOverHandListSet&) = delete;
+  HandOverHandListSet& operator=(const HandOverHandListSet&) = delete;
+
+  ~HandOverHandListSet() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  bool contains(const Key& key) {
+    head_->lock.lock();
+    Node* pred = head_;
+    Node* curr = pred->next;
+    while (curr != nullptr) {
+      curr->lock.lock();
+      if (!comp_(curr->key, key)) break;  // curr->key >= key
+      pred->lock.unlock();
+      pred = curr;
+      curr = curr->next;
+    }
+    const bool found = curr != nullptr && !comp_(key, curr->key);
+    if (curr != nullptr) curr->lock.unlock();
+    pred->lock.unlock();
+    return found;
+  }
+
+  bool insert(const Key& key) {
+    head_->lock.lock();
+    Node* pred = head_;
+    Node* curr = pred->next;
+    while (curr != nullptr) {
+      curr->lock.lock();
+      if (!comp_(curr->key, key)) break;
+      pred->lock.unlock();
+      pred = curr;
+      curr = curr->next;
+    }
+    bool inserted = false;
+    if (curr == nullptr || comp_(key, curr->key)) {
+      pred->next = new Node{key, curr, {}};
+      inserted = true;
+    }
+    if (curr != nullptr) curr->lock.unlock();
+    pred->lock.unlock();
+    return inserted;
+  }
+
+  bool remove(const Key& key) {
+    head_->lock.lock();
+    Node* pred = head_;
+    Node* curr = pred->next;
+    while (curr != nullptr) {
+      curr->lock.lock();
+      if (!comp_(curr->key, key)) break;
+      pred->lock.unlock();
+      pred = curr;
+      curr = curr->next;
+    }
+    bool removed = false;
+    if (curr != nullptr && !comp_(key, curr->key)) {
+      pred->next = curr->next;
+      curr->lock.unlock();
+      delete curr;  // safe: see class comment
+      curr = nullptr;
+      removed = true;
+    }
+    if (curr != nullptr) curr->lock.unlock();
+    pred->lock.unlock();
+    return removed;
+  }
+
+ private:
+  struct Node {
+    Key key{};
+    Node* next = nullptr;
+    Lock lock;
+  };
+
+  Node* const head_;  // sentinel (holds no key)
+  [[no_unique_address]] Compare comp_{};
+};
+
+}  // namespace ccds

@@ -1,0 +1,134 @@
+// Lazy sorted linked-list set (Heller, Herlihy, Luchangco, Moir, Scheideler,
+// Shavit 2005).
+//
+// Improves on the optimistic list in two ways: (1) validation becomes O(1) —
+// each node carries a `marked` flag set before it is unlinked, so checking
+// "!pred->marked && !curr->marked && pred->next == curr" replaces the full
+// re-traversal; (2) contains() becomes lock-free and wait-free — a single
+// traversal plus a mark check, never locking, never retrying.
+//
+// Removal is "lazy": mark first (the logical delete — the operation's
+// linearization point), then unlink physically.  Traversals may still be
+// walking through marked or even unlinked nodes, so unlinked nodes are
+// retired through an epoch domain and every operation runs under a guard.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+
+#include "reclaim/epoch.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ccds {
+
+template <typename Key, typename Compare = std::less<Key>,
+          typename Lock = TtasLock>
+class LazyListSet {
+ public:
+  LazyListSet() : head_(new Node) {}
+  LazyListSet(const LazyListSet&) = delete;
+  LazyListSet& operator=(const LazyListSet&) = delete;
+
+  ~LazyListSet() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  // Wait-free: one traversal, no locks, no retries.
+  bool contains(const Key& key) {
+    auto g = domain_.guard();
+    Node* curr = head_->next.load(std::memory_order_acquire);
+    while (curr != nullptr && comp_(curr->key, key)) {
+      curr = curr->next.load(std::memory_order_acquire);
+    }
+    return curr != nullptr && !comp_(key, curr->key) &&
+           !curr->marked.load(std::memory_order_acquire);
+  }
+
+  bool insert(const Key& key) {
+    auto g = domain_.guard();
+    for (;;) {
+      auto [pred, curr] = locate(key);
+      std::lock_guard<Lock> lp(pred->lock);
+      if (curr != nullptr) {
+        std::lock_guard<Lock> lc(curr->lock);
+        if (!validate(pred, curr)) continue;
+        if (!comp_(key, curr->key)) {
+          // Present and (validated) unmarked.
+          return false;
+        }
+        Node* n = new Node(key, curr);
+        pred->next.store(n, std::memory_order_release);
+        return true;
+      }
+      if (!validate(pred, curr)) continue;
+      Node* n = new Node(key, nullptr);
+      pred->next.store(n, std::memory_order_release);
+      return true;
+    }
+  }
+
+  bool remove(const Key& key) {
+    auto g = domain_.guard();
+    for (;;) {
+      auto [pred, curr] = locate(key);
+      if (curr == nullptr) {
+        std::lock_guard<Lock> lp(pred->lock);
+        if (!validate(pred, curr)) continue;
+        return false;
+      }
+      std::lock_guard<Lock> lp(pred->lock);
+      std::lock_guard<Lock> lc(curr->lock);
+      if (!validate(pred, curr)) continue;
+      if (comp_(key, curr->key)) return false;  // absent
+      // Logical delete first (linearization point), then physical unlink.
+      curr->marked.store(true, std::memory_order_release);
+      pred->next.store(curr->next.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+      domain_.retire(curr);
+      return true;
+    }
+  }
+
+  EpochDomain& domain() noexcept { return domain_; }
+
+ private:
+  struct Node {
+    Key key{};
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> marked{false};
+    Lock lock;
+
+    Node() = default;
+    Node(const Key& k, Node* nx) : key(k), next(nx) {}
+  };
+
+  std::pair<Node*, Node*> locate(const Key& key) const {
+    Node* pred = head_;
+    Node* curr = pred->next.load(std::memory_order_acquire);
+    while (curr != nullptr && comp_(curr->key, key)) {
+      pred = curr;
+      curr = curr->next.load(std::memory_order_acquire);
+    }
+    return {pred, curr};
+  }
+
+  // O(1) validation under both locks: neither endpoint was logically
+  // deleted, and the window is still intact.
+  bool validate(Node* pred, Node* curr) const {
+    return !pred->marked.load(std::memory_order_acquire) &&
+           (curr == nullptr || !curr->marked.load(std::memory_order_acquire)) &&
+           pred->next.load(std::memory_order_acquire) == curr;
+  }
+
+  Node* const head_;  // sentinel (never marked)
+  mutable EpochDomain domain_;
+  [[no_unique_address]] Compare comp_{};
+};
+
+}  // namespace ccds

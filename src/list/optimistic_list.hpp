@@ -1,0 +1,134 @@
+// Optimistic sorted linked-list set (Herlihy & Shavit ch. 9.6).
+//
+// Traverse WITHOUT locks, lock only the (pred, curr) window, then *validate*
+// by re-traversing from the head that pred is still reachable and still
+// links to curr; retry on failure.  Wins when traversals are long and
+// conflicts rare; loses when validation (a second traversal) dominates.
+//
+// Unlinked nodes are retired through an epoch domain because lock-free
+// traversals may still be reading them; every operation runs under an epoch
+// guard.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+
+#include "reclaim/epoch.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ccds {
+
+template <typename Key, typename Compare = std::less<Key>,
+          typename Lock = TtasLock>
+class OptimisticListSet {
+ public:
+  OptimisticListSet() : head_(new Node) {}
+  OptimisticListSet(const OptimisticListSet&) = delete;
+  OptimisticListSet& operator=(const OptimisticListSet&) = delete;
+
+  ~OptimisticListSet() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  bool contains(const Key& key) {
+    auto g = domain_.guard();
+    for (;;) {
+      auto [pred, curr] = locate(key);
+      std::lock_guard<Lock> lp(pred->lock);
+      if (curr != nullptr) {
+        std::lock_guard<Lock> lc(curr->lock);
+        if (!validate(pred, curr)) continue;
+        return !comp_(key, curr->key);
+      }
+      if (!validate(pred, curr)) continue;
+      return false;
+    }
+  }
+
+  bool insert(const Key& key) {
+    auto g = domain_.guard();
+    for (;;) {
+      auto [pred, curr] = locate(key);
+      std::lock_guard<Lock> lp(pred->lock);
+      if (curr != nullptr) {
+        std::lock_guard<Lock> lc(curr->lock);
+        if (!validate(pred, curr)) continue;
+        if (!comp_(key, curr->key)) return false;  // already present
+        Node* n = new Node{key, curr};
+        pred->next.store(n, std::memory_order_release);
+        return true;
+      }
+      if (!validate(pred, curr)) continue;
+      Node* n = new Node{key, nullptr};
+      pred->next.store(n, std::memory_order_release);
+      return true;
+    }
+  }
+
+  bool remove(const Key& key) {
+    auto g = domain_.guard();
+    for (;;) {
+      auto [pred, curr] = locate(key);
+      if (curr == nullptr) {
+        std::lock_guard<Lock> lp(pred->lock);
+        if (!validate(pred, curr)) continue;
+        return false;
+      }
+      std::lock_guard<Lock> lp(pred->lock);
+      std::lock_guard<Lock> lc(curr->lock);
+      if (!validate(pred, curr)) continue;
+      if (comp_(key, curr->key)) return false;  // absent
+      pred->next.store(curr->next.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+      domain_.retire(curr);
+      return true;
+    }
+  }
+
+  EpochDomain& domain() noexcept { return domain_; }
+
+ private:
+  struct Node {
+    Key key{};
+    std::atomic<Node*> next{nullptr};
+    Lock lock;
+
+    Node() = default;
+    Node(const Key& k, Node* nx) : key(k), next(nx) {}
+  };
+
+  // Unsynchronized traversal to the window (pred < key <= curr).
+  std::pair<Node*, Node*> locate(const Key& key) const {
+    Node* pred = head_;
+    Node* curr = pred->next.load(std::memory_order_acquire);
+    while (curr != nullptr && comp_(curr->key, key)) {
+      pred = curr;
+      curr = curr->next.load(std::memory_order_acquire);
+    }
+    return {pred, curr};
+  }
+
+  // Re-traverse from head: pred must still be reachable and link to curr.
+  bool validate(Node* pred, Node* curr) const {
+    Node* n = head_;
+    while (n != nullptr) {
+      if (n == pred) {
+        return pred->next.load(std::memory_order_acquire) == curr;
+      }
+      n = n->next.load(std::memory_order_acquire);
+    }
+    return false;  // pred was unlinked while we were locking
+  }
+
+  Node* const head_;  // sentinel
+  mutable EpochDomain domain_;
+  [[no_unique_address]] Compare comp_{};
+};
+
+}  // namespace ccds

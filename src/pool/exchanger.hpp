@@ -1,0 +1,87 @@
+// Lock-free pairwise exchanger (Herlihy & Shavit ch. 11).
+//
+// Two threads meet at a slot and swap values within a bounded wait; the
+// building block of elimination arrays and of the elimination pool.  The
+// slot packs a state tag and a pointer to the first party's offer frame.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "core/arch.hpp"
+
+namespace ccds {
+
+template <typename T>
+class Exchanger {
+ public:
+  // Attempt to swap `mine` with a partner within ~spin_budget spins.
+  // Returns the partner's value, or nullopt on timeout.
+  std::optional<T> exchange(T mine, int spin_budget = 1024) {
+    Offer my_offer{std::move(mine), {}, {}};
+
+    std::uintptr_t s = slot_.load(std::memory_order_acquire);
+    if (s == kEmpty) {
+      // First party: publish the offer and wait for a match.
+      std::uintptr_t expected = kEmpty;
+      const auto mine_tag = reinterpret_cast<std::uintptr_t>(&my_offer);
+      if (slot_.compare_exchange_strong(expected, mine_tag,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        for (int i = 0; i < spin_budget; ++i) {
+          // acquire: pairs with the matcher's release after filling reply.
+          if (my_offer.matched.load(std::memory_order_acquire)) {
+            slot_.store(kEmpty, std::memory_order_release);
+            return std::move(my_offer.reply);
+          }
+          cpu_relax();
+        }
+        // Timeout: withdraw unless a matcher beat us to it.
+        expected = mine_tag;
+        if (slot_.compare_exchange_strong(expected, kEmpty,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+          return std::nullopt;
+        }
+        // A matcher claimed the offer (slot moved to kBusy); wait for it.
+        while (!my_offer.matched.load(std::memory_order_acquire)) {
+          cpu_relax();
+        }
+        slot_.store(kEmpty, std::memory_order_release);
+        return std::move(my_offer.reply);
+      }
+      s = expected;  // somebody's offer appeared; try to match it below
+    }
+
+    if (s != kEmpty && s != kBusy) {
+      // Second party: claim the published offer.
+      Offer* theirs = reinterpret_cast<Offer*>(s);
+      std::uintptr_t expected = s;
+      if (slot_.compare_exchange_strong(expected, kBusy,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        T value = std::move(theirs->value);
+        theirs->reply = std::move(my_offer.value);
+        // release: the reply must be visible before `matched` flips.
+        theirs->matched.store(true, std::memory_order_release);
+        return value;
+      }
+    }
+    return std::nullopt;  // busy or raced out
+  }
+
+ private:
+  struct Offer {
+    T value;
+    T reply{};
+    std::atomic<bool> matched{false};
+  };
+
+  static constexpr std::uintptr_t kEmpty = 0;
+  static constexpr std::uintptr_t kBusy = 1;
+
+  CCDS_CACHELINE_ALIGNED std::atomic<std::uintptr_t> slot_{kEmpty};
+};
+
+}  // namespace ccds

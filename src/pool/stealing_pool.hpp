@@ -1,0 +1,53 @@
+// Unordered pool ("bag") with per-thread stacks and stealing.
+//
+// The survey's answer to "what if you don't need FIFO/LIFO at all": an
+// unordered put/get pool can shard perfectly.  Each thread puts into and
+// gets from its own Treiber stack; a thread whose own stack is empty steals
+// from the others, scanning from a random start to avoid herding.  A
+// put/get pair on one thread touches no shared state with other threads at
+// all in the common case.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "core/rng.hpp"
+#include "core/thread_registry.hpp"
+#include "reclaim/epoch.hpp"
+#include "stack/treiber_stack.hpp"
+
+namespace ccds {
+
+template <typename T>
+class StealingPool {
+ public:
+  void put(T v) { stacks_[thread_id()].push(std::move(v)); }
+
+  std::optional<T> try_get() {
+    const std::size_t me = thread_id();
+    if (auto v = stacks_[me].try_pop()) return v;
+    // Steal: scan all other stacks from a random starting point.
+    const std::size_t start = thread_rng().next_below(kMaxThreads);
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      const std::size_t victim = (start + i) % kMaxThreads;
+      if (victim == me) continue;
+      if (auto v = stacks_[victim].try_pop()) return v;
+    }
+    return std::nullopt;
+  }
+
+  // Quiescent-only exact check.
+  bool empty() const {
+    for (const auto& s : stacks_) {
+      if (!s.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  // Epoch reclamation: stealing pops run concurrently with the owner's.
+  TreiberStack<T, EpochDomain> stacks_[kMaxThreads];
+};
+
+}  // namespace ccds

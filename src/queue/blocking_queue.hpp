@@ -1,0 +1,110 @@
+// Bounded blocking MPMC queue (the java.util.concurrent ArrayBlockingQueue
+// analogue): mutex + two condition variables over a circular buffer.
+//
+// The survey's point of comparison for *blocking* coordination: when
+// producers or consumers must wait (backpressure), condition variables beat
+// any spin-based design — the waiting thread releases its core.  Supports
+// closing: after close(), pushes fail and pops drain the remainder then
+// return nullopt, which is the shutdown idiom pipelines need.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/hash.hpp"
+
+namespace ccds {
+
+template <typename T>
+class BlockingBoundedQueue {
+ public:
+  explicit BlockingBoundedQueue(std::size_t capacity)
+      : cap_(next_pow2(capacity)), mask_(cap_ - 1), buf_(cap_) {}
+
+  // Blocks while full.  Returns false iff the queue was closed.
+  bool push(T v) {
+    std::unique_lock<std::mutex> l(mu_);
+    not_full_.wait(l, [&] { return size_ < cap_ || closed_; });
+    if (closed_) return false;
+    buf_[(head_ + size_) & mask_] = std::move(v);
+    ++size_;
+    l.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool try_push(T v) {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      if (closed_ || size_ == cap_) return false;
+      buf_[(head_ + size_) & mask_] = std::move(v);
+      ++size_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty.  Returns nullopt iff closed AND drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> l(mu_);
+    not_empty_.wait(l, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;  // closed and drained
+    T v = std::move(buf_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    l.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  std::optional<T> try_pop() {
+    std::optional<T> v;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      if (size_ == 0) return std::nullopt;
+      v.emplace(std::move(buf_[head_]));
+      head_ = (head_ + 1) & mask_;
+      --size_;
+    }
+    not_full_.notify_one();
+    return v;
+  }
+
+  // After close(): pushes fail immediately, pops drain then return nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return size_;
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  const std::size_t cap_;
+  const std::size_t mask_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ccds

@@ -1,0 +1,42 @@
+// Coarse-grained lock-based FIFO queue: the baseline "synchronized wrapper".
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ccds {
+
+template <typename T, typename Lock = std::mutex>
+class LockQueue {
+ public:
+  void enqueue(T v) {
+    std::lock_guard<Lock> g(lock_);
+    items_.push_back(std::move(v));
+  }
+
+  std::optional<T> try_dequeue() {
+    std::lock_guard<Lock> g(lock_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  bool empty() const {
+    std::lock_guard<Lock> g(lock_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<Lock> g(lock_);
+    return items_.size();
+  }
+
+ private:
+  mutable Lock lock_;
+  std::deque<T> items_;
+};
+
+}  // namespace ccds

@@ -1,0 +1,130 @@
+// Bounded multi-producer / multi-consumer queue (Dmitry Vyukov's design).
+//
+// Each cell carries a sequence number that encodes, relative to the global
+// enqueue/dequeue tickets, whether the cell is free, full, or being visited
+// a lap later.  Producers and consumers claim tickets with one fetch-add
+// each and then synchronize only through *their own cell's* sequence word,
+// so unrelated operations never contend.  Not strictly lock-free (a stalled
+// ticket holder stalls that cell's lap) but in practice the
+// highest-throughput MPMC design that needs no reclamation (experiment E5).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <utility>
+
+#include "core/arch.hpp"
+#include "core/hash.hpp"
+#include "core/padded.hpp"
+
+namespace ccds {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity)
+      : cap_(next_pow2(capacity)),
+        mask_(cap_ - 1),
+        cells_(static_cast<Cell*>(::operator new[](
+            cap_ * sizeof(Cell), std::align_val_t{alignof(Cell)}))) {
+    for (std::size_t i = 0; i < cap_; ++i) {
+      new (&cells_[i]) Cell;
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  ~MpmcQueue() {
+    // Destroy remaining elements: cells whose seq == ticket+1 hold values.
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    const std::size_t end = enqueue_pos_.load(std::memory_order_relaxed);
+    for (; pos != end; ++pos) {
+      Cell& c = cells_[pos & mask_];
+      c.get()->~T();
+    }
+    for (std::size_t i = 0; i < cap_; ++i) cells_[i].~Cell();
+    ::operator delete[](cells_, std::align_val_t{alignof(Cell)});
+  }
+
+  bool try_enqueue(T v) {
+    Cell* cell;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      // acquire: pairs with the consumer's release that recycles the cell.
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        // Cell free on our lap: claim the ticket.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full: consumer of the previous lap hasn't finished
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    new (cell->raw) T(std::move(v));
+    // release: publish the element to the dequeuer of this lap.
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_dequeue() {
+    Cell* cell;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    T* p = cell->get();
+    std::optional<T> v(std::move(*p));
+    p->~T();
+    // release + lap bump: hand the cell to the producer one lap ahead.
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return v;
+  }
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  std::size_t size_approx() const noexcept {
+    const std::size_t e = enqueue_pos_.load(std::memory_order_acquire);
+    const std::size_t d = dequeue_pos_.load(std::memory_order_acquire);
+    return e >= d ? e - d : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    alignas(T) unsigned char raw[sizeof(T)];
+    T* get() noexcept { return std::launder(reinterpret_cast<T*>(raw)); }
+  };
+
+  const std::size_t cap_;
+  const std::size_t mask_;
+  Cell* const cells_;
+
+  CCDS_CACHELINE_ALIGNED std::atomic<std::size_t> enqueue_pos_{0};
+  CCDS_CACHELINE_ALIGNED std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace ccds

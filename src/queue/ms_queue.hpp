@@ -1,0 +1,123 @@
+// Michael & Scott's lock-free queue (1996) — the algorithm behind
+// java.util.concurrent's ConcurrentLinkedQueue.
+//
+// Singly-linked list with a dummy head; enqueue CASes the tail node's next
+// link then swings tail (any thread may help swing a lagging tail); dequeue
+// CASes head forward and takes the value from the *new* dummy.  Reclamation
+// through the domain (hazard pointers by default) also prevents ABA on the
+// head/tail CASes, since a node's address cannot recycle while protected.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "core/arch.hpp"
+#include "core/backoff.hpp"
+#include "reclaim/hazard.hpp"
+
+namespace ccds {
+
+template <typename T, typename Domain = HazardDomain>
+class MSQueue {
+ public:
+  MSQueue() {
+    Node* dummy = new Node;
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  MSQueue(const MSQueue&) = delete;
+  MSQueue& operator=(const MSQueue&) = delete;
+
+  ~MSQueue() {
+    Node* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  void enqueue(T v) {
+    Node* n = new Node;
+    n->value.emplace(std::move(v));
+    auto guard = domain_.guard();
+    Backoff backoff;
+    for (;;) {
+      Node* t = guard.protect(0, tail_);
+      Node* next = t->next.load(std::memory_order_acquire);
+      // Re-validate: tail_ may have moved while we read t->next; without
+      // this check we could CAS a next pointer on a node already retired
+      // from the tail position (harmless with HP, but wasteful).
+      if (t != tail_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        // Tail really is last: link our node.  release publishes the value.
+        if (t->next.compare_exchange_weak(next, n,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+          // Swing tail; failure means someone helped us — fine either way.
+          tail_.compare_exchange_strong(t, n, std::memory_order_release,
+                                        std::memory_order_relaxed);
+          return;
+        }
+        backoff.spin();
+      } else {
+        // Tail is lagging: help swing it and retry.
+        tail_.compare_exchange_strong(t, next, std::memory_order_release,
+                                      std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::optional<T> try_dequeue() {
+    auto guard = domain_.guard();
+    Backoff backoff;
+    for (;;) {
+      Node* h = guard.protect(0, head_);
+      Node* t = tail_.load(std::memory_order_acquire);
+      Node* next = guard.protect(1, h->next);
+      if (h != head_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) return std::nullopt;  // empty (dummy only)
+      if (h == t) {
+        // Tail lagging behind a non-empty list: help before retrying.
+        tail_.compare_exchange_strong(t, next, std::memory_order_release,
+                                      std::memory_order_relaxed);
+        continue;
+      }
+      // acquire on success: pairs with the enqueuer's release of `next`'s
+      // value so the move below reads initialized data.
+      if (head_.compare_exchange_strong(h, next, std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+        // `next` is the new dummy; only this (winning) dequeuer touches its
+        // value, and our guard keeps `next` alive through the move.
+        std::optional<T> v(std::move(next->value));
+        domain_.retire(h);
+        return v;
+      }
+      backoff.spin();
+    }
+  }
+
+  bool empty() noexcept {
+    // Needs a guard: the dummy head may be retired by a concurrent dequeue
+    // between the head load and the next dereference.
+    auto guard = domain_.guard();
+    Node* h = guard.protect(0, head_);
+    return h->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  Domain& domain() noexcept { return domain_; }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::atomic<Node*> next{nullptr};
+  };
+
+  CCDS_CACHELINE_ALIGNED std::atomic<Node*> head_;
+  CCDS_CACHELINE_ALIGNED std::atomic<Node*> tail_;
+  Domain domain_;
+};
+
+}  // namespace ccds

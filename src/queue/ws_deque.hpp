@@ -1,0 +1,159 @@
+// Chase–Lev work-stealing deque (2005), with the C11 memory-order placement
+// from Lê, Pop, Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing
+// for Weak Memory Models" (PPoPP 2013).
+//
+// The owner pushes and takes at the bottom with no RMW in the common case;
+// thieves steal from the top with a CAS.  Owner/thief conflict exists only
+// on the last element.  This is the engine of Cilk-style schedulers and of
+// the task_scheduler example (experiments E10).
+//
+// T must be trivially copyable (elements are stored in atomic cells and may
+// be read racily by a thief whose steal subsequently fails; the CAS decides
+// ownership).  Schedulers store task pointers or indices, which fit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/hash.hpp"
+
+namespace ccds {
+
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Chase-Lev cells are read speculatively; elements must be "
+                "trivially copyable (store a pointer or index otherwise)");
+
+ public:
+  explicit WorkStealingDeque(std::size_t initial_capacity = 64)
+      : top_(0), bottom_(0), array_(new Ring(next_pow2(initial_capacity))) {}
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  ~WorkStealingDeque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (Ring* r : retired_) delete r;
+  }
+
+  // ----- owner operations -------------------------------------------------
+
+  void push(T v) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* a = array_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, b, t);
+    }
+    a->put(b, v);
+    // release fence + relaxed store: publish the element before the new
+    // bottom becomes visible to thieves.
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  std::optional<T> try_pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    // seq_cst fence: the bottom decrement must be visible to thieves before
+    // we read top — the crux of the owner/thief race on the last element.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      T v = a->get(b);
+      if (t == b) {
+        // Single element left: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          // Lost: a thief took it.
+          bottom_.store(b + 1, std::memory_order_relaxed);
+          return std::nullopt;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+      return v;
+    }
+    // Deque was empty.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  // ----- thief operation --------------------------------------------------
+
+  std::optional<T> try_steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    // seq_cst fence: order the top read before the bottom read so we never
+    // see a bottom from before a concurrent take's decrement with a stale
+    // top (the mirror of try_pop's fence).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      // Non-empty: speculatively read, then claim with a CAS on top.  The
+      // array pointer is re-read after top: grow() never frees rings while
+      // the deque lives, so even a stale ring yields the correct cell for
+      // index t (grow copies [top, bottom)).
+      Ring* a = array_.load(std::memory_order_acquire);
+      T v = a->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return std::nullopt;  // lost the race; caller may retry elsewhere
+      }
+      return v;
+    }
+    return std::nullopt;
+  }
+
+  // Owner-side size estimate.
+  std::size_t size_approx() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), cells(new std::atomic<T>[cap]) {}
+    ~Ring() { delete[] cells; }
+
+    void put(std::int64_t i, T v) noexcept {
+      // relaxed: the publishing release fence in push() orders this store.
+      cells[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+    T get(std::int64_t i) const noexcept {
+      return cells[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::atomic<T>* const cells;
+  };
+
+  Ring* grow(Ring* a, std::int64_t b, std::int64_t t) {
+    Ring* bigger = new Ring(a->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, a->get(i));
+    // Old ring stays alive until destruction: a thief may still be reading
+    // from it (epoch-free by construction; memory cost is bounded since
+    // rings double).
+    retired_.push_back(a);
+    array_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  CCDS_CACHELINE_ALIGNED std::atomic<std::int64_t> top_;
+  CCDS_CACHELINE_ALIGNED std::atomic<std::int64_t> bottom_;
+  CCDS_CACHELINE_ALIGNED std::atomic<Ring*> array_;
+  std::vector<Ring*> retired_;  // owner-only
+};
+
+}  // namespace ccds

@@ -1,0 +1,190 @@
+// Epoch-based reclamation (Fraser 2004; the scheme behind crossbeam-epoch).
+//
+// Readers "pin" the current global epoch for the duration of an operation;
+// retired nodes are stamped with the epoch at retirement and freed once the
+// global epoch has advanced two steps past it, which implies no pinned
+// thread can still hold a reference.  Reads inside a pinned region cost a
+// plain acquire load (no per-pointer publication), making EBR's read side
+// much cheaper than hazard pointers — the flip side is that one stalled
+// pinned thread blocks all reclamation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+
+namespace ccds {
+
+class EpochDomain {
+ public:
+  static constexpr std::size_t kSlots = 8;  // ignored; API parity with HP
+
+  class Guard {
+   public:
+    explicit Guard(EpochDomain& d) noexcept : dom_(&d) { dom_->pin(); }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    ~Guard() { dom_->unpin(); }
+
+    template <typename T>
+    T* protect(std::size_t /*slot*/, const std::atomic<T*>& src) noexcept {
+      // Pinning already protects every node unlinked after the pin; a plain
+      // acquire load suffices.
+      return src.load(std::memory_order_acquire);
+    }
+    template <typename T>
+    void set(std::size_t /*slot*/, T* /*p*/) noexcept {}
+    void clear(std::size_t /*slot*/) noexcept {}
+
+   private:
+    EpochDomain* dom_;
+  };
+
+  Guard guard() noexcept { return Guard(*this); }
+
+  // Hand over a detached node; freed once the epoch advances twice.
+  // May be called inside or outside a pinned region.
+  template <typename T>
+  void retire(T* p) {
+    auto& bag = limbo_[thread_id()].value;
+    // seq_cst: the freshest stamp we can get.  Even so, the stamp may lag
+    // the instantaneous epoch by one while the caller is pinned, which is
+    // why collect_bag() demands THREE advances, not the textbook two.
+    bag.push_back({p, [](void* q) { delete static_cast<T*>(q); },
+                   global_epoch_.load(std::memory_order_seq_cst)});
+    if (bag.size() >= kCollectThreshold) {
+      try_advance();
+      // Scan the bag only if the epoch moved since our last scan: while a
+      // stalled reader freezes the epoch, nothing new can become freeable,
+      // and rescanning an ever-growing bag every threshold retires would
+      // be quadratic (the bag still grows — that unbounded-garbage window
+      // is EBR's inherent cost; this just avoids burning CPU on it).
+      const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+      auto& last = last_scan_epoch_[thread_id()].value;
+      if (e != last) {
+        last = e;
+        collect_bag(bag);
+      }
+    }
+  }
+
+  // Attempt an epoch advance and reclaim what the calling thread can.
+  void collect() {
+    try_advance();
+    collect_bag(limbo_[thread_id()].value);
+  }
+
+  // Advance repeatedly and reclaim EVERY thread's bag.  Only safe at
+  // quiescence (no concurrent retires or pins by other threads).
+  void collect_all() {
+    for (int i = 0; i < 4; ++i) try_advance();
+    for (auto& bag : limbo_) collect_bag(bag.value);
+  }
+
+  std::size_t retired_count() const {
+    std::size_t n = 0;
+    for (const auto& bag : limbo_) n += bag->size();
+    return n;
+  }
+
+  std::uint64_t epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+
+  ~EpochDomain() {
+    for (auto& bag : limbo_) {
+      for (auto& r : *bag) r.del(r.ptr);
+    }
+  }
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*del)(void*);
+    std::uint64_t epoch;
+  };
+
+  static constexpr std::size_t kCollectThreshold = 256;
+
+  void pin() noexcept {
+    auto& local = local_epoch_[thread_id()].value;
+    for (;;) {
+      const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+      // seq_cst store/load: the announcement must be visible to advancers
+      // before we validate that the epoch did not move under us (store-load
+      // ordering, same shape as the hazard-pointer publication).
+      local.store(e, std::memory_order_seq_cst);
+      if (global_epoch_.load(std::memory_order_seq_cst) == e) return;
+    }
+  }
+
+  void unpin() noexcept {
+    // release: reads made inside the pinned region complete before the
+    // announcement clears.
+    local_epoch_[thread_id()].value.store(kInactive,
+                                          std::memory_order_release);
+  }
+
+  // Advance the global epoch if every pinned thread has observed it.
+  void try_advance() noexcept {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    for (auto& slot : local_epoch_) {
+      const std::uint64_t l = slot->load(std::memory_order_acquire);
+      if (l != kInactive && l != e) return;  // straggler: cannot advance
+    }
+    std::uint64_t expected = e;
+    global_epoch_.compare_exchange_strong(expected, e + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed);
+  }
+
+  void collect_bag(std::vector<Retired>& bag) {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    std::vector<Retired> keep;
+    keep.reserve(bag.size());
+    for (auto& r : bag) {
+      // Safety: a retiring thread pinned at epoch ep reads a stamp
+      // s >= ep while the true epoch is at most ep+1, so a reader that still
+      // holds the node announces at most s+1; the epoch can never advance to
+      // s+3 while that reader stays pinned.  (The textbook +2 rule assumes a
+      // stamp taken at the instantaneous epoch; the extra +1 covers the lag.)
+      if (r.epoch + 3 <= e) {
+        r.del(r.ptr);
+      } else {
+        keep.push_back(r);
+      }
+    }
+    bag.swap(keep);
+  }
+
+  static constexpr std::uint64_t kInactive = ~0ull;
+
+  CCDS_CACHELINE_ALIGNED std::atomic<std::uint64_t> global_epoch_{2};
+  Padded<std::atomic<std::uint64_t>> local_epoch_[kMaxThreads] = {};
+  Padded<std::vector<Retired>> limbo_[kMaxThreads];
+  // Epoch at each thread's last bag scan (owner-thread access only).
+  Padded<std::uint64_t> last_scan_epoch_[kMaxThreads] = {};
+
+  // local_epoch_ default-initializes atomics to 0, which must mean inactive;
+  // fix them up here.
+  struct Init {
+    explicit Init(Padded<std::atomic<std::uint64_t>>* slots) {
+      for (std::size_t i = 0; i < kMaxThreads; ++i) {
+        slots[i].value.store(kInactive, std::memory_order_relaxed);
+      }
+    }
+  } init_{local_epoch_};
+};
+
+}  // namespace ccds

@@ -1,0 +1,165 @@
+// Hazard pointers (Michael 2004).
+//
+// A reader publishes the pointer it is about to dereference in a per-thread
+// hazard slot and re-validates the source; a reclaimer only frees a retired
+// node if no thread's hazard slots contain it.  Gives per-object, bounded
+// memory overhead at the price of a store+fence+reload on every protected
+// read — exactly the read-side cost experiment E11 measures against epochs.
+//
+// Usage discipline: one live Guard per thread per domain at a time (ccds
+// structures create exactly one per operation); the guard's slot indices are
+// the structure's to manage (e.g. Harris-Michael lists use 3 slots for
+// prev/curr/next).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+
+namespace ccds {
+
+template <std::size_t ScanThreshold = 256>
+class BasicHazardDomain {
+ public:
+  // Hazard slots per thread.  8 covers every ccds structure (max live
+  // protections in Harris-Michael list traversal is 3).
+  static constexpr std::size_t kSlots = 8;
+
+  class Guard {
+   public:
+    explicit Guard(BasicHazardDomain& d) noexcept
+        : dom_(&d), hp_(d.hazards_[thread_id()].value.slot) {}
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    ~Guard() {
+      for (std::size_t i = 0; i < kSlots; ++i) clear(i);
+    }
+
+    // Protect the pointer currently stored in `src`: publish-and-validate
+    // loop.  On return the referent cannot be freed while this slot holds it.
+    template <typename T>
+    T* protect(std::size_t slot, const std::atomic<T*>& src) noexcept {
+      CCDS_ASSERT(slot < kSlots);
+      T* p = src.load(std::memory_order_acquire);
+      for (;;) {
+        // seq_cst store/load pair: the hazard publication must be globally
+        // visible before we re-read src, or a reclaimer's scan could miss it
+        // (classic store-load ordering requirement of the HP algorithm).
+        hp_[slot].store(p, std::memory_order_seq_cst);
+        T* q = src.load(std::memory_order_seq_cst);
+        if (q == p) return p;
+        p = q;
+      }
+    }
+
+    // Assert protection of a pointer the caller will re-validate itself
+    // (caller must re-check its source after this returns).
+    template <typename T>
+    void set(std::size_t slot, T* p) noexcept {
+      CCDS_ASSERT(slot < kSlots);
+      hp_[slot].store(p, std::memory_order_seq_cst);
+    }
+
+    void clear(std::size_t slot) noexcept {
+      CCDS_ASSERT(slot < kSlots);
+      // release: the clearing must not float above the last dereference.
+      hp_[slot].store(nullptr, std::memory_order_release);
+    }
+
+   private:
+    BasicHazardDomain* dom_;
+    std::atomic<void*>* hp_;
+  };
+
+  Guard guard() noexcept { return Guard(*this); }
+
+  // Hand over a detached node; freed by some later scan() once unhazarded.
+  template <typename T>
+  void retire(T* p) {
+    auto& bag = retired_[thread_id()].value;
+    bag.push_back({p, [](void* q) { delete static_cast<T*>(q); }});
+    if (bag.size() >= kScanThreshold) scan(bag);
+  }
+
+  // Force a reclamation pass over the calling thread's retired bag.
+  void collect() { scan(retired_[thread_id()].value); }
+
+  // Reclamation pass over EVERY thread's bag.  Only safe at quiescence (no
+  // concurrent retire calls) — e.g. after joining workers in tests, or in a
+  // structure's maintenance path while externally synchronized.
+  void collect_all() {
+    for (auto& bag : retired_) scan(bag.value);
+  }
+
+  // Retired-but-not-yet-freed node count (accurate only at quiescence).
+  std::size_t retired_count() const {
+    std::size_t n = 0;
+    for (const auto& bag : retired_) n += bag->size();
+    return n;
+  }
+
+  ~BasicHazardDomain() {
+    // Caller guarantees quiescence at destruction; free everything left.
+    for (auto& bag : retired_) {
+      for (auto& r : *bag) r.del(r.ptr);
+    }
+  }
+
+  BasicHazardDomain() = default;
+  BasicHazardDomain(const BasicHazardDomain&) = delete;
+  BasicHazardDomain& operator=(const BasicHazardDomain&) = delete;
+
+ private:
+  struct HpRecord {
+    std::atomic<void*> slot[kSlots]{};
+  };
+  struct Retired {
+    void* ptr;
+    void (*del)(void*);
+  };
+
+  // Scan threshold: amortizes the O(H) hazard sweep over many retirements
+  // (Michael recommends >= 2*H).  Template parameter so the ablation bench
+  // can sweep it; the 256 default keeps peak garbage modest while still
+  // amortizing well.
+  static constexpr std::size_t kScanThreshold = ScanThreshold;
+
+  void scan(std::vector<Retired>& bag) {
+    std::vector<void*> hazards;
+    hazards.reserve(kMaxThreads * kSlots);
+    for (auto& rec : hazards_) {
+      for (auto& s : rec->slot) {
+        // seq_cst: pairs with Guard::protect's publication.
+        void* p = s.load(std::memory_order_seq_cst);
+        if (p != nullptr) hazards.push_back(p);
+      }
+    }
+    std::sort(hazards.begin(), hazards.end());
+
+    std::vector<Retired> keep;
+    keep.reserve(bag.size());
+    for (auto& r : bag) {
+      if (std::binary_search(hazards.begin(), hazards.end(), r.ptr)) {
+        keep.push_back(r);
+      } else {
+        r.del(r.ptr);
+      }
+    }
+    bag.swap(keep);
+  }
+
+  Padded<HpRecord> hazards_[kMaxThreads];
+  Padded<std::vector<Retired>> retired_[kMaxThreads];
+};
+
+// Default domain used across the library.
+using HazardDomain = BasicHazardDomain<>;
+
+}  // namespace ccds

@@ -1,0 +1,68 @@
+// Leaky "reclamation": never frees retired nodes until domain destruction.
+//
+// Baseline for benchmarking the overhead of real reclamation schemes
+// (experiment E11), and a valid choice for bounded-lifetime structures
+// (arena-style usage).  Retire is a per-thread vector push — no
+// synchronization on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+
+namespace ccds {
+
+class LeakyDomain {
+ public:
+  static constexpr std::size_t kSlots = 8;
+
+  class Guard {
+   public:
+    template <typename T>
+    T* protect(std::size_t /*slot*/, const std::atomic<T*>& src) noexcept {
+      return src.load(std::memory_order_acquire);
+    }
+    template <typename T>
+    void set(std::size_t /*slot*/, T* /*p*/) noexcept {}
+    void clear(std::size_t /*slot*/) noexcept {}
+  };
+
+  Guard guard() noexcept { return Guard{}; }
+
+  template <typename T>
+  void retire(T* p) {
+    graveyard_[thread_id()]->push_back(
+        {p, [](void* q) { delete static_cast<T*>(q); }});
+  }
+
+  // Number of nodes waiting (i.e., leaked until destruction).  Only accurate
+  // when no thread is concurrently retiring.
+  std::size_t retired_count() const {
+    std::size_t n = 0;
+    for (const auto& bag : graveyard_) n += bag->size();
+    return n;
+  }
+
+  ~LeakyDomain() {
+    for (auto& bag : graveyard_) {
+      for (auto& r : *bag) r.del(r.ptr);
+    }
+  }
+
+  LeakyDomain() = default;
+  LeakyDomain(const LeakyDomain&) = delete;
+  LeakyDomain& operator=(const LeakyDomain&) = delete;
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*del)(void*);
+  };
+  Padded<std::vector<Retired>> graveyard_[kMaxThreads];
+};
+
+}  // namespace ccds

@@ -1,0 +1,46 @@
+// Safe memory reclamation — common documentation and the domain concept.
+//
+// Lock-free structures cannot free a node the moment it is unlinked: a
+// concurrent reader may still be traversing it.  The survey's two practical
+// answers are hazard pointers (Michael 2004) and epoch-based reclamation
+// (Fraser 2004); ccds provides both, plus a deliberately leaking domain used
+// to measure the cost of reclamation itself (experiment E11).
+//
+// Every ccds lock-free structure is parameterized by a *domain* type D with:
+//
+//   typename D::Guard g = domain.guard();
+//       RAII protection region.  For epochs this pins the thread; for hazard
+//       pointers it reserves per-thread hazard slots; for the leaky domain it
+//       is a no-op.  Guards must not be held across blocking calls.
+//
+//   T* p = g.protect(slot, src);
+//       Read `src` so that the referent stays safe to dereference until the
+//       guard is destroyed or the slot is re-used.  `slot` indexes the
+//       guard's hazard slots (< D::kSlots); epoch/leaky ignore it.
+//
+//   g.set(slot, p);
+//       Assert protection of an already-read pointer (used after validating
+//       it another way, e.g. re-checking a link).  HP only; others no-op.
+//
+//   domain.retire(p);
+//       Hand a detached node to the domain; it calls `delete p` once no
+//       guard can still reference it.
+//
+// All domains are per-structure objects (no global singletons), so tests and
+// structures are isolated from one another.  Destruction of a domain frees
+// everything still retired; callers must be quiesced by then, which the
+// owning structure's destructor guarantees.
+#pragma once
+
+#include <concepts>
+
+namespace ccds {
+
+// Concept sketch (structural, checked where used): see module comment.
+template <typename D>
+concept ReclaimDomainLike = requires(D d) {
+  { d.guard() };
+  { D::kSlots } -> std::convertible_to<std::size_t>;
+};
+
+}  // namespace ccds

@@ -1,0 +1,222 @@
+// Lazy (optimistic) concurrent skip list set — Herlihy, Lev, Luchangco,
+// Shavit, "A Simple Optimistic Skiplist Algorithm" (SIROCCO 2007).
+//
+// The lazy-list recipe lifted to skip lists: traversals take no locks;
+// updates lock only the predecessors of the affected node, validate, and
+// apply.  Two per-node flags carry the protocol:
+//   fullyLinked — set once a node is linked at ALL its levels; contains()
+//                 and remove() ignore half-linked nodes (insert's
+//                 linearization point is setting this flag);
+//   marked      — logical deletion flag (remove's linearization point).
+// contains() is wait-free.  Unlinked nodes are retired through an epoch
+// domain; all operations run under an epoch guard.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+
+#include "core/arch.hpp"
+#include "reclaim/epoch.hpp"
+#include "skiplist/seq_skiplist.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ccds {
+
+template <typename Key, typename Compare = std::less<Key>,
+          typename Lock = TtasLock>
+class LazySkipListSet {
+ public:
+  LazySkipListSet() : head_(new Node{}) {
+    head_->height = kSkipListMaxLevel;
+    head_->fully_linked.store(true, std::memory_order_relaxed);
+  }
+  LazySkipListSet(const LazySkipListSet&) = delete;
+  LazySkipListSet& operator=(const LazySkipListSet&) = delete;
+
+  ~LazySkipListSet() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0].load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  // Wait-free.
+  bool contains(const Key& key) {
+    auto g = domain_.guard();
+    Node* preds[kSkipListMaxLevel];
+    Node* succs[kSkipListMaxLevel];
+    const int found = find(key, preds, succs);
+    return found != -1 &&
+           succs[found]->fully_linked.load(std::memory_order_acquire) &&
+           !succs[found]->marked.load(std::memory_order_acquire);
+  }
+
+  bool insert(const Key& key) {
+    const int height = skiplist_random_level();
+    Node* preds[kSkipListMaxLevel];
+    Node* succs[kSkipListMaxLevel];
+    auto g = domain_.guard();
+    for (;;) {
+      const int found = find(key, preds, succs);
+      if (found != -1) {
+        Node* existing = succs[found];
+        if (!existing->marked.load(std::memory_order_acquire)) {
+          // Present (or about to be): wait until its insert completes so our
+          // "false" is linearizable, then report duplicate.
+          std::uint32_t spins = 0;
+          while (!existing->fully_linked.load(std::memory_order_acquire)) {
+            spin_wait(spins);
+          }
+          return false;
+        }
+        continue;  // marked: it is going away; retry for a clean window
+      }
+
+      // Lock the distinct predecessors bottom-up and validate each window.
+      int highest_locked = -1;
+      Node* last_locked = nullptr;
+      bool valid = true;
+      for (int level = 0; valid && level < height; ++level) {
+        Node* pred = preds[level];
+        Node* succ = succs[level];
+        if (pred != last_locked) {  // preds repeat across levels: lock once
+          pred->lock.lock();
+          last_locked = pred;
+          highest_locked = level;
+        }
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                pred->next[level].load(std::memory_order_acquire) == succ &&
+                (succ == nullptr ||
+                 !succ->marked.load(std::memory_order_acquire));
+      }
+      if (!valid) {
+        unlock_preds(preds, highest_locked);
+        continue;
+      }
+
+      Node* n = new Node{};
+      n->key = key;
+      n->height = height;
+      for (int level = 0; level < height; ++level) {
+        n->next[level].store(succs[level], std::memory_order_relaxed);
+      }
+      for (int level = 0; level < height; ++level) {
+        // release: publish n's key and lower-level links.
+        preds[level]->next[level].store(n, std::memory_order_release);
+      }
+      // Linearization point: the node becomes logically present.
+      n->fully_linked.store(true, std::memory_order_release);
+      unlock_preds(preds, highest_locked);
+      return true;
+    }
+  }
+
+  bool remove(const Key& key) {
+    Node* preds[kSkipListMaxLevel];
+    Node* succs[kSkipListMaxLevel];
+    Node* victim = nullptr;
+    bool is_marked = false;
+    int height = -1;
+    auto g = domain_.guard();
+    for (;;) {
+      const int found = find(key, preds, succs);
+      if (!is_marked) {
+        if (found == -1) return false;
+        victim = succs[found];
+        if (!victim->fully_linked.load(std::memory_order_acquire) ||
+            victim->height - 1 != found ||
+            victim->marked.load(std::memory_order_acquire)) {
+          return false;
+        }
+        height = victim->height;
+        victim->lock.lock();
+        if (victim->marked.load(std::memory_order_acquire)) {
+          victim->lock.unlock();
+          return false;  // someone else removed it first
+        }
+        // Linearization point: logical deletion.
+        victim->marked.store(true, std::memory_order_release);
+        is_marked = true;
+      }
+
+      int highest_locked = -1;
+      Node* last_locked = nullptr;
+      bool valid = true;
+      for (int level = 0; valid && level < height; ++level) {
+        Node* pred = preds[level];
+        if (pred != last_locked) {
+          pred->lock.lock();
+          last_locked = pred;
+          highest_locked = level;
+        }
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                pred->next[level].load(std::memory_order_acquire) == victim;
+      }
+      if (!valid) {
+        unlock_preds(preds, highest_locked);
+        continue;  // windows moved; re-find (victim stays marked+locked)
+      }
+
+      for (int level = height - 1; level >= 0; --level) {
+        preds[level]->next[level].store(
+            victim->next[level].load(std::memory_order_relaxed),
+            std::memory_order_release);
+      }
+      victim->lock.unlock();
+      unlock_preds(preds, highest_locked);
+      domain_.retire(victim);
+      return true;
+    }
+  }
+
+  EpochDomain& domain() noexcept { return domain_; }
+
+ private:
+  struct Node {
+    Key key{};
+    int height = 0;
+    std::atomic<Node*> next[kSkipListMaxLevel] = {};
+    Lock lock;
+    std::atomic<bool> marked{false};
+    std::atomic<bool> fully_linked{false};
+  };
+
+  // Lock-free traversal filling preds/succs at every level; returns the
+  // highest level whose successor matches `key`, or -1.
+  int find(const Key& key, Node** preds, Node** succs) const {
+    int found = -1;
+    Node* pred = head_;
+    for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+      Node* curr = pred->next[level].load(std::memory_order_acquire);
+      while (curr != nullptr && comp_(curr->key, key)) {
+        pred = curr;
+        curr = pred->next[level].load(std::memory_order_acquire);
+      }
+      if (found == -1 && curr != nullptr && !comp_(key, curr->key)) {
+        found = level;
+      }
+      preds[level] = pred;
+      succs[level] = curr;
+    }
+    return found;
+  }
+
+  void unlock_preds(Node** preds, int highest_locked) {
+    Node* last = nullptr;
+    for (int level = highest_locked; level >= 0; --level) {
+      if (preds[level] != last) {
+        preds[level]->lock.unlock();
+        last = preds[level];
+      }
+    }
+  }
+
+  Node* const head_;  // sentinel: full height, fully linked, never marked
+  mutable EpochDomain domain_;
+  [[no_unique_address]] Compare comp_{};
+};
+
+}  // namespace ccds

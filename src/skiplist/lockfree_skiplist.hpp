@@ -1,0 +1,330 @@
+// Lock-free skip list set (Fraser 2004; presentation follows Herlihy &
+// Shavit ch. 14.4), with a Lotan–Shavit style pop_min for priority-queue
+// use.
+//
+// Every level is a Harris list: deletion marks the victim's next pointer at
+// each level from the top down (bottom-level mark = linearization point);
+// traversals snip marked nodes as they pass.  The bottom level is the
+// authoritative set; upper levels are just shortcuts.
+//
+// Reclamation: epoch-based only.  After the winning remover's final find()
+// pass the node is unlinked at every level (each level's incoming pointer
+// lies on the search path for its key), so it is retired exactly once, by
+// the thread whose bottom-level mark CAS succeeded.  Concurrent traversals
+// that still hold references are protected by their epoch guards; a stale
+// insert CAS cannot re-link a retired node because its expected value is
+// the node pointer itself, which cannot be recycled within the inserter's
+// pinned epoch (no ABA).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "reclaim/epoch.hpp"
+#include "skiplist/seq_skiplist.hpp"
+
+namespace ccds {
+
+template <typename Key, typename Compare = std::less<Key>>
+class LockFreeSkipListSet {
+ public:
+  LockFreeSkipListSet() : head_(new Node{}) {
+    head_->height = kSkipListMaxLevel;
+  }
+  LockFreeSkipListSet(const LockFreeSkipListSet&) = delete;
+  LockFreeSkipListSet& operator=(const LockFreeSkipListSet&) = delete;
+
+  ~LockFreeSkipListSet() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = unmark(n->next[0].load(std::memory_order_relaxed));
+      delete n;
+      n = next;
+    }
+  }
+
+  // Wait-free traversal (never snips, never CASes).
+  bool contains(const Key& key) {
+    auto g = domain_.guard();
+    Node* pred = head_;
+    Node* curr = nullptr;
+    for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+      curr = unmark(pred->next[level].load(std::memory_order_acquire));
+      for (;;) {
+        if (curr == nullptr) break;
+        Node* succ_raw = curr->next[level].load(std::memory_order_acquire);
+        if (is_marked(succ_raw)) {
+          // Logically deleted: skip over it without helping.
+          curr = unmark(succ_raw);
+          continue;
+        }
+        if (comp_(curr->key, key)) {
+          pred = curr;
+          curr = unmark(succ_raw);
+          continue;
+        }
+        break;
+      }
+    }
+    return curr != nullptr && !comp_(key, curr->key) &&
+           !is_marked(curr->next[0].load(std::memory_order_acquire));
+  }
+
+  bool insert(const Key& key) {
+    const int height = skiplist_random_level();
+    Node* preds[kSkipListMaxLevel];
+    Node* succs[kSkipListMaxLevel];
+    auto g = domain_.guard();
+    Node* n = nullptr;
+    for (;;) {
+      if (find(key, preds, succs)) {
+        delete n;  // n is still private here (or null); plain delete is fine
+        return false;
+      }
+      if (n == nullptr) {
+        n = new Node{};
+        n->key = key;
+        n->height = height;
+      }
+      // n is private until the bottom-level splice: plain stores are fine.
+      for (int level = 0; level < height; ++level) {
+        n->next[level].store(succs[level], std::memory_order_relaxed);
+      }
+      // Splice at the bottom level first: this is the linearization point.
+      Node* expected = succs[0];
+      if (!link_cas(preds[0], 0, expected, n)) continue;
+
+      // Link the upper levels.  From here on n is public, so its forward
+      // pointers may concurrently acquire delete-marks: every update to
+      // n->next[level] must CAS (never blind-store), and after any
+      // successful link we re-check for deletion and snip ourselves back
+      // out — otherwise a remover whose cleanup pass already ran could
+      // leave a persistent link to a retired node.
+      for (int level = 1; level < height; ++level) {
+        for (;;) {
+          Node* fwd = n->next[level].load(std::memory_order_acquire);
+          if (is_marked(fwd)) {
+            // n was deleted while we were building its tower; make sure it
+            // is unlinked everywhere we may have linked it, then stop.
+            find(key, preds, succs);
+            return true;
+          }
+          Node* succ = succs[level];
+          if (fwd != succ &&
+              !n->next[level].compare_exchange_strong(
+                  fwd, succ, std::memory_order_release,
+                  std::memory_order_relaxed)) {
+            continue;  // lost to a marker (or helper); re-evaluate
+          }
+          Node* expected_up = succ;
+          if (link_cas(preds[level], level, expected_up, n)) {
+            // Re-validate: if a remover finished while we linked, its
+            // cleanup may have missed this brand-new link.
+            if (is_marked(n->next[0].load(std::memory_order_acquire))) {
+              find(key, preds, succs);
+              return true;
+            }
+            break;
+          }
+          // Window moved: recompute.
+          if (find(key, preds, succs)) {
+            if (succs[0] != n) return true;  // removed (+ maybe reinserted)
+          } else {
+            return true;  // removed entirely; find snipped any leftovers
+          }
+        }
+      }
+      return true;
+    }
+  }
+
+  bool remove(const Key& key) {
+    Node* preds[kSkipListMaxLevel];
+    Node* succs[kSkipListMaxLevel];
+    auto g = domain_.guard();
+    if (!find(key, preds, succs)) return false;
+    Node* victim = succs[0];
+    return remove_node(victim, key);
+  }
+
+  // Priority-queue pop: claim and remove the smallest unclaimed key.  Only
+  // meaningful when the set is driven purely through insert/pop_min (mixing
+  // with remove() of the same keys can double-deliver).
+  std::optional<Key> pop_min() {
+    auto g = domain_.guard();
+    Node* curr = unmark(head_->next[0].load(std::memory_order_acquire));
+    while (curr != nullptr) {
+      Node* succ_raw = curr->next[0].load(std::memory_order_acquire);
+      if (!is_marked(succ_raw) &&
+          !curr->claimed.exchange(true, std::memory_order_acq_rel)) {
+        const Key key = curr->key;
+        remove_node(curr, key);
+        return key;
+      }
+      curr = unmark(succ_raw);
+    }
+    return std::nullopt;
+  }
+
+  EpochDomain& domain() noexcept { return domain_; }
+
+ private:
+  struct Node {
+    Key key{};
+    int height = 0;
+    std::atomic<bool> claimed{false};  // pop_min coordination only
+    std::atomic<Node*> next[kSkipListMaxLevel] = {};
+  };
+
+  // ----- marked pointers -----
+  static bool is_marked(Node* p) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(p) & 1u) != 0;
+  }
+  static Node* mark(Node* p) noexcept {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) | 1u);
+  }
+  static Node* unmark(Node* p) noexcept {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) &
+                                   ~std::uintptr_t{1});
+  }
+
+  bool link_cas(Node* pred, int level, Node*& expected, Node* desired) {
+    return pred->next[level].compare_exchange_strong(
+        expected, desired, std::memory_order_release,
+        std::memory_order_relaxed);
+  }
+
+  // Mark `victim` at every level (bottom mark is the linearization point),
+  // then run one find() pass to unlink it everywhere, then retire.  Returns
+  // false if another thread won the bottom-level mark.
+  bool remove_node(Node* victim, const Key& key) {
+    const int height = victim->height;
+    // Mark top levels (idempotent; concurrent helpers welcome).
+    for (int level = height - 1; level >= 1; --level) {
+      Node* succ = victim->next[level].load(std::memory_order_acquire);
+      while (!is_marked(succ)) {
+        victim->next[level].compare_exchange_weak(succ, mark(succ),
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire);
+      }
+    }
+    // Bottom-level mark decides the winner.
+    Node* succ = victim->next[0].load(std::memory_order_acquire);
+    for (;;) {
+      if (is_marked(succ)) return false;  // lost
+      if (victim->next[0].compare_exchange_weak(succ, mark(succ),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        // Winner: one full find() pass unlinks the victim at every level it
+        // occupies (find snips every marked node on the key's search path).
+        Node* preds[kSkipListMaxLevel];
+        Node* succs[kSkipListMaxLevel];
+        find(key, preds, succs);
+        domain_.retire(victim);
+        return true;
+      }
+    }
+  }
+
+  // Harris-style window search with snipping at every level.  On return,
+  // preds[l]/succs[l] bracket `key` at level l with no marked node between;
+  // returns whether succs[0] holds `key` (and is unmarked).
+  bool find(const Key& key, Node** preds, Node** succs) {
+  retry:
+    Node* pred = head_;
+    for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+      Node* curr = unmark(pred->next[level].load(std::memory_order_acquire));
+      for (;;) {
+        if (curr == nullptr) break;
+        Node* succ_raw = curr->next[level].load(std::memory_order_acquire);
+        while (is_marked(succ_raw)) {
+          // Snip the logically-deleted curr out of this level.
+          Node* expected = curr;
+          if (!pred->next[level].compare_exchange_strong(
+                  expected, unmark(succ_raw), std::memory_order_release,
+                  std::memory_order_relaxed)) {
+            goto retry;
+          }
+          curr = unmark(pred->next[level].load(std::memory_order_acquire));
+          if (curr == nullptr) break;
+          succ_raw = curr->next[level].load(std::memory_order_acquire);
+        }
+        if (curr == nullptr) break;
+        if (comp_(curr->key, key)) {
+          pred = curr;
+          curr = unmark(succ_raw);
+          continue;
+        }
+        break;
+      }
+      preds[level] = pred;
+      succs[level] = curr;
+    }
+    Node* bottom = succs[0];
+    return bottom != nullptr && !comp_(key, bottom->key) &&
+           !comp_(bottom->key, key);
+  }
+
+  Node* const head_;
+  mutable EpochDomain domain_;
+  [[no_unique_address]] Compare comp_{};
+};
+
+// Concurrent min-priority queue built on the lock-free skip list
+// (Lotan & Shavit 2000): push inserts a unique (priority, sequence) key;
+// pop_min claims the leftmost unclaimed node.  Duplicate priorities are
+// allowed (disambiguated by the sequence counter).
+template <typename Priority = std::uint32_t>
+class SkipListPriorityQueue {
+  static_assert(sizeof(Priority) <= 4,
+                "priority must fit 32 bits (packed with a sequence number)");
+
+ public:
+  void push(Priority p) {
+    const std::uint64_t seq =
+        seq_.fetch_add(1, std::memory_order_relaxed) & 0xffffffffull;
+    list_.insert((static_cast<std::uint64_t>(p) << 32) | seq);
+  }
+
+  std::optional<Priority> pop_min() {
+    auto v = list_.pop_min();
+    if (!v) return std::nullopt;
+    return static_cast<Priority>(*v >> 32);
+  }
+
+ private:
+  LockFreeSkipListSet<std::uint64_t> list_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+// Coarse-grained binary-heap priority queue: the baseline for E9.
+template <typename Priority = std::uint32_t, typename Lock = std::mutex>
+class CoarsePriorityQueue {
+ public:
+  void push(Priority p) {
+    std::lock_guard<Lock> g(lock_);
+    heap_.push_back(p);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  std::optional<Priority> pop_min() {
+    std::lock_guard<Lock> g(lock_);
+    if (heap_.empty()) return std::nullopt;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    Priority p = heap_.back();
+    heap_.pop_back();
+    return p;
+  }
+
+ private:
+  mutable Lock lock_;
+  std::vector<Priority> heap_;
+};
+
+}  // namespace ccds

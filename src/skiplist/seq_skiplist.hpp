@@ -1,0 +1,144 @@
+// Sequential skip list set (Pugh 1990), plus a coarse-grained wrapper.
+//
+// The probabilistically-balanced baseline: expected O(log n) search/insert/
+// remove with no rebalancing.  Used both standalone (sequential baseline in
+// experiment E8) and under a single lock (coarse baseline).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "core/rng.hpp"
+
+namespace ccds {
+
+inline constexpr int kSkipListMaxLevel = 16;
+
+// Geometric level draw, p = 1/2, capped at kSkipListMaxLevel.
+inline int skiplist_random_level() noexcept {
+  const std::uint64_t r = thread_rng().next();
+  const int zeros = r == 0 ? 63 : __builtin_ctzll(r);
+  return zeros >= kSkipListMaxLevel ? kSkipListMaxLevel : zeros + 1;
+}
+
+template <typename Key, typename Compare = std::less<Key>>
+class SeqSkipListSet {
+ public:
+  SeqSkipListSet() : head_(new Node{}) {}
+  SeqSkipListSet(const SeqSkipListSet&) = delete;
+  SeqSkipListSet& operator=(const SeqSkipListSet&) = delete;
+
+  ~SeqSkipListSet() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      delete n;
+      n = next;
+    }
+  }
+
+  bool contains(const Key& key) const {
+    Node* pred = head_;
+    for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+      Node* curr = pred->next[level];
+      while (curr != nullptr && comp_(curr->key, key)) {
+        pred = curr;
+        curr = curr->next[level];
+      }
+    }
+    Node* curr = pred->next[0];
+    return curr != nullptr && !comp_(key, curr->key);
+  }
+
+  bool insert(const Key& key) {
+    Node* preds[kSkipListMaxLevel];
+    Node* pred = head_;
+    for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+      Node* curr = pred->next[level];
+      while (curr != nullptr && comp_(curr->key, key)) {
+        pred = curr;
+        curr = curr->next[level];
+      }
+      preds[level] = pred;
+    }
+    Node* curr = pred->next[0];
+    if (curr != nullptr && !comp_(key, curr->key)) return false;
+
+    const int height = skiplist_random_level();
+    Node* n = new Node{};
+    n->key = key;
+    n->height = height;
+    for (int level = 0; level < height; ++level) {
+      n->next[level] = preds[level]->next[level];
+      preds[level]->next[level] = n;
+    }
+    ++size_;
+    return true;
+  }
+
+  bool remove(const Key& key) {
+    Node* preds[kSkipListMaxLevel];
+    Node* pred = head_;
+    for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+      Node* curr = pred->next[level];
+      while (curr != nullptr && comp_(curr->key, key)) {
+        pred = curr;
+        curr = curr->next[level];
+      }
+      preds[level] = pred;
+    }
+    Node* victim = pred->next[0];
+    if (victim == nullptr || comp_(key, victim->key)) return false;
+    for (int level = 0; level < victim->height; ++level) {
+      if (preds[level]->next[level] == victim) {
+        preds[level]->next[level] = victim->next[level];
+      }
+    }
+    delete victim;
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Node {
+    Key key{};
+    int height = kSkipListMaxLevel;  // head default: full height
+    Node* next[kSkipListMaxLevel] = {};
+  };
+
+  Node* const head_;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Compare comp_{};
+};
+
+// Coarse-grained skip list: the sequential structure under one lock.
+template <typename Key, typename Compare = std::less<Key>,
+          typename Lock = std::mutex>
+class CoarseSkipListSet {
+ public:
+  bool contains(const Key& key) const {
+    std::lock_guard<Lock> g(lock_);
+    return impl_.contains(key);
+  }
+  bool insert(const Key& key) {
+    std::lock_guard<Lock> g(lock_);
+    return impl_.insert(key);
+  }
+  bool remove(const Key& key) {
+    std::lock_guard<Lock> g(lock_);
+    return impl_.remove(key);
+  }
+  std::size_t size() const {
+    std::lock_guard<Lock> g(lock_);
+    return impl_.size();
+  }
+
+ private:
+  mutable Lock lock_;
+  SeqSkipListSet<Key, Compare> impl_;
+};
+
+}  // namespace ccds

@@ -1,0 +1,46 @@
+// Coarse-grained lock-based stack: the baseline "synchronized wrapper".
+//
+// Every operation takes one global lock; correctness is immediate from the
+// sequential std::vector underneath, throughput collapses under contention
+// (experiment E3's strawman).
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ccds {
+
+template <typename T, typename Lock = std::mutex>
+class LockStack {
+ public:
+  void push(T v) {
+    std::lock_guard<Lock> g(lock_);
+    items_.push_back(std::move(v));
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard<Lock> g(lock_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.back());
+    items_.pop_back();
+    return v;
+  }
+
+  bool empty() const {
+    std::lock_guard<Lock> g(lock_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<Lock> g(lock_);
+    return items_.size();
+  }
+
+ private:
+  mutable Lock lock_;
+  std::vector<T> items_;
+};
+
+}  // namespace ccds

@@ -1,0 +1,205 @@
+// Elimination-backoff stack (Hendler, Shavit, Yerushalmi 2004).
+//
+// Under contention, a failed CAS on the Treiber head does not just back off:
+// the thread visits a random slot of an *elimination array*, where a
+// concurrent push and pop can cancel each other without ever touching the
+// stack (push immediately followed by pop of the same value is a legal
+// linearization).  Successful eliminations turn contention into parallelism,
+// which is why the elimination stack keeps scaling where Treiber saturates
+// (experiment E3).
+//
+// Slot encoding (single atomic word, pointers are >= 8-aligned):
+//   0            — empty
+//   1 (kPopWait) — a popper is parked waiting for a node
+//   ptr          — a pusher is parked offering node `ptr`
+//   2 (kDone)    — a parked pusher's node was taken by a passing popper
+//   ptr|1        — a parked popper's wait fulfilled with node `ptr`
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+#include "core/rng.hpp"
+#include "reclaim/hazard.hpp"
+
+namespace ccds {
+
+// ElimSlots / SpinBudget are exposed for the ablation bench (E15): more
+// slots lower collision-per-slot rates but also lower the chance two
+// threads meet at all; the spin budget bounds how long a parked operation
+// waits for a partner before falling back to the main stack.
+template <typename T, typename Domain = HazardDomain, int ElimSlots = 16,
+          int SpinBudget = 512>
+class EliminationBackoffStack {
+ public:
+  EliminationBackoffStack() = default;
+  EliminationBackoffStack(const EliminationBackoffStack&) = delete;
+  EliminationBackoffStack& operator=(const EliminationBackoffStack&) = delete;
+
+  ~EliminationBackoffStack() {
+    Node* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  void push(T v) {
+    Node* n = new Node{std::move(v), nullptr};
+    Node* h = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      n->next = h;
+      if (head_.compare_exchange_weak(h, n, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+      // Contention: try to hand the node directly to a popper.
+      if (try_eliminate_push(n)) return;
+      h = head_.load(std::memory_order_relaxed);
+    }
+  }
+
+  std::optional<T> try_pop() {
+    auto guard = domain_.guard();
+    for (;;) {
+      Node* h = guard.protect(0, head_);
+      if (h == nullptr) return std::nullopt;
+      Node* next = h->next;
+      if (head_.compare_exchange_strong(h, next, std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+        std::optional<T> v(std::move(h->value));
+        domain_.retire(h);
+        return v;
+      }
+      // Contention: try to catch a node straight from a pusher.  Eliminated
+      // nodes were never reachable from head_, so no hazard can reference
+      // them and we may delete directly instead of retiring.
+      if (Node* taken = try_eliminate_pop()) {
+        std::optional<T> v(std::move(taken->value));
+        delete taken;
+        return v;
+      }
+    }
+  }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+  Domain& domain() noexcept { return domain_; }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+
+  static constexpr std::uintptr_t kEmpty = 0;
+  static constexpr std::uintptr_t kPopWait = 1;
+  static constexpr std::uintptr_t kDone = 2;
+  static constexpr int kElimSlots = ElimSlots;
+  static constexpr int kSpinBudget = SpinBudget;
+
+  static bool is_node(std::uintptr_t s) noexcept {
+    return s > kDone && (s & 1) == 0;
+  }
+
+  std::atomic<std::uintptr_t>& random_slot() noexcept {
+    return slots_[thread_rng().next_below(kElimSlots)].value;
+  }
+
+  // Pusher side: offer `n`; true iff a popper took it.
+  bool try_eliminate_push(Node* n) noexcept {
+    auto& slot = random_slot();
+    std::uintptr_t s = slot.load(std::memory_order_acquire);
+
+    if (s == kPopWait) {
+      // Fulfill a parked popper in place.  release: publish node contents.
+      std::uintptr_t expected = kPopWait;
+      return slot.compare_exchange_strong(
+          expected, reinterpret_cast<std::uintptr_t>(n) | 1,
+          std::memory_order_release, std::memory_order_relaxed);
+    }
+    if (s != kEmpty) return false;
+
+    // Park our node and wait briefly for a popper.
+    std::uintptr_t expected = kEmpty;
+    const std::uintptr_t mine = reinterpret_cast<std::uintptr_t>(n);
+    if (!slot.compare_exchange_strong(expected, mine,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    for (int i = 0; i < kSpinBudget; ++i) {
+      if (slot.load(std::memory_order_acquire) == kDone) {
+        slot.store(kEmpty, std::memory_order_release);
+        return true;
+      }
+      cpu_relax();
+    }
+    // Timeout: withdraw the offer — unless a popper just took it.
+    expected = mine;
+    if (slot.compare_exchange_strong(expected, kEmpty,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      return false;
+    }
+    CCDS_ASSERT(expected == kDone);
+    slot.store(kEmpty, std::memory_order_release);
+    return true;
+  }
+
+  // Popper side: non-null iff a pusher's node was captured.
+  Node* try_eliminate_pop() noexcept {
+    auto& slot = random_slot();
+    std::uintptr_t s = slot.load(std::memory_order_acquire);
+
+    if (is_node(s)) {
+      // A pusher is parked: take its node.
+      if (slot.compare_exchange_strong(s, kDone, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        return reinterpret_cast<Node*>(s);
+      }
+      return nullptr;
+    }
+    if (s != kEmpty) return nullptr;
+
+    // Park a pop request and wait briefly for a pusher.
+    std::uintptr_t expected = kEmpty;
+    if (!slot.compare_exchange_strong(expected, kPopWait,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    for (int i = 0; i < kSpinBudget; ++i) {
+      const std::uintptr_t v = slot.load(std::memory_order_acquire);
+      if (v != kPopWait) {
+        CCDS_ASSERT((v & 1) == 1 && v > kDone);
+        slot.store(kEmpty, std::memory_order_release);
+        return reinterpret_cast<Node*>(v & ~std::uintptr_t{1});
+      }
+      cpu_relax();
+    }
+    // Timeout: withdraw — unless a pusher just fulfilled us.
+    expected = kPopWait;
+    if (slot.compare_exchange_strong(expected, kEmpty,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    CCDS_ASSERT((expected & 1) == 1 && expected > kDone);
+    slot.store(kEmpty, std::memory_order_release);
+    return reinterpret_cast<Node*>(expected & ~std::uintptr_t{1});
+  }
+
+  CCDS_CACHELINE_ALIGNED std::atomic<Node*> head_{nullptr};
+  Padded<std::atomic<std::uintptr_t>> slots_[kElimSlots] = {};
+  Domain domain_;
+};
+
+}  // namespace ccds

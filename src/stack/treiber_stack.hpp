@@ -1,0 +1,87 @@
+// Treiber's lock-free stack (Treiber 1986).
+//
+// head is a single CAS'd pointer; push links a new node in front, pop swings
+// head to head->next.  Nodes are reclaimed through the domain (hazard
+// pointers by default), which also forecloses the ABA hazard: a node address
+// can only reappear at head after being freed and reallocated, and it cannot
+// be freed while any pop protects it.  Popped nodes are never re-pushed, so
+// no other ABA source exists.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "core/backoff.hpp"
+#include "reclaim/hazard.hpp"
+
+namespace ccds {
+
+template <typename T, typename Domain = HazardDomain>
+class TreiberStack {
+ public:
+  TreiberStack() = default;
+  TreiberStack(const TreiberStack&) = delete;
+  TreiberStack& operator=(const TreiberStack&) = delete;
+
+  ~TreiberStack() {
+    Node* n = head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+
+  void push(T v) {
+    Node* n = new Node{std::move(v), nullptr};
+    Node* h = head_.load(std::memory_order_relaxed);
+    Backoff backoff;
+    for (;;) {
+      n->next = h;
+      // release: publish n (value + link) to the popper's acquire load.
+      if (head_.compare_exchange_weak(h, n, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+      backoff.spin();
+    }
+  }
+
+  std::optional<T> try_pop() {
+    auto guard = domain_.guard();
+    Backoff backoff;
+    for (;;) {
+      Node* h = guard.protect(0, head_);
+      if (h == nullptr) return std::nullopt;
+      Node* next = h->next;  // safe: h is protected
+      // acquire on success: not needed for h's fields (protect's load
+      // ordered them) but orders this pop before our read of h->value for
+      // TSan clarity; failure can stay relaxed.
+      if (head_.compare_exchange_strong(h, next, std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+        std::optional<T> v(std::move(h->value));
+        domain_.retire(h);
+        return v;
+      }
+      backoff.spin();
+    }
+  }
+
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+  Domain& domain() noexcept { return domain_; }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+
+  CCDS_CACHELINE_ALIGNED std::atomic<Node*> head_{nullptr};
+  Domain domain_;
+};
+
+}  // namespace ccds

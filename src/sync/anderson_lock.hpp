@@ -1,0 +1,50 @@
+// Anderson's array-based queue lock.
+//
+// Each waiter spins on its own padded flag in a circular array, so the
+// release invalidates exactly one waiter's line instead of all of them.
+// FIFO-fair like the ticket lock, but with local spinning.  The array is
+// sized to kMaxThreads, which bounds the number of simultaneous waiters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+
+namespace ccds {
+
+class AndersonLock {
+ public:
+  AndersonLock() noexcept {
+    flags_[0]->store(true, std::memory_order_relaxed);
+    for (std::size_t i = 1; i < kSlots; ++i) {
+      flags_[i]->store(false, std::memory_order_relaxed);
+    }
+  }
+
+  void lock() noexcept {
+    const std::uint32_t slot =
+        tail_.fetch_add(1, std::memory_order_relaxed) % kSlots;
+    std::uint32_t spins = 0;
+    while (!flags_[slot]->load(std::memory_order_acquire)) spin_wait(spins);
+    my_slot_[thread_id()].value = slot;
+  }
+
+  void unlock() noexcept {
+    const std::uint32_t slot = my_slot_[thread_id()].value;
+    // Reset own flag first (relaxed: only re-read kSlots acquisitions later,
+    // ordered by the intervening release below and the tail RMW chain).
+    flags_[slot]->store(false, std::memory_order_relaxed);
+    flags_[(slot + 1) % kSlots]->store(true, std::memory_order_release);
+  }
+
+ private:
+  static constexpr std::size_t kSlots = kMaxThreads;
+  CCDS_CACHELINE_ALIGNED std::atomic<std::uint32_t> tail_{0};
+  Padded<std::atomic<bool>> flags_[kSlots];
+  Padded<std::uint32_t> my_slot_[kMaxThreads];
+};
+
+}  // namespace ccds

@@ -1,0 +1,123 @@
+// Wait-free atomic snapshot (Afek, Attiya, Dolev, Gafni, Merritt, Shavit
+// 1993; presentation follows Herlihy & Shavit ch. 4.3).
+//
+// An array of single-writer registers supporting scan(): an atomic
+// (linearizable) view of ALL registers, without locking writers out.
+//
+//   * Clean double collect: if two successive collects observe identical
+//     revisions, nothing moved in between — the collect is a snapshot.
+//   * Helping: every update embeds the snapshot its writer took just
+//     before writing.  If a scanner sees the same register move TWICE, the
+//     second revision's embedded snapshot was taken entirely within the
+//     scanner's interval, so the scanner can return it (that is what makes
+//     scan wait-free: each register can spoil at most two collects).
+//
+// Registers are immutable revision objects swapped in by pointer; old
+// revisions are reclaimed through an epoch domain.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+#include "reclaim/epoch.hpp"
+
+namespace ccds {
+
+template <typename T>
+class AtomicSnapshot {
+ public:
+  explicit AtomicSnapshot(std::size_t registers)
+      : regs_(registers) {
+    for (auto& r : regs_) {
+      r->store(new Revision{}, std::memory_order_relaxed);
+    }
+  }
+
+  AtomicSnapshot(const AtomicSnapshot&) = delete;
+  AtomicSnapshot& operator=(const AtomicSnapshot&) = delete;
+
+  ~AtomicSnapshot() {
+    for (auto& r : regs_) delete r->load(std::memory_order_relaxed);
+  }
+
+  std::size_t size() const noexcept { return regs_.size(); }
+
+  // Single-writer-per-register update (concurrent updates to DIFFERENT
+  // registers are fine; two concurrent writers to the same register are a
+  // usage error, as in the original model).
+  void update(std::size_t i, T value) {
+    // The embedded snapshot must be taken before the write (it is what
+    // lets a double-moved register's revision stand in for a scan).
+    std::vector<T> snap = scan();
+    auto guard = domain_.guard();
+    Revision* old = guard.protect(0, regs_[i].value);
+    auto* fresh = new Revision{std::move(value), old->seq + 1,
+                               std::move(snap)};
+    // release: publish the revision's contents.
+    regs_[i]->store(fresh, std::memory_order_release);
+    domain_.retire(old);
+  }
+
+  // Wait-free linearizable snapshot of all registers.
+  std::vector<T> scan() {
+    auto guard = domain_.guard();
+    const std::size_t n = regs_.size();
+    std::vector<bool> moved(n, false);
+    std::vector<const Revision*> old = collect(guard);
+    for (;;) {
+      std::vector<const Revision*> fresh = collect(guard);
+      bool clean = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (fresh[i]->seq != old[i]->seq) {
+          clean = false;
+          if (moved[i]) {
+            // Second observed move of register i: its embedded snapshot
+            // was taken inside our interval — return a copy of it.
+            return fresh[i]->snap;
+          }
+          moved[i] = true;
+        }
+      }
+      if (clean) {
+        std::vector<T> out;
+        out.reserve(n);
+        for (auto* r : fresh) out.push_back(r->value);
+        return out;
+      }
+      old = std::move(fresh);
+    }
+  }
+
+  // Convenience read of one register.
+  T load(std::size_t i) {
+    auto guard = domain_.guard();
+    return guard.protect(0, regs_[i].value)->value;
+  }
+
+  EpochDomain& domain() noexcept { return domain_; }
+
+ private:
+  struct Revision {
+    T value{};
+    std::uint64_t seq = 0;
+    std::vector<T> snap;  // the writer's scan, taken just before writing
+  };
+
+  std::vector<const Revision*> collect(EpochDomain::Guard& guard) {
+    std::vector<const Revision*> out;
+    out.reserve(regs_.size());
+    for (auto& r : regs_) {
+      out.push_back(guard.protect(0, r.value));
+    }
+    return out;
+  }
+
+  std::vector<Padded<std::atomic<Revision*>>> regs_;
+  EpochDomain domain_;
+};
+
+}  // namespace ccds

@@ -1,0 +1,60 @@
+// Craig / Landin-Hagersten (CLH) queue lock.
+//
+// Like MCS, waiters spin locally — but on the *predecessor's* node, which
+// lets release be a single store with no successor discovery.  Node
+// ownership rotates: a releasing thread adopts its predecessor's (now
+// retired) node for its next acquisition.
+#pragma once
+
+#include <atomic>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+
+namespace ccds {
+
+class ClhLock {
+ public:
+  ClhLock() noexcept {
+    dummy_.value.locked.store(false, std::memory_order_relaxed);
+    tail_.store(&dummy_.value, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      mine_[i].value = &initial_[i].value;
+    }
+  }
+
+  void lock() noexcept {
+    const std::size_t tid = thread_id();
+    QNode* me = mine_[tid].value;
+    me->locked.store(true, std::memory_order_relaxed);
+    // acq_rel: release publishes our node's `locked=true`; acquire pairs with
+    // the predecessor's enqueue so our spin reads its final node.
+    QNode* pred = tail_.exchange(me, std::memory_order_acq_rel);
+    std::uint32_t spins = 0;
+    while (pred->locked.load(std::memory_order_acquire)) spin_wait(spins);
+    pred_[tid].value = pred;
+  }
+
+  void unlock() noexcept {
+    const std::size_t tid = thread_id();
+    QNode* me = mine_[tid].value;
+    me->locked.store(false, std::memory_order_release);
+    // Recycle the predecessor's node for our next acquisition; ours is now
+    // being spun on (or will be reclaimed the same way) by our successor.
+    mine_[tid].value = pred_[tid].value;
+  }
+
+ private:
+  struct QNode {
+    std::atomic<bool> locked{false};
+  };
+
+  CCDS_CACHELINE_ALIGNED std::atomic<QNode*> tail_{nullptr};
+  Padded<QNode> dummy_;
+  Padded<QNode> initial_[kMaxThreads];
+  Padded<QNode*> mine_[kMaxThreads];
+  Padded<QNode*> pred_[kMaxThreads];
+};
+
+}  // namespace ccds

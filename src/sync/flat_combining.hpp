@@ -1,0 +1,129 @@
+// Flat combining (Hendler, Incze, Shavit, Tzafrir 2010).
+//
+// Instead of every thread acquiring a lock for its own operation, a thread
+// publishes its operation in a per-thread slot; whichever thread currently
+// holds the combiner lock scans the slots and executes everyone's pending
+// operations against the sequential state.  This amortizes the lock handoff
+// over many operations and keeps the data structure itself single-threaded.
+//
+// FlatCombiner<State> wraps any sequential state; operations are arbitrary
+// callables `R(State&)`, executed with mutual exclusion but submitted
+// concurrently.  The linearization point of an operation is its execution by
+// the combiner.
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+#include <utility>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ccds {
+
+namespace detail {
+
+template <typename R>
+struct FcResult {
+  // ccds requires combined-op results to be default-constructible (all
+  // library uses return values, bools, or std::optional, which are).
+  R value{};
+};
+
+template <>
+struct FcResult<void> {};
+
+}  // namespace detail
+
+template <typename State>
+class FlatCombiner {
+ public:
+  FlatCombiner() = default;
+  explicit FlatCombiner(State initial) : state_(std::move(initial)) {}
+
+  // Execute `op(state)` with combining; returns op's result.
+  template <typename F>
+  auto apply(F&& op) -> std::invoke_result_t<F&, State&> {
+    using R = std::invoke_result_t<F&, State&>;
+    detail::FcResult<R> result;
+    Record rec;
+    rec.ctx = &op;
+    rec.result = &result;
+    rec.run = [](void* ctx, void* res, State& s) {
+      auto& fn = *static_cast<std::remove_reference_t<F>*>(ctx);
+      if constexpr (std::is_void_v<R>) {
+        (void)res;
+        fn(s);
+      } else {
+        static_cast<detail::FcResult<R>*>(res)->value = fn(s);
+      }
+    };
+
+    Padded<std::atomic<Record*>>& slot = slots_[thread_id()];
+    // release: publish the fully-initialized record to the combiner.
+    slot->store(&rec, std::memory_order_release);
+
+    std::uint32_t spins = 0;
+    while (!rec.done.load(std::memory_order_acquire)) {
+      if (lock_.try_lock()) {
+        combine();
+        lock_.unlock();
+        // We held the lock with our record published, so combine() ran it.
+        CCDS_ASSERT(rec.done.load(std::memory_order_relaxed));
+        break;
+      }
+      spin_wait(spins);
+    }
+
+    if constexpr (!std::is_void_v<R>) return std::move(result.value);
+  }
+
+  // Direct exclusive access (initialization / inspection).  Takes the
+  // combiner lock, so it serializes with combining passes.
+  template <typename F>
+  auto apply_locked(F&& op) -> std::invoke_result_t<F&, State&> {
+    lock_.lock();
+    struct Unlock {
+      TtasLock& l;
+      ~Unlock() { l.unlock(); }
+    } guard{lock_};
+    return op(state_);
+  }
+
+ private:
+  struct Record {
+    void (*run)(void* ctx, void* res, State& s) = nullptr;
+    void* ctx = nullptr;
+    void* result = nullptr;
+    std::atomic<bool> done{false};
+  };
+
+  void combine() {
+    // A few passes per lock tenure: each pass picks up operations published
+    // while the previous pass ran, improving combining density.
+    for (int pass = 0; pass < kCombinePasses; ++pass) {
+      bool any = false;
+      for (std::size_t i = 0; i < kMaxThreads; ++i) {
+        // acquire: pairs with the publisher's release store.
+        Record* rec = slots_[i]->load(std::memory_order_acquire);
+        if (rec == nullptr) continue;
+        slots_[i]->store(nullptr, std::memory_order_relaxed);
+        rec->run(rec->ctx, rec->result, state_);
+        // release: publish both the result and slot consumption.
+        rec->done.store(true, std::memory_order_release);
+        any = true;
+      }
+      if (!any) break;
+    }
+  }
+
+  static constexpr int kCombinePasses = 3;
+
+  TtasLock lock_;
+  State state_;
+  Padded<std::atomic<Record*>> slots_[kMaxThreads]{};
+};
+
+}  // namespace ccds

@@ -1,0 +1,72 @@
+// Mellor-Crummey & Scott (MCS) list-based queue lock.
+//
+// Each waiter enqueues a node and spins on a flag in *its own* node, giving
+// purely local spinning and O(1) coherence traffic per handoff; this is the
+// survey's canonical scalable lock.  Nodes are per-(lock, thread) slots so
+// the lock meets BasicLockable without threading a node through the API.
+#pragma once
+
+#include <atomic>
+
+#include "core/arch.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+
+namespace ccds {
+
+class McsLock {
+ public:
+  void lock() noexcept {
+    QNode* me = &nodes_[thread_id()].value;
+    me->next.store(nullptr, std::memory_order_relaxed);
+    me->locked.store(true, std::memory_order_relaxed);
+    // acq_rel: acquire pairs with the releasing unlock of the predecessor we
+    // observe; release publishes our node initialization to that predecessor.
+    QNode* pred = tail_.exchange(me, std::memory_order_acq_rel);
+    if (pred != nullptr) {
+      pred->next.store(me, std::memory_order_release);
+      std::uint32_t spins = 0;
+      while (me->locked.load(std::memory_order_acquire)) spin_wait(spins);
+    }
+  }
+
+  bool try_lock() noexcept {
+    QNode* me = &nodes_[thread_id()].value;
+    me->next.store(nullptr, std::memory_order_relaxed);
+    QNode* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, me,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept {
+    QNode* me = &nodes_[thread_id()].value;
+    QNode* succ = me->next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      // No known successor: try to swing tail back to empty.
+      QNode* expected = me;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+      // A successor is in the middle of enqueueing; wait for its link.
+      std::uint32_t spins = 0;
+      while ((succ = me->next.load(std::memory_order_acquire)) == nullptr) {
+        spin_wait(spins);
+      }
+    }
+    succ->locked.store(false, std::memory_order_release);
+  }
+
+ private:
+  struct QNode {
+    std::atomic<QNode*> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+
+  CCDS_CACHELINE_ALIGNED std::atomic<QNode*> tail_{nullptr};
+  Padded<QNode> nodes_[kMaxThreads];
+};
+
+}  // namespace ccds

@@ -1,0 +1,91 @@
+// Classic software mutual exclusion: Peterson's two-thread lock and the
+// n-thread Filter lock (Peterson 1981; presentation follows Herlihy &
+// Shavit ch. 2).
+//
+// These are the survey's *pedagogical* locks: starvation-free mutual
+// exclusion from reads and writes alone, no RMW instructions.  On modern
+// hardware they need sequentially-consistent atomics (the algorithm's
+// correctness rests on store-load ordering that acquire/release does not
+// provide), which makes them slower than a TAS lock — they are here for
+// completeness and for the memory-model test they embody, not for use.
+//
+// PetersonLock: exactly two parties, addressed by slot 0/1 (pass the slot
+// explicitly — thread ids don't map to 0/1).  FilterLock: up to N parties
+// addressed by ccds::thread_id().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "core/arch.hpp"
+#include "core/thread_registry.hpp"
+
+namespace ccds {
+
+class PetersonLock {
+ public:
+  void lock(int me) noexcept {
+    CCDS_ASSERT(me == 0 || me == 1);
+    const int other = 1 - me;
+    // seq_cst throughout: the proof needs flag[me]=true to be globally
+    // ordered before the read of flag[other] (store-load), which x86 TSO
+    // would already reorder without a fence.
+    flag_[me].store(true, std::memory_order_seq_cst);
+    victim_.store(me, std::memory_order_seq_cst);
+    std::uint32_t spins = 0;
+    while (flag_[other].load(std::memory_order_seq_cst) &&
+           victim_.load(std::memory_order_seq_cst) == me) {
+      spin_wait(spins);
+    }
+  }
+
+  void unlock(int me) noexcept {
+    flag_[me].store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> flag_[2] = {};
+  std::atomic<int> victim_{0};
+};
+
+// Filter lock: n-1 levels, each filtering out at least one thread; level
+// n-1 admits exactly one.  O(n) space and O(n) lock time — quadratic total
+// work under full contention, the price of no-RMW mutual exclusion.
+class FilterLock {
+ public:
+  void lock() noexcept {
+    const std::size_t me = thread_id();
+    for (std::size_t lvl = 1; lvl < kMaxThreads; ++lvl) {
+      level_[me].store(lvl, std::memory_order_seq_cst);
+      victim_[lvl].store(me, std::memory_order_seq_cst);
+      // Wait while someone else is at this level or higher AND we are the
+      // victim of this level.
+      std::uint32_t spins = 0;
+      for (;;) {
+        bool conflict = false;
+        for (std::size_t k = 0; k < kMaxThreads; ++k) {
+          if (k != me &&
+              level_[k].load(std::memory_order_seq_cst) >= lvl) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict ||
+            victim_[lvl].load(std::memory_order_seq_cst) != me) {
+          break;
+        }
+        spin_wait(spins);
+      }
+    }
+  }
+
+  void unlock() noexcept {
+    level_[thread_id()].store(0, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::size_t> level_[kMaxThreads] = {};
+  std::atomic<std::size_t> victim_[kMaxThreads] = {};
+};
+
+}  // namespace ccds

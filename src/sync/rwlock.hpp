@@ -1,0 +1,78 @@
+// Reader-writer spin lock with writer preference.
+//
+// State word: bit 31 = writer holds; low bits = active reader count.  A
+// separate waiting-writer counter lets arriving readers defer to queued
+// writers so that a steady stream of readers cannot starve writers.
+// Meets SharedLockable (lock_shared/unlock_shared) plus BasicLockable, so it
+// composes with std::shared_lock and std::lock_guard.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/arch.hpp"
+
+namespace ccds {
+
+class RwSpinLock {
+ public:
+  void lock() noexcept {  // exclusive
+    std::uint32_t spins = 0;
+    writers_waiting_.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      std::uint32_t expected = 0;
+      if (state_.compare_exchange_weak(expected, kWriterBit,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        break;
+      }
+      while (state_.load(std::memory_order_relaxed) != 0) spin_wait(spins);
+    }
+    writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  bool try_lock() noexcept {
+    std::uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriterBit,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept {
+    state_.store(0, std::memory_order_release);
+  }
+
+  void lock_shared() noexcept {
+    std::uint32_t spins = 0;
+    for (;;) {
+      // Defer to queued writers (writer preference).
+      while (writers_waiting_.load(std::memory_order_relaxed) != 0 ||
+             (state_.load(std::memory_order_relaxed) & kWriterBit) != 0) {
+        spin_wait(spins);
+      }
+      const std::uint32_t prev =
+          state_.fetch_add(1, std::memory_order_acquire);
+      if ((prev & kWriterBit) == 0) return;
+      // Raced with a writer; undo and retry.
+      state_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool try_lock_shared() noexcept {
+    const std::uint32_t prev = state_.fetch_add(1, std::memory_order_acquire);
+    if ((prev & kWriterBit) == 0) return true;
+    state_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  void unlock_shared() noexcept {
+    state_.fetch_sub(1, std::memory_order_release);
+  }
+
+ private:
+  static constexpr std::uint32_t kWriterBit = 1u << 31;
+  CCDS_CACHELINE_ALIGNED std::atomic<std::uint32_t> state_{0};
+  CCDS_CACHELINE_ALIGNED std::atomic<std::uint32_t> writers_waiting_{0};
+};
+
+}  // namespace ccds

@@ -1,0 +1,93 @@
+// Test-and-set spin locks.
+//
+// The bottom of the lock spectrum: TasLock issues an atomic exchange on every
+// spin iteration and therefore generates continuous coherence traffic;
+// TtasLock spins on a local read and only attempts the exchange when the lock
+// looks free; TtasBackoffLock adds randomized exponential backoff after a
+// failed attempt.  All three meet the C++ BasicLockable requirements and so
+// compose with std::lock_guard / std::scoped_lock.
+#pragma once
+
+#include <atomic>
+
+#include "core/arch.hpp"
+#include "core/backoff.hpp"
+
+namespace ccds {
+
+// Naive test-and-set lock.  Correct but collapses under contention.
+class TasLock {
+ public:
+  void lock() noexcept {
+    // acquire on success orders the critical section after the acquisition.
+    std::uint32_t spins = 0;
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      spin_wait(spins);
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept {
+    // release publishes the critical section to the next acquirer.
+    locked_.store(false, std::memory_order_release);
+  }
+
+ private:
+  CCDS_CACHELINE_ALIGNED std::atomic<bool> locked_{false};
+};
+
+// Test-and-test-and-set: spin on a shared read (cache-local after the first
+// miss), exchange only when the lock appears free.
+class TtasLock {
+ public:
+  void lock() noexcept {
+    std::uint32_t spins = 0;
+    for (;;) {
+      // relaxed is fine for the inner read: it is only a heuristic; the
+      // exchange below carries the acquire.
+      while (locked_.load(std::memory_order_relaxed)) spin_wait(spins);
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  CCDS_CACHELINE_ALIGNED std::atomic<bool> locked_{false};
+};
+
+// TTAS plus randomized exponential backoff after each failed acquisition
+// attempt (Anderson 1990): colliding threads de-synchronize, trading a little
+// latency for much less coherence traffic.
+class TtasBackoffLock {
+ public:
+  void lock() noexcept {
+    Backoff backoff;
+    std::uint32_t spins = 0;
+    for (;;) {
+      while (locked_.load(std::memory_order_relaxed)) spin_wait(spins);
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      backoff.spin();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  CCDS_CACHELINE_ALIGNED std::atomic<bool> locked_{false};
+};
+
+}  // namespace ccds

@@ -1,0 +1,53 @@
+// Ticket lock: FIFO-fair spin lock.
+//
+// Threads take a ticket with fetch_add and spin until the grant counter
+// reaches their ticket.  Fair (no starvation, unlike TAS variants) and a
+// single uncontended RMW to acquire, but all waiters spin on the same grant
+// word, so it still scales poorly past a handful of cores — the motivation
+// the survey gives for queue locks (MCS/CLH).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/arch.hpp"
+
+namespace ccds {
+
+class TicketLock {
+ public:
+  void lock() noexcept {
+    std::uint32_t spins = 0;
+    const std::uint32_t my =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      const std::uint32_t cur = grant_.load(std::memory_order_acquire);
+      if (cur == my) return;
+      // Proportional backoff: pause roughly in proportion to queue position
+      // so far-away waiters poll less often (yielding periodically so a
+      // preempted holder can run).
+      const std::uint32_t dist = my - cur;
+      for (std::uint32_t i = 0; i < dist * 16; ++i) spin_wait(spins);
+    }
+  }
+
+  bool try_lock() noexcept {
+    std::uint32_t cur = grant_.load(std::memory_order_acquire);
+    std::uint32_t expected = cur;
+    // Lock is free iff next == grant; claim by bumping next.
+    return next_.compare_exchange_strong(expected, cur + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept {
+    grant_.store(grant_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
+  }
+
+ private:
+  CCDS_CACHELINE_ALIGNED std::atomic<std::uint32_t> next_{0};
+  CCDS_CACHELINE_ALIGNED std::atomic<std::uint32_t> grant_{0};
+};
+
+}  // namespace ccds

@@ -1,0 +1,198 @@
+// Fine-grained external binary search tree with hand-over-hand locking and
+// TRUE physical deletion.
+//
+// External (leaf-oriented) layout: all keys live in leaves; internal nodes
+// are pure routing (key = smallest key of the right subtree's range; go
+// left iff search key < routing key).  This is the layout concurrent BSTs
+// (Ellen et al. 2010, Natarajan & Mittal 2014) use, because it makes
+// deletion LOCAL: removing leaf L with parent P just swings grandparent
+// G's child pointer from P to L's sibling — no successor swaps, no
+// rebalancing cascade.
+//
+// Synchronization is triple-lock coupling: descents hold locks on
+// (grandparent, parent, current) and acquire each child before releasing
+// the great-grandparent, so every mutation happens under the locks of all
+// nodes it touches and physical deletion can free nodes immediately (any
+// competitor is blocked at or above the grandparent; no reclamation domain
+// needed).  Locks are always taken downward along tree paths, so lock
+// order is consistent and deadlock-free.
+//
+// Two permanent sentinels above the tree (anchor -> root -> actual tree,
+// with infinity-ranked routing keys) guarantee every real leaf has both a
+// parent and a grandparent, eliminating all root special cases.
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "core/arch.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ccds {
+
+template <typename Key, typename Compare = std::less<Key>,
+          typename Lock = TtasLock>
+class FineBstSet {
+ public:
+  FineBstSet() {
+    // anchor(inf3) -> left: root(inf2) -> left: empty-marker leaf(inf1).
+    Node* empty_leaf = new Node(Key{}, 1);
+    root_ = new Node(Key{}, 2, empty_leaf, nullptr);
+    anchor_ = new Node(Key{}, 3, root_, nullptr);
+  }
+
+  FineBstSet(const FineBstSet&) = delete;
+  FineBstSet& operator=(const FineBstSet&) = delete;
+
+  ~FineBstSet() { destroy(anchor_); }
+
+  bool contains(const Key& key) {
+    // Lock-coupled read: two locks at a time suffice for queries.
+    anchor_->lock.lock();
+    Node* p = anchor_;
+    Node* c = anchor_->child(goes_left(key, anchor_));
+    c->lock.lock();
+    while (!c->is_leaf()) {
+      Node* next = c->child(goes_left(key, c));
+      next->lock.lock();
+      p->lock.unlock();
+      p = c;
+      c = next;
+    }
+    const bool found = leaf_matches(c, key);
+    c->lock.unlock();
+    p->lock.unlock();
+    return found;
+  }
+
+  bool insert(const Key& key) {
+    anchor_->lock.lock();
+    Node* p = anchor_;
+    Node* c = anchor_->child(goes_left(key, anchor_));
+    c->lock.lock();
+    while (!c->is_leaf()) {
+      Node* next = c->child(goes_left(key, c));
+      next->lock.lock();
+      p->lock.unlock();
+      p = c;
+      c = next;
+    }
+    // p (parent, internal) and c (leaf) are locked.
+    bool inserted = false;
+    if (!leaf_matches(c, key)) {
+      // Split the leaf: new internal routes between the new leaf and c.
+      // Routing key/rank = the larger of the two (so "< key goes left").
+      Node* fresh = new Node(key, 0);
+      Node* internal;
+      if (c->rank > 0 || comp_(key, c->key)) {
+        // key < c: new leaf goes left, c right; route on c's key.
+        internal = new Node(c->key, c->rank, fresh, c);
+      } else {
+        internal = new Node(key, 0, c, fresh);
+      }
+      p->replace_child(c, internal);
+      inserted = true;
+    }
+    c->lock.unlock();
+    p->lock.unlock();
+    return inserted;
+  }
+
+  bool remove(const Key& key) {
+    anchor_->lock.lock();
+    Node* gp = nullptr;
+    Node* p = anchor_;
+    Node* c = anchor_->child(goes_left(key, anchor_));
+    c->lock.lock();
+    while (!c->is_leaf()) {
+      Node* next = c->child(goes_left(key, c));
+      next->lock.lock();
+      if (gp != nullptr) gp->lock.unlock();
+      gp = p;
+      p = c;
+      c = next;
+    }
+    // gp, p, c locked; c is the target leaf, p its parent (internal).
+    bool removed = false;
+    if (gp != nullptr && leaf_matches(c, key)) {
+      Node* sibling = p->left == c ? p->right : p->left;
+      gp->replace_child(p, sibling);
+      // Safe immediate frees: everyone else is blocked at or above gp and
+      // will re-route through `sibling`.
+      p->lock.unlock();
+      c->lock.unlock();
+      delete p;
+      delete c;
+      gp->lock.unlock();
+      return true;
+    }
+    // gp can never be null here: the anchor's child is the permanent root
+    // sentinel (internal), so the descent loop runs at least once.
+    CCDS_ASSERT(gp != nullptr);
+    c->lock.unlock();
+    p->lock.unlock();
+    if (gp != nullptr) gp->lock.unlock();
+    return removed;
+  }
+
+  // Quiescent-only: walk and count real leaves.
+  std::size_t size() const { return count_leaves(anchor_); }
+
+ private:
+  struct Node {
+    const Key key;
+    // 0 = real key; 1..3 = +infinity sentinels of increasing order (any
+    // rank > 0 compares greater than every real key; among sentinels the
+    // rank decides).
+    const int rank;
+    Node* left;
+    Node* right;
+    Lock lock;
+
+    Node(const Key& k, int r) : key(k), rank(r), left(nullptr),
+                                right(nullptr) {}
+    Node(const Key& k, int r, Node* l, Node* rt)
+        : key(k), rank(r), left(l), right(rt) {}
+
+    bool is_leaf() const { return left == nullptr; }
+    Node* child(bool go_left) const { return go_left ? left : right; }
+    void replace_child(Node* old_child, Node* fresh) {
+      if (left == old_child) {
+        left = fresh;
+      } else {
+        CCDS_ASSERT(right == old_child);
+        right = fresh;
+      }
+    }
+  };
+
+  // True iff `key` routes into `node`'s left subtree (key < node).
+  bool goes_left(const Key& key, const Node* node) const {
+    if (node->rank > 0) return true;  // every real key < any sentinel
+    return comp_(key, node->key);
+  }
+
+  bool leaf_matches(const Node* leaf, const Key& key) const {
+    return leaf->rank == 0 && !comp_(leaf->key, key) &&
+           !comp_(key, leaf->key);
+  }
+
+  static void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left);
+    destroy(n->right);
+    delete n;
+  }
+
+  static std::size_t count_leaves(const Node* n) {
+    if (n == nullptr) return 0;
+    if (n->is_leaf()) return n->rank == 0 ? 1 : 0;
+    return count_leaves(n->left) + count_leaves(n->right);
+  }
+
+  Node* anchor_;  // rank-3 sentinel: permanent grandparent of everything
+  Node* root_;    // rank-2 sentinel
+  [[no_unique_address]] Compare comp_{};
+};
+
+}  // namespace ccds

@@ -1,0 +1,215 @@
+// Sequential AVL tree set (Adelson-Velsky & Landis 1962) and its
+// coarse-grained wrapper.
+//
+// The balanced-search-tree baseline for experiment E8's family: guaranteed
+// O(log n) operations, strict rebalancing on every update — exactly the
+// rebalancing coupling that makes fine-grained concurrent balanced trees so
+// hard, and that skip lists avoid.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+
+namespace ccds {
+
+template <typename Key, typename Compare = std::less<Key>>
+class SeqAvlSet {
+ public:
+  SeqAvlSet() = default;
+  SeqAvlSet(const SeqAvlSet&) = delete;
+  SeqAvlSet& operator=(const SeqAvlSet&) = delete;
+  ~SeqAvlSet() { destroy(root_); }
+
+  bool contains(const Key& key) const {
+    Node* n = root_;
+    while (n != nullptr) {
+      if (comp_(key, n->key)) {
+        n = n->left;
+      } else if (comp_(n->key, key)) {
+        n = n->right;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool insert(const Key& key) {
+    bool inserted = false;
+    root_ = insert_at(root_, key, inserted);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  bool remove(const Key& key) {
+    bool removed = false;
+    root_ = remove_at(root_, key, removed);
+    if (removed) --size_;
+    return removed;
+  }
+
+  std::size_t size() const { return size_; }
+
+  // Height of the root (0 for empty): exposed for balance tests.
+  int height() const { return height_of(root_); }
+
+  // Structural invariant check (tests): BST order + AVL balance.
+  bool check_invariants() const {
+    bool ok = true;
+    check(root_, nullptr, nullptr, ok);
+    return ok;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int height = 1;
+  };
+
+  static int height_of(Node* n) { return n == nullptr ? 0 : n->height; }
+  static void update(Node* n) {
+    n->height = 1 + std::max(height_of(n->left), height_of(n->right));
+  }
+  static int balance_of(Node* n) {
+    return n == nullptr ? 0 : height_of(n->left) - height_of(n->right);
+  }
+
+  static Node* rotate_right(Node* y) {
+    Node* x = y->left;
+    y->left = x->right;
+    x->right = y;
+    update(y);
+    update(x);
+    return x;
+  }
+
+  static Node* rotate_left(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    y->left = x;
+    update(x);
+    update(y);
+    return y;
+  }
+
+  static Node* rebalance(Node* n) {
+    update(n);
+    const int bal = balance_of(n);
+    if (bal > 1) {
+      if (balance_of(n->left) < 0) n->left = rotate_left(n->left);
+      return rotate_right(n);
+    }
+    if (bal < -1) {
+      if (balance_of(n->right) > 0) n->right = rotate_right(n->right);
+      return rotate_left(n);
+    }
+    return n;
+  }
+
+  Node* insert_at(Node* n, const Key& key, bool& inserted) {
+    if (n == nullptr) {
+      inserted = true;
+      return new Node{key};
+    }
+    if (comp_(key, n->key)) {
+      n->left = insert_at(n->left, key, inserted);
+    } else if (comp_(n->key, key)) {
+      n->right = insert_at(n->right, key, inserted);
+    } else {
+      return n;  // duplicate
+    }
+    return rebalance(n);
+  }
+
+  Node* remove_at(Node* n, const Key& key, bool& removed) {
+    if (n == nullptr) return nullptr;
+    if (comp_(key, n->key)) {
+      n->left = remove_at(n->left, key, removed);
+    } else if (comp_(n->key, key)) {
+      n->right = remove_at(n->right, key, removed);
+    } else {
+      removed = true;
+      if (n->left == nullptr || n->right == nullptr) {
+        Node* child = n->left != nullptr ? n->left : n->right;
+        delete n;
+        return child;  // may be null
+      }
+      // Two children: replace with in-order successor's key.
+      Node* succ = n->right;
+      while (succ->left != nullptr) succ = succ->left;
+      n->key = succ->key;
+      bool dummy = false;
+      n->right = remove_key_min(n->right, dummy);
+    }
+    return rebalance(n);
+  }
+
+  // Remove the minimum node of the subtree (helper for two-child deletion).
+  Node* remove_key_min(Node* n, bool& removed) {
+    if (n->left == nullptr) {
+      removed = true;
+      Node* right = n->right;
+      delete n;
+      return right;
+    }
+    n->left = remove_key_min(n->left, removed);
+    return rebalance(n);
+  }
+
+  void check(Node* n, const Key* lo, const Key* hi, bool& ok) const {
+    if (n == nullptr || !ok) return;
+    if (lo != nullptr && !comp_(*lo, n->key)) ok = false;
+    if (hi != nullptr && !comp_(n->key, *hi)) ok = false;
+    if (std::abs(balance_of(n)) > 1) ok = false;
+    if (n->height != 1 + std::max(height_of(n->left), height_of(n->right))) {
+      ok = false;
+    }
+    check(n->left, lo, &n->key, ok);
+    check(n->right, &n->key, hi, ok);
+  }
+
+  static void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left);
+    destroy(n->right);
+    delete n;
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Compare comp_{};
+};
+
+// Coarse-grained AVL: the classic "wrap the sequential tree in one lock".
+template <typename Key, typename Compare = std::less<Key>,
+          typename Lock = std::mutex>
+class CoarseAvlSet {
+ public:
+  bool contains(const Key& key) const {
+    std::lock_guard<Lock> g(lock_);
+    return impl_.contains(key);
+  }
+  bool insert(const Key& key) {
+    std::lock_guard<Lock> g(lock_);
+    return impl_.insert(key);
+  }
+  bool remove(const Key& key) {
+    std::lock_guard<Lock> g(lock_);
+    return impl_.remove(key);
+  }
+  std::size_t size() const {
+    std::lock_guard<Lock> g(lock_);
+    return impl_.size();
+  }
+
+ private:
+  mutable Lock lock_;
+  SeqAvlSet<Key, Compare> impl_;
+};
+
+}  // namespace ccds

@@ -1,0 +1,128 @@
+// Lock-free tombstone binary search tree set.
+//
+// Structural simplification used by several practical concurrent trees:
+// nodes, once linked, are immortal — remove() only flips an atomic
+// "tombstone" flag, and insert() of a tombstoned key revives the node in
+// place.  This eliminates the two hard problems of concurrent BSTs in one
+// stroke: physical deletion (no unlink, so no reclamation and no ABA) and
+// rebalancing (none; the tree's shape is whatever the insertion order
+// produced, as in an unbalanced sequential BST).
+//
+//   contains — wait-free pure traversal (no CAS, no protection needed);
+//   insert   — lock-free: one CAS to link a new leaf or revive a tombstone;
+//   remove   — wait-free: one atomic exchange on the tombstone flag.
+//
+// The trade-offs: memory is proportional to the historical key-set, and
+// expected depth relies on insertion-order randomness (adversarial sorted
+// insertion degrades to O(n), as with any unbalanced BST).  For churn over
+// a bounded key universe — the benchmark workloads of experiment E8 — both
+// are non-issues.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "core/arch.hpp"
+
+namespace ccds {
+
+template <typename Key, typename Compare = std::less<Key>>
+class TombstoneBstSet {
+ public:
+  TombstoneBstSet() = default;
+  TombstoneBstSet(const TombstoneBstSet&) = delete;
+  TombstoneBstSet& operator=(const TombstoneBstSet&) = delete;
+
+  ~TombstoneBstSet() { destroy(root_.load(std::memory_order_relaxed)); }
+
+  bool contains(const Key& key) const {
+    Node* n = root_.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      if (comp_(key, n->key)) {
+        n = n->left.load(std::memory_order_acquire);
+      } else if (comp_(n->key, key)) {
+        n = n->right.load(std::memory_order_acquire);
+      } else {
+        return !n->dead.load(std::memory_order_acquire);
+      }
+    }
+    return false;
+  }
+
+  bool insert(const Key& key) {
+    std::atomic<Node*>* link = &root_;
+    Node* n = link->load(std::memory_order_acquire);
+    Node* fresh = nullptr;
+    for (;;) {
+      if (n == nullptr) {
+        if (fresh == nullptr) fresh = new Node(key);
+        // release: publish the node's key to traversals.
+        if (link->compare_exchange_strong(n, fresh,
+                                          std::memory_order_release,
+                                          std::memory_order_acquire)) {
+          return true;
+        }
+        // n now holds the racing winner; fall through and keep descending.
+        continue;
+      }
+      if (comp_(key, n->key)) {
+        link = &n->left;
+      } else if (comp_(n->key, key)) {
+        link = &n->right;
+      } else {
+        delete fresh;
+        // Revive: we "inserted" iff the node was dead and we flipped it.
+        return n->dead.exchange(false, std::memory_order_acq_rel);
+      }
+      n = link->load(std::memory_order_acquire);
+    }
+  }
+
+  bool remove(const Key& key) {
+    Node* n = root_.load(std::memory_order_acquire);
+    while (n != nullptr) {
+      if (comp_(key, n->key)) {
+        n = n->left.load(std::memory_order_acquire);
+      } else if (comp_(n->key, key)) {
+        n = n->right.load(std::memory_order_acquire);
+      } else {
+        // Removed iff it was alive and we are the one who killed it.
+        return !n->dead.exchange(true, std::memory_order_acq_rel);
+      }
+    }
+    return false;
+  }
+
+  // Number of live keys (linear walk; exact at quiescence).
+  std::size_t size() const {
+    return count_live(root_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  struct Node {
+    const Key key;
+    std::atomic<Node*> left{nullptr};
+    std::atomic<Node*> right{nullptr};
+    std::atomic<bool> dead{false};
+    explicit Node(const Key& k) : key(k) {}
+  };
+
+  static void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left.load(std::memory_order_relaxed));
+    destroy(n->right.load(std::memory_order_relaxed));
+    delete n;
+  }
+
+  static std::size_t count_live(Node* n) {
+    if (n == nullptr) return 0;
+    return (n->dead.load(std::memory_order_relaxed) ? 0 : 1) +
+           count_live(n->left.load(std::memory_order_relaxed)) +
+           count_live(n->right.load(std::memory_order_relaxed));
+  }
+
+  CCDS_CACHELINE_ALIGNED std::atomic<Node*> root_{nullptr};
+  [[no_unique_address]] Compare comp_{};
+};
+
+}  // namespace ccds

@@ -1,0 +1,228 @@
+// A Wing & Gong style linearizability checker for small concurrent
+// histories, plus a recorder that produces such histories from live runs.
+//
+// Usage: worker threads perform operations through HistoryRecorder::record,
+// which wraps each call with invocation/response timestamps drawn from one
+// global atomic clock (so timestamp order is consistent with real-time
+// order).  The checker then searches for a legal linearization: a total
+// order of the operations that (a) respects real-time precedence (if op A
+// completed before op B began, A comes first) and (b) is a legal sequential
+// history of the specification.
+//
+// Complexity is exponential in the history size, as it must be (the
+// problem is NP-complete); with <= ~24 operations per history and
+// memoization on (remaining-set, state) it is instantaneous, and many small
+// random histories catch real bugs far better than one giant one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace ccds::lin {
+
+// One completed operation in a history.
+struct Op {
+  int kind = 0;                         // spec-defined opcode
+  std::uint64_t arg = 0;                // spec-defined argument
+  std::optional<std::uint64_t> result;  // spec-defined result (if any)
+  std::uint64_t invoke = 0;             // global-clock timestamps
+  std::uint64_t response = 0;
+};
+
+// Records operations from concurrent workers.  One instance per trial;
+// call `thread_log()` once per worker to get its private log.
+class HistoryRecorder {
+ public:
+  using Log = std::vector<Op>;
+
+  // Wrap an operation: f() runs between the two clock ticks.
+  // `result_of` maps f's return value to the recorded result field.
+  template <typename F, typename ResultFn>
+  void record(Log& log, int kind, std::uint64_t arg, F&& f,
+              ResultFn&& result_of) {
+    Op op;
+    op.kind = kind;
+    op.arg = arg;
+    // acq_rel RMW: later invocations observe earlier responses' ticks, so
+    // timestamp order refines real-time order.
+    op.invoke = clock_.fetch_add(1, std::memory_order_acq_rel);
+    auto r = f();
+    op.response = clock_.fetch_add(1, std::memory_order_acq_rel);
+    op.result = result_of(r);
+    log.push_back(op);
+  }
+
+  // Convenience for void results.
+  template <typename F>
+  void record_void(Log& log, int kind, std::uint64_t arg, F&& f) {
+    Op op;
+    op.kind = kind;
+    op.arg = arg;
+    op.invoke = clock_.fetch_add(1, std::memory_order_acq_rel);
+    f();
+    op.response = clock_.fetch_add(1, std::memory_order_acq_rel);
+    log.push_back(op);
+  }
+
+ private:
+  std::atomic<std::uint64_t> clock_{0};
+};
+
+// The checker.  Spec requirements:
+//   struct Spec {
+//     using State = <ordered, copyable sequential state>;
+//     static State initial();
+//     // Apply op to state; return false if op's recorded result is illegal.
+//     static bool apply(State& s, const Op& op);
+//   };
+template <typename Spec>
+class Checker {
+ public:
+  // True iff `history` (any order) has a legal linearization.
+  static bool linearizable(std::vector<Op> history) {
+    if (history.size() > 63) return false;  // refuse oversized histories
+    Checker c(std::move(history));
+    return c.search(0, Spec::initial());
+  }
+
+ private:
+  explicit Checker(std::vector<Op> ops) : ops_(std::move(ops)) {}
+
+  bool search(std::uint64_t done_mask, typename Spec::State state) {
+    if (done_mask == (std::uint64_t{1} << ops_.size()) - 1) return true;
+    // Memoize: reaching the same (done-set, state) again cannot succeed if
+    // it failed before, and has already succeeded if it... (we only get
+    // here on the failing side, so a hit always means "prune").
+    auto key = std::make_pair(done_mask, state);
+    if (!visited_.insert(key).second) return false;
+
+    // Earliest response among remaining ops: any remaining op that invoked
+    // after it cannot be linearized first (real-time order).
+    std::uint64_t min_response = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (done_mask & (std::uint64_t{1} << i)) continue;
+      if (ops_[i].response < min_response) min_response = ops_[i].response;
+    }
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      if (done_mask & bit) continue;
+      if (ops_[i].invoke > min_response) continue;  // not minimal
+      typename Spec::State next = state;
+      if (!Spec::apply(next, ops_[i])) continue;  // result illegal here
+      if (search(done_mask | bit, std::move(next))) return true;
+    }
+    return false;
+  }
+
+  std::vector<Op> ops_;
+  std::set<std::pair<std::uint64_t, typename Spec::State>> visited_;
+};
+
+// ---------------------------------------------------------------------------
+// Sequential specifications for the ccds structure families.
+// ---------------------------------------------------------------------------
+
+// FIFO queue: Enqueue(v) -> void; Dequeue() -> value or empty (nullopt).
+struct QueueSpec {
+  enum { kEnq = 1, kDeq = 2 };
+  using State = std::deque<std::uint64_t>;
+  static State initial() { return {}; }
+  static bool apply(State& s, const Op& op) {
+    switch (op.kind) {
+      case kEnq:
+        s.push_back(op.arg);
+        return true;
+      case kDeq:
+        if (!op.result.has_value()) return s.empty();
+        if (s.empty() || s.front() != *op.result) return false;
+        s.pop_front();
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+// LIFO stack: Push(v) -> void; Pop() -> value or empty.
+struct StackSpec {
+  enum { kPush = 1, kPop = 2 };
+  using State = std::vector<std::uint64_t>;
+  static State initial() { return {}; }
+  static bool apply(State& s, const Op& op) {
+    switch (op.kind) {
+      case kPush:
+        s.push_back(op.arg);
+        return true;
+      case kPop:
+        if (!op.result.has_value()) return s.empty();
+        if (s.empty() || s.back() != *op.result) return false;
+        s.pop_back();
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+// Set: Insert(k)/Remove(k)/Contains(k) -> bool (1/0 in result).
+struct SetSpec {
+  enum { kInsert = 1, kRemove = 2, kContains = 3 };
+  using State = std::set<std::uint64_t>;
+  static State initial() { return {}; }
+  static bool apply(State& s, const Op& op) {
+    const bool r = op.result.value_or(0) != 0;
+    switch (op.kind) {
+      case kInsert:
+        return s.insert(op.arg).second == r;
+      case kRemove:
+        return (s.erase(op.arg) == 1) == r;
+      case kContains:
+        return (s.count(op.arg) == 1) == r;
+      default:
+        return false;
+    }
+  }
+};
+
+// Fetch-and-add counter: FetchAdd(d) -> prior value.
+struct CounterSpec {
+  enum { kFetchAdd = 1 };
+  using State = std::uint64_t;
+  static State initial() { return 0; }
+  static bool apply(State& s, const Op& op) {
+    if (op.kind != kFetchAdd) return false;
+    if (!op.result.has_value() || *op.result != s) return false;
+    s += op.arg;
+    return true;
+  }
+};
+
+// Min-priority queue: Push(p) -> void; PopMin() -> min or empty.
+struct PQueueSpec {
+  enum { kPush = 1, kPopMin = 2 };
+  using State = std::multiset<std::uint64_t>;
+  static State initial() { return {}; }
+  static bool apply(State& s, const Op& op) {
+    switch (op.kind) {
+      case kPush:
+        s.insert(op.arg);
+        return true;
+      case kPopMin:
+        if (!op.result.has_value()) return s.empty();
+        if (s.empty() || *s.begin() != *op.result) return false;
+        s.erase(s.begin());
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+}  // namespace ccds::lin

@@ -1,0 +1,225 @@
+// Unit tests for the core module: padding, RNG, thread registry, barrier,
+// and hash/bit utilities.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/backoff.hpp"
+#include "core/barrier.hpp"
+#include "core/hash.hpp"
+#include "core/padded.hpp"
+#include "core/rng.hpp"
+#include "core/thread_registry.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+// ---------- padding ----------
+
+TEST(Padded, OccupiesWholeCacheLines) {
+  EXPECT_EQ(sizeof(Padded<char>), kCacheLineSize);
+  EXPECT_EQ(sizeof(Padded<std::uint64_t>), kCacheLineSize);
+  EXPECT_GE(sizeof(Padded<char[200]>), 2 * kCacheLineSize);
+  EXPECT_EQ(alignof(Padded<char>), kCacheLineSize);
+}
+
+TEST(Padded, ArrayElementsDoNotShareLines) {
+  Padded<int> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    auto a = reinterpret_cast<std::uintptr_t>(&arr[i].value);
+    auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1].value);
+    EXPECT_GE(b - a, kCacheLineSize);
+  }
+}
+
+TEST(Padded, AccessorsWork) {
+  Padded<int> p(41);
+  EXPECT_EQ(*p, 41);
+  *p += 1;
+  EXPECT_EQ(p.value, 42);
+}
+
+// ---------- rng ----------
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all residues hit in 1000 draws, w.h.p.
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.05);  // crude uniformity check
+}
+
+TEST(Rng, ThreadRngsAreIndependent) {
+  std::vector<std::uint64_t> firsts(4);
+  test::run_threads(4, [&](std::size_t i) { firsts[i] = thread_rng().next(); });
+  std::set<std::uint64_t> uniq(firsts.begin(), firsts.end());
+  EXPECT_EQ(uniq.size(), 4u);
+}
+
+// ---------- backoff ----------
+
+TEST(Backoff, SaturatesAfterEnoughSpins) {
+  Backoff b(4, 64);
+  EXPECT_FALSE(b.saturated());
+  for (int i = 0; i < 10; ++i) b.spin();
+  EXPECT_TRUE(b.saturated());
+  b.reset();
+  EXPECT_FALSE(b.saturated());
+}
+
+// ---------- thread registry ----------
+
+TEST(ThreadRegistry, IdsAreDenseAndUnique) {
+  // Ids must be unique among threads that hold them *simultaneously*: a
+  // second barrier keeps every thread alive (id acquired) until all have
+  // recorded theirs.  (On a single-core host, threads otherwise run one
+  // after another and legitimately recycle the same slot.)
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::size_t> ids(kThreads);
+  SpinBarrier hold(kThreads);
+  test::run_threads(kThreads, [&](std::size_t i) {
+    ids[i] = thread_id();
+    hold.arrive_and_wait();
+  });
+  std::set<std::size_t> uniq(ids.begin(), ids.end());
+  EXPECT_EQ(uniq.size(), kThreads);
+  for (auto id : ids) EXPECT_LT(id, kMaxThreads);
+}
+
+TEST(ThreadRegistry, IdStableWithinThread) {
+  test::run_threads(4, [&](std::size_t) {
+    const std::size_t first = thread_id();
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(thread_id(), first);
+  });
+}
+
+TEST(ThreadRegistry, IdsAreRecycledAfterExit) {
+  std::set<std::size_t> round1, round2;
+  // Sequential short-lived threads should be able to reuse slots: after many
+  // more rounds than kMaxThreads, ids must repeat.
+  for (int i = 0; i < 200; ++i) {
+    std::thread([&] {
+      if (i < 100) {
+        round1.insert(thread_id());
+      } else {
+        round2.insert(thread_id());
+      }
+    }).join();
+  }
+  EXPECT_LT(round1.size(), 100u);  // recycling happened
+  EXPECT_LT(round2.size(), 100u);
+}
+
+// ---------- barrier ----------
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr std::size_t kThreads = 6;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> in_phase{0};
+  std::atomic<bool> failed{false};
+
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int p = 0; p < kPhases; ++p) {
+      in_phase.fetch_add(1, std::memory_order_relaxed);
+      barrier.arrive_and_wait();
+      // Between the two barriers every thread must have incremented.
+      if (in_phase.load(std::memory_order_relaxed) <
+          static_cast<int>(kThreads) * (p + 1)) {
+        failed.store(true, std::memory_order_relaxed);
+      }
+      barrier.arrive_and_wait();
+    }
+  });
+  EXPECT_FALSE(failed.load());
+}
+
+// ---------- hash utilities ----------
+
+TEST(Hash, Mix64ChangesEveryInput) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 10000u);  // injective on this range (it's bijective)
+}
+
+TEST(Hash, Mix64Avalanches) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    total_flips += __builtin_popcountll(mix64(0x1234567890abcdefull) ^
+                                        mix64(0x1234567890abcdefull ^
+                                              (1ull << bit)));
+  }
+  const double avg = total_flips / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Hash, ReverseBitsRoundTrips) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next();
+    EXPECT_EQ(reverse_bits64(reverse_bits64(v)), v);
+  }
+}
+
+TEST(Hash, ReverseBitsKnownValues) {
+  EXPECT_EQ(reverse_bits64(0), 0ull);
+  EXPECT_EQ(reverse_bits64(1), 1ull << 63);
+  EXPECT_EQ(reverse_bits64(~0ull), ~0ull);
+  EXPECT_EQ(reverse_bits64(0x8000000000000000ull), 1ull);
+}
+
+TEST(Hash, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1ull);
+  EXPECT_EQ(next_pow2(1), 1ull);
+  EXPECT_EQ(next_pow2(2), 2ull);
+  EXPECT_EQ(next_pow2(3), 4ull);
+  EXPECT_EQ(next_pow2(4), 4ull);
+  EXPECT_EQ(next_pow2(1000), 1024ull);
+  EXPECT_EQ(next_pow2(1ull << 40), 1ull << 40);
+  EXPECT_EQ(next_pow2((1ull << 40) + 1), 1ull << 41);
+}
+
+}  // namespace
+}  // namespace ccds

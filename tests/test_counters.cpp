@@ -1,0 +1,145 @@
+// Tests for the counter spectrum.  The linearizability witness for a
+// fetch-and-add counter is that all returned priors are distinct and cover
+// exactly [0, total): any lost update or double-count breaks it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "counter/combining_tree.hpp"
+#include "counter/counters.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/ticket_lock.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+// ---------- typed fetch-add counters ----------
+
+template <typename C>
+class FetchAddCounterTest : public ::testing::Test {};
+
+using FetchAddCounters =
+    ::testing::Types<LockCounter<std::mutex>, LockCounter<TtasLock>,
+                     LockCounter<TicketLock>, AtomicCounter,
+                     CombiningTreeCounter>;
+TYPED_TEST_SUITE(FetchAddCounterTest, FetchAddCounters);
+
+TYPED_TEST(FetchAddCounterTest, SingleThreadSemantics) {
+  TypeParam c;
+  EXPECT_EQ(c.load(), 0u);
+  EXPECT_EQ(c.fetch_add(1), 0u);
+  EXPECT_EQ(c.fetch_add(5), 1u);
+  EXPECT_EQ(c.fetch_add(1), 6u);
+  EXPECT_EQ(c.load(), 7u);
+}
+
+TYPED_TEST(FetchAddCounterTest, ConcurrentSumIsExact) {
+  TypeParam c;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kIters; ++i) c.fetch_add(1);
+  });
+  EXPECT_EQ(c.load(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TYPED_TEST(FetchAddCounterTest, PriorsAreAPermutation) {
+  TypeParam c;
+  constexpr int kThreads = 6;
+  constexpr int kIters = 3000;
+  std::vector<std::vector<std::uint64_t>> priors(kThreads);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    priors[idx].reserve(kIters);
+    for (int i = 0; i < kIters; ++i) priors[idx].push_back(c.fetch_add(1));
+  });
+  std::set<std::uint64_t> all;
+  for (auto& v : priors) all.insert(v.begin(), v.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kIters)
+      << "duplicate or lost fetch_add result";
+  EXPECT_EQ(*all.begin(), 0u);
+  EXPECT_EQ(*all.rbegin(), static_cast<std::uint64_t>(kThreads) * kIters - 1);
+}
+
+TYPED_TEST(FetchAddCounterTest, PriorsMonotonicPerThread) {
+  TypeParam c;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 3000;
+  std::vector<bool> monotonic(kThreads, true);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    std::uint64_t last = 0;
+    bool first = true;
+    for (int i = 0; i < kIters; ++i) {
+      const std::uint64_t p = c.fetch_add(1);
+      if (!first && p <= last) monotonic[idx] = false;
+      last = p;
+      first = false;
+    }
+  });
+  for (int i = 0; i < kThreads; ++i) EXPECT_TRUE(monotonic[i]);
+}
+
+// ---------- sharded counter ----------
+
+TEST(ShardedCounter, SingleThreadSemantics) {
+  ShardedCounter c;
+  EXPECT_EQ(c.load(), 0u);
+  c.add(3);
+  c.add();
+  EXPECT_EQ(c.load(), 4u);
+}
+
+TEST(ShardedCounter, ConcurrentSumIsExactAtQuiescence) {
+  ShardedCounter c;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 100000;
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kIters; ++i) c.add(1);
+  });
+  EXPECT_EQ(c.load(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(ShardedCounter, LoadIsMonotoneUnderConcurrentAdds) {
+  ShardedCounter c;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> adders;
+  for (int i = 0; i < 4; ++i) {
+    adders.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c.add(1);
+    });
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t now = c.load();
+    ASSERT_GE(now, last) << "sharded counter went backwards";
+    last = now;
+  }
+  stop.store(true);
+  for (auto& t : adders) t.join();
+}
+
+// ---------- combining tree specifics ----------
+
+TEST(CombiningTreeCounter, LargeDeltas) {
+  CombiningTreeCounter c;
+  test::run_threads(4, [&](std::size_t idx) {
+    for (int i = 0; i < 1000; ++i) c.fetch_add(idx + 1);
+  });
+  EXPECT_EQ(c.load(), 1000u * (1 + 2 + 3 + 4));
+}
+
+TEST(CombiningTreeCounter, HighContentionBurst) {
+  CombiningTreeCounter c;
+  constexpr int kThreads = 16;  // more threads than cores: forces combining
+  constexpr int kIters = 2000;
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kIters; ++i) c.fetch_add(1);
+  });
+  EXPECT_EQ(c.load(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace ccds

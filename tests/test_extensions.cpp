@@ -1,0 +1,252 @@
+// Tests for the extension structures: Peterson / Filter software locks,
+// the bitonic counting network (step property + uniqueness), and the
+// blocking bounded queue (blocking, backpressure, close semantics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "counter/counting_network.hpp"
+#include "queue/blocking_queue.hpp"
+#include "sync/peterson.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+// ---------- Peterson lock ----------
+
+TEST(PetersonLock, MutualExclusionBetweenTwoThreads) {
+  PetersonLock lock;
+  std::uint64_t counter = 0;
+  constexpr int kIters = 100000;
+  test::run_threads(2, [&](std::size_t idx) {
+    for (int i = 0; i < kIters; ++i) {
+      lock.lock(static_cast<int>(idx));
+      ++counter;
+      lock.unlock(static_cast<int>(idx));
+    }
+  });
+  EXPECT_EQ(counter, 2ull * kIters);
+}
+
+TEST(PetersonLock, NoOverlap) {
+  PetersonLock lock;
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlap{false};
+  test::run_threads(2, [&](std::size_t idx) {
+    for (int i = 0; i < 20000; ++i) {
+      lock.lock(static_cast<int>(idx));
+      if (inside.fetch_add(1, std::memory_order_acq_rel) != 0) {
+        overlap.store(true);
+      }
+      inside.fetch_sub(1, std::memory_order_acq_rel);
+      lock.unlock(static_cast<int>(idx));
+    }
+  });
+  EXPECT_FALSE(overlap.load());
+}
+
+// ---------- Filter lock ----------
+
+TEST(FilterLock, MutualExclusionAmongManyThreads) {
+  FilterLock lock;
+  std::uint64_t counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 300;  // filter lock is O(kMaxThreads^2) per acquire
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kIters; ++i) {
+      lock.lock();
+      ++counter;
+      lock.unlock();
+    }
+  });
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// ---------- counting network ----------
+
+TEST(CountingNetwork, StepPropertySequential) {
+  // Feed tokens one at a time (always quiescent): after every token the
+  // output-wire counts must satisfy the step property — counts
+  // non-increasing across wires, max-min <= 1.
+  constexpr int kWidth = 8;
+  detail::Bitonic net(kWidth);
+  int counts[kWidth] = {};
+  for (int t = 0; t < 1000; ++t) {
+    const int wire = net.traverse(t % kWidth);
+    ASSERT_GE(wire, 0);
+    ASSERT_LT(wire, kWidth);
+    ++counts[wire];
+    for (int i = 0; i + 1 < kWidth; ++i) {
+      ASSERT_GE(counts[i], counts[i + 1])
+          << "step property violated after token " << t << " at wire " << i;
+      ASSERT_LE(counts[i] - counts[i + 1], 1);
+    }
+  }
+}
+
+TEST(CountingNetwork, StepPropertyAtQuiescenceAfterConcurrency) {
+  constexpr int kWidth = 8;
+  detail::Bitonic net(kWidth);
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 20000;
+  std::vector<std::vector<int>> counts(kThreads, std::vector<int>(kWidth, 0));
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int t = 0; t < kPerThread; ++t) {
+      ++counts[idx][net.traverse(static_cast<int>(idx) % kWidth)];
+    }
+  });
+  int total[kWidth] = {};
+  int sum = 0;
+  for (int w = 0; w < kWidth; ++w) {
+    for (int t = 0; t < kThreads; ++t) total[w] += counts[t][w];
+    sum += total[w];
+  }
+  EXPECT_EQ(sum, kThreads * kPerThread);
+  for (int i = 0; i + 1 < kWidth; ++i) {
+    EXPECT_GE(total[i], total[i + 1]) << "wire " << i;
+    EXPECT_LE(total[i] - total[i + 1], 1) << "wire " << i;
+  }
+}
+
+TEST(CountingNetworkCounter, ValuesAreUniqueAndContiguousAtQuiescence) {
+  CountingNetworkCounter<4> counter;
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 5000;
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    got[idx].reserve(kPerThread);
+    for (int i = 0; i < kPerThread; ++i) got[idx].push_back(counter.next());
+  });
+  std::set<std::uint64_t> all;
+  for (auto& v : got) all.insert(v.begin(), v.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kPerThread)
+      << "duplicate value handed out";
+  EXPECT_EQ(*all.begin(), 0u);
+  EXPECT_EQ(*all.rbegin(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread - 1)
+      << "values not contiguous at quiescence";
+  EXPECT_EQ(counter.issued(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CountingNetworkCounter, SequentialIsOrdered) {
+  CountingNetworkCounter<8> counter;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(counter.next(), i);  // with no concurrency it counts exactly
+  }
+}
+
+// ---------- blocking bounded queue ----------
+
+TEST(BlockingQueue, TryVariantsRespectCapacity) {
+  BlockingBoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_EQ(q.try_pop().value(), 0);
+  EXPECT_TRUE(q.try_push(99));
+  for (int expect : {1, 2, 3, 99}) EXPECT_EQ(q.try_pop().value(), expect);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, PushBlocksUntilSpace) {
+  BlockingBoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(3));  // blocks until a pop
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load()) << "push did not block on a full queue";
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BlockingQueue, PopBlocksUntilItem) {
+  BlockingBoundedQueue<int> q(2);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7);
+    popped.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(popped.load()) << "pop did not block on an empty queue";
+  q.push(7);
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+TEST(BlockingQueue, CloseDrainsThenSignals) {
+  BlockingBoundedQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));       // closed: push fails
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop().value(), 1);  // drains remaining
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // drained + closed => nullopt
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumers) {
+  BlockingBoundedQueue<int> q(2);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      EXPECT_FALSE(q.pop().has_value());
+      woke.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  q.close();
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(BlockingQueue, ProducerConsumerConservation) {
+  BlockingBoundedQueue<std::uint64_t> q(16);
+  constexpr std::size_t kProducers = 3, kConsumers = 3;
+  constexpr std::uint64_t kPerProducer = 20000;
+  std::atomic<std::uint64_t> consumed{0}, checksum{0};
+  std::atomic<std::size_t> producers_left{kProducers};
+
+  test::run_threads(kProducers + kConsumers, [&](std::size_t idx) {
+    if (idx < kProducers) {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(idx * kPerProducer + i));
+      }
+      if (producers_left.fetch_sub(1) == 1) q.close();
+    } else {
+      while (auto v = q.pop()) {  // blocking pops until closed+drained
+        consumed.fetch_add(1, std::memory_order_relaxed);
+        checksum.fetch_add(*v, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  std::uint64_t expected = 0;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+      expected += p * kPerProducer + i;
+    }
+  }
+  EXPECT_EQ(checksum.load(), expected);
+}
+
+}  // namespace
+}  // namespace ccds

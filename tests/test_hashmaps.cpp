@@ -1,0 +1,260 @@
+// Tests for the hash module: the two lock-based maps share a map API; the
+// split-ordered set shares the Set API with the list module.  Resizing under
+// concurrency and hash-collision handling get dedicated coverage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hash/coarse_hash_map.hpp"
+#include "hash/split_ordered_set.hpp"
+#include "hash/striped_hash_map.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+// ---------- typed map tests ----------
+
+template <typename M>
+class HashMapTest : public ::testing::Test {};
+
+using HashMapTypes = ::testing::Types<CoarseHashMap<std::uint64_t, std::uint64_t>,
+                                      StripedHashMap<std::uint64_t, std::uint64_t>>;
+TYPED_TEST_SUITE(HashMapTest, HashMapTypes);
+
+TYPED_TEST(HashMapTest, BasicMapSemantics) {
+  TypeParam m;
+  EXPECT_FALSE(m.get(1).has_value());
+  EXPECT_TRUE(m.insert(1, 100));
+  EXPECT_EQ(m.get(1).value(), 100u);
+  EXPECT_FALSE(m.insert(1, 200));  // overwrite, not a new entry
+  EXPECT_EQ(m.get(1).value(), 200u);
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TYPED_TEST(HashMapTest, GrowsThroughResizes) {
+  TypeParam m(16);
+  constexpr std::uint64_t kCount = 20000;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(m.insert(i, i * 3));
+  }
+  EXPECT_EQ(m.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(m.get(i).value(), i * 3) << "lost key " << i;
+  }
+}
+
+TYPED_TEST(HashMapTest, ConcurrentDisjointKeys) {
+  TypeParam m(16);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::atomic<int> failures{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    const std::uint64_t base = idx * kPerThread;
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      if (!m.insert(base + i, base + i)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      auto v = m.get(base + i);
+      if (!v || *v != base + i) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kPerThread; i += 2) {
+      if (!m.erase(base + i)) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(m.size(), kThreads * kPerThread / 2);
+}
+
+TYPED_TEST(HashMapTest, ConcurrentReadersSeeStableValues) {
+  TypeParam m(64);
+  for (std::uint64_t i = 0; i < 1000; ++i) m.insert(i, i);
+  std::atomic<bool> bad{false};
+  test::run_threads(6, [&](std::size_t idx) {
+    if (idx < 2) {  // writers churn a disjoint key range
+      for (int r = 0; r < 20; ++r) {
+        for (std::uint64_t i = 2000; i < 4000; ++i) m.insert(i, i);
+        for (std::uint64_t i = 2000; i < 4000; ++i) m.erase(i);
+      }
+    } else {  // readers check the stable range
+      for (int r = 0; r < 20000; ++r) {
+        const std::uint64_t k = r % 1000;
+        auto v = m.get(k);
+        if (!v || *v != k) bad.store(true);
+      }
+    }
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(StripedHashMap, StripsActuallyResize) {
+  StripedHashMap<std::uint64_t, std::uint64_t> m(64);
+  const std::size_t before = m.bucket_count();
+  for (std::uint64_t i = 0; i < 10000; ++i) m.insert(i, i);
+  EXPECT_GT(m.bucket_count(), before);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_EQ(m.get(i).value(), i);
+  }
+}
+
+TEST(HashMapStringKeys, WorksWithNonTrivialKeys) {
+  StripedHashMap<std::string, int, MixHash<std::string>> m;
+  EXPECT_TRUE(m.insert("alpha", 1));
+  EXPECT_TRUE(m.insert("beta", 2));
+  EXPECT_FALSE(m.insert("alpha", 10));
+  EXPECT_EQ(m.get("alpha").value(), 10);
+  EXPECT_TRUE(m.erase("beta"));
+  EXPECT_FALSE(m.contains("beta"));
+}
+
+// ---------- split-ordered set ----------
+
+template <typename S>
+class SplitOrderedTest : public ::testing::Test {};
+
+using SplitOrderedTypes =
+    ::testing::Types<SplitOrderedHashSet<std::uint64_t, MixHash<std::uint64_t>,
+                                         HazardDomain>,
+                     SplitOrderedHashSet<std::uint64_t, MixHash<std::uint64_t>,
+                                         EpochDomain>>;
+TYPED_TEST_SUITE(SplitOrderedTest, SplitOrderedTypes);
+
+TYPED_TEST(SplitOrderedTest, BasicSetSemantics) {
+  TypeParam s;
+  EXPECT_FALSE(s.contains(42));
+  EXPECT_TRUE(s.insert(42));
+  EXPECT_FALSE(s.insert(42));
+  EXPECT_TRUE(s.contains(42));
+  EXPECT_TRUE(s.remove(42));
+  EXPECT_FALSE(s.remove(42));
+  EXPECT_FALSE(s.contains(42));
+}
+
+TYPED_TEST(SplitOrderedTest, GrowsWithoutLosingKeys) {
+  TypeParam s;
+  constexpr std::uint64_t kCount = 50000;
+  const std::size_t buckets_before = s.bucket_count();
+  for (std::uint64_t i = 0; i < kCount; ++i) ASSERT_TRUE(s.insert(i));
+  EXPECT_GT(s.bucket_count(), buckets_before);  // table doubled repeatedly
+  EXPECT_EQ(s.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(s.contains(i)) << "lost key " << i << " across resizes";
+  }
+  EXPECT_FALSE(s.contains(kCount + 1));
+}
+
+TYPED_TEST(SplitOrderedTest, RemoveHalfKeepHalf) {
+  TypeParam s;
+  for (std::uint64_t i = 0; i < 10000; ++i) ASSERT_TRUE(s.insert(i));
+  for (std::uint64_t i = 0; i < 10000; i += 2) ASSERT_TRUE(s.remove(i));
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_EQ(s.contains(i), (i % 2) == 1);
+  }
+  EXPECT_EQ(s.size(), 5000u);
+}
+
+TYPED_TEST(SplitOrderedTest, ConcurrentDisjointRanges) {
+  TypeParam s;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 4000;
+  std::atomic<int> failures{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    const std::uint64_t base = idx * kPerThread;
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      if (!s.insert(base + i)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      if (!s.contains(base + i)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kPerThread; i += 2) {
+      if (!s.remove(base + i)) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(s.size(), kThreads * kPerThread / 2);
+}
+
+TYPED_TEST(SplitOrderedTest, SharedRangeConservation) {
+  TypeParam s;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kKeys = 64;
+  constexpr int kOps = 15000;
+  std::vector<std::vector<std::int64_t>> net(
+      kThreads, std::vector<std::int64_t>(kKeys, 0));
+
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    auto& mine = net[idx];
+    std::uint64_t state = idx * 104729 + 17;
+    for (int i = 0; i < kOps; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t key = (state >> 33) % kKeys;
+      if ((state >> 13) & 1) {
+        if (s.insert(key)) mine[key] += 1;
+      } else {
+        if (s.remove(key)) mine[key] -= 1;
+      }
+    }
+  });
+
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    std::int64_t total = 0;
+    for (std::size_t t = 0; t < kThreads; ++t) total += net[t][k];
+    ASSERT_GE(total, 0);
+    ASSERT_LE(total, 1);
+    EXPECT_EQ(s.contains(k), total == 1);
+  }
+}
+
+// Force split-order collisions: a hash that collapses keys into 8 classes,
+// exercising the equal-so_key collision-run scan.
+struct CollidingHash {
+  std::uint64_t operator()(const std::uint64_t& k) const noexcept {
+    return mix64(k % 8);
+  }
+};
+
+TEST(SplitOrderedCollisions, CollidingKeysAllStoredAndDistinct) {
+  SplitOrderedHashSet<std::uint64_t, CollidingHash> s;
+  for (std::uint64_t i = 0; i < 512; ++i) ASSERT_TRUE(s.insert(i));
+  for (std::uint64_t i = 0; i < 512; ++i) ASSERT_FALSE(s.insert(i));
+  for (std::uint64_t i = 0; i < 512; ++i) ASSERT_TRUE(s.contains(i));
+  for (std::uint64_t i = 0; i < 512; i += 3) ASSERT_TRUE(s.remove(i));
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    ASSERT_EQ(s.contains(i), (i % 3) != 0);
+  }
+}
+
+TEST(SplitOrderedCollisions, ConcurrentCollidingChurn) {
+  SplitOrderedHashSet<std::uint64_t, CollidingHash> s;
+  std::atomic<int> failures{0};
+  test::run_threads(6, [&](std::size_t idx) {
+    const std::uint64_t base = idx * 1000;
+    for (int round = 0; round < 30; ++round) {
+      for (std::uint64_t i = 0; i < 50; ++i) {
+        if (!s.insert(base + i)) failures.fetch_add(1);
+      }
+      for (std::uint64_t i = 0; i < 50; ++i) {
+        if (!s.contains(base + i)) failures.fetch_add(1);
+      }
+      for (std::uint64_t i = 0; i < 50; ++i) {
+        if (!s.remove(base + i)) failures.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ccds

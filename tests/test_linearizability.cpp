@@ -1,0 +1,306 @@
+// Linearizability testing proper: record many small concurrent histories
+// against the real structures and verify each has a legal linearization;
+// also verify the checker itself rejects known-bad histories (the checker
+// is test infrastructure — it deserves its own tests).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "counter/combining_tree.hpp"
+#include "counter/counters.hpp"
+#include "core/rng.hpp"
+#include "linearizability.hpp"
+#include "list/harris_list.hpp"
+#include "list/lazy_list.hpp"
+#include "queue/ms_queue.hpp"
+#include "queue/mpmc_queue.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "skiplist/lockfree_skiplist.hpp"
+#include "stack/elimination_stack.hpp"
+#include "stack/treiber_stack.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+using lin::Checker;
+using lin::HistoryRecorder;
+using lin::Op;
+
+// ---------- checker self-tests: accept good, reject bad ----------
+
+Op make_op(int kind, std::uint64_t arg, std::optional<std::uint64_t> result,
+           std::uint64_t inv, std::uint64_t res) {
+  Op op;
+  op.kind = kind;
+  op.arg = arg;
+  op.result = result;
+  op.invoke = inv;
+  op.response = res;
+  return op;
+}
+
+TEST(Checker, AcceptsSequentialQueueHistory) {
+  std::vector<Op> h = {
+      make_op(lin::QueueSpec::kEnq, 1, std::nullopt, 0, 1),
+      make_op(lin::QueueSpec::kEnq, 2, std::nullopt, 2, 3),
+      make_op(lin::QueueSpec::kDeq, 0, 1, 4, 5),
+      make_op(lin::QueueSpec::kDeq, 0, 2, 6, 7),
+      make_op(lin::QueueSpec::kDeq, 0, std::nullopt, 8, 9),
+  };
+  EXPECT_TRUE(Checker<lin::QueueSpec>::linearizable(h));
+}
+
+TEST(Checker, RejectsFifoViolation) {
+  // Enq(1) then Enq(2), strictly ordered; a later Deq returns 2 then 1.
+  std::vector<Op> h = {
+      make_op(lin::QueueSpec::kEnq, 1, std::nullopt, 0, 1),
+      make_op(lin::QueueSpec::kEnq, 2, std::nullopt, 2, 3),
+      make_op(lin::QueueSpec::kDeq, 0, 2, 4, 5),
+      make_op(lin::QueueSpec::kDeq, 0, 1, 6, 7),
+  };
+  EXPECT_FALSE(Checker<lin::QueueSpec>::linearizable(h));
+}
+
+TEST(Checker, AcceptsOverlappingReorder) {
+  // Enq(1) and Enq(2) overlap, so Deq may see either order.
+  std::vector<Op> h = {
+      make_op(lin::QueueSpec::kEnq, 1, std::nullopt, 0, 3),
+      make_op(lin::QueueSpec::kEnq, 2, std::nullopt, 1, 2),
+      make_op(lin::QueueSpec::kDeq, 0, 2, 4, 5),
+      make_op(lin::QueueSpec::kDeq, 0, 1, 6, 7),
+  };
+  EXPECT_TRUE(Checker<lin::QueueSpec>::linearizable(h));
+}
+
+TEST(Checker, RejectsLostValue) {
+  // Enq(1) completed, then an empty Deq strictly after: value vanished.
+  std::vector<Op> h = {
+      make_op(lin::QueueSpec::kEnq, 1, std::nullopt, 0, 1),
+      make_op(lin::QueueSpec::kDeq, 0, std::nullopt, 2, 3),
+  };
+  EXPECT_FALSE(Checker<lin::QueueSpec>::linearizable(h));
+}
+
+TEST(Checker, RejectsInventedValue) {
+  std::vector<Op> h = {
+      make_op(lin::QueueSpec::kEnq, 1, std::nullopt, 0, 1),
+      make_op(lin::QueueSpec::kDeq, 0, 99, 2, 3),
+  };
+  EXPECT_FALSE(Checker<lin::QueueSpec>::linearizable(h));
+}
+
+TEST(Checker, RejectsStaleReadAfterCompletedRemove) {
+  // Insert(5) done; Remove(5)=true done; strictly later Contains(5)=true.
+  std::vector<Op> h = {
+      make_op(lin::SetSpec::kInsert, 5, 1, 0, 1),
+      make_op(lin::SetSpec::kRemove, 5, 1, 2, 3),
+      make_op(lin::SetSpec::kContains, 5, 1, 4, 5),
+  };
+  EXPECT_FALSE(Checker<lin::SetSpec>::linearizable(h));
+}
+
+TEST(Checker, AcceptsConcurrentContainsEitherWay) {
+  // Contains overlaps the Remove: both answers legal.
+  for (std::uint64_t answer : {0ull, 1ull}) {
+    std::vector<Op> h = {
+        make_op(lin::SetSpec::kInsert, 5, 1, 0, 1),
+        make_op(lin::SetSpec::kRemove, 5, 1, 2, 5),
+        make_op(lin::SetSpec::kContains, 5, answer, 3, 4),
+    };
+    EXPECT_TRUE(Checker<lin::SetSpec>::linearizable(h))
+        << "answer=" << answer;
+  }
+}
+
+TEST(Checker, RejectsDuplicateCounterPriors) {
+  std::vector<Op> h = {
+      make_op(lin::CounterSpec::kFetchAdd, 1, 0, 0, 1),
+      make_op(lin::CounterSpec::kFetchAdd, 1, 0, 2, 3),
+  };
+  EXPECT_FALSE(Checker<lin::CounterSpec>::linearizable(h));
+}
+
+TEST(Checker, RejectsStackOrderViolation) {
+  // Push(1);Push(2) strictly ordered; Pop()=1 then Pop()=2 is FIFO, not LIFO.
+  std::vector<Op> h = {
+      make_op(lin::StackSpec::kPush, 1, std::nullopt, 0, 1),
+      make_op(lin::StackSpec::kPush, 2, std::nullopt, 2, 3),
+      make_op(lin::StackSpec::kPop, 0, 1, 4, 5),
+      make_op(lin::StackSpec::kPop, 0, 2, 6, 7),
+  };
+  EXPECT_FALSE(Checker<lin::StackSpec>::linearizable(h));
+}
+
+// ---------- live-history harnesses ----------
+
+// Run `trials` independent rounds: each constructs a fresh Structure,
+// launches `threads` workers that each perform a handful of recorded
+// operations, then checks the combined history is linearizable.  Small
+// histories + many rounds beats one huge history: the check stays
+// tractable and the interleaving space is still explored broadly.
+template <typename Spec, typename Structure, typename WorkerFn>
+void run_trials(int trials, int threads, WorkerFn&& worker) {
+  for (int trial = 0; trial < trials; ++trial) {
+    Structure s;
+    HistoryRecorder rec;
+    std::vector<HistoryRecorder::Log> logs(threads);
+    test::run_threads(threads, [&](std::size_t idx) {
+      Xoshiro256 rng(trial * 1000 + idx + 1);
+      worker(s, rng, rec, logs[idx]);
+    });
+    std::vector<Op> history;
+    for (auto& log : logs) {
+      history.insert(history.end(), log.begin(), log.end());
+    }
+    ASSERT_TRUE(Checker<Spec>::linearizable(history))
+        << "non-linearizable history in trial " << trial;
+  }
+}
+
+// Queue-shaped worker: ~6 ops, mixed enqueue/dequeue.
+template <typename Queue>
+auto queue_worker() {
+  return [](Queue& q, Xoshiro256& rng, HistoryRecorder& rec,
+            HistoryRecorder::Log& log) {
+    for (int i = 0; i < 6; ++i) {
+      if (rng.next() & 1) {
+        const std::uint64_t v = rng.next_below(100);
+        rec.record_void(log, lin::QueueSpec::kEnq, v,
+                        [&] { q.enqueue(v); });
+      } else {
+        rec.record(
+            log, lin::QueueSpec::kDeq, 0, [&] { return q.try_dequeue(); },
+            [](const std::optional<std::uint64_t>& r) {
+              return r ? std::optional<std::uint64_t>(*r)
+                       : std::optional<std::uint64_t>{};
+            });
+      }
+    }
+  };
+}
+
+TEST(LiveLinearizability, MSQueueHazard) {
+  using Q = MSQueue<std::uint64_t, HazardDomain>;
+  run_trials<lin::QueueSpec, Q>(80, 3, queue_worker<Q>());
+}
+
+TEST(LiveLinearizability, MSQueueEpoch) {
+  using Q = MSQueue<std::uint64_t, EpochDomain>;
+  run_trials<lin::QueueSpec, Q>(80, 3, queue_worker<Q>());
+}
+
+// Bounded MPMC queue: same spec (capacity never reached with 18 ops).
+TEST(LiveLinearizability, VyukovMpmc) {
+  struct Adapter {
+    MpmcQueue<std::uint64_t> q{64};
+    void enqueue(std::uint64_t v) { q.try_enqueue(v); }
+    std::optional<std::uint64_t> try_dequeue() { return q.try_dequeue(); }
+  };
+  run_trials<lin::QueueSpec, Adapter>(80, 3, queue_worker<Adapter>());
+}
+
+// Stack-shaped worker.
+template <typename Stack>
+auto stack_worker() {
+  return [](Stack& s, Xoshiro256& rng, HistoryRecorder& rec,
+            HistoryRecorder::Log& log) {
+    for (int i = 0; i < 6; ++i) {
+      if (rng.next() & 1) {
+        const std::uint64_t v = rng.next_below(100);
+        rec.record_void(log, lin::StackSpec::kPush, v, [&] { s.push(v); });
+      } else {
+        rec.record(
+            log, lin::StackSpec::kPop, 0, [&] { return s.try_pop(); },
+            [](const std::optional<std::uint64_t>& r) {
+              return r ? std::optional<std::uint64_t>(*r)
+                       : std::optional<std::uint64_t>{};
+            });
+      }
+    }
+  };
+}
+
+TEST(LiveLinearizability, TreiberStack) {
+  using S = TreiberStack<std::uint64_t, HazardDomain>;
+  run_trials<lin::StackSpec, S>(80, 3, stack_worker<S>());
+}
+
+TEST(LiveLinearizability, EliminationStack) {
+  using S = EliminationBackoffStack<std::uint64_t, HazardDomain>;
+  run_trials<lin::StackSpec, S>(80, 3, stack_worker<S>());
+}
+
+// Set-shaped worker over a tiny key range (maximizes conflicts).
+template <typename Set>
+auto set_worker() {
+  return [](Set& s, Xoshiro256& rng, HistoryRecorder& rec,
+            HistoryRecorder::Log& log) {
+    for (int i = 0; i < 6; ++i) {
+      const std::uint64_t k = rng.next_below(3);
+      switch (rng.next_below(3)) {
+        case 0:
+          rec.record(
+              log, lin::SetSpec::kInsert, k, [&] { return s.insert(k); },
+              [](bool r) { return std::optional<std::uint64_t>(r ? 1 : 0); });
+          break;
+        case 1:
+          rec.record(
+              log, lin::SetSpec::kRemove, k, [&] { return s.remove(k); },
+              [](bool r) { return std::optional<std::uint64_t>(r ? 1 : 0); });
+          break;
+        default:
+          rec.record(
+              log, lin::SetSpec::kContains, k, [&] { return s.contains(k); },
+              [](bool r) { return std::optional<std::uint64_t>(r ? 1 : 0); });
+      }
+    }
+  };
+}
+
+TEST(LiveLinearizability, HarrisMichaelList) {
+  using S = HarrisMichaelListSet<std::uint64_t, HazardDomain>;
+  run_trials<lin::SetSpec, S>(80, 3, set_worker<S>());
+}
+
+TEST(LiveLinearizability, LazyList) {
+  using S = LazyListSet<std::uint64_t>;
+  run_trials<lin::SetSpec, S>(80, 3, set_worker<S>());
+}
+
+TEST(LiveLinearizability, LockFreeSkipList) {
+  using S = LockFreeSkipListSet<std::uint64_t>;
+  run_trials<lin::SetSpec, S>(80, 3, set_worker<S>());
+}
+
+// Counter worker: fetch_add with varying deltas.
+template <typename C>
+auto counter_worker() {
+  return [](C& c, Xoshiro256& rng, HistoryRecorder& rec,
+            HistoryRecorder::Log& log) {
+    for (int i = 0; i < 6; ++i) {
+      const std::uint64_t d = 1 + rng.next_below(4);
+      rec.record(
+          log, lin::CounterSpec::kFetchAdd, d, [&] { return c.fetch_add(d); },
+          [](std::uint64_t prior) {
+            return std::optional<std::uint64_t>(prior);
+          });
+    }
+  };
+}
+
+TEST(LiveLinearizability, AtomicCounter) {
+  run_trials<lin::CounterSpec, AtomicCounter>(80, 3,
+                                              counter_worker<AtomicCounter>());
+}
+
+TEST(LiveLinearizability, CombiningTreeCounter) {
+  run_trials<lin::CounterSpec, CombiningTreeCounter>(
+      40, 3, counter_worker<CombiningTreeCounter>());
+}
+
+}  // namespace
+}  // namespace ccds

@@ -1,0 +1,201 @@
+// Tests for the list-based-set spectrum.  All five implementations share
+// the Set API (contains / insert / remove), so one typed suite drives them:
+//   * sequential set semantics (duplicates rejected, absent removals fail);
+//   * key-space partition stress — each thread owns a disjoint key range, so
+//     per-thread results are deterministic even under full concurrency;
+//   * shared-range stress with conservation accounting;
+//   * insert/remove/contains interleavings around the same key.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "list/coarse_list.hpp"
+#include "list/harris_list.hpp"
+#include "list/hoh_list.hpp"
+#include "list/lazy_list.hpp"
+#include "list/optimistic_list.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+template <typename S>
+class ListSetTest : public ::testing::Test {};
+
+using ListSetTypes =
+    ::testing::Types<CoarseListSet<std::uint64_t>,
+                     HandOverHandListSet<std::uint64_t>,
+                     OptimisticListSet<std::uint64_t>,
+                     LazyListSet<std::uint64_t>,
+                     HarrisMichaelListSet<std::uint64_t, HazardDomain>,
+                     HarrisMichaelListSet<std::uint64_t, EpochDomain>>;
+TYPED_TEST_SUITE(ListSetTest, ListSetTypes);
+
+TYPED_TEST(ListSetTest, EmptySetContainsNothing) {
+  TypeParam s;
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains(42));
+  EXPECT_FALSE(s.remove(42));
+}
+
+TYPED_TEST(ListSetTest, InsertThenContains) {
+  TypeParam s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_FALSE(s.contains(6));
+}
+
+TYPED_TEST(ListSetTest, DuplicateInsertRejected) {
+  TypeParam s;
+  EXPECT_TRUE(s.insert(7));
+  EXPECT_FALSE(s.insert(7));
+  EXPECT_TRUE(s.remove(7));
+  EXPECT_TRUE(s.insert(7));  // reinsert after removal
+}
+
+TYPED_TEST(ListSetTest, RemoveSemantics) {
+  TypeParam s;
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_TRUE(s.insert(2));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_TRUE(s.remove(2));
+  EXPECT_FALSE(s.remove(2));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_TRUE(s.contains(3));
+}
+
+TYPED_TEST(ListSetTest, OrderedInsertionPatterns) {
+  // Ascending, descending, and interleaved insertions must all produce the
+  // same set.
+  for (int pattern = 0; pattern < 3; ++pattern) {
+    TypeParam s;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      std::uint64_t k = pattern == 0   ? i
+                        : pattern == 1 ? 199 - i
+                                       : (i % 2 == 0 ? i / 2 : 199 - i / 2);
+      EXPECT_TRUE(s.insert(k));
+    }
+    for (std::uint64_t i = 0; i < 200; ++i) EXPECT_TRUE(s.contains(i));
+    EXPECT_FALSE(s.contains(200));
+  }
+}
+
+TYPED_TEST(ListSetTest, DisjointKeyRangesFullyParallel) {
+  // Each thread owns keys [idx*R, (idx+1)*R): its view must be exactly
+  // sequential regardless of other threads.
+  TypeParam s;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kRange = 300;
+  std::atomic<int> failures{0};
+
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    const std::uint64_t base = idx * kRange;
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      if (!s.insert(base + i)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      if (!s.contains(base + i)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kRange; i += 2) {
+      if (!s.remove(base + i)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      const bool expect_present = (i % 2) == 1;
+      if (s.contains(base + i) != expect_present) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TYPED_TEST(ListSetTest, SharedRangeConservation) {
+  // All threads fight over the same small key range; successful inserts and
+  // removes of each key must alternate, so per-key (inserts - removes) is 0
+  // or 1 and matches final membership.
+  TypeParam s;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kKeys = 32;
+  constexpr int kOps = 20000;
+  std::vector<std::vector<std::int64_t>> net(
+      kThreads, std::vector<std::int64_t>(kKeys, 0));
+
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    auto& mine = net[idx];
+    std::uint64_t state = idx * 7919 + 1;
+    for (int i = 0; i < kOps; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t key = (state >> 33) % kKeys;
+      if ((state >> 13) & 1) {
+        if (s.insert(key)) mine[key] += 1;
+      } else {
+        if (s.remove(key)) mine[key] -= 1;
+      }
+    }
+  });
+
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    std::int64_t total = 0;
+    for (std::size_t t = 0; t < kThreads; ++t) total += net[t][k];
+    ASSERT_GE(total, 0) << "more successful removes than inserts for " << k;
+    ASSERT_LE(total, 1) << "key " << k << " multiply present";
+    EXPECT_EQ(s.contains(k), total == 1) << "membership mismatch for " << k;
+  }
+}
+
+TYPED_TEST(ListSetTest, ContainsDuringChurn) {
+  // A key that is never removed must always be visible, no matter how much
+  // churn happens around it.
+  TypeParam s;
+  constexpr std::uint64_t kPinned = 500;
+  ASSERT_TRUE(s.insert(kPinned));
+  std::atomic<bool> missing{false};
+
+  test::run_threads(5, [&](std::size_t idx) {
+    if (idx == 0) {  // observer
+      for (int i = 0; i < 30000; ++i) {
+        if (!s.contains(kPinned)) missing.store(true);
+      }
+    } else {  // churners on neighbouring keys
+      for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t k = kPinned - 2 + (i % 5);  // 498..502, skips 500
+        if (k == kPinned) continue;
+        s.insert(k);
+        s.remove(k);
+      }
+    }
+  });
+  EXPECT_FALSE(missing.load());
+  EXPECT_TRUE(s.contains(kPinned));
+}
+
+// ---------- Harris-Michael reclamation integration ----------
+
+TEST(HarrisListReclaim, NodesAreReclaimedUnderChurn) {
+  HarrisMichaelListSet<std::uint64_t, HazardDomain> s;
+  for (int round = 0; round < 30; ++round) {
+    for (std::uint64_t i = 0; i < 200; ++i) s.insert(i);
+    for (std::uint64_t i = 0; i < 200; ++i) s.remove(i);
+  }
+  s.domain().collect_all();
+  EXPECT_LT(s.domain().retired_count(), 600u);
+}
+
+TEST(HarrisListReclaim, EpochVariantReclaims) {
+  HarrisMichaelListSet<std::uint64_t, EpochDomain> s;
+  for (int round = 0; round < 30; ++round) {
+    for (std::uint64_t i = 0; i < 200; ++i) s.insert(i);
+    for (std::uint64_t i = 0; i < 200; ++i) s.remove(i);
+  }
+  s.domain().collect_all();
+  s.domain().collect_all();
+  EXPECT_LT(s.domain().retired_count(), 1200u);
+}
+
+}  // namespace
+}  // namespace ccds

@@ -1,0 +1,276 @@
+// Tests for the sync module's mutual-exclusion spectrum: every lock must
+// provide mutual exclusion and compose with std::lock_guard; locks with
+// try_lock must honor its contract; the reader-writer lock must admit
+// parallel readers and exclude writers; the seqlock must never show a torn
+// snapshot.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "sync/anderson_lock.hpp"
+#include "sync/clh_lock.hpp"
+#include "sync/mcs_lock.hpp"
+#include "sync/rwlock.hpp"
+#include "sync/seqlock.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/ticket_lock.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+template <typename L>
+class LockTest : public ::testing::Test {};
+
+using LockTypes =
+    ::testing::Types<TasLock, TtasLock, TtasBackoffLock, TicketLock,
+                     AndersonLock, McsLock, ClhLock, RwSpinLock, std::mutex>;
+TYPED_TEST_SUITE(LockTest, LockTypes);
+
+TYPED_TEST(LockTest, MutualExclusionCounter) {
+  TypeParam lock;
+  std::uint64_t counter = 0;  // deliberately non-atomic
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kIters; ++i) {
+      std::lock_guard<TypeParam> g(lock);
+      ++counter;
+    }
+  });
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TYPED_TEST(LockTest, NoOverlapDetector) {
+  TypeParam lock;
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlap{false};
+  test::run_threads(4, [&](std::size_t) {
+    for (int i = 0; i < 5000; ++i) {
+      std::lock_guard<TypeParam> g(lock);
+      if (inside.fetch_add(1, std::memory_order_acq_rel) != 0) {
+        overlap.store(true, std::memory_order_relaxed);
+      }
+      inside.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  });
+  EXPECT_FALSE(overlap.load());
+}
+
+TYPED_TEST(LockTest, SequentialLockUnlockRepeats) {
+  TypeParam lock;
+  for (int i = 0; i < 1000; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  SUCCEED();
+}
+
+// try_lock contract, for the locks that provide it.
+template <typename L>
+class TryLockTest : public ::testing::Test {};
+
+using TryLockTypes = ::testing::Types<TasLock, TtasLock, TtasBackoffLock,
+                                      TicketLock, McsLock, RwSpinLock>;
+TYPED_TEST_SUITE(TryLockTest, TryLockTypes);
+
+TYPED_TEST(TryLockTest, TryLockFailsWhenHeldSucceedsWhenFree) {
+  TypeParam lock;
+  EXPECT_TRUE(lock.try_lock());
+  std::thread other([&] { EXPECT_FALSE(lock.try_lock()); });
+  other.join();
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+// ---------- reader-writer lock ----------
+
+TEST(RwSpinLock, ReadersRunConcurrently) {
+  // Deterministic overlap witness: all readers must be able to hold the
+  // shared lock at the same time — they all enter, then rendezvous at a
+  // barrier *inside* the critical section.  A lock that serialized readers
+  // would deadlock here (and the test would time out).
+  RwSpinLock lock;
+  constexpr std::size_t kReaders = 4;
+  SpinBarrier inside(kReaders);
+  std::atomic<int> concurrent{0};
+  int max_seen = 0;
+  test::run_threads(kReaders, [&](std::size_t idx) {
+    std::shared_lock<RwSpinLock> g(lock);
+    concurrent.fetch_add(1, std::memory_order_relaxed);
+    inside.arrive_and_wait();
+    if (idx == 0) max_seen = concurrent.load(std::memory_order_relaxed);
+    inside.arrive_and_wait();
+  });
+  EXPECT_EQ(max_seen, static_cast<int>(kReaders));
+}
+
+TEST(RwSpinLock, WriterExcludesReadersAndWriters) {
+  RwSpinLock lock;
+  std::uint64_t data = 0;
+  std::atomic<bool> torn{false};
+  test::run_threads(6, [&](std::size_t idx) {
+    if (idx < 2) {  // writers
+      for (int i = 0; i < 20000; ++i) {
+        std::lock_guard<RwSpinLock> g(lock);
+        ++data;
+      }
+    } else {  // readers
+      for (int i = 0; i < 20000; ++i) {
+        std::shared_lock<RwSpinLock> g(lock);
+        const std::uint64_t a = data;
+        const std::uint64_t b = data;
+        if (a != b) torn.store(true);
+      }
+    }
+  });
+  EXPECT_EQ(data, 40000u);
+  EXPECT_FALSE(torn.load());
+}
+
+TEST(RwSpinLock, TryLockSharedFailsUnderWriter) {
+  RwSpinLock lock;
+  lock.lock();
+  std::thread t([&] {
+    EXPECT_FALSE(lock.try_lock_shared());
+    EXPECT_FALSE(lock.try_lock());
+  });
+  t.join();
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock_shared());
+  lock.unlock_shared();
+}
+
+TEST(RwSpinLock, WritersNotStarvedByReaderStream) {
+  RwSpinLock lock;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> writes{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_lock<RwSpinLock> g(lock);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 1000; ++i) {
+      std::lock_guard<RwSpinLock> g(lock);
+      writes.fetch_add(1, std::memory_order_relaxed);
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(writes.load(), 1000u);  // writer completed despite reader stream
+}
+
+// ---------- ticket lock fairness ----------
+
+TEST(TicketLock, FifoHandoffOrder) {
+  // FIFO witness: waiters that took tickets in a known order must acquire
+  // in that order.  Main holds the lock, releases threads into the wait
+  // queue one at a time (sleeping long enough for each to take its ticket),
+  // then unlocks and checks the acquisition order.
+  TicketLock lock;
+  constexpr int kWaiters = 4;
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::atomic<int> started{0};
+
+  lock.lock();
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&, i] {
+      started.fetch_add(1, std::memory_order_release);
+      std::lock_guard<TicketLock> g(lock);
+      std::lock_guard<std::mutex> og(order_mu);
+      order.push_back(i);
+    });
+    // Let waiter i take its ticket before starting waiter i+1.
+    while (started.load(std::memory_order_acquire) <= i) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  lock.unlock();
+  for (auto& t : waiters) t.join();
+
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kWaiters));
+  for (int i = 0; i < kWaiters; ++i) {
+    EXPECT_EQ(order[i], i) << "ticket lock handoff was not FIFO";
+  }
+}
+
+// ---------- seqlock ----------
+
+struct Pair {
+  std::uint64_t a;
+  std::uint64_t b;
+};
+
+TEST(SeqLock, SingleThreadedReadWrite) {
+  SeqLock<Pair> s(Pair{1, 1});
+  Pair p = s.read();
+  EXPECT_EQ(p.a, 1u);
+  EXPECT_EQ(p.b, 1u);
+  s.store(Pair{5, 5});
+  p = s.read();
+  EXPECT_EQ(p.a, 5u);
+}
+
+TEST(SeqLock, ReadersNeverSeeTornPairs) {
+  SeqLock<Pair> s(Pair{0, 0});
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Pair p = s.read();
+        if (p.a != p.b) torn.store(true);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 200000; ++i) {
+      s.write([&](Pair& p) {
+        p.a = i;
+        p.b = i;
+      });
+    }
+    stop.store(true);
+  });
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_FALSE(torn.load());
+  const Pair last = s.read();
+  EXPECT_EQ(last.a, 200000u);
+}
+
+TEST(SeqLock, ConcurrentWritersSerialize) {
+  SeqLock<Pair> s(Pair{0, 0});
+  test::run_threads(4, [&](std::size_t) {
+    for (int i = 0; i < 10000; ++i) {
+      s.write([](Pair& p) {
+        ++p.a;
+        ++p.b;
+      });
+    }
+  });
+  const Pair p = s.read();
+  EXPECT_EQ(p.a, 40000u);
+  EXPECT_EQ(p.b, 40000u);
+}
+
+}  // namespace
+}  // namespace ccds

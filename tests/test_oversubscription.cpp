@@ -1,0 +1,201 @@
+// Oversubscription stress: many more threads than cores.
+//
+// Preemption in the middle of an operation is the nastiest scheduler
+// behaviour for concurrent structures: lock-based designs stall everyone
+// behind the preempted holder; lock-free designs must keep global progress.
+// Running 16 threads on however few cores the host has maximizes mid-
+// operation preemption and explores interleavings the barrier-synchronized
+// tests do not.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "counter/counters.hpp"
+#include "hash/split_ordered_set.hpp"
+#include "list/harris_list.hpp"
+#include "queue/mpmc_queue.hpp"
+#include "queue/ms_queue.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard.hpp"
+#include "skiplist/lockfree_skiplist.hpp"
+#include "stack/elimination_stack.hpp"
+#include "stack/treiber_stack.hpp"
+#include "sync/flat_combining.hpp"
+#include "sync/mcs_lock.hpp"
+#include "sync/spinlock.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+constexpr std::size_t kThreads = 16;
+constexpr int kOps = 4000;
+
+TEST(Oversubscribed, TreiberStackConservation) {
+  TreiberStack<std::uint64_t, HazardDomain> s;
+  std::atomic<std::uint64_t> pushed{0}, popped{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      if ((i + idx) % 2 == 0) {
+        s.push(i);
+        pushed.fetch_add(1, std::memory_order_relaxed);
+      } else if (s.try_pop()) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::uint64_t leftover = 0;
+  while (s.try_pop()) ++leftover;
+  EXPECT_EQ(popped.load() + leftover, pushed.load());
+}
+
+TEST(Oversubscribed, EliminationStackConservation) {
+  EliminationBackoffStack<std::uint64_t, EpochDomain> s;
+  std::atomic<std::uint64_t> pushed{0}, popped{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      if ((i + idx) % 2 == 0) {
+        s.push(i);
+        pushed.fetch_add(1, std::memory_order_relaxed);
+      } else if (s.try_pop()) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::uint64_t leftover = 0;
+  while (s.try_pop()) ++leftover;
+  EXPECT_EQ(popped.load() + leftover, pushed.load());
+}
+
+TEST(Oversubscribed, MSQueueConservation) {
+  MSQueue<std::uint64_t, HazardDomain> q;
+  std::atomic<std::uint64_t> enq{0}, deq{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      if ((i + idx) % 2 == 0) {
+        q.enqueue(i);
+        enq.fetch_add(1, std::memory_order_relaxed);
+      } else if (q.try_dequeue()) {
+        deq.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::uint64_t leftover = 0;
+  while (q.try_dequeue()) ++leftover;
+  EXPECT_EQ(deq.load() + leftover, enq.load());
+}
+
+TEST(Oversubscribed, MpmcQueueConservation) {
+  MpmcQueue<std::uint64_t> q(1024);
+  std::atomic<std::uint64_t> enq{0}, deq{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      if ((i + idx) % 2 == 0) {
+        if (q.try_enqueue(i)) enq.fetch_add(1, std::memory_order_relaxed);
+      } else if (q.try_dequeue()) {
+        deq.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::uint64_t leftover = 0;
+  while (q.try_dequeue()) ++leftover;
+  EXPECT_EQ(deq.load() + leftover, enq.load());
+}
+
+TEST(Oversubscribed, HarrisListSetSemantics) {
+  HarrisMichaelListSet<std::uint64_t, HazardDomain> s;
+  constexpr std::uint64_t kKeys = 24;
+  std::vector<std::vector<std::int64_t>> net(
+      kThreads, std::vector<std::int64_t>(kKeys, 0));
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    std::uint64_t state = idx * 65537 + 3;
+    for (int i = 0; i < kOps; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t k = (state >> 33) % kKeys;
+      if ((state >> 13) & 1) {
+        if (s.insert(k)) net[idx][k] += 1;
+      } else {
+        if (s.remove(k)) net[idx][k] -= 1;
+      }
+    }
+  });
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    std::int64_t total = 0;
+    for (std::size_t t = 0; t < kThreads; ++t) total += net[t][k];
+    ASSERT_GE(total, 0);
+    ASSERT_LE(total, 1);
+    EXPECT_EQ(s.contains(k), total == 1);
+  }
+}
+
+TEST(Oversubscribed, SplitOrderedSetSemantics) {
+  SplitOrderedHashSet<std::uint64_t> s;
+  std::atomic<int> failures{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    const std::uint64_t base = idx * 1000;
+    for (int round = 0; round < 8; ++round) {
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        if (!s.insert(base + i)) failures.fetch_add(1);
+      }
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        if (!s.remove(base + i)) failures.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Oversubscribed, LockFreeSkipListSemantics) {
+  LockFreeSkipListSet<std::uint64_t> s;
+  std::atomic<int> failures{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    const std::uint64_t base = idx * 1000;
+    for (int round = 0; round < 8; ++round) {
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        if (!s.insert(base + i)) failures.fetch_add(1);
+      }
+      for (std::uint64_t i = 0; i < 100; ++i) {
+        if (!s.remove(base + i)) failures.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Oversubscribed, McsLockMutualExclusion) {
+  McsLock lock;
+  std::uint64_t counter = 0;
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kOps; ++i) {
+      std::lock_guard<McsLock> g(lock);
+      ++counter;
+    }
+  });
+  EXPECT_EQ(counter, kThreads * static_cast<std::uint64_t>(kOps));
+}
+
+TEST(Oversubscribed, FlatCombinerExactness) {
+  FlatCombiner<std::uint64_t> fc(0);
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kOps; ++i) {
+      fc.apply([](std::uint64_t& v) { ++v; });
+    }
+  });
+  EXPECT_EQ(fc.apply([](std::uint64_t& v) { return v; }),
+            kThreads * static_cast<std::uint64_t>(kOps));
+}
+
+TEST(Oversubscribed, ShardedCounterExactness) {
+  ShardedCounter c;
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kOps * 4; ++i) c.add(1);
+  });
+  EXPECT_EQ(c.load(), kThreads * static_cast<std::uint64_t>(kOps) * 4);
+}
+
+}  // namespace
+}  // namespace ccds

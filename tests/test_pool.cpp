@@ -1,0 +1,128 @@
+// Tests for the pool module: the pairwise exchanger's swap semantics and
+// the stealing pool's conservation under producers/consumers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <thread>
+
+#include "pool/exchanger.hpp"
+#include "pool/stealing_pool.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+TEST(Exchanger, TimesOutAlone) {
+  Exchanger<int> ex;
+  EXPECT_FALSE(ex.exchange(1, 100).has_value());
+  // Slot must be clean afterwards: a later paired exchange still works.
+  EXPECT_FALSE(ex.exchange(2, 100).has_value());
+}
+
+TEST(Exchanger, PairSwapsValues) {
+  Exchanger<int> ex;
+  std::optional<int> got_a, got_b;
+  std::thread a([&] {
+    // Generous budget: partner starts concurrently.
+    for (int i = 0; i < 1000 && !got_a; ++i) got_a = ex.exchange(111, 10000);
+  });
+  std::thread b([&] {
+    for (int i = 0; i < 1000 && !got_b; ++i) got_b = ex.exchange(222, 10000);
+  });
+  a.join();
+  b.join();
+  ASSERT_TRUE(got_a.has_value());
+  ASSERT_TRUE(got_b.has_value());
+  EXPECT_EQ(*got_a, 222);
+  EXPECT_EQ(*got_b, 111);
+}
+
+TEST(Exchanger, ManyPairsConserveValues) {
+  Exchanger<std::uint64_t> ex;
+  constexpr std::size_t kThreads = 4;  // even: values pair up
+  constexpr int kRounds = 2000;
+  std::vector<std::vector<std::uint64_t>> received(kThreads);
+  std::atomic<std::uint64_t> exchanged{0};
+
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int r = 0; r < kRounds; ++r) {
+      const std::uint64_t mine = idx * kRounds + r;
+      if (auto v = ex.exchange(mine, 2000)) {
+        received[idx].push_back(*v);
+        exchanged.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Every received value was sent by someone, and no value is received
+  // twice (each offer is consumed at most once).
+  std::set<std::uint64_t> all;
+  for (auto& v : received) {
+    for (auto x : v) {
+      EXPECT_TRUE(all.insert(x).second) << "value " << x << " delivered twice";
+      EXPECT_LT(x, kThreads * kRounds);
+    }
+  }
+  // Exchanges come in pairs.
+  EXPECT_EQ(exchanged.load() % 2, 0u);
+}
+
+TEST(StealingPool, PutGetSingleThread) {
+  StealingPool<std::uint64_t> pool;
+  EXPECT_TRUE(pool.empty());
+  pool.put(1);
+  pool.put(2);
+  EXPECT_FALSE(pool.empty());
+  std::set<std::uint64_t> got;
+  got.insert(pool.try_get().value());
+  got.insert(pool.try_get().value());
+  EXPECT_EQ(got, (std::set<std::uint64_t>{1, 2}));
+  EXPECT_FALSE(pool.try_get().has_value());
+}
+
+TEST(StealingPool, GetStealsFromOtherThreads) {
+  StealingPool<std::uint64_t> pool;
+  // Producer thread fills its local stack and exits.
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < 100; ++i) pool.put(i);
+  });
+  producer.join();
+  // This thread's local stack is empty: everything must come via stealing.
+  std::set<std::uint64_t> got;
+  while (auto v = pool.try_get()) got.insert(*v);
+  EXPECT_EQ(got.size(), 100u);
+}
+
+TEST(StealingPool, ConcurrentConservation) {
+  StealingPool<std::uint64_t> pool;
+  constexpr std::size_t kThreads = 6;
+  constexpr int kOps = 10000;
+  std::atomic<std::uint64_t> put_count{0}, got_count{0};
+  std::vector<std::set<std::uint64_t>> got(kThreads);
+
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      if (i % 2 == 0) {
+        pool.put((static_cast<std::uint64_t>(idx) << 32) | i);
+        put_count.fetch_add(1, std::memory_order_relaxed);
+      } else if (auto v = pool.try_get()) {
+        got[idx].insert(*v);
+        got_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::set<std::uint64_t> all;
+  for (auto& s : got) {
+    for (auto v : s) EXPECT_TRUE(all.insert(v).second) << "duplicate " << v;
+  }
+  std::uint64_t leftover = 0;
+  while (pool.try_get()) ++leftover;
+  EXPECT_EQ(got_count.load() + leftover, put_count.load());
+}
+
+}  // namespace
+}  // namespace ccds

@@ -1,0 +1,258 @@
+// Tests for the skiplist module: set semantics across the three skip lists,
+// concurrent stress with conservation accounting, and priority-queue
+// behaviour (ordering + no element lost or duplicated).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "skiplist/lazy_skiplist.hpp"
+#include "skiplist/lockfree_skiplist.hpp"
+#include "skiplist/seq_skiplist.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+template <typename S>
+class SkipListSetTest : public ::testing::Test {};
+
+using SkipListSetTypes =
+    ::testing::Types<SeqSkipListSet<std::uint64_t>,
+                     CoarseSkipListSet<std::uint64_t>,
+                     LazySkipListSet<std::uint64_t>,
+                     LockFreeSkipListSet<std::uint64_t>>;
+TYPED_TEST_SUITE(SkipListSetTest, SkipListSetTypes);
+
+TYPED_TEST(SkipListSetTest, BasicSetSemantics) {
+  TypeParam s;
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_TRUE(s.insert(10));
+  EXPECT_FALSE(s.insert(10));
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_FALSE(s.contains(9));
+  EXPECT_TRUE(s.remove(10));
+  EXPECT_FALSE(s.remove(10));
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_TRUE(s.insert(10));  // reinsert
+  EXPECT_TRUE(s.contains(10));
+}
+
+TYPED_TEST(SkipListSetTest, ManyKeysAllPatterns) {
+  for (int pattern = 0; pattern < 3; ++pattern) {
+    TypeParam s;
+    constexpr std::uint64_t kN = 2000;
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      std::uint64_t k = pattern == 0   ? i
+                        : pattern == 1 ? kN - 1 - i
+                                       : (i * 2654435761u) % (kN * 4);
+      s.insert(k);
+    }
+    std::set<std::uint64_t> reference;
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      std::uint64_t k = pattern == 0   ? i
+                        : pattern == 1 ? kN - 1 - i
+                                       : (i * 2654435761u) % (kN * 4);
+      reference.insert(k);
+    }
+    for (std::uint64_t k = 0; k < kN * 4; ++k) {
+      ASSERT_EQ(s.contains(k), reference.count(k) == 1) << "key " << k;
+    }
+  }
+}
+
+TYPED_TEST(SkipListSetTest, RemoveEverythingThenReuse) {
+  TypeParam s;
+  for (std::uint64_t i = 0; i < 500; ++i) EXPECT_TRUE(s.insert(i));
+  for (std::uint64_t i = 0; i < 500; ++i) EXPECT_TRUE(s.remove(i));
+  for (std::uint64_t i = 0; i < 500; ++i) EXPECT_FALSE(s.contains(i));
+  for (std::uint64_t i = 0; i < 500; ++i) EXPECT_TRUE(s.insert(i * 2));
+  for (std::uint64_t i = 0; i < 500; ++i) EXPECT_TRUE(s.contains(i * 2));
+}
+
+// Concurrent suites exclude the sequential baseline.
+template <typename S>
+class ConcurrentSkipListTest : public ::testing::Test {};
+
+using ConcurrentSkipListTypes =
+    ::testing::Types<CoarseSkipListSet<std::uint64_t>,
+                     LazySkipListSet<std::uint64_t>,
+                     LockFreeSkipListSet<std::uint64_t>>;
+TYPED_TEST_SUITE(ConcurrentSkipListTest, ConcurrentSkipListTypes);
+
+TYPED_TEST(ConcurrentSkipListTest, DisjointKeyRanges) {
+  TypeParam s;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kRange = 2000;
+  std::atomic<int> failures{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    const std::uint64_t base = idx * kRange;
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      if (!s.insert(base + i)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      if (!s.contains(base + i)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kRange; i += 2) {
+      if (!s.remove(base + i)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      if (s.contains(base + i) != ((i % 2) == 1)) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TYPED_TEST(ConcurrentSkipListTest, SharedRangeConservation) {
+  TypeParam s;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kKeys = 48;
+  constexpr int kOps = 15000;
+  std::vector<std::vector<std::int64_t>> net(
+      kThreads, std::vector<std::int64_t>(kKeys, 0));
+
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    auto& mine = net[idx];
+    std::uint64_t state = idx * 31337 + 11;
+    for (int i = 0; i < kOps; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t key = (state >> 33) % kKeys;
+      if ((state >> 13) & 1) {
+        if (s.insert(key)) mine[key] += 1;
+      } else {
+        if (s.remove(key)) mine[key] -= 1;
+      }
+    }
+  });
+
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    std::int64_t total = 0;
+    for (std::size_t t = 0; t < kThreads; ++t) total += net[t][k];
+    ASSERT_GE(total, 0) << "key " << k;
+    ASSERT_LE(total, 1) << "key " << k;
+    EXPECT_EQ(s.contains(k), total == 1) << "key " << k;
+  }
+}
+
+TYPED_TEST(ConcurrentSkipListTest, PinnedKeyVisibleThroughChurn) {
+  TypeParam s;
+  constexpr std::uint64_t kPinned = 1000;
+  ASSERT_TRUE(s.insert(kPinned));
+  std::atomic<bool> missing{false};
+  test::run_threads(5, [&](std::size_t idx) {
+    if (idx == 0) {
+      for (int i = 0; i < 20000; ++i) {
+        if (!s.contains(kPinned)) missing.store(true);
+      }
+    } else {
+      for (int i = 0; i < 8000; ++i) {
+        const std::uint64_t k = 990 + (i % 21);  // 990..1010
+        if (k == kPinned) continue;
+        s.insert(k);
+        s.remove(k);
+      }
+    }
+  });
+  EXPECT_FALSE(missing.load());
+  EXPECT_TRUE(s.contains(kPinned));
+}
+
+TEST(LockFreeSkipList, ReclaimsNodesUnderChurn) {
+  LockFreeSkipListSet<std::uint64_t> s;
+  for (int round = 0; round < 30; ++round) {
+    for (std::uint64_t i = 0; i < 300; ++i) s.insert(i);
+    for (std::uint64_t i = 0; i < 300; ++i) s.remove(i);
+  }
+  s.domain().collect_all();
+  s.domain().collect_all();
+  EXPECT_LT(s.domain().retired_count(), 1200u);
+}
+
+// ---------- priority queues ----------
+
+template <typename Q>
+class PriorityQueueTest : public ::testing::Test {};
+
+using PriorityQueueTypes =
+    ::testing::Types<CoarsePriorityQueue<std::uint32_t>,
+                     SkipListPriorityQueue<std::uint32_t>>;
+TYPED_TEST_SUITE(PriorityQueueTest, PriorityQueueTypes);
+
+TYPED_TEST(PriorityQueueTest, PopsInPriorityOrderSingleThread) {
+  TypeParam q;
+  EXPECT_FALSE(q.pop_min().has_value());
+  const std::uint32_t input[] = {5, 1, 9, 3, 7, 2, 8, 4, 6, 0};
+  for (auto p : input) q.push(p);
+  for (std::uint32_t expect = 0; expect < 10; ++expect) {
+    auto v = q.pop_min();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, expect);
+  }
+  EXPECT_FALSE(q.pop_min().has_value());
+}
+
+TYPED_TEST(PriorityQueueTest, DuplicatePrioritiesAllDelivered) {
+  TypeParam q;
+  for (int i = 0; i < 100; ++i) q.push(7);
+  for (int i = 0; i < 100; ++i) {
+    auto v = q.pop_min();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7u);
+  }
+  EXPECT_FALSE(q.pop_min().has_value());
+}
+
+TYPED_TEST(PriorityQueueTest, ConcurrentConservation) {
+  TypeParam q;
+  constexpr std::size_t kThreads = 6;
+  constexpr int kPerThread = 4000;
+  std::atomic<std::uint64_t> popped_count{0}, popped_sum{0};
+
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    std::uint64_t state = idx * 48271 + 3;
+    for (int i = 0; i < kPerThread; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      q.push(static_cast<std::uint32_t>(state >> 40));  // 24-bit priorities
+      if (i % 2 == 0) {
+        if (auto v = q.pop_min()) {
+          popped_count.fetch_add(1, std::memory_order_relaxed);
+          popped_sum.fetch_add(*v, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  // Drain and check conservation of count (sum of priorities pushed is not
+  // tracked per-push here; count conservation is the key invariant).
+  std::uint64_t leftover = 0;
+  while (q.pop_min()) ++leftover;
+  EXPECT_EQ(popped_count.load() + leftover,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TYPED_TEST(PriorityQueueTest, PopsAreWeaklyOrderedUnderConcurrency) {
+  // With concurrent pops strict global order is not observable, but once all
+  // pushes are done, a single-threaded drain must be perfectly sorted.
+  TypeParam q;
+  test::run_threads(4, [&](std::size_t idx) {
+    std::uint64_t state = idx + 1;
+    for (int i = 0; i < 2000; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      q.push(static_cast<std::uint32_t>(state >> 44));
+    }
+  });
+  std::uint32_t last = 0;
+  std::size_t drained = 0;
+  while (auto v = q.pop_min()) {
+    ASSERT_GE(*v, last);
+    last = *v;
+    ++drained;
+  }
+  EXPECT_EQ(drained, 8000u);
+}
+
+}  // namespace
+}  // namespace ccds

@@ -1,0 +1,286 @@
+// Tests for the tree module: AVL structural invariants (order + balance +
+// heights) across random workloads, and the lock-free tombstone BST's set
+// semantics under concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "tree/fine_bst.hpp"
+#include "tree/seq_avl.hpp"
+#include "tree/tombstone_bst.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+// ---------- sequential AVL ----------
+
+TEST(SeqAvl, BasicSetSemantics) {
+  SeqAvlSet<int> t;
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_TRUE(t.insert(1));
+  EXPECT_FALSE(t.insert(1));
+  EXPECT_TRUE(t.contains(1));
+  EXPECT_TRUE(t.remove(1));
+  EXPECT_FALSE(t.remove(1));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(SeqAvl, StaysBalancedOnSortedInsertion) {
+  SeqAvlSet<int> t;
+  for (int i = 0; i < 4096; ++i) ASSERT_TRUE(t.insert(i));
+  EXPECT_TRUE(t.check_invariants());
+  // Perfectly balanced would be 12; AVL guarantees <= 1.44 log2(n).
+  EXPECT_LE(t.height(), 18);
+  for (int i = 0; i < 4096; ++i) ASSERT_TRUE(t.contains(i));
+}
+
+TEST(SeqAvl, StaysBalancedOnReverseInsertion) {
+  SeqAvlSet<int> t;
+  for (int i = 4096; i-- > 0;) ASSERT_TRUE(t.insert(i));
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_LE(t.height(), 18);
+}
+
+TEST(SeqAvl, RandomizedAgainstStdSet) {
+  SeqAvlSet<std::uint64_t> t;
+  std::set<std::uint64_t> ref;
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t k = rng.next_below(500);
+    switch (rng.next_below(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), ref.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(t.remove(k), ref.erase(k) == 1);
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), ref.count(k) == 1);
+    }
+    if (i % 1000 == 0) {
+      ASSERT_TRUE(t.check_invariants());
+    }
+  }
+  ASSERT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.size(), ref.size());
+}
+
+TEST(SeqAvl, DeleteWithTwoChildrenKeepsInvariants) {
+  SeqAvlSet<int> t;
+  for (int k : {50, 25, 75, 12, 37, 62, 87, 6, 18, 31, 43}) t.insert(k);
+  ASSERT_TRUE(t.remove(25));  // two children
+  ASSERT_TRUE(t.remove(50));  // root with two children
+  EXPECT_TRUE(t.check_invariants());
+  for (int k : {75, 12, 37, 62, 87, 6, 18, 31, 43}) EXPECT_TRUE(t.contains(k));
+  EXPECT_FALSE(t.contains(25));
+  EXPECT_FALSE(t.contains(50));
+}
+
+TEST(CoarseAvl, ConcurrentMixedOperations) {
+  CoarseAvlSet<std::uint64_t> t;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kRange = 1000;
+  std::atomic<int> failures{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    const std::uint64_t base = idx * kRange;
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      if (!t.insert(base + i)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kRange; i += 2) {
+      if (!t.remove(base + i)) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(t.size(), kThreads * kRange / 2);
+}
+
+// ---------- lock-free tombstone BST ----------
+
+TEST(TombstoneBst, BasicSetSemantics) {
+  TombstoneBstSet<std::uint64_t> t;
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_FALSE(t.insert(5));
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.remove(5));
+  EXPECT_FALSE(t.remove(5));
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_TRUE(t.insert(5));  // revival path
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TombstoneBst, RandomizedAgainstStdSet) {
+  TombstoneBstSet<std::uint64_t> t;
+  std::set<std::uint64_t> ref;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t k = rng.next_below(400);
+    switch (rng.next_below(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), ref.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(t.remove(k), ref.erase(k) == 1);
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), ref.count(k) == 1);
+    }
+  }
+  EXPECT_EQ(t.size(), ref.size());
+}
+
+TEST(TombstoneBst, ConcurrentDisjointRanges) {
+  TombstoneBstSet<std::uint64_t> t;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kRange = 2000;
+  std::atomic<int> failures{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    // Interleave ranges so concurrent inserts hit shared tree paths.
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      if (!t.insert(i * kThreads + idx)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      if (!t.contains(i * kThreads + idx)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kRange; i += 2) {
+      if (!t.remove(i * kThreads + idx)) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(t.size(), kThreads * kRange / 2);
+}
+
+TEST(TombstoneBst, SharedRangeConservation) {
+  TombstoneBstSet<std::uint64_t> t;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kKeys = 64;
+  constexpr int kOps = 20000;
+  std::vector<std::vector<std::int64_t>> net(
+      kThreads, std::vector<std::int64_t>(kKeys, 0));
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    auto& mine = net[idx];
+    std::uint64_t state = idx * 2621 + 5;
+    for (int i = 0; i < kOps; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t key = (state >> 33) % kKeys;
+      if ((state >> 13) & 1) {
+        if (t.insert(key)) mine[key] += 1;
+      } else {
+        if (t.remove(key)) mine[key] -= 1;
+      }
+    }
+  });
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    std::int64_t total = 0;
+    for (std::size_t th = 0; th < kThreads; ++th) total += net[th][k];
+    ASSERT_GE(total, 0);
+    ASSERT_LE(total, 1);
+    EXPECT_EQ(t.contains(k), total == 1);
+  }
+}
+
+// ---------- fine-grained external BST ----------
+
+TEST(FineBst, BasicSetSemantics) {
+  FineBstSet<std::uint64_t> t;
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_FALSE(t.remove(5));
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_FALSE(t.insert(5));
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.remove(5));
+  EXPECT_FALSE(t.remove(5));
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_TRUE(t.insert(5));  // reinsert after physical deletion
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FineBst, DrainToEmptyAndReuse) {
+  FineBstSet<std::uint64_t> t;
+  for (std::uint64_t k = 0; k < 300; ++k) ASSERT_TRUE(t.insert(k));
+  EXPECT_EQ(t.size(), 300u);
+  for (std::uint64_t k = 0; k < 300; ++k) ASSERT_TRUE(t.remove(k));
+  EXPECT_EQ(t.size(), 0u);
+  for (std::uint64_t k = 0; k < 300; k += 3) ASSERT_TRUE(t.insert(k));
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    ASSERT_EQ(t.contains(k), k % 3 == 0);
+  }
+}
+
+TEST(FineBst, RandomizedAgainstStdSet) {
+  FineBstSet<std::uint64_t> t;
+  std::set<std::uint64_t> ref;
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t k = rng.next_below(400);
+    switch (rng.next_below(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), ref.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(t.remove(k), ref.erase(k) == 1);
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), ref.count(k) == 1);
+    }
+  }
+  EXPECT_EQ(t.size(), ref.size());
+}
+
+TEST(FineBst, ConcurrentDisjointRanges) {
+  FineBstSet<std::uint64_t> t;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kRange = 1500;
+  std::atomic<int> failures{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      if (!t.insert(i * kThreads + idx)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      if (!t.contains(i * kThreads + idx)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kRange; i += 2) {
+      if (!t.remove(i * kThreads + idx)) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(t.size(), kThreads * kRange / 2);
+}
+
+TEST(FineBst, SharedRangeConservation) {
+  FineBstSet<std::uint64_t> t;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kKeys = 48;
+  constexpr int kOps = 15000;
+  std::vector<std::vector<std::int64_t>> net(
+      kThreads, std::vector<std::int64_t>(kKeys, 0));
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    auto& mine = net[idx];
+    std::uint64_t state = idx * 48611 + 9;
+    for (int i = 0; i < kOps; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t key = (state >> 33) % kKeys;
+      if ((state >> 13) & 1) {
+        if (t.insert(key)) mine[key] += 1;
+      } else {
+        if (t.remove(key)) mine[key] -= 1;
+      }
+    }
+  });
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    std::int64_t total = 0;
+    for (std::size_t th = 0; th < kThreads; ++th) total += net[th][k];
+    ASSERT_GE(total, 0);
+    ASSERT_LE(total, 1);
+    EXPECT_EQ(t.contains(k), total == 1);
+  }
+}
+
+}  // namespace
+}  // namespace ccds

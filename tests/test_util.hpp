@@ -1,0 +1,41 @@
+// Shared helpers for the ccds test suite.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/barrier.hpp"
+
+namespace ccds::test {
+
+// Run `fn(thread_index)` on `n` threads, started simultaneously via a
+// barrier, and join them all.
+inline void run_threads(std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  SpinBarrier barrier(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      barrier.arrive_and_wait();
+      fn(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// Thread counts exercised by parameterized stress tests; trimmed to what the
+// host actually has so CI boxes don't oversubscribe pathologically.
+inline std::vector<int> stress_thread_counts() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> counts;
+  for (int c : {1, 2, 4, 8}) {
+    if (c <= std::max(hw, 2)) counts.push_back(c);
+  }
+  return counts;
+}
+
+}  // namespace ccds::test
