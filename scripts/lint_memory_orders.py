@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Memory-order lint for ccds.
+
+Every relaxation away from seq_cst is a claim about the algorithm, and claims
+need to be written down.  This lint enforces three house rules on src/:
+
+  R1 naked-relaxed
+      `memory_order_relaxed` must have a justification comment containing the
+      word "relaxed" on the same line or within the preceding few lines.
+      Canonical form:  // relaxed: <why this cannot be reordered into harm>
+
+  R2 implicit-seq-cst
+      Atomic operations must spell out their memory order.  A bare `.load()`
+      or `.fetch_add(1)` silently defaults to seq_cst, which on the hot path
+      is either a hidden fence (a perf bug) or a load-bearing fence that
+      looks accidental (a readability bug).  Intentional seq_cst defaults are
+      suppressed with a comment containing "seq_cst".
+
+  R3 unpadded-shared-atomic
+      A top-level-class atomic member is shared state and sits on a cache
+      line with its neighbours unless padded: it must carry
+      CCDS_CACHELINE_ALIGNED, be wrapped in Padded<>, or carry a comment
+      containing "unpadded" explaining why false sharing is acceptable.
+      Members of nested structs (nodes, slots) are exempt: their placement
+      is the enclosing container's concern.
+
+src/model/ is exempt: the checker manipulates memory orders as data.
+
+Usage:  lint_memory_orders.py [--self-test] [paths...]   (default path: src)
+Exit status: 0 clean, 1 violations, 2 usage/internal error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Lines of leading context in which a justification comment is accepted.
+COMMENT_WINDOW = 6
+
+ATOMIC_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+    r"fetch_or|fetch_xor|compare_exchange_strong|compare_exchange_weak)\s*\("
+)
+
+# An atomic data member: optional qualifiers, Atomic<...> or std::atomic<...>,
+# then an identifier (a `*` after the template args means pointer-to-atomic,
+# which is not itself shared state).
+ATOMIC_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:ccds::)?(?:std::)?[Aa]tomic\s*<[^;=]*>\s*"
+    r"(?P<name>\w+)\s*(?:\[[^\]]*\])?\s*(?:\{[^;]*\}|=[^;]*)?;"
+)
+
+CLASS_OPEN_RE = re.compile(r"\b(?:class|struct)\s+\w+[^;{]*\{")
+
+
+def split_comment(line, in_block):
+    """Return (code, comment, in_block) for one source line.
+
+    Handles // and a line-granular approximation of block comments, which is
+    all the ccds tree uses.
+    """
+    code = []
+    comment = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                comment.append(line[i:])
+                i = n
+            else:
+                comment.append(line[i:end])
+                i = end + 2
+                in_block = False
+        elif line.startswith("//", i):
+            comment.append(line[i + 2 :])
+            i = n
+        elif line.startswith("/*", i):
+            in_block = True
+            i += 2
+        else:
+            code.append(line[i])
+            i += 1
+    return "".join(code), "".join(comment), in_block
+
+
+class FileCheck:
+    def __init__(self, name, text):
+        self.name = name
+        self.violations = []
+        self.lines = text.splitlines()
+        self.code = []
+        self.comment = []
+        in_block = False
+        for line in self.lines:
+            c, m, in_block = split_comment(line, in_block)
+            self.code.append(c)
+            self.comment.append(m)
+
+    def justified(self, idx, word):
+        """A comment containing `word` on this line or in the window above."""
+        lo = max(0, idx - COMMENT_WINDOW)
+        return any(word in self.comment[i].lower() for i in range(lo, idx + 1))
+
+    def report(self, idx, rule, msg):
+        self.violations.append(
+            "%s:%d: [%s] %s" % (self.name, idx + 1, rule, msg)
+        )
+
+    def check_naked_relaxed(self):
+        for i, code in enumerate(self.code):
+            if "memory_order_relaxed" not in code:
+                continue
+            if not self.justified(i, "relaxed"):
+                self.report(
+                    i,
+                    "naked-relaxed",
+                    "memory_order_relaxed without a '// relaxed: ...' "
+                    "justification comment nearby",
+                )
+
+    def check_implicit_seq_cst(self):
+        for i, code in enumerate(self.code):
+            for m in ATOMIC_CALL_RE.finditer(code):
+                args, complete = self.argument_list(i, m.end() - 1)
+                if not complete:
+                    continue  # unbalanced within lookahead: skip, no guess
+                if "memory_order" in args:
+                    continue
+                # Heuristic: require an atomic-ish receiver to cut down on
+                # unrelated .load()/.store() methods (none exist in src/
+                # today, but keep the lint honest about what it matches).
+                if not self.justified(i, "seq_cst"):
+                    self.report(
+                        i,
+                        "implicit-seq-cst",
+                        ".%s() call without an explicit memory order "
+                        "(defaults to seq_cst; add the order or a "
+                        "'// seq_cst: ...' comment)" % m.group(1),
+                    )
+
+    def argument_list(self, idx, open_paren_col):
+        """Text of a balanced argument list starting at an open paren,
+        looking ahead up to 8 lines.  Returns (text, balanced)."""
+        depth = 0
+        out = []
+        for j in range(idx, min(idx + 8, len(self.code))):
+            seg = self.code[j][open_paren_col:] if j == idx else self.code[j]
+            for ch in seg:
+                if ch == "(":
+                    depth += 1
+                elif ch == ")":
+                    depth -= 1
+                    if depth == 0:
+                        return "".join(out), True
+                out.append(ch)
+        return "".join(out), False
+
+    def check_unpadded_members(self):
+        # Track nesting depth of class/struct bodies; only members at depth 1
+        # (a top-level class of the header) are checked.
+        class_depth = 0
+        brace_depth = 0
+        # Stack of brace depths at which a class body opened.
+        class_at = []
+        for i, code in enumerate(self.code):
+            opens_class = bool(CLASS_OPEN_RE.search(code))
+            m = ATOMIC_MEMBER_RE.match(code)
+            if (
+                m
+                and class_depth == 1
+                and class_at
+                and brace_depth == class_at[-1] + 1  # class scope, not a body
+                and "CCDS_CACHELINE_ALIGNED" not in code
+                and "Padded<" not in code
+                and not self.justified(i, "unpadded")
+            ):
+                self.report(
+                    i,
+                    "unpadded-shared-atomic",
+                    "atomic member '%s' in a top-level class without "
+                    "CCDS_CACHELINE_ALIGNED / Padded<> / '// unpadded: ...' "
+                    "comment" % m.group("name"),
+                )
+            for ch in code:
+                if ch == "{":
+                    if opens_class:
+                        class_at.append(brace_depth)
+                        class_depth += 1
+                        opens_class = False  # first brace is the class body
+                    brace_depth += 1
+                elif ch == "}":
+                    brace_depth -= 1
+                    if class_at and class_at[-1] == brace_depth:
+                        class_at.pop()
+                        class_depth -= 1
+
+    def run(self):
+        self.check_naked_relaxed()
+        self.check_implicit_seq_cst()
+        self.check_unpadded_members()
+        return self.violations
+
+
+def check_text(name, text):
+    return FileCheck(name, text).run()
+
+
+def iter_sources(paths):
+    for p in paths:
+        path = pathlib.Path(p)
+        if path.is_file():
+            yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(p)
+        for f in sorted(path.rglob("*.hpp")) + sorted(path.rglob("*.cpp")):
+            if "model" in f.parts:
+                continue  # the checker handles memory orders as data
+            yield f
+
+
+def self_test():
+    bad_relaxed = "x.store(1, std::memory_order_relaxed);\n"
+    ok_relaxed = (
+        "// relaxed: counter is monotonic, read only after join\n"
+        "x.store(1, std::memory_order_relaxed);\n"
+    )
+    bad_implicit = "auto v = x.load();\n"
+    ok_implicit = "auto v = x.load(std::memory_order_acquire);\n"
+    ok_suppressed = (
+        "// seq_cst: cold path, default order keeps the proof simple\n"
+        "auto v = x.load();\n"
+    )
+    bad_member = "class C {\n  Atomic<int> c_{0};\n};\n"
+    ok_member = "class C {\n  CCDS_CACHELINE_ALIGNED Atomic<int> c_{0};\n};\n"
+    ok_nested = (
+        "class C {\n  struct Node {\n    Atomic<Node*> next{nullptr};\n"
+        "  };\n};\n"
+    )
+    ok_ptr_member = "class C {\n  Atomic<int>* p_ = nullptr;\n};\n"
+    cases = [
+        (bad_relaxed, 1),
+        (ok_relaxed, 0),
+        (bad_implicit, 1),
+        (ok_implicit, 0),
+        (ok_suppressed, 0),
+        (bad_member, 1),
+        (ok_member, 0),
+        (ok_nested, 0),
+        (ok_ptr_member, 0),
+    ]
+    failures = 0
+    for idx, (text, want) in enumerate(cases):
+        got = len(check_text("case%d" % idx, text))
+        if got != want:
+            print(
+                "self-test case %d: want %d violations, got %d\n--\n%s--"
+                % (idx, want, got, text),
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        return 2
+    print("lint_memory_orders: self-test ok (%d cases)" % len(cases))
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="*", default=["src"])
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    paths = args.paths or ["src"]
+    violations = []
+    scanned = 0
+    try:
+        for f in iter_sources(paths):
+            try:
+                text = f.read_text(encoding="utf-8")
+            except OSError as e:
+                print("cannot read %s: %s" % (f, e), file=sys.stderr)
+                return 2
+            scanned += 1
+            violations.extend(check_text(str(f), text))
+    except FileNotFoundError as e:
+        print("no such file or directory: %s" % e, file=sys.stderr)
+        return 2
+    if scanned == 0:
+        print("no sources found under: %s" % " ".join(map(str, paths)), file=sys.stderr)
+        return 2
+    for v in violations:
+        print(v)
+    if violations:
+        print("%d memory-order lint violation(s)" % len(violations))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,35 @@
+#!/bin/bash
+# Build and run the whole test suite under AddressSanitizer + UBSan.
+#
+# ASan and UBSan compose in one build (unlike TSan, which is exclusive);
+# -fno-sanitize-recover=all in the CMake flags makes any UB finding abort,
+# so a nonzero exit covers both sanitizers.  The grep is a belt-and-braces
+# check for reports that did not change the exit status (e.g. LeakSanitizer
+# in modes where exitcode is remapped).
+set -eu
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cmake -B "$root/build-asan" -G Ninja -DCCDS_SANITIZE_ADDRESS=ON \
+      -DCCDS_SANITIZE_UNDEFINED=ON \
+      -DCCDS_BUILD_BENCHMARKS=OFF -DCCDS_BUILD_EXAMPLES=OFF "$root"
+cmake --build "$root/build-asan"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+fail=0
+for t in "$root"/build-asan/tests/test_* "$root"/build-asan/tests/model/test_*; do
+  [ -x "$t" ] || continue
+  echo "== $(basename "$t")"
+  rc=0
+  "$t" >"$log" 2>&1 || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "   FAILED (exit $rc)"
+    tail -n 50 "$log"
+    fail=1
+  elif grep -qE "ERROR: (Address|LeakSanitizer)|runtime error:" "$log"; then
+    echo "   FAILED (sanitizer report)"
+    grep -A 20 -E "ERROR: (Address|LeakSanitizer)|runtime error:" "$log" | head -n 60
+    fail=1
+  else
+    echo "   clean"
+  fi
+done
+exit $fail

@@ -1,18 +1,34 @@
 #!/bin/bash
 # Build and run the whole test suite under ThreadSanitizer.
+#
+# Both failure modes must fail the run: a nonzero exit from the test binary
+# (crash, gtest failure) AND sanitizer output on an otherwise-green binary
+# (TSan only exits nonzero with halt_on_error).  The old version piped the
+# binary straight into grep, which replaced the binary's exit status with
+# grep's — a crashing test with no data race counted as clean.
 set -eu
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cmake -B "$root/build-tsan" -G Ninja -DCCDS_SANITIZE_THREAD=ON \
       -DCCDS_BUILD_BENCHMARKS=OFF -DCCDS_BUILD_EXAMPLES=OFF "$root"
 cmake --build "$root/build-tsan"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
 fail=0
-for t in "$root"/build-tsan/tests/test_*; do
+for t in "$root"/build-tsan/tests/test_* "$root"/build-tsan/tests/model/test_*; do
   [ -x "$t" ] || continue
   echo "== $(basename "$t")"
-  if ! "$t" 2>&1 | grep -E "WARNING: ThreadSanitizer|FAILED" ; then
-    echo "   clean"
-  else
+  rc=0
+  "$t" >"$log" 2>&1 || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "   FAILED (exit $rc)"
+    tail -n 50 "$log"
     fail=1
+  elif grep -qE "WARNING: ThreadSanitizer|ERROR: ThreadSanitizer" "$log"; then
+    echo "   FAILED (sanitizer report)"
+    grep -A 20 -E "WARNING: ThreadSanitizer|ERROR: ThreadSanitizer" "$log" | head -n 60
+    fail=1
+  else
+    echo "   clean"
   fi
 done
 exit $fail

@@ -34,17 +34,33 @@ inline void cpu_relax() noexcept {
 #endif
 }
 
+#ifdef CCDS_MODEL
+// Defined in model/scheduler.hpp (every CCDS_MODEL translation unit includes
+// it via core/atomic.hpp): a voluntary reschedule so the cooperative
+// explorer can run the thread a spin loop is waiting on.
+namespace model {
+void yield_hint() noexcept;
+}
+#endif
+
 // Spin-then-yield helper for unbounded wait loops.  Pure cpu_relax spinning
 // burns a full scheduler quantum whenever the awaited thread is preempted
 // (catastrophic on oversubscribed or single-core hosts), so after a bounded
 // number of pause iterations we donate the time slice.  `counter` is the
-// caller's per-wait loop counter.
+// caller's per-wait loop counter.  Under the model checker every spin step
+// must instead yield to the deterministic scheduler, or a wait loop would
+// monopolize the single running thread forever.
 inline void spin_wait(std::uint32_t& counter) noexcept {
+#ifdef CCDS_MODEL
+  (void)counter;
+  model::yield_hint();
+#else
   if ((++counter & 0x3ff) == 0) {
     std::this_thread::yield();
   } else {
     cpu_relax();
   }
+#endif
 }
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,

@@ -1,0 +1,27 @@
+// The library's atomic policy hook.
+//
+// Every ccds structure declares its shared words as `ccds::Atomic<T>` rather
+// than `std::atomic<T>`.  In a normal build the alias IS std::atomic — zero
+// overhead, identical codegen.  Under -DCCDS_MODEL=1 (tests/model) the alias
+// resolves to the instrumented `ccds::model::atomic<T>` shim, so the
+// exhaustive interleaving explorer runs against the exact same structure
+// source that ships.  Memory-order arguments are std::memory_order in both
+// configurations.
+#pragma once
+
+#include <atomic>
+
+#ifdef CCDS_MODEL
+#include "model/shim.hpp"
+
+namespace ccds {
+template <typename T>
+using Atomic = model::atomic<T>;
+}
+#else
+
+namespace ccds {
+template <typename T>
+using Atomic = std::atomic<T>;
+}
+#endif

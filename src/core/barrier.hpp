@@ -18,10 +18,11 @@ class SpinBarrier {
 
   // Blocks (spinning) until `parties` threads have arrived.
   void arrive_and_wait() noexcept {
+    // relaxed: sense is stable between flips; the acq_rel fetch_sub orders.
     const bool my_sense = !sense_.load(std::memory_order_relaxed);
     // acq_rel: the last arriver's flip must publish all pre-barrier writes.
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      remaining_.store(parties_, std::memory_order_relaxed);
+      remaining_.store(parties_, std::memory_order_relaxed);  // relaxed: last arriver only; sense_ release publishes
       sense_.store(my_sense, std::memory_order_release);
     } else {
       std::uint32_t spins = 0;

@@ -68,6 +68,7 @@ class Xoshiro256 {
 // Per-thread generator, seeded uniquely per thread from a global counter.
 inline Xoshiro256& thread_rng() noexcept {
   static std::atomic<std::uint64_t> seed_seq{0x2545f4914f6cdd1dull};
+  // relaxed: seed handout needs atomicity only, not ordering.
   thread_local Xoshiro256 rng(
       seed_seq.fetch_add(0x9e3779b97f4a7c15ull, std::memory_order_relaxed));
   return rng;

@@ -36,7 +36,7 @@ class ThreadRegistry {
       // happens-after the previous owner's teardown.
       if (in_use_[i]->compare_exchange_strong(expected, true,
                                               std::memory_order_acq_rel,
-                                              std::memory_order_relaxed)) {
+                                              std::memory_order_relaxed)) {  // relaxed: failure -> try next slot
         return i;
       }
     }

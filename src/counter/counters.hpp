@@ -53,7 +53,7 @@ class AtomicCounter {
   }
 
   std::uint64_t load() const noexcept {
-    return value_.load(std::memory_order_relaxed);
+    return value_.load(std::memory_order_relaxed);  // relaxed: approximate read by contract
   }
 
  private:
@@ -67,7 +67,7 @@ class AtomicCounter {
 class ShardedCounter {
  public:
   void add(std::uint64_t d = 1) noexcept {
-    stripes_[thread_id()]->fetch_add(d, std::memory_order_relaxed);
+    stripes_[thread_id()]->fetch_add(d, std::memory_order_relaxed);  // relaxed: per-thread stripe, atomicity only
   }
 
   // Sum of all stripes.  Each stripe is read atomically; the total is exact
@@ -75,7 +75,7 @@ class ShardedCounter {
   std::uint64_t load() const noexcept {
     std::uint64_t sum = 0;
     for (const auto& s : stripes_) {
-      sum += s->load(std::memory_order_relaxed);
+      sum += s->load(std::memory_order_relaxed);  // relaxed: statistical sum, tolerates skew
     }
     return sum;
   }

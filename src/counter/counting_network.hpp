@@ -125,6 +125,7 @@ class CountingNetworkCounter {
  public:
   CountingNetworkCounter() : network_(Width) {
     for (int k = 0; k < Width; ++k) {
+      // relaxed: constructor; the network is unpublished.
       wire_counters_[k]->store(static_cast<std::uint64_t>(k),
                                std::memory_order_relaxed);
     }

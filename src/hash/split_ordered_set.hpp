@@ -36,6 +36,7 @@ class SplitOrderedHashSet {
   SplitOrderedHashSet() {
     // Bucket 0's dummy (so_key 0) is the list head anchor.
     Node* d0 = new Node(0);
+    // relaxed: constructor; the set is unpublished.
     list_head_.store(d0, std::memory_order_relaxed);
     segment_for(0)[0].store(d0, std::memory_order_relaxed);
   }
@@ -44,14 +45,14 @@ class SplitOrderedHashSet {
   SplitOrderedHashSet& operator=(const SplitOrderedHashSet&) = delete;
 
   ~SplitOrderedHashSet() {
-    Node* n = list_head_.load(std::memory_order_relaxed);
+    Node* n = list_head_.load(std::memory_order_relaxed);  // relaxed: destructor
     while (n != nullptr) {
-      Node* next = unmark(n->next.load(std::memory_order_relaxed));
+      Node* next = unmark(n->next.load(std::memory_order_relaxed));  // relaxed: destructor
       delete n;
       n = next;
     }
     for (auto& seg : segments_) {
-      delete[] seg.load(std::memory_order_relaxed);
+      delete[] seg.load(std::memory_order_relaxed);  // relaxed: destructor
     }
   }
 
@@ -74,12 +75,12 @@ class SplitOrderedHashSet {
         delete n;
         return false;
       }
-      n->next.store(w.curr, std::memory_order_relaxed);
+      n->next.store(w.curr, std::memory_order_relaxed);  // relaxed: published by the CAS below
       if (w.prev->compare_exchange_strong(w.curr, n,
                                           std::memory_order_release,
-                                          std::memory_order_relaxed)) {
+                                          std::memory_order_relaxed)) {  // relaxed: failure re-runs the search
         const std::uint64_t count =
-            size_.fetch_add(1, std::memory_order_relaxed) + 1;
+            size_.fetch_add(1, std::memory_order_relaxed) + 1;  // relaxed: size is a statistic
         maybe_grow(count);
         return true;
       }
@@ -97,28 +98,28 @@ class SplitOrderedHashSet {
       if (is_marked(next)) continue;
       if (!w.curr->next.compare_exchange_strong(
               next, mark(next), std::memory_order_acq_rel,
-              std::memory_order_relaxed)) {
+              std::memory_order_relaxed)) {  // relaxed: failure retraverses
         continue;
       }
       Node* expected = w.curr;
       if (w.prev->compare_exchange_strong(expected, next,
                                           std::memory_order_release,
-                                          std::memory_order_relaxed)) {
+                                          std::memory_order_relaxed)) {  // relaxed: failure retraverses
         domain_.retire(w.curr);
       } else {
         find(&bucket->next, so_regular(h), &key, g);  // help unlink
       }
-      size_.fetch_sub(1, std::memory_order_relaxed);
+      size_.fetch_sub(1, std::memory_order_relaxed);  // relaxed: size is a statistic
       return true;
     }
   }
 
   std::size_t size() const noexcept {
-    return size_.load(std::memory_order_relaxed);
+    return size_.load(std::memory_order_relaxed);  // relaxed: snapshot read by contract
   }
 
   std::size_t bucket_count() const noexcept {
-    return bucket_count_.load(std::memory_order_relaxed);
+    return bucket_count_.load(std::memory_order_relaxed);  // relaxed: approximate by design
   }
 
   Domain& domain() noexcept { return domain_; }
@@ -217,10 +218,10 @@ class SplitOrderedHashSet {
           winner = w.curr;
           break;
         }
-        dummy->next.store(w.curr, std::memory_order_relaxed);
+        dummy->next.store(w.curr, std::memory_order_relaxed);  // relaxed: published by the CAS below
         if (w.prev->compare_exchange_strong(w.curr, dummy,
                                             std::memory_order_release,
-                                            std::memory_order_relaxed)) {
+                                            std::memory_order_relaxed)) {  // relaxed: another initializer won
           winner = dummy;
           break;
         }
@@ -229,19 +230,19 @@ class SplitOrderedHashSet {
     Node* expected = nullptr;
     slot.compare_exchange_strong(expected, winner,
                                  std::memory_order_acq_rel,
-                                 std::memory_order_relaxed);
+                                 std::memory_order_relaxed);  // relaxed: loser frees its dummy below
     // Either we set it or a concurrent initializer found the same (unique)
     // dummy; the slot is authoritative now.
     return slot.load(std::memory_order_acquire);
   }
 
   void maybe_grow(std::uint64_t count) {
-    std::uint64_t buckets = bucket_count_.load(std::memory_order_relaxed);
+    std::uint64_t buckets = bucket_count_.load(std::memory_order_relaxed);  // relaxed: growth check is a heuristic
     // Load factor 2: double when count exceeds 2x buckets.
     if (count > buckets * 2 && buckets < kMaxBuckets) {
       bucket_count_.compare_exchange_strong(buckets, buckets * 2,
                                             std::memory_order_acq_rel,
-                                            std::memory_order_relaxed);
+                                            std::memory_order_relaxed);  // relaxed: a concurrent grower won
     }
   }
 
@@ -271,7 +272,7 @@ class SplitOrderedHashSet {
         Node* expected = curr;
         if (!prev->compare_exchange_strong(expected, next,
                                            std::memory_order_release,
-                                           std::memory_order_relaxed)) {
+                                           std::memory_order_relaxed)) {  // relaxed: failure re-runs the search
           goto retry;
         }
         domain_.retire(curr);
@@ -306,7 +307,7 @@ class SplitOrderedHashSet {
   CCDS_CACHELINE_ALIGNED std::atomic<std::uint64_t> bucket_count_{
       kInitialBuckets};
   CCDS_CACHELINE_ALIGNED std::atomic<std::uint64_t> size_{0};
-  std::atomic<std::atomic<Node*>*> segments_[kMaxSegments] = {};
+  std::atomic<std::atomic<Node*>*> segments_[kMaxSegments] = {};  // unpadded: read-mostly segment directory
   Domain domain_;
   [[no_unique_address]] Hash hash_{};
 };

@@ -34,7 +34,7 @@ class StripedHashMap {
   explicit StripedHashMap(std::size_t initial_buckets = kStripes * 4)
       : buckets_(std::max(next_pow2(initial_buckets),
                           static_cast<std::uint64_t>(kStripes))) {
-    bucket_count_.store(buckets_.size(), std::memory_order_relaxed);
+    bucket_count_.store(buckets_.size(), std::memory_order_relaxed);  // relaxed: ctor, map unpublished
   }
 
   StripedHashMap(const StripedHashMap&) = delete;
@@ -98,7 +98,7 @@ class StripedHashMap {
         *prev = n->next;
         delete n;
         sizes_[h & (kStripes - 1)].value.fetch_sub(1,
-                                                   std::memory_order_relaxed);
+                                                   std::memory_order_relaxed);  // relaxed: stripe lock held
         return true;
       }
     }
@@ -110,7 +110,7 @@ class StripedHashMap {
     long long total = 0;
     for (std::size_t i = 0; i < kStripes; ++i) {
       std::lock_guard<Lock> g(locks_[i].value);
-      total += sizes_[i].value.load(std::memory_order_relaxed);
+      total += sizes_[i].value.load(std::memory_order_relaxed);  // relaxed: stripe lock held
     }
     return total < 0 ? 0 : static_cast<std::size_t>(total);
   }
@@ -150,7 +150,7 @@ class StripedHashMap {
     for (std::size_t i = 0; i < kStripes; ++i) locks_[i].value.lock();
     long long total = 0;
     for (std::size_t i = 0; i < kStripes; ++i) {
-      total += sizes_[i].value.load(std::memory_order_relaxed);
+      total += sizes_[i].value.load(std::memory_order_relaxed);  // relaxed: approximate sum
     }
     if (total >= static_cast<long long>(buckets_.size()) * 2) {
       const std::size_t new_count = buckets_.size() * 2;
@@ -175,7 +175,7 @@ class StripedHashMap {
   // lock; atomic so the resize heuristic can peek lock-free.
   Padded<std::atomic<long long>> sizes_[kStripes] = {};
   std::vector<Node*> buckets_;
-  std::atomic<std::size_t> bucket_count_{0};
+  std::atomic<std::size_t> bucket_count_{0};  // unpadded: written once in the ctor
   [[no_unique_address]] Hash hash_{};
 };
 

@@ -34,9 +34,9 @@ class HarrisMichaelListSet {
   HarrisMichaelListSet& operator=(const HarrisMichaelListSet&) = delete;
 
   ~HarrisMichaelListSet() {
-    Node* n = unmark(head_.load(std::memory_order_relaxed));
+    Node* n = unmark(head_.load(std::memory_order_relaxed));  // relaxed: destructor
     while (n != nullptr) {
-      Node* next = unmark(n->next.load(std::memory_order_relaxed));
+      Node* next = unmark(n->next.load(std::memory_order_relaxed));  // relaxed: destructor
       delete n;
       n = next;
     }
@@ -57,11 +57,11 @@ class HarrisMichaelListSet {
         delete n;
         return false;
       }
-      n->next.store(w.curr, std::memory_order_relaxed);
+      n->next.store(w.curr, std::memory_order_relaxed);  // relaxed: published by the CAS below
       // release: publish the node's key and link.
       if (w.prev->compare_exchange_strong(w.curr, n,
                                           std::memory_order_release,
-                                          std::memory_order_relaxed)) {
+                                          std::memory_order_relaxed)) {  // relaxed: failure re-runs the search
         return true;
       }
       // Window moved; retraverse.
@@ -78,14 +78,14 @@ class HarrisMichaelListSet {
       // Logical delete: mark curr's next (linearization point on success).
       if (!w.curr->next.compare_exchange_strong(
               next, mark(next), std::memory_order_acq_rel,
-              std::memory_order_relaxed)) {
+              std::memory_order_relaxed)) {  // relaxed: failure retraverses
         continue;  // link changed under us; retraverse
       }
       // Physical unlink; on failure some traversal will help eventually.
       Node* expected = w.curr;
       if (w.prev->compare_exchange_strong(expected, next,
                                           std::memory_order_release,
-                                          std::memory_order_relaxed)) {
+                                          std::memory_order_relaxed)) {  // relaxed: failure retraverses
         domain_.retire(w.curr);
       } else {
         find(key, g);  // help: cleans up marked nodes on the search path
@@ -146,7 +146,7 @@ class HarrisMichaelListSet {
         Node* expected = curr;
         if (!prev->compare_exchange_strong(expected, next,
                                            std::memory_order_release,
-                                           std::memory_order_relaxed)) {
+                                           std::memory_order_relaxed)) {  // relaxed: failure goes back to retry
           goto retry;  // prev changed; our window is stale
         }
         domain_.retire(curr);

@@ -33,7 +33,7 @@ class LazyListSet {
   ~LazyListSet() {
     Node* n = head_;
     while (n != nullptr) {
-      Node* next = n->next.load(std::memory_order_relaxed);
+      Node* next = n->next.load(std::memory_order_relaxed);  // relaxed: destructor
       delete n;
       n = next;
     }
@@ -88,6 +88,7 @@ class LazyListSet {
       if (comp_(key, curr->key)) return false;  // absent
       // Logical delete first (linearization point), then physical unlink.
       curr->marked.store(true, std::memory_order_release);
+      // relaxed: pred and curr are locked; next cannot change.
       pred->next.store(curr->next.load(std::memory_order_relaxed),
                        std::memory_order_release);
       domain_.retire(curr);

@@ -30,7 +30,7 @@ class OptimisticListSet {
   ~OptimisticListSet() {
     Node* n = head_;
     while (n != nullptr) {
-      Node* next = n->next.load(std::memory_order_relaxed);
+      Node* next = n->next.load(std::memory_order_relaxed);  // relaxed: destructor
       delete n;
       n = next;
     }
@@ -84,6 +84,7 @@ class OptimisticListSet {
       std::lock_guard<Lock> lc(curr->lock);
       if (!validate(pred, curr)) continue;
       if (comp_(key, curr->key)) return false;  // absent
+      // relaxed: pred and curr are locked; next cannot change.
       pred->next.store(curr->next.load(std::memory_order_relaxed),
                        std::memory_order_release);
       domain_.retire(curr);

@@ -1,0 +1,223 @@
+// Drop-in instrumented atomics for the model checker.
+//
+// `ccds::model::atomic<T>` mirrors the std::atomic<T> surface the library
+// uses (load/store/exchange/CAS/fetch_add, taking std::memory_order), but
+// routes every operation through the active ExecutionContext so the explorer
+// can interleave threads at each access and model weak-memory staleness.
+// Outside an execution (or while an execution unwinds after a failure) the
+// operations degrade to plain sequential reads/writes.
+//
+// Structures opt in through `ccds::Atomic<T>` (src/core/atomic.hpp), which
+// aliases std::atomic<T> normally and this type under -DCCDS_MODEL=1 — the
+// same header compiles both ways, so the code under test IS the shipped code.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+
+#include "model/scheduler.hpp"
+
+namespace ccds::model {
+
+namespace detail {
+
+template <typename T>
+std::uint64_t enc(T v) noexcept {
+  static_assert(sizeof(T) <= 8 && std::is_trivially_copyable_v<T>,
+                "model::atomic supports trivially copyable T of <= 8 bytes");
+  std::uint64_t r = 0;
+  std::memcpy(&r, &v, sizeof(T));
+  return r;
+}
+
+template <typename T>
+T dec(std::uint64_t r) noexcept {
+  T v;
+  std::memcpy(&v, &r, sizeof(T));
+  return v;
+}
+
+}  // namespace detail
+
+template <typename T>
+class atomic {
+ public:
+  atomic() noexcept : atomic(T{}) {}
+
+  atomic(T v) noexcept {  // NOLINT(google-explicit-constructor): std parity
+    obj_.stores.push_back({detail::enc(v), nullptr});
+  }
+
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    ExecutionContext* ctx = active_context();
+    if (ctx == nullptr) return detail::dec<T>(obj_.stores.back().value);
+    return detail::dec<T>(ctx->atomic_load(obj_, mo));
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    ExecutionContext* ctx = active_context();
+    if (ctx == nullptr) {
+      obj_.stores.back().value = detail::enc(v);
+      return;
+    }
+    ctx->atomic_store(obj_, detail::enc(v), mo);
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    const std::uint64_t nv = detail::enc(v);
+    return rmw([nv](std::uint64_t) { return nv; }, mo, "xchg");
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) {
+    ExecutionContext* ctx = active_context();
+    if (ctx == nullptr) {
+      const std::uint64_t old = obj_.stores.back().value;
+      if (old == detail::enc(expected)) {
+        obj_.stores.back().value = detail::enc(desired);
+        return true;
+      }
+      expected = detail::dec<T>(old);
+      return false;
+    }
+    auto [old, ok] = ctx->atomic_cas(obj_, detail::enc(expected),
+                                     detail::enc(desired), success, failure);
+    if (!ok) expected = detail::dec<T>(old);
+    return ok;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo, cas_failure_order(mo));
+  }
+
+  // The model never fails a weak CAS spuriously: that only removes behaviors
+  // relative to real hardware (documented in docs/testing.md §6).
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    return compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, mo, cas_failure_order(mo));
+  }
+
+  template <typename U = T, typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_add(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    return rmw(
+        [d](std::uint64_t old) {
+          return detail::enc(static_cast<T>(detail::dec<T>(old) + d));
+        },
+        mo, "fadd");
+  }
+
+  template <typename U = T, typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_sub(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    return rmw(
+        [d](std::uint64_t old) {
+          return detail::enc(static_cast<T>(detail::dec<T>(old) - d));
+        },
+        mo, "fsub");
+  }
+
+  operator T() const { return load(); }  // NOLINT(google-explicit-constructor)
+
+  T operator=(T v) {
+    store(v);
+    return v;
+  }
+
+  bool is_lock_free() const noexcept { return true; }
+
+ private:
+  static std::memory_order cas_failure_order(std::memory_order mo) {
+    if (mo == std::memory_order_acq_rel) return std::memory_order_acquire;
+    if (mo == std::memory_order_release) return std::memory_order_relaxed;
+    return mo;
+  }
+
+  T rmw(const std::function<std::uint64_t(std::uint64_t)>& f,
+        std::memory_order mo, const char* opname) {
+    ExecutionContext* ctx = active_context();
+    if (ctx == nullptr) {
+      const std::uint64_t old = obj_.stores.back().value;
+      obj_.stores.back().value = f(old);
+      return detail::dec<T>(old);
+    }
+    return detail::dec<T>(ctx->atomic_rmw(obj_, f, mo, opname));
+  }
+
+  mutable AtomicObj obj_;
+};
+
+// Cooperative mutex (BasicLockable + try_lock); lock/unlock are schedule
+// points and carry acquire/release happens-before edges.
+class mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() {
+    ExecutionContext* ctx = active_context();
+    if (ctx != nullptr) ctx->mutex_lock(obj_);
+  }
+
+  bool try_lock() {
+    ExecutionContext* ctx = active_context();
+    if (ctx == nullptr) return true;
+    return ctx->mutex_try_lock(obj_);
+  }
+
+  void unlock() {
+    ExecutionContext* ctx = active_context();
+    if (ctx != nullptr) ctx->mutex_unlock(obj_);
+  }
+
+ private:
+  MutexObj obj_;
+};
+
+// Model-scheduled thread handle.  The OS thread is owned by the execution
+// context; this is just a join handle.
+class thread {
+ public:
+  explicit thread(std::function<void()> body) {
+    ExecutionContext* ctx = active_context();
+    if (ctx == nullptr) {
+      fail_assert("model::thread spawned outside model::explore", __FILE__,
+                  __LINE__);
+    }
+    id_ = ctx->spawn(std::move(body));
+  }
+
+  thread(const thread&) = delete;
+  thread& operator=(const thread&) = delete;
+
+  void join() {
+    if (joined_) return;
+    joined_ = true;
+    active_context()->join_thread(id_);
+  }
+
+  int id() const noexcept { return id_; }
+
+ private:
+  int id_ = -1;
+  bool joined_ = false;
+};
+
+// std::atomic_thread_fence counterpart.
+inline void fence(std::memory_order mo) {
+  ExecutionContext* ctx = active_context();
+  if (ctx != nullptr) ctx->fence(mo);
+}
+
+}  // namespace ccds::model

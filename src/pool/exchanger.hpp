@@ -28,7 +28,7 @@ class Exchanger {
       const auto mine_tag = reinterpret_cast<std::uintptr_t>(&my_offer);
       if (slot_.compare_exchange_strong(expected, mine_tag,
                                         std::memory_order_release,
-                                        std::memory_order_relaxed)) {
+                                        std::memory_order_relaxed)) {  // relaxed: failure re-examines the slot
         for (int i = 0; i < spin_budget; ++i) {
           // acquire: pairs with the matcher's release after filling reply.
           if (my_offer.matched.load(std::memory_order_acquire)) {
@@ -41,7 +41,7 @@ class Exchanger {
         expected = mine_tag;
         if (slot_.compare_exchange_strong(expected, kEmpty,
                                           std::memory_order_acquire,
-                                          std::memory_order_relaxed)) {
+                                          std::memory_order_relaxed)) {  // relaxed: failure re-examines the slot
           return std::nullopt;
         }
         // A matcher claimed the offer (slot moved to kBusy); wait for it.
@@ -60,7 +60,7 @@ class Exchanger {
       std::uintptr_t expected = s;
       if (slot_.compare_exchange_strong(expected, kBusy,
                                         std::memory_order_acq_rel,
-                                        std::memory_order_relaxed)) {
+                                        std::memory_order_relaxed)) {  // relaxed: failure re-examines the slot
         T value = std::move(theirs->value);
         theirs->reply = std::move(my_offer.value);
         // release: the reply must be visible before `matched` flips.

@@ -31,7 +31,7 @@ class MpmcQueue {
             cap_ * sizeof(Cell), std::align_val_t{alignof(Cell)}))) {
     for (std::size_t i = 0; i < cap_; ++i) {
       new (&cells_[i]) Cell;
-      cells_[i].seq.store(i, std::memory_order_relaxed);
+      cells_[i].seq.store(i, std::memory_order_relaxed);  // relaxed: ctor, queue unpublished
     }
   }
 
@@ -40,8 +40,8 @@ class MpmcQueue {
 
   ~MpmcQueue() {
     // Destroy remaining elements: cells whose seq == ticket+1 hold values.
-    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
-    const std::size_t end = enqueue_pos_.load(std::memory_order_relaxed);
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);  // relaxed: destructor
+    const std::size_t end = enqueue_pos_.load(std::memory_order_relaxed);  // relaxed: destructor
     for (; pos != end; ++pos) {
       Cell& c = cells_[pos & mask_];
       c.get()->~T();
@@ -52,7 +52,7 @@ class MpmcQueue {
 
   bool try_enqueue(T v) {
     Cell* cell;
-    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);  // relaxed: hint; seq handshake orders
     for (;;) {
       cell = &cells_[pos & mask_];
       // acquire: pairs with the consumer's release that recycles the cell.
@@ -62,13 +62,13 @@ class MpmcQueue {
       if (dif == 0) {
         // Cell free on our lap: claim the ticket.
         if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
-                                               std::memory_order_relaxed)) {
+                                               std::memory_order_relaxed)) {  // relaxed: seq handshake carries ordering
           break;
         }
       } else if (dif < 0) {
         return false;  // full: consumer of the previous lap hasn't finished
       } else {
-        pos = enqueue_pos_.load(std::memory_order_relaxed);
+        pos = enqueue_pos_.load(std::memory_order_relaxed);  // relaxed: hint refresh
       }
     }
     new (cell->raw) T(std::move(v));
@@ -79,7 +79,7 @@ class MpmcQueue {
 
   std::optional<T> try_dequeue() {
     Cell* cell;
-    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);  // relaxed: hint; seq handshake orders
     for (;;) {
       cell = &cells_[pos & mask_];
       const std::size_t seq = cell->seq.load(std::memory_order_acquire);
@@ -87,13 +87,13 @@ class MpmcQueue {
                                 static_cast<std::intptr_t>(pos + 1);
       if (dif == 0) {
         if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
-                                               std::memory_order_relaxed)) {
+                                               std::memory_order_relaxed)) {  // relaxed: seq handshake carries ordering
           break;
         }
       } else if (dif < 0) {
         return std::nullopt;  // empty
       } else {
-        pos = dequeue_pos_.load(std::memory_order_relaxed);
+        pos = dequeue_pos_.load(std::memory_order_relaxed);  // relaxed: hint refresh
       }
     }
     T* p = cell->get();

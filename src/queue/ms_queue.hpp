@@ -8,11 +8,11 @@
 // head/tail CASes, since a node's address cannot recycle while protected.
 #pragma once
 
-#include <atomic>
 #include <optional>
 #include <utility>
 
 #include "core/arch.hpp"
+#include "core/atomic.hpp"
 #include "core/backoff.hpp"
 #include "reclaim/hazard.hpp"
 
@@ -23,6 +23,7 @@ class MSQueue {
  public:
   MSQueue() {
     Node* dummy = new Node;
+    // relaxed: constructor; the queue is unpublished.
     head_.store(dummy, std::memory_order_relaxed);
     tail_.store(dummy, std::memory_order_relaxed);
   }
@@ -31,9 +32,9 @@ class MSQueue {
   MSQueue& operator=(const MSQueue&) = delete;
 
   ~MSQueue() {
-    Node* n = head_.load(std::memory_order_relaxed);
+    Node* n = head_.load(std::memory_order_relaxed);  // relaxed: destructor
     while (n != nullptr) {
-      Node* next = n->next.load(std::memory_order_relaxed);
+      Node* next = n->next.load(std::memory_order_relaxed);  // relaxed: destructor
       delete n;
       n = next;
     }
@@ -55,17 +56,17 @@ class MSQueue {
         // Tail really is last: link our node.  release publishes the value.
         if (t->next.compare_exchange_weak(next, n,
                                           std::memory_order_release,
-                                          std::memory_order_relaxed)) {
+                                          std::memory_order_relaxed)) {  // relaxed: failure re-reads tail
           // Swing tail; failure means someone helped us — fine either way.
           tail_.compare_exchange_strong(t, n, std::memory_order_release,
-                                        std::memory_order_relaxed);
+                                        std::memory_order_relaxed);  // relaxed: helped; failure is fine
           return;
         }
         backoff.spin();
       } else {
         // Tail is lagging: help swing it and retry.
         tail_.compare_exchange_strong(t, next, std::memory_order_release,
-                                      std::memory_order_relaxed);
+                                      std::memory_order_relaxed);  // relaxed: helping CAS; failure is fine
       }
     }
   }
@@ -82,13 +83,13 @@ class MSQueue {
       if (h == t) {
         // Tail lagging behind a non-empty list: help before retrying.
         tail_.compare_exchange_strong(t, next, std::memory_order_release,
-                                      std::memory_order_relaxed);
+                                      std::memory_order_relaxed);  // relaxed: helping CAS; failure is fine
         continue;
       }
       // acquire on success: pairs with the enqueuer's release of `next`'s
       // value so the move below reads initialized data.
       if (head_.compare_exchange_strong(h, next, std::memory_order_acquire,
-                                        std::memory_order_relaxed)) {
+                                        std::memory_order_relaxed)) {  // relaxed: failure re-runs the loop
         // `next` is the new dummy; only this (winning) dequeuer touches its
         // value, and our guard keeps `next` alive through the move.
         std::optional<T> v(std::move(next->value));
@@ -112,11 +113,11 @@ class MSQueue {
  private:
   struct Node {
     std::optional<T> value;
-    std::atomic<Node*> next{nullptr};
+    Atomic<Node*> next{nullptr};
   };
 
-  CCDS_CACHELINE_ALIGNED std::atomic<Node*> head_;
-  CCDS_CACHELINE_ALIGNED std::atomic<Node*> tail_;
+  CCDS_CACHELINE_ALIGNED Atomic<Node*> head_;
+  CCDS_CACHELINE_ALIGNED Atomic<Node*> tail_;
   Domain domain_;
 };
 

@@ -8,7 +8,6 @@
 // the fastest point in the whole queue design space (experiment E5).
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <new>
@@ -16,6 +15,7 @@
 #include <utility>
 
 #include "core/arch.hpp"
+#include "core/atomic.hpp"
 #include "core/hash.hpp"
 
 namespace ccds {
@@ -36,8 +36,8 @@ class SpscRing {
 
   ~SpscRing() {
     // Drain remaining constructed elements (single-threaded at destruction).
-    const std::size_t h = head_.load(std::memory_order_relaxed);
-    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_relaxed);  // relaxed: destructor
+    const std::size_t t = tail_.load(std::memory_order_relaxed);  // relaxed: destructor
     for (std::size_t i = h; i != t; ++i) {
       slots_[i & mask_].get()->~T();
     }
@@ -46,7 +46,7 @@ class SpscRing {
 
   // Producer side only.
   bool try_push(T v) {
-    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_relaxed);  // relaxed: producer owns tail_
     if (t - cached_head_ == cap_) {
       // Looks full: refresh the cached consumer index.
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -60,7 +60,7 @@ class SpscRing {
 
   // Consumer side only.
   std::optional<T> try_pop() {
-    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t h = head_.load(std::memory_order_relaxed);  // relaxed: consumer owns head_
     if (h == cached_tail_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
       if (h == cached_tail_) return std::nullopt;
@@ -92,10 +92,10 @@ class SpscRing {
   Slot* const slots_;
 
   // Producer's line: its own index plus the cached consumer index.
-  CCDS_CACHELINE_ALIGNED std::atomic<std::size_t> tail_{0};
+  CCDS_CACHELINE_ALIGNED Atomic<std::size_t> tail_{0};
   std::size_t cached_head_ = 0;
   // Consumer's line.
-  CCDS_CACHELINE_ALIGNED std::atomic<std::size_t> head_{0};
+  CCDS_CACHELINE_ALIGNED Atomic<std::size_t> head_{0};
   std::size_t cached_tail_ = 0;
 };
 

@@ -35,7 +35,7 @@ class TwoLockQueue {
   ~TwoLockQueue() {
     Node* n = head_;
     while (n != nullptr) {
-      Node* next = n->next.load(std::memory_order_relaxed);
+      Node* next = n->next.load(std::memory_order_relaxed);  // relaxed: destructor
       delete n;
       n = next;
     }

@@ -38,16 +38,16 @@ class WorkStealingDeque {
   WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
 
   ~WorkStealingDeque() {
-    delete array_.load(std::memory_order_relaxed);
+    delete array_.load(std::memory_order_relaxed);  // relaxed: destructor
     for (Ring* r : retired_) delete r;
   }
 
   // ----- owner operations -------------------------------------------------
 
   void push(T v) {
-    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);  // relaxed: owner owns bottom_
     const std::int64_t t = top_.load(std::memory_order_acquire);
-    Ring* a = array_.load(std::memory_order_relaxed);
+    Ring* a = array_.load(std::memory_order_relaxed);  // relaxed: only the owner swaps array_
     if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
       a = grow(a, b, t);
     }
@@ -59,30 +59,30 @@ class WorkStealingDeque {
   }
 
   std::optional<T> try_pop() {
-    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
-    Ring* a = array_.load(std::memory_order_relaxed);
-    bottom_.store(b, std::memory_order_relaxed);
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;  // relaxed: owner owns bottom_
+    Ring* a = array_.load(std::memory_order_relaxed);  // relaxed: only the owner swaps array_
+    bottom_.store(b, std::memory_order_relaxed);  // relaxed: the seq_cst fence below orders
     // seq_cst fence: the bottom decrement must be visible to thieves before
     // we read top — the crux of the owner/thief race on the last element.
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_relaxed);  // relaxed: the fence above orders this read
     if (t <= b) {
       T v = a->get(b);
       if (t == b) {
         // Single element left: race the thieves for it.
         if (!top_.compare_exchange_strong(t, t + 1,
                                           std::memory_order_seq_cst,
-                                          std::memory_order_relaxed)) {
+                                          std::memory_order_relaxed)) {  // relaxed: failure means the thief won
           // Lost: a thief took it.
-          bottom_.store(b + 1, std::memory_order_relaxed);
+          bottom_.store(b + 1, std::memory_order_relaxed);  // relaxed: owner-only write
           return std::nullopt;
         }
-        bottom_.store(b + 1, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);  // relaxed: owner-only write
       }
       return v;
     }
     // Deque was empty.
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);  // relaxed: owner-only write
     return std::nullopt;
   }
 
@@ -103,7 +103,7 @@ class WorkStealingDeque {
       Ring* a = array_.load(std::memory_order_acquire);
       T v = a->get(t);
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                        std::memory_order_relaxed)) {
+                                        std::memory_order_relaxed)) {  // relaxed: failure aborts the steal
         return std::nullopt;  // lost the race; caller may retry elsewhere
       }
       return v;
@@ -113,8 +113,8 @@ class WorkStealingDeque {
 
   // Owner-side size estimate.
   std::size_t size_approx() const noexcept {
-    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
-    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);  // relaxed: approximate by contract
+    const std::int64_t t = top_.load(std::memory_order_relaxed);  // relaxed: approximate by contract
     return b > t ? static_cast<std::size_t>(b - t) : 0;
   }
 

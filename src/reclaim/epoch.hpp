@@ -9,12 +9,12 @@
 // pinned thread blocks all reclamation.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "core/arch.hpp"
+#include "core/atomic.hpp"
 #include "core/padded.hpp"
 #include "core/thread_registry.hpp"
 
@@ -33,10 +33,11 @@ class EpochDomain {
 
     ~Guard() { dom_->unpin(); }
 
-    template <typename T>
-    T* protect(std::size_t /*slot*/, const std::atomic<T*>& src) noexcept {
+    template <typename Atom>
+    auto protect(std::size_t /*slot*/, const Atom& src) noexcept {
       // Pinning already protects every node unlinked after the pin; a plain
-      // acquire load suffices.
+      // acquire load suffices.  Generic over the atomic type so the model
+      // checker's instrumented Atomic<T*> works unchanged.
       return src.load(std::memory_order_acquire);
     }
     template <typename T>
@@ -95,7 +96,7 @@ class EpochDomain {
   }
 
   std::uint64_t epoch() const noexcept {
-    return global_epoch_.load(std::memory_order_relaxed);
+    return global_epoch_.load(std::memory_order_relaxed);  // relaxed: observational read
   }
 
   ~EpochDomain() {
@@ -146,7 +147,7 @@ class EpochDomain {
     std::uint64_t expected = e;
     global_epoch_.compare_exchange_strong(expected, e + 1,
                                           std::memory_order_acq_rel,
-                                          std::memory_order_relaxed);
+                                          std::memory_order_relaxed);  // relaxed: failure means someone advanced
   }
 
   void collect_bag(std::vector<Retired>& bag) {
@@ -170,8 +171,8 @@ class EpochDomain {
 
   static constexpr std::uint64_t kInactive = ~0ull;
 
-  CCDS_CACHELINE_ALIGNED std::atomic<std::uint64_t> global_epoch_{2};
-  Padded<std::atomic<std::uint64_t>> local_epoch_[kMaxThreads] = {};
+  CCDS_CACHELINE_ALIGNED Atomic<std::uint64_t> global_epoch_{2};
+  Padded<Atomic<std::uint64_t>> local_epoch_[kMaxThreads] = {};
   Padded<std::vector<Retired>> limbo_[kMaxThreads];
   // Epoch at each thread's last bag scan (owner-thread access only).
   Padded<std::uint64_t> last_scan_epoch_[kMaxThreads] = {};
@@ -179,9 +180,9 @@ class EpochDomain {
   // local_epoch_ default-initializes atomics to 0, which must mean inactive;
   // fix them up here.
   struct Init {
-    explicit Init(Padded<std::atomic<std::uint64_t>>* slots) {
+    explicit Init(Padded<Atomic<std::uint64_t>>* slots) {
       for (std::size_t i = 0; i < kMaxThreads; ++i) {
-        slots[i].value.store(kInactive, std::memory_order_relaxed);
+        slots[i].value.store(kInactive, std::memory_order_relaxed);  // relaxed: startup, before any sharing
       }
     }
   } init_{local_epoch_};

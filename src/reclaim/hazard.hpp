@@ -13,11 +13,11 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstddef>
 #include <vector>
 
 #include "core/arch.hpp"
+#include "core/atomic.hpp"
 #include "core/padded.hpp"
 #include "core/thread_registry.hpp"
 
@@ -44,16 +44,16 @@ class BasicHazardDomain {
 
     // Protect the pointer currently stored in `src`: publish-and-validate
     // loop.  On return the referent cannot be freed while this slot holds it.
-    template <typename T>
-    T* protect(std::size_t slot, const std::atomic<T*>& src) noexcept {
+    template <typename Atom>
+    auto protect(std::size_t slot, const Atom& src) noexcept {
       CCDS_ASSERT(slot < kSlots);
-      T* p = src.load(std::memory_order_acquire);
+      auto p = src.load(std::memory_order_acquire);
       for (;;) {
         // seq_cst store/load pair: the hazard publication must be globally
         // visible before we re-read src, or a reclaimer's scan could miss it
         // (classic store-load ordering requirement of the HP algorithm).
         hp_[slot].store(p, std::memory_order_seq_cst);
-        T* q = src.load(std::memory_order_seq_cst);
+        auto q = src.load(std::memory_order_seq_cst);
         if (q == p) return p;
         p = q;
       }
@@ -75,7 +75,7 @@ class BasicHazardDomain {
 
    private:
     BasicHazardDomain* dom_;
-    std::atomic<void*>* hp_;
+    Atomic<void*>* hp_;
   };
 
   Guard guard() noexcept { return Guard(*this); }
@@ -118,7 +118,7 @@ class BasicHazardDomain {
 
  private:
   struct HpRecord {
-    std::atomic<void*> slot[kSlots]{};
+    Atomic<void*> slot[kSlots]{};
   };
   struct Retired {
     void* ptr;

@@ -22,8 +22,9 @@ class LeakyDomain {
 
   class Guard {
    public:
-    template <typename T>
-    T* protect(std::size_t /*slot*/, const std::atomic<T*>& src) noexcept {
+    template <typename Atom>
+    auto protect(std::size_t /*slot*/, const Atom& src) noexcept {
+      // Generic over the atomic type (std::atomic or the model shim).
       return src.load(std::memory_order_acquire);
     }
     template <typename T>

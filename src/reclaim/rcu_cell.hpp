@@ -45,7 +45,7 @@ class RcuCell {
   RcuCell(const RcuCell&) = delete;
   RcuCell& operator=(const RcuCell&) = delete;
 
-  ~RcuCell() { delete ptr_.load(std::memory_order_relaxed); }
+  ~RcuCell() { delete ptr_.load(std::memory_order_relaxed); }  // relaxed: destructor
 
   // Read-side: O(1), no shared-memory writes beyond the epoch pin.
   Snapshot read() { return Snapshot(domain_, ptr_); }

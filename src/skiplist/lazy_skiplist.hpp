@@ -29,7 +29,7 @@ class LazySkipListSet {
  public:
   LazySkipListSet() : head_(new Node{}) {
     head_->height = kSkipListMaxLevel;
-    head_->fully_linked.store(true, std::memory_order_relaxed);
+    head_->fully_linked.store(true, std::memory_order_relaxed);  // relaxed: ctor, list unpublished
   }
   LazySkipListSet(const LazySkipListSet&) = delete;
   LazySkipListSet& operator=(const LazySkipListSet&) = delete;
@@ -37,7 +37,7 @@ class LazySkipListSet {
   ~LazySkipListSet() {
     Node* n = head_;
     while (n != nullptr) {
-      Node* next = n->next[0].load(std::memory_order_relaxed);
+      Node* next = n->next[0].load(std::memory_order_relaxed);  // relaxed: destructor
       delete n;
       n = next;
     }
@@ -100,6 +100,7 @@ class LazySkipListSet {
       Node* n = new Node{};
       n->key = key;
       n->height = height;
+      // relaxed: the node is unpublished until fully_linked's release.
       for (int level = 0; level < height; ++level) {
         n->next[level].store(succs[level], std::memory_order_relaxed);
       }
@@ -161,6 +162,7 @@ class LazySkipListSet {
       }
 
       for (int level = height - 1; level >= 0; --level) {
+        // relaxed: victim is locked; its links are frozen.
         preds[level]->next[level].store(
             victim->next[level].load(std::memory_order_relaxed),
             std::memory_order_release);

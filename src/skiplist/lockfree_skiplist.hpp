@@ -43,7 +43,7 @@ class LockFreeSkipListSet {
   ~LockFreeSkipListSet() {
     Node* n = head_;
     while (n != nullptr) {
-      Node* next = unmark(n->next[0].load(std::memory_order_relaxed));
+      Node* next = unmark(n->next[0].load(std::memory_order_relaxed));  // relaxed: destructor
       delete n;
       n = next;
     }
@@ -93,6 +93,7 @@ class LockFreeSkipListSet {
         n->height = height;
       }
       // n is private until the bottom-level splice: plain stores are fine.
+      // relaxed: links published by the bottom-level release CAS.
       for (int level = 0; level < height; ++level) {
         n->next[level].store(succs[level], std::memory_order_relaxed);
       }
@@ -119,7 +120,7 @@ class LockFreeSkipListSet {
           if (fwd != succ &&
               !n->next[level].compare_exchange_strong(
                   fwd, succ, std::memory_order_release,
-                  std::memory_order_relaxed)) {
+                  std::memory_order_relaxed)) {  // relaxed: failure re-evaluates the level
             continue;  // lost to a marker (or helper); re-evaluate
           }
           Node* expected_up = succ;
@@ -197,7 +198,7 @@ class LockFreeSkipListSet {
   bool link_cas(Node* pred, int level, Node*& expected, Node* desired) {
     return pred->next[level].compare_exchange_strong(
         expected, desired, std::memory_order_release,
-        std::memory_order_relaxed);
+        std::memory_order_relaxed);  // relaxed: failure handled by caller
   }
 
   // Mark `victim` at every level (bottom mark is the linearization point),
@@ -248,7 +249,7 @@ class LockFreeSkipListSet {
           Node* expected = curr;
           if (!pred->next[level].compare_exchange_strong(
                   expected, unmark(succ_raw), std::memory_order_release,
-                  std::memory_order_relaxed)) {
+                  std::memory_order_relaxed)) {  // relaxed: failure goes back to retry
             goto retry;
           }
           curr = unmark(pred->next[level].load(std::memory_order_acquire));
@@ -288,7 +289,7 @@ class SkipListPriorityQueue {
  public:
   void push(Priority p) {
     const std::uint64_t seq =
-        seq_.fetch_add(1, std::memory_order_relaxed) & 0xffffffffull;
+        seq_.fetch_add(1, std::memory_order_relaxed) & 0xffffffffull;  // relaxed: unique-id counter
     list_.insert((static_cast<std::uint64_t>(p) << 32) | seq);
   }
 
@@ -300,7 +301,7 @@ class SkipListPriorityQueue {
 
  private:
   LockFreeSkipListSet<std::uint64_t> list_;
-  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> seq_{0};  // unpadded: test scaffolding, not a hot path
 };
 
 // Coarse-grained binary-heap priority queue: the baseline for E9.

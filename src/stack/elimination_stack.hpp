@@ -41,7 +41,7 @@ class EliminationBackoffStack {
   EliminationBackoffStack& operator=(const EliminationBackoffStack&) = delete;
 
   ~EliminationBackoffStack() {
-    Node* n = head_.load(std::memory_order_relaxed);
+    Node* n = head_.load(std::memory_order_relaxed);  // relaxed: destructor
     while (n != nullptr) {
       Node* next = n->next;
       delete n;
@@ -51,16 +51,16 @@ class EliminationBackoffStack {
 
   void push(T v) {
     Node* n = new Node{std::move(v), nullptr};
-    Node* h = head_.load(std::memory_order_relaxed);
+    Node* h = head_.load(std::memory_order_relaxed);  // relaxed: the CAS below validates
     for (;;) {
       n->next = h;
       if (head_.compare_exchange_weak(h, n, std::memory_order_release,
-                                      std::memory_order_relaxed)) {
+                                      std::memory_order_relaxed)) {  // relaxed: failure re-reads via expected
         return;
       }
       // Contention: try to hand the node directly to a popper.
       if (try_eliminate_push(n)) return;
-      h = head_.load(std::memory_order_relaxed);
+      h = head_.load(std::memory_order_relaxed);  // relaxed: retry hint; the CAS validates
     }
   }
 
@@ -71,7 +71,7 @@ class EliminationBackoffStack {
       if (h == nullptr) return std::nullopt;
       Node* next = h->next;
       if (head_.compare_exchange_strong(h, next, std::memory_order_acquire,
-                                        std::memory_order_relaxed)) {
+                                        std::memory_order_relaxed)) {  // relaxed: failure re-runs the loop
         std::optional<T> v(std::move(h->value));
         domain_.retire(h);
         return v;
@@ -123,7 +123,7 @@ class EliminationBackoffStack {
       std::uintptr_t expected = kPopWait;
       return slot.compare_exchange_strong(
           expected, reinterpret_cast<std::uintptr_t>(n) | 1,
-          std::memory_order_release, std::memory_order_relaxed);
+          std::memory_order_release, std::memory_order_relaxed);  // relaxed: failure re-examines the slot
     }
     if (s != kEmpty) return false;
 
@@ -132,7 +132,7 @@ class EliminationBackoffStack {
     const std::uintptr_t mine = reinterpret_cast<std::uintptr_t>(n);
     if (!slot.compare_exchange_strong(expected, mine,
                                       std::memory_order_release,
-                                      std::memory_order_relaxed)) {
+                                      std::memory_order_relaxed)) {  // relaxed: failure falls back to the stack
       return false;
     }
     for (int i = 0; i < kSpinBudget; ++i) {
@@ -146,7 +146,7 @@ class EliminationBackoffStack {
     expected = mine;
     if (slot.compare_exchange_strong(expected, kEmpty,
                                      std::memory_order_acquire,
-                                     std::memory_order_relaxed)) {
+                                     std::memory_order_relaxed)) {  // relaxed: failure falls back to the stack
       return false;
     }
     CCDS_ASSERT(expected == kDone);
@@ -162,7 +162,7 @@ class EliminationBackoffStack {
     if (is_node(s)) {
       // A pusher is parked: take its node.
       if (slot.compare_exchange_strong(s, kDone, std::memory_order_acq_rel,
-                                       std::memory_order_relaxed)) {
+                                       std::memory_order_relaxed)) {  // relaxed: failure re-examines the slot
         return reinterpret_cast<Node*>(s);
       }
       return nullptr;
@@ -173,7 +173,7 @@ class EliminationBackoffStack {
     std::uintptr_t expected = kEmpty;
     if (!slot.compare_exchange_strong(expected, kPopWait,
                                       std::memory_order_acq_rel,
-                                      std::memory_order_relaxed)) {
+                                      std::memory_order_relaxed)) {  // relaxed: failure re-examines the slot
       return nullptr;
     }
     for (int i = 0; i < kSpinBudget; ++i) {
@@ -189,7 +189,7 @@ class EliminationBackoffStack {
     expected = kPopWait;
     if (slot.compare_exchange_strong(expected, kEmpty,
                                      std::memory_order_acquire,
-                                     std::memory_order_relaxed)) {
+                                     std::memory_order_relaxed)) {  // relaxed: failure falls back to the stack
       return nullptr;
     }
     CCDS_ASSERT((expected & 1) == 1 && expected > kDone);

@@ -8,10 +8,10 @@
 // no other ABA source exists.
 #pragma once
 
-#include <atomic>
 #include <optional>
 #include <utility>
 
+#include "core/atomic.hpp"
 #include "core/backoff.hpp"
 #include "reclaim/hazard.hpp"
 
@@ -25,7 +25,7 @@ class TreiberStack {
   TreiberStack& operator=(const TreiberStack&) = delete;
 
   ~TreiberStack() {
-    Node* n = head_.load(std::memory_order_relaxed);
+    Node* n = head_.load(std::memory_order_relaxed);  // relaxed: destructor
     while (n != nullptr) {
       Node* next = n->next;
       delete n;
@@ -35,13 +35,13 @@ class TreiberStack {
 
   void push(T v) {
     Node* n = new Node{std::move(v), nullptr};
-    Node* h = head_.load(std::memory_order_relaxed);
+    Node* h = head_.load(std::memory_order_relaxed);  // relaxed: the CAS below validates
     Backoff backoff;
     for (;;) {
       n->next = h;
       // release: publish n (value + link) to the popper's acquire load.
       if (head_.compare_exchange_weak(h, n, std::memory_order_release,
-                                      std::memory_order_relaxed)) {
+                                      std::memory_order_relaxed)) {  // relaxed: failure re-reads via expected
         return;
       }
       backoff.spin();
@@ -80,7 +80,7 @@ class TreiberStack {
     Node* next;
   };
 
-  CCDS_CACHELINE_ALIGNED std::atomic<Node*> head_{nullptr};
+  CCDS_CACHELINE_ALIGNED Atomic<Node*> head_{nullptr};
   Domain domain_;
 };
 

@@ -18,6 +18,7 @@ namespace ccds {
 class AndersonLock {
  public:
   AndersonLock() noexcept {
+    // relaxed: constructor; the lock is unpublished.
     flags_[0]->store(true, std::memory_order_relaxed);
     for (std::size_t i = 1; i < kSlots; ++i) {
       flags_[i]->store(false, std::memory_order_relaxed);
@@ -26,7 +27,7 @@ class AndersonLock {
 
   void lock() noexcept {
     const std::uint32_t slot =
-        tail_.fetch_add(1, std::memory_order_relaxed) % kSlots;
+        tail_.fetch_add(1, std::memory_order_relaxed) % kSlots;  // relaxed: slot handout; flag load acquires
     std::uint32_t spins = 0;
     while (!flags_[slot]->load(std::memory_order_acquire)) spin_wait(spins);
     my_slot_[thread_id()].value = slot;

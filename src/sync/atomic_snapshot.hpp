@@ -32,6 +32,7 @@ class AtomicSnapshot {
  public:
   explicit AtomicSnapshot(std::size_t registers)
       : regs_(registers) {
+    // relaxed: constructor; the snapshot is unpublished.
     for (auto& r : regs_) {
       r->store(new Revision{}, std::memory_order_relaxed);
     }
@@ -41,7 +42,7 @@ class AtomicSnapshot {
   AtomicSnapshot& operator=(const AtomicSnapshot&) = delete;
 
   ~AtomicSnapshot() {
-    for (auto& r : regs_) delete r->load(std::memory_order_relaxed);
+    for (auto& r : regs_) delete r->load(std::memory_order_relaxed);  // relaxed: destructor
   }
 
   std::size_t size() const noexcept { return regs_.size(); }

@@ -17,6 +17,7 @@ namespace ccds {
 class ClhLock {
  public:
   ClhLock() noexcept {
+    // relaxed: constructor; the lock is unpublished.
     dummy_.value.locked.store(false, std::memory_order_relaxed);
     tail_.store(&dummy_.value, std::memory_order_relaxed);
     for (std::size_t i = 0; i < kMaxThreads; ++i) {
@@ -27,7 +28,7 @@ class ClhLock {
   void lock() noexcept {
     const std::size_t tid = thread_id();
     QNode* me = mine_[tid].value;
-    me->locked.store(true, std::memory_order_relaxed);
+    me->locked.store(true, std::memory_order_relaxed);  // relaxed: published by the exchange below
     // acq_rel: release publishes our node's `locked=true`; acquire pairs with
     // the predecessor's enqueue so our spin reads its final node.
     QNode* pred = tail_.exchange(me, std::memory_order_acq_rel);

@@ -71,7 +71,7 @@ class FlatCombiner {
         combine();
         lock_.unlock();
         // We held the lock with our record published, so combine() ran it.
-        CCDS_ASSERT(rec.done.load(std::memory_order_relaxed));
+        CCDS_ASSERT(rec.done.load(std::memory_order_relaxed));  // relaxed: re-check of an observed flag
         break;
       }
       spin_wait(spins);
@@ -109,7 +109,7 @@ class FlatCombiner {
         // acquire: pairs with the publisher's release store.
         Record* rec = slots_[i]->load(std::memory_order_acquire);
         if (rec == nullptr) continue;
-        slots_[i]->store(nullptr, std::memory_order_relaxed);
+        slots_[i]->store(nullptr, std::memory_order_relaxed);  // relaxed: combiner holds the lock
         rec->run(rec->ctx, rec->result, state_);
         // release: publish both the result and slot consumption.
         rec->done.store(true, std::memory_order_release);

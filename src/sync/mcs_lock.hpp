@@ -6,9 +6,8 @@
 // the lock meets BasicLockable without threading a node through the API.
 #pragma once
 
-#include <atomic>
-
 #include "core/arch.hpp"
+#include "core/atomic.hpp"
 #include "core/padded.hpp"
 #include "core/thread_registry.hpp"
 
@@ -18,6 +17,7 @@ class McsLock {
  public:
   void lock() noexcept {
     QNode* me = &nodes_[thread_id()].value;
+    // relaxed: node fields are published by the exchange's release.
     me->next.store(nullptr, std::memory_order_relaxed);
     me->locked.store(true, std::memory_order_relaxed);
     // acq_rel: acquire pairs with the releasing unlock of the predecessor we
@@ -32,11 +32,11 @@ class McsLock {
 
   bool try_lock() noexcept {
     QNode* me = &nodes_[thread_id()].value;
-    me->next.store(nullptr, std::memory_order_relaxed);
+    me->next.store(nullptr, std::memory_order_relaxed);  // relaxed: published by the CAS on success
     QNode* expected = nullptr;
     return tail_.compare_exchange_strong(expected, me,
                                          std::memory_order_acq_rel,
-                                         std::memory_order_relaxed);
+                                         std::memory_order_relaxed);  // relaxed: failure means contention; give up
   }
 
   void unlock() noexcept {
@@ -47,7 +47,7 @@ class McsLock {
       QNode* expected = me;
       if (tail_.compare_exchange_strong(expected, nullptr,
                                         std::memory_order_release,
-                                        std::memory_order_relaxed)) {
+                                        std::memory_order_relaxed)) {  // relaxed: failure means a successor exists
         return;
       }
       // A successor is in the middle of enqueueing; wait for its link.
@@ -61,11 +61,11 @@ class McsLock {
 
  private:
   struct QNode {
-    std::atomic<QNode*> next{nullptr};
-    std::atomic<bool> locked{false};
+    Atomic<QNode*> next{nullptr};
+    Atomic<bool> locked{false};
   };
 
-  CCDS_CACHELINE_ALIGNED std::atomic<QNode*> tail_{nullptr};
+  CCDS_CACHELINE_ALIGNED Atomic<QNode*> tail_{nullptr};
   Padded<QNode> nodes_[kMaxThreads];
 };
 

@@ -44,8 +44,8 @@ class PetersonLock {
   }
 
  private:
-  std::atomic<bool> flag_[2] = {};
-  std::atomic<int> victim_{0};
+  std::atomic<bool> flag_[2] = {};  // unpadded: textbook lock; contention is the point
+  std::atomic<int> victim_{0};  // unpadded: textbook lock; contention is the point
 };
 
 // Filter lock: n-1 levels, each filtering out at least one thread; level
@@ -84,8 +84,8 @@ class FilterLock {
   }
 
  private:
-  std::atomic<std::size_t> level_[kMaxThreads] = {};
-  std::atomic<std::size_t> victim_[kMaxThreads] = {};
+  std::atomic<std::size_t> level_[kMaxThreads] = {};  // unpadded: pedagogical; arrays scanned whole
+  std::atomic<std::size_t> victim_[kMaxThreads] = {};  // unpadded: pedagogical; arrays scanned whole
 };
 
 }  // namespace ccds

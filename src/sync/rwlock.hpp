@@ -18,24 +18,24 @@ class RwSpinLock {
  public:
   void lock() noexcept {  // exclusive
     std::uint32_t spins = 0;
-    writers_waiting_.fetch_add(1, std::memory_order_relaxed);
+    writers_waiting_.fetch_add(1, std::memory_order_relaxed);  // relaxed: advisory counter for deference
     for (;;) {
       std::uint32_t expected = 0;
       if (state_.compare_exchange_weak(expected, kWriterBit,
                                        std::memory_order_acquire,
-                                       std::memory_order_relaxed)) {
+                                       std::memory_order_relaxed)) {  // relaxed: failure re-enters the spin loop
         break;
       }
-      while (state_.load(std::memory_order_relaxed) != 0) spin_wait(spins);
+      while (state_.load(std::memory_order_relaxed) != 0) spin_wait(spins);  // relaxed: spin hint; the CAS acquires
     }
-    writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+    writers_waiting_.fetch_sub(1, std::memory_order_relaxed);  // relaxed: advisory counter
   }
 
   bool try_lock() noexcept {
     std::uint32_t expected = 0;
     return state_.compare_exchange_strong(expected, kWriterBit,
                                           std::memory_order_acquire,
-                                          std::memory_order_relaxed);
+                                          std::memory_order_relaxed);  // relaxed: failure just returns false
   }
 
   void unlock() noexcept {
@@ -46,22 +46,22 @@ class RwSpinLock {
     std::uint32_t spins = 0;
     for (;;) {
       // Defer to queued writers (writer preference).
-      while (writers_waiting_.load(std::memory_order_relaxed) != 0 ||
-             (state_.load(std::memory_order_relaxed) & kWriterBit) != 0) {
+      while (writers_waiting_.load(std::memory_order_relaxed) != 0 ||  // relaxed: heuristic gate
+             (state_.load(std::memory_order_relaxed) & kWriterBit) != 0) {  // relaxed: heuristic gate
         spin_wait(spins);
       }
       const std::uint32_t prev =
           state_.fetch_add(1, std::memory_order_acquire);
       if ((prev & kWriterBit) == 0) return;
       // Raced with a writer; undo and retry.
-      state_.fetch_sub(1, std::memory_order_relaxed);
+      state_.fetch_sub(1, std::memory_order_relaxed);  // relaxed: undoing our own optimistic add
     }
   }
 
   bool try_lock_shared() noexcept {
     const std::uint32_t prev = state_.fetch_add(1, std::memory_order_acquire);
     if ((prev & kWriterBit) == 0) return true;
-    state_.fetch_sub(1, std::memory_order_relaxed);
+    state_.fetch_sub(1, std::memory_order_relaxed);  // relaxed: undoing our own optimistic add
     return false;
   }
 

@@ -55,7 +55,7 @@ class SeqLock {
       }
       // acquire fence: the word loads above complete before the re-check.
       std::atomic_thread_fence(std::memory_order_acquire);
-      if (seq_.load(std::memory_order_relaxed) == s1) {
+      if (seq_.load(std::memory_order_relaxed) == s1) {  // relaxed: the fence above orders the re-read
         T out;
         std::memcpy(&out, buf, sizeof(T));
         return out;
@@ -70,8 +70,8 @@ class SeqLock {
   void write(F&& mutate) noexcept {
     writer_lock_.lock();
     mutate(shadow_);
-    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
-    seq_.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);  // relaxed: writer lock held; seq_ is ours
+    seq_.store(s + 1, std::memory_order_relaxed);  // relaxed: odd marker; fence below orders it
     // release fence: the odd sequence becomes visible before any word
     // store below.
     std::atomic_thread_fence(std::memory_order_release);
@@ -92,12 +92,12 @@ class SeqLock {
     std::uint64_t buf[kWords] = {};
     std::memcpy(buf, &v, sizeof(T));
     for (std::size_t w = 0; w < kWords; ++w) {
-      words_[w].store(buf[w], std::memory_order_relaxed);
+      words_[w].store(buf[w], std::memory_order_relaxed);  // relaxed: ordered by the surrounding fences
     }
   }
 
   CCDS_CACHELINE_ALIGNED mutable std::atomic<std::uint64_t> seq_{0};
-  std::atomic<std::uint64_t> words_[kWords] = {};
+  std::atomic<std::uint64_t> words_[kWords] = {};  // unpadded: payload; seq_ is the contended word
   T shadow_{};  // writer-private master copy, guarded by writer_lock_
   TtasLock writer_lock_;
 };

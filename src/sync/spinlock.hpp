@@ -11,6 +11,7 @@
 #include <atomic>
 
 #include "core/arch.hpp"
+#include "core/atomic.hpp"
 #include "core/backoff.hpp"
 
 namespace ccds {
@@ -36,7 +37,7 @@ class TasLock {
   }
 
  private:
-  CCDS_CACHELINE_ALIGNED std::atomic<bool> locked_{false};
+  CCDS_CACHELINE_ALIGNED Atomic<bool> locked_{false};
 };
 
 // Test-and-test-and-set: spin on a shared read (cache-local after the first
@@ -54,14 +55,14 @@ class TtasLock {
   }
 
   bool try_lock() noexcept {
-    return !locked_.load(std::memory_order_relaxed) &&
+    return !locked_.load(std::memory_order_relaxed) &&  // relaxed: peek; the exchange acquires
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
   void unlock() noexcept { locked_.store(false, std::memory_order_release); }
 
  private:
-  CCDS_CACHELINE_ALIGNED std::atomic<bool> locked_{false};
+  CCDS_CACHELINE_ALIGNED Atomic<bool> locked_{false};
 };
 
 // TTAS plus randomized exponential backoff after each failed acquisition
@@ -73,21 +74,21 @@ class TtasBackoffLock {
     Backoff backoff;
     std::uint32_t spins = 0;
     for (;;) {
-      while (locked_.load(std::memory_order_relaxed)) spin_wait(spins);
+      while (locked_.load(std::memory_order_relaxed)) spin_wait(spins);  // relaxed: spin read; the exchange acquires
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
       backoff.spin();
     }
   }
 
   bool try_lock() noexcept {
-    return !locked_.load(std::memory_order_relaxed) &&
+    return !locked_.load(std::memory_order_relaxed) &&  // relaxed: peek; the exchange acquires
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
   void unlock() noexcept { locked_.store(false, std::memory_order_release); }
 
  private:
-  CCDS_CACHELINE_ALIGNED std::atomic<bool> locked_{false};
+  CCDS_CACHELINE_ALIGNED Atomic<bool> locked_{false};
 };
 
 }  // namespace ccds

@@ -7,10 +7,10 @@
 // the survey gives for queue locks (MCS/CLH).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
 #include "core/arch.hpp"
+#include "core/atomic.hpp"
 
 namespace ccds {
 
@@ -19,7 +19,7 @@ class TicketLock {
   void lock() noexcept {
     std::uint32_t spins = 0;
     const std::uint32_t my =
-        next_.fetch_add(1, std::memory_order_relaxed);
+        next_.fetch_add(1, std::memory_order_relaxed);  // relaxed: ticket handout; grant load acquires
     for (;;) {
       const std::uint32_t cur = grant_.load(std::memory_order_acquire);
       if (cur == my) return;
@@ -37,17 +37,17 @@ class TicketLock {
     // Lock is free iff next == grant; claim by bumping next.
     return next_.compare_exchange_strong(expected, cur + 1,
                                          std::memory_order_acquire,
-                                         std::memory_order_relaxed);
+                                         std::memory_order_relaxed);  // relaxed: failure just returns false
   }
 
   void unlock() noexcept {
-    grant_.store(grant_.load(std::memory_order_relaxed) + 1,
+    grant_.store(grant_.load(std::memory_order_relaxed) + 1,  // relaxed: we hold the lock; grant_ is ours
                  std::memory_order_release);
   }
 
  private:
-  CCDS_CACHELINE_ALIGNED std::atomic<std::uint32_t> next_{0};
-  CCDS_CACHELINE_ALIGNED std::atomic<std::uint32_t> grant_{0};
+  CCDS_CACHELINE_ALIGNED Atomic<std::uint32_t> next_{0};
+  CCDS_CACHELINE_ALIGNED Atomic<std::uint32_t> grant_{0};
 };
 
 }  // namespace ccds

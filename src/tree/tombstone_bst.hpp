@@ -33,7 +33,7 @@ class TombstoneBstSet {
   TombstoneBstSet(const TombstoneBstSet&) = delete;
   TombstoneBstSet& operator=(const TombstoneBstSet&) = delete;
 
-  ~TombstoneBstSet() { destroy(root_.load(std::memory_order_relaxed)); }
+  ~TombstoneBstSet() { destroy(root_.load(std::memory_order_relaxed)); }  // relaxed: destructor
 
   bool contains(const Key& key) const {
     Node* n = root_.load(std::memory_order_acquire);
@@ -95,7 +95,7 @@ class TombstoneBstSet {
 
   // Number of live keys (linear walk; exact at quiescence).
   std::size_t size() const {
-    return count_live(root_.load(std::memory_order_relaxed));
+    return count_live(root_.load(std::memory_order_relaxed));  // relaxed: quiescent by contract
   }
 
  private:
@@ -109,13 +109,14 @@ class TombstoneBstSet {
 
   static void destroy(Node* n) {
     if (n == nullptr) return;
-    destroy(n->left.load(std::memory_order_relaxed));
-    destroy(n->right.load(std::memory_order_relaxed));
+    destroy(n->left.load(std::memory_order_relaxed));  // relaxed: destructor
+    destroy(n->right.load(std::memory_order_relaxed));  // relaxed: destructor
     delete n;
   }
 
   static std::size_t count_live(Node* n) {
     if (n == nullptr) return 0;
+    // relaxed: exact counts require caller-side quiescence.
     return (n->dead.load(std::memory_order_relaxed) ? 0 : 1) +
            count_live(n->left.load(std::memory_order_relaxed)) +
            count_live(n->right.load(std::memory_order_relaxed));

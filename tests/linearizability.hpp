@@ -18,6 +18,8 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+
+#include "core/atomic.hpp"
 #include <map>
 #include <optional>
 #include <set>
@@ -71,7 +73,11 @@ class HistoryRecorder {
   }
 
  private:
-  std::atomic<std::uint64_t> clock_{0};
+  // ccds::Atomic so the recorder itself is instrumented under CCDS_MODEL:
+  // the clock's acq_rel RMWs both timestamp the ops and carry the
+  // happens-before edges that make timestamp order refine real-time order
+  // inside the model's weak-memory simulation.
+  Atomic<std::uint64_t> clock_{0};
 };
 
 // The checker.  Spec requirements:
