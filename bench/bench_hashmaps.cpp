@@ -1,12 +1,19 @@
-// E7 — hash tables: coarse vs striped vs split-ordered lock-free.
+// E7 — hash tables: coarse vs striped vs split-ordered lock-free vs the
+// swiss-table flat map.
 //
 // Survey claim: striping buys near-linear read scaling at low cost; the
 // split-ordered list keeps winning as the update share grows and removes
-// the stop-the-world resize entirely (the table never moves).
+// the stop-the-world resize entirely (the table never moves).  The swiss
+// map tests the follow-on claim from the flat-layout literature (F14,
+// Synch): once probing is a SIMD scan over inline groups, the cache-miss
+// chain of node-based maps is the dominant term they can never recover —
+// its lock-free seqlock gets should dominate every lock-taking get on the
+// read-heavy mixes.
 //
-// The two lock-based structures are benchmarked through the map interface,
-// the split-ordered through the set interface; the per-op work (hash, probe
-// chain of ~2) is comparable.  Key range 64k, prefilled half.
+// The lock-based structures and the swiss map are benchmarked through the
+// map interface, the split-ordered through the set interface; the per-op
+// work (hash, probe chain of ~2) is comparable.  Key range 64k, prefilled
+// half.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -16,6 +23,7 @@
 #include "hash/coarse_hash_map.hpp"
 #include "hash/split_ordered_set.hpp"
 #include "hash/striped_hash_map.hpp"
+#include "hash/swiss_hash_map.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard.hpp"
 
@@ -47,6 +55,7 @@ void BM_HashSetMix(benchmark::State& state) {
 
 using CoarseMap = CoarseHashMap<std::uint64_t, std::uint64_t>;
 using StripedMap = StripedHashMap<std::uint64_t, std::uint64_t>;
+using SwissMap = SwissHashMap<std::uint64_t, std::uint64_t>;
 using SplitOrderedHP =
     SplitOrderedHashSet<std::uint64_t, MixHash<std::uint64_t>, HazardDomain>;
 using SplitOrderedEBR =
@@ -54,6 +63,7 @@ using SplitOrderedEBR =
 
 BENCHMARK(BM_HashMapMix<CoarseMap>) CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
 BENCHMARK(BM_HashMapMix<StripedMap>) CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
+BENCHMARK(BM_HashMapMix<SwissMap>) CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
 BENCHMARK(BM_HashSetMix<SplitOrderedHP>)
     CCDS_BENCH_MIX_ARGS CCDS_BENCH_THREADS;
 BENCHMARK(BM_HashSetMix<SplitOrderedEBR>)

@@ -1,19 +1,54 @@
 #!/bin/bash
-# Run the full ccds benchmark harness and record the raw output.
+# Run the full ccds benchmark harness, one JSON artifact per suite.
 #
-# Usage: scripts/run_benchmarks.sh [build-dir] [min-time-seconds]
-# Output: bench_output.txt in the repository root.
+# Usage: scripts/run_benchmarks.sh [build-dir] [min-time-seconds] [filter]
+#
+# For every bench binary bench_<suite> the run writes repo-root
+# BENCH_<suite>.json (google-benchmark --benchmark_format=json), the
+# machine-readable trajectory EXPERIMENTS.md and summarize_benches.py
+# consume.  `filter` (optional) restricts which suites run, e.g.
+# `scripts/run_benchmarks.sh build 0.05 hashmaps`.
+#
+# Exits non-zero if any bench binary fails (or none were found), so CI can
+# gate on benchmark health instead of silently archiving broken output.
 set -u
 build=${1:-build}
 min_time=${2:-0.05}
+filter=${3:-}
 root="$(cd "$(dirname "$0")/.." && pwd)"
-out="$root/bench_output.txt"
-: > "$out"
+
+failures=0
+ran=0
 for b in "$root/$build"/bench/bench_*; do
   [ -x "$b" ] || continue
-  echo "===== $(basename "$b") =====" >> "$out"
-  timeout 1800 "$b" --benchmark_min_time="$min_time" >> "$out" 2>&1
-  echo "----- exit: $? -----" >> "$out"
+  [ -d "$b" ] && continue
+  suite="$(basename "$b")"
+  suite="${suite#bench_}"
+  if [ -n "$filter" ] && [[ "$suite" != *"$filter"* ]]; then
+    continue
+  fi
+  out="$root/BENCH_${suite}.json"
+  echo "== bench_${suite} -> $(basename "$out")"
+  if ! timeout 1800 "$b" \
+      --benchmark_min_time="$min_time" \
+      --benchmark_format=json > "$out.tmp" 2> "$out.err"; then
+    echo "!! bench_${suite} FAILED:" >&2
+    tail -20 "$out.err" >&2
+    rm -f "$out.tmp" "$out.err"
+    failures=$((failures + 1))
+    continue
+  fi
+  mv "$out.tmp" "$out"
+  rm -f "$out.err"
+  ran=$((ran + 1))
 done
-echo "ALL_BENCHES_DONE" >> "$out"
-echo "wrote $out"
+
+if [ "$ran" -eq 0 ]; then
+  echo "no bench binaries found under $root/$build/bench" >&2
+  exit 1
+fi
+if [ "$failures" -ne 0 ]; then
+  echo "$failures bench binar(y/ies) failed" >&2
+  exit 1
+fi
+echo "wrote $ran BENCH_<suite>.json file(s) in $root"

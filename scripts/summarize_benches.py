@@ -1,24 +1,47 @@
 #!/usr/bin/env python3
-"""Summarize bench_output.txt into compact per-experiment tables.
+"""Summarize benchmark results into compact per-experiment tables.
 
-Usage: scripts/summarize_benches.py [bench_output.txt]
+Usage: scripts/summarize_benches.py [BENCH_*.json | bench_output.txt ...]
 
-Parses google-benchmark console output and prints, per bench binary, a
-table of items/second with one row per (benchmark, args) and one column
-per thread count — the shape EXPERIMENTS.md quotes.
+With no arguments, reads every BENCH_*.json in the repository root (the
+artifacts scripts/run_benchmarks.sh writes).  Each table is items/second
+with one row per (benchmark, args) and one column per thread count — the
+shape EXPERIMENTS.md quotes.  Legacy google-benchmark console dumps
+(*.txt) are still parsed for old archives.
 """
+import glob
+import json
+import os
 import re
 import sys
 from collections import defaultdict
 
 
-def parse(path):
-    # sections[binary] -> {(name, args) -> {threads: mops}}
+def parse_json(path):
+    """One run_benchmarks.sh artifact -> {(name, args) -> {threads: Mops}}."""
+    rows = defaultdict(dict)
+    with open(path, errors="replace") as f:
+        doc = json.load(f)
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue  # keep per-run medians out of the table
+        full = b.get("name", "")
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        threads = int(b.get("threads", 1))
+        parts = full.split("/")
+        name = parts[0]
+        args = "/".join(p for p in parts[1:]
+                        if p != "real_time" and not p.startswith("threads:"))
+        rows[(name, args)][threads] = ips / 1e6
+    return rows
+
+
+def parse_console(path):
+    """Legacy text parser: sections[binary] -> {(name, args) -> {t: Mops}}."""
     sections = defaultdict(lambda: defaultdict(dict))
     binary = None
-    # Benchmark names may contain ", " inside template argument lists, so
-    # match the name lazily up to the optional /real_time//threads suffix
-    # followed by the whitespace-separated time column.
     line_re = re.compile(
         r"^(.+?)(?:/real_time)?(?:/threads:(\d+))?\s{2,}.*items_per_second=([\d.]+)([kMG]?)/s"
     )
@@ -33,7 +56,6 @@ def parse(path):
         full, threads, value, suffix = m.groups()
         threads = int(threads) if threads else 1
         v = float(value) * {"": 1e-6, "k": 1e-3, "M": 1.0, "G": 1e3}[suffix]
-        # Split trailing /arg components off the benchmark name.
         parts = full.split("/")
         name = parts[0]
         args = "/".join(p for p in parts[1:] if p != "real_time" and
@@ -42,20 +64,31 @@ def parse(path):
     return sections
 
 
+def print_table(title, rows):
+    threads = sorted({t for r in rows.values() for t in r})
+    print(f"\n== {title} (items/sec, M)")
+    print(f"  {'benchmark':58s}" + "".join(f"{f'T={t}':>10s}" for t in threads))
+    for (name, args), per_t in rows.items():
+        label = name + (f" [{args}]" if args else "")
+        cells = "".join(
+            f"{per_t[t]:>10.2f}" if t in per_t else f"{'-':>10s}"
+            for t in threads)
+        print(f"  {label:58.58s}{cells}")
+
+
 def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
-    sections = parse(path)
-    for binary, rows in sections.items():
-        threads = sorted({t for r in rows.values() for t in r})
-        print(f"\n== {binary} (items/sec, M)")
-        header = f"  {'benchmark':58s}" + "".join(f"{f'T={t}':>10s}" for t in threads)
-        print(header)
-        for (name, args), per_t in rows.items():
-            label = name + (f" [{args}]" if args else "")
-            cells = "".join(
-                f"{per_t.get(t, float('nan')):>10.2f}" if t in per_t else f"{'-':>10s}"
-                for t in threads)
-            print(f"  {label:58.58s}{cells}")
+    paths = sys.argv[1:]
+    if not paths:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+        if not paths:
+            sys.exit("no BENCH_*.json found; run scripts/run_benchmarks.sh")
+    for path in paths:
+        if path.endswith(".json"):
+            print_table(os.path.basename(path), parse_json(path))
+        else:
+            for binary, rows in parse_console(path).items():
+                print_table(binary, rows)
 
 
 if __name__ == "__main__":

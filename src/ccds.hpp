@@ -9,6 +9,7 @@
 #include "core/arch.hpp"
 #include "core/backoff.hpp"
 #include "core/barrier.hpp"
+#include "core/group_probe.hpp"
 #include "core/hash.hpp"
 #include "core/padded.hpp"
 #include "core/rng.hpp"
@@ -63,6 +64,7 @@
 #include "hash/coarse_hash_map.hpp"
 #include "hash/split_ordered_set.hpp"
 #include "hash/striped_hash_map.hpp"
+#include "hash/swiss_hash_map.hpp"
 
 // skiplist: concurrent skip lists and priority queues.
 #include "skiplist/lazy_skiplist.hpp"

@@ -11,6 +11,19 @@
 #include <new>
 #include <thread>
 
+// SIMD feature selection for byte-wise group probing (core/group_probe.hpp).
+// Exactly one of CCDS_HAVE_SSE2 / CCDS_HAVE_NEON / neither is defined; when
+// neither is, group_probe falls back to a portable SWAR implementation.  The
+// checks are compile-time ISA macros, not runtime dispatch: ccds targets the
+// build machine (the benchmarks are the product).
+#if defined(__SSE2__)
+#define CCDS_HAVE_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) || (defined(__ARM_NEON) && defined(__ARM_NEON__))
+#define CCDS_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
+
 namespace ccds {
 
 // Size used to pad shared variables so that logically-independent hot fields
@@ -42,6 +55,27 @@ namespace model {
 void yield_hint() noexcept;
 }
 #endif
+
+// Software prefetch hints.  Used on probe paths where the address of the
+// next line(s) is known before the dependent load chain reaches them
+// (hash-table groups: metadata line and data lines can be fetched in
+// parallel instead of serially).  No-ops under the model checker — the
+// explorer has no cache, and the arguments may be instrumented objects.
+inline void prefetch_ro(const void* p) noexcept {
+#ifdef CCDS_MODEL
+  (void)p;
+#else
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#endif
+}
+
+inline void prefetch_rw(const void* p) noexcept {
+#ifdef CCDS_MODEL
+  (void)p;
+#else
+  __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+#endif
+}
 
 // Spin-then-yield helper for unbounded wait loops.  Pure cpu_relax spinning
 // burns a full scheduler quantum whenever the awaited thread is preempted

@@ -17,11 +17,21 @@
 namespace ccds {
 template <typename T>
 using Atomic = model::atomic<T>;
+
+// Fence counterpart of the Atomic alias: structures that need standalone
+// fences (seqlock-style readers) must go through this wrapper so the model
+// checker sees the fence as a schedule point and applies its view promotion
+// (a bare std::atomic_thread_fence is invisible to the instrumented shim).
+inline void atomic_thread_fence(std::memory_order mo) { model::fence(mo); }
 }
 #else
 
 namespace ccds {
 template <typename T>
 using Atomic = std::atomic<T>;
+
+inline void atomic_thread_fence(std::memory_order mo) noexcept {
+  std::atomic_thread_fence(mo);
+}
 }
 #endif

@@ -1,0 +1,175 @@
+// Byte-parallel tag probing for 16-slot hash groups (the Swiss-table /
+// F14 metadata trick).
+//
+// A group's 16 one-byte tags are stored as two 64-bit words so that the
+// concurrent map can load them with two relaxed atomic loads (race-free
+// under the C++ memory model, unlike a raw 16-byte vector load from
+// concurrently-mutated memory) and still probe all 16 slots in a handful of
+// instructions.  The probe itself is a pure function of the two word values:
+//
+//   * SSE2:  materialize the 16 bytes in an XMM register (_mm_set_epi64x is
+//            a register-only operation — no memory access, so no race),
+//            compare all lanes at once, movemask to a 16-bit slot mask.
+//   * NEON:  same shape with vceqq_u8 and a bit-gather via vaddv.
+//   * SWAR:  portable fallback on plain uint64 arithmetic using the exact
+//            zero-byte test from Hacker's Delight (the cheaper
+//            (x-lsb)&~x&msb variant admits false positives on bytes equal
+//            to 0x01 below a matching byte, which would be fatal for the
+//            probe-termination rule, so we pay the extra two ops).
+//
+// Tag encoding contract (shared with hash/swiss_hash_map.hpp):
+//   0x00        kEmpty — never-used slot; terminates probe chains.
+//   0x01        kTomb  — erased slot; does NOT terminate probe chains.
+//   0x80..0xff  full slot, low 7 bits are a second hash of the key.
+// "Free" (empty or tomb) is exactly "high bit clear", which every backend
+// tests with one mask.
+#pragma once
+
+#include <cstdint>
+
+#include "core/arch.hpp"
+
+namespace ccds {
+
+// 16 slots per group: one cache line of (tag-word) metadata covers them and
+// one SIMD compare probes them all.
+inline constexpr int kGroupSlots = 16;
+
+inline constexpr std::uint8_t kTagEmpty = 0x00;
+inline constexpr std::uint8_t kTagTomb = 0x01;
+
+// Full-slot tag from a 64-bit hash: top 7 bits plus the occupied marker.
+// The map's group index comes from the LOW bits, so tag and index are
+// nearly independent and a tag match is wrong only 1/128 of the time.
+inline std::uint8_t tag_of_hash(std::uint64_t h) noexcept {
+  return static_cast<std::uint8_t>(0x80u | (h >> 57));
+}
+
+namespace detail {
+
+inline constexpr std::uint64_t kLsbBytes = 0x0101010101010101ull;
+inline constexpr std::uint64_t kMsbBytes = 0x8080808080808080ull;
+
+// Exact zero-byte detector: bit 7 of each byte of the result is set iff the
+// corresponding byte of x is 0x00 (no false positives, unlike the
+// subtract-borrow trick).
+inline std::uint64_t zero_bytes(std::uint64_t x) noexcept {
+  return ~(((x & ~kMsbBytes) + ~kMsbBytes) | x | ~kMsbBytes) & kMsbBytes;
+}
+
+// Compress a byte-mask (0x80 per selected byte) of one tag word into bits
+// [0,8) of the result.  The fallback path only; kept as a plain loop the
+// compiler unrolls rather than a multiply trick, for obvious correctness.
+inline std::uint32_t msb_to_bits(std::uint64_t m) noexcept {
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint32_t>((m >> (8 * i + 7)) & 1u) << i;
+  }
+  return bits;
+}
+
+}  // namespace detail
+
+// Probe results are 16-bit masks: bit s set means slot s (byte s of the
+// group's tag pair: slots 0-7 live in word 0, slots 8-15 in word 1).
+#if defined(CCDS_HAVE_SSE2)
+
+inline std::uint32_t group_match_tag(std::uint64_t w0, std::uint64_t w1,
+                                     std::uint8_t tag) noexcept {
+  const __m128i v = _mm_set_epi64x(static_cast<long long>(w1),
+                                   static_cast<long long>(w0));
+  const __m128i eq = _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(tag)));
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(eq));
+}
+
+inline std::uint32_t group_match_empty(std::uint64_t w0,
+                                       std::uint64_t w1) noexcept {
+  const __m128i v = _mm_set_epi64x(static_cast<long long>(w1),
+                                   static_cast<long long>(w0));
+  const __m128i eq = _mm_cmpeq_epi8(v, _mm_setzero_si128());
+  return static_cast<std::uint32_t>(_mm_movemask_epi8(eq));
+}
+
+inline std::uint32_t group_match_free(std::uint64_t w0,
+                                      std::uint64_t w1) noexcept {
+  // Free slots (empty or tomb) have the tag high bit clear; movemask
+  // collects exactly the high bits.
+  const __m128i v = _mm_set_epi64x(static_cast<long long>(w1),
+                                   static_cast<long long>(w0));
+  return static_cast<std::uint32_t>(~_mm_movemask_epi8(v)) & 0xffffu;
+}
+
+#elif defined(CCDS_HAVE_NEON)
+
+namespace detail {
+
+// Gather each lane's MSB into a 16-bit mask: AND each byte with its
+// in-lane bit weight, then horizontally add each 8-byte half.
+inline std::uint32_t neon_msb_mask(uint8x16_t m) noexcept {
+  const std::uint8_t kWeights[16] = {1, 2, 4, 8, 16, 32, 64, 128,
+                                     1, 2, 4, 8, 16, 32, 64, 128};
+  const uint8x16_t sel = vandq_u8(vshrq_n_u8(m, 7), vdupq_n_u8(1));
+  const uint8x16_t bits = vmulq_u8(sel, vld1q_u8(kWeights));
+  const std::uint32_t lo = vaddv_u8(vget_low_u8(bits));
+  const std::uint32_t hi = vaddv_u8(vget_high_u8(bits));
+  return lo | (hi << 8);
+}
+
+}  // namespace detail
+
+inline std::uint32_t group_match_tag(std::uint64_t w0, std::uint64_t w1,
+                                     std::uint8_t tag) noexcept {
+  const uint8x16_t v = vreinterpretq_u8_u64(
+      vcombine_u64(vcreate_u64(w0), vcreate_u64(w1)));
+  return detail::neon_msb_mask(vceqq_u8(v, vdupq_n_u8(tag)));
+}
+
+inline std::uint32_t group_match_empty(std::uint64_t w0,
+                                       std::uint64_t w1) noexcept {
+  const uint8x16_t v = vreinterpretq_u8_u64(
+      vcombine_u64(vcreate_u64(w0), vcreate_u64(w1)));
+  return detail::neon_msb_mask(vceqq_u8(v, vdupq_n_u8(0)));
+}
+
+inline std::uint32_t group_match_free(std::uint64_t w0,
+                                      std::uint64_t w1) noexcept {
+  const uint8x16_t v = vreinterpretq_u8_u64(
+      vcombine_u64(vcreate_u64(w0), vcreate_u64(w1)));
+  return detail::neon_msb_mask(vmvnq_u8(v));
+}
+
+#else  // portable SWAR fallback
+
+inline std::uint32_t group_match_tag(std::uint64_t w0, std::uint64_t w1,
+                                     std::uint8_t tag) noexcept {
+  const std::uint64_t pat = detail::kLsbBytes * tag;
+  return detail::msb_to_bits(detail::zero_bytes(w0 ^ pat)) |
+         (detail::msb_to_bits(detail::zero_bytes(w1 ^ pat)) << 8);
+}
+
+inline std::uint32_t group_match_empty(std::uint64_t w0,
+                                       std::uint64_t w1) noexcept {
+  return detail::msb_to_bits(detail::zero_bytes(w0)) |
+         (detail::msb_to_bits(detail::zero_bytes(w1)) << 8);
+}
+
+inline std::uint32_t group_match_free(std::uint64_t w0,
+                                      std::uint64_t w1) noexcept {
+  return detail::msb_to_bits(~w0 & detail::kMsbBytes) |
+         (detail::msb_to_bits(~w1 & detail::kMsbBytes) << 8);
+}
+
+#endif
+
+// First set bit of a non-empty probe mask (the lowest matching slot).
+inline int group_first_slot(std::uint32_t mask) noexcept {
+  return __builtin_ctz(mask);
+}
+
+// Drop the lowest set bit (iterate candidates: while (m) { slot =
+// group_first_slot(m); m = group_clear_lowest(m); ... }).
+inline std::uint32_t group_clear_lowest(std::uint32_t mask) noexcept {
+  return mask & (mask - 1);
+}
+
+}  // namespace ccds

@@ -50,6 +50,42 @@ class EpochDomain {
 
   Guard guard() noexcept { return Guard(*this); }
 
+  // Amortized pinning for read-dominated structures (QSBR flavor).  A Lease
+  // announces the current epoch exactly like Guard, but LEAVES the
+  // announcement in place at scope exit: the next lease on this thread
+  // skips the seq_cst publication entirely unless the global epoch moved
+  // in between, collapsing the per-operation pin cost to two cached loads.
+  //
+  // Safety is the same argument as pinning: while this thread stays
+  // announced at epoch e the global epoch cannot pass e+1, so anything it
+  // loaded from the structure after announcing can only have been retired
+  // with stamp >= e — never reclaimable before the thread re-announces.
+  //
+  // Trade-off: between operations the thread still counts as pinned, so
+  // reclamation lags until every leasing thread performs another lease (or
+  // the domain is destroyed, which frees unconditionally).  Use only where
+  // retired garbage is rare and bounded — e.g. swiss_hash_map tables,
+  // whose cumulative size is a geometric series under doubling — and never
+  // on a domain shared with latency-sensitive reclaimers.
+  class Lease {
+   public:
+    explicit Lease(EpochDomain& d) noexcept { d.pin_lease(); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    template <typename Atom>
+    auto protect(std::size_t /*slot*/, const Atom& src) noexcept {
+      // Same as Guard::protect: the announcement does the protecting.
+      return src.load(std::memory_order_acquire);
+    }
+    template <typename T>
+    void set(std::size_t /*slot*/, T* /*p*/) noexcept {}
+    void clear(std::size_t /*slot*/) noexcept {}
+  };
+
+  Lease lease() noexcept { return Lease(*this); }
+
   // Hand over a detached node; freed once the epoch advances twice.
   // May be called inside or outside a pinned region.
   template <typename T>
@@ -127,6 +163,23 @@ class EpochDomain {
       // ordering, same shape as the hazard-pointer publication).
       local.store(e, std::memory_order_seq_cst);
       if (global_epoch_.load(std::memory_order_seq_cst) == e) return;
+    }
+  }
+
+  // Lease fast path: re-announce only when the epoch moved since this
+  // thread's standing announcement (see Lease for the safety argument).
+  void pin_lease() noexcept {
+    auto& local = local_epoch_[thread_id()].value;
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    // relaxed: own slot — only this thread stores meaningful values here,
+    // and a stale/foreign read merely falls through to the full pin.
+    if (local.load(std::memory_order_relaxed) == e) return;
+    for (;;) {
+      const std::uint64_t g = global_epoch_.load(std::memory_order_acquire);
+      // seq_cst: same store-load publication as pin() — the announcement
+      // must be advancer-visible before the validating re-read.
+      local.store(g, std::memory_order_seq_cst);
+      if (global_epoch_.load(std::memory_order_seq_cst) == g) return;
     }
   }
 

@@ -210,6 +210,36 @@ struct CounterSpec {
   }
 };
 
+// Map: Put(k, v) -> bool (1 = newly inserted), Get(k) -> value or empty,
+// Erase(k) -> bool.  Put packs key and value into `arg` as (k << 32) | v —
+// histories use small keys/values, and the packing keeps Op unchanged.
+struct MapSpec {
+  enum { kPut = 1, kGet = 2, kErase = 3 };
+  using State = std::map<std::uint64_t, std::uint64_t>;
+  static State initial() { return {}; }
+  static std::uint64_t pack(std::uint64_t k, std::uint64_t v) {
+    return (k << 32) | v;
+  }
+  static bool apply(State& s, const Op& op) {
+    switch (op.kind) {
+      case kPut: {
+        const std::uint64_t k = op.arg >> 32;
+        const bool fresh = s.insert_or_assign(k, op.arg & 0xffffffffull).second;
+        return fresh == (op.result.value_or(0) != 0);
+      }
+      case kGet: {
+        auto it = s.find(op.arg);
+        if (!op.result.has_value()) return it == s.end();
+        return it != s.end() && it->second == *op.result;
+      }
+      case kErase:
+        return (s.erase(op.arg) == 1) == (op.result.value_or(0) != 0);
+      default:
+        return false;
+    }
+  }
+};
+
 // Min-priority queue: Push(p) -> void; PopMin() -> min or empty.
 struct PQueueSpec {
   enum { kPush = 1, kPopMin = 2 };

@@ -1,0 +1,244 @@
+// Bounded model checking of the swiss-table map's concurrency core: the
+// seqlock read vs. locked write race, a two-thread cooperative rehash, and
+// Wing–Gong linearizability over every explored schedule — plus a negative
+// control that seeds the torn-read bug the seqlock protocol exists to
+// prevent and demands the explorer catch it with a replayable schedule.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/atomic.hpp"
+#include "core/group_probe.hpp"
+#include "hash/swiss_hash_map.hpp"
+#include "linearizability.hpp"
+#include "model/scheduler.hpp"
+#include "model/shim.hpp"
+#include "reclaim/leaky.hpp"
+
+namespace ccds {
+namespace {
+
+using model::Options;
+using model::Result;
+
+// LeakyDomain keeps the schedule-point count down (no pin/unpin churn);
+// the reclamation integration itself is exercised by the runtime tests.
+using ModelMap =
+    SwissHashMap<std::uint64_t, std::uint64_t, MixHash<std::uint64_t>,
+                 LeakyDomain>;
+
+// ---- seqlock read vs. locked write ----------------------------------------
+
+// A reader races a writer that overwrites the same key.  In every explored
+// schedule (including stale-read weak-memory executions) the reader must
+// see exactly the old or the new value — never a torn or half-published
+// one — and an untouched key must stay stable throughout.
+TEST(ModelSwiss, SeqlockReadNeverTearsAgainstLockedWrite) {
+  Options opts;
+  opts.stale_read_bound = 2;  // swiss ops have many schedule points
+  Result res = model::explore(opts, [] {
+    ModelMap m(16);  // one group: reader and writer collide in it
+    constexpr std::uint64_t kOld = 0x1111111111111111ull;
+    constexpr std::uint64_t kNew = 0x2222222222222222ull;
+    m.insert(1, kOld);
+    m.insert(2, 7);
+    model::thread writer([&] { m.insert(1, kNew); });
+    const auto v1 = m.get(1);
+    CCDS_MODEL_ASSERT(v1.has_value());
+    CCDS_MODEL_ASSERT(*v1 == kOld || *v1 == kNew);
+    const auto v2 = m.get(2);
+    CCDS_MODEL_ASSERT(v2.has_value() && *v2 == 7);
+    writer.join();
+    CCDS_MODEL_ASSERT(m.get(1).value() == kNew);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 20);
+}
+
+// Erase racing a reader: the reader sees the mapping or misses it, and a
+// re-read after join agrees with the erase having completed.
+TEST(ModelSwiss, SeqlockReadVsEraseAllSchedules) {
+  Options opts;
+  opts.stale_read_bound = 2;
+  Result res = model::explore(opts, [] {
+    ModelMap m(16);
+    m.insert(1, 42);
+    model::thread eraser([&] { CCDS_MODEL_ASSERT(m.erase(1)); });
+    const auto v = m.get(1);
+    CCDS_MODEL_ASSERT(!v.has_value() || *v == 42);
+    eraser.join();
+    CCDS_MODEL_ASSERT(!m.get(1).has_value());
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// ---- cooperative rehash ----------------------------------------------------
+
+// Two threads operate while a migration from a 1-group to a 2-group table
+// is in flight: one drains/helps via its write, the other reads mid-rehash.
+// No key may be lost, duplicated, or observed with a stale value once its
+// overwrite completed.
+TEST(ModelSwiss, CooperativeRehashTwoThreadsAllSchedules) {
+  Options opts;
+  opts.stale_read_bound = 1;  // rehash paths are long; trim weak-memory fanout
+  Result res = model::explore(opts, [] {
+    ModelMap m(16);
+    m.insert(1, 10);
+    m.insert(2, 20);
+    m.grow();  // old (1-group) table now drains cooperatively
+    model::thread helper([&] {
+      // This write drains key 3's old chain and a migration quantum.
+      CCDS_MODEL_ASSERT(m.insert(3, 30));
+      const auto v = m.get(1);
+      CCDS_MODEL_ASSERT(v.has_value() && *v == 10);
+    });
+    // Reads race the drain: both pre-grow keys must stay visible.
+    const auto v1 = m.get(1);
+    CCDS_MODEL_ASSERT(v1.has_value() && *v1 == 10);
+    CCDS_MODEL_ASSERT(!m.insert(2, 21));  // overwrite, never a duplicate
+    helper.join();
+    CCDS_MODEL_ASSERT(m.get(1).value() == 10);
+    CCDS_MODEL_ASSERT(m.get(2).value() == 21);
+    CCDS_MODEL_ASSERT(m.get(3).value() == 30);
+    CCDS_MODEL_ASSERT(m.size() == 3);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 20);
+}
+
+// ---- Wing–Gong linearizability ---------------------------------------------
+
+// Record a two-thread history of puts/gets/erases on overlapping keys and
+// require a legal linearization in every explored schedule (preemption
+// bound 2, the checker's acceptance bar).
+TEST(ModelSwiss, WingGongAcceptsAllExploredSchedules) {
+  Options opts;
+  opts.stale_read_bound = 1;
+  Result res = model::explore(opts, [] {
+    ModelMap m(16);
+    lin::HistoryRecorder rec;
+    lin::HistoryRecorder::Log la, lb;
+    const auto bool_result = [](bool r) {
+      return std::optional<std::uint64_t>(r ? 1 : 0);
+    };
+    model::thread other([&] {
+      rec.record(
+          la, lin::MapSpec::kPut, lin::MapSpec::pack(1, 5),
+          [&] { return m.insert(1, 5); }, bool_result);
+      rec.record(
+          la, lin::MapSpec::kErase, 2, [&] { return m.erase(2); },
+          bool_result);
+    });
+    rec.record(
+        lb, lin::MapSpec::kPut, lin::MapSpec::pack(2, 9),
+        [&] { return m.insert(2, 9); }, bool_result);
+    rec.record(
+        lb, lin::MapSpec::kGet, 1, [&] { return m.get(1); },
+        [](const std::optional<std::uint64_t>& r) { return r; });
+    other.join();
+    std::vector<lin::Op> h(la);
+    h.insert(h.end(), lb.begin(), lb.end());
+    CCDS_MODEL_ASSERT(lin::Checker<lin::MapSpec>::linearizable(h));
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// Wing–Gong must still reject illegal map histories under the model (the
+// checker is not weakened by instrumentation).
+TEST(ModelSwiss, WingGongStillRejectsBadMapHistories) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    auto op = [](int kind, std::uint64_t arg, std::optional<std::uint64_t> r,
+                 std::uint64_t inv, std::uint64_t rsp) {
+      lin::Op o;
+      o.kind = kind;
+      o.arg = arg;
+      o.result = r;
+      o.invoke = inv;
+      o.response = rsp;
+      return o;
+    };
+    // Lost update: Put(1,5) completed strictly before Get(1) -> empty.
+    std::vector<lin::Op> lost = {
+        op(lin::MapSpec::kPut, lin::MapSpec::pack(1, 5), 1, 0, 1),
+        op(lin::MapSpec::kGet, 1, std::nullopt, 2, 3),
+    };
+    CCDS_MODEL_ASSERT(!lin::Checker<lin::MapSpec>::linearizable(lost));
+    // Resurrection: Erase(1)=true strictly before Get(1)=5 with no re-put.
+    std::vector<lin::Op> ghost = {
+        op(lin::MapSpec::kPut, lin::MapSpec::pack(1, 5), 1, 0, 1),
+        op(lin::MapSpec::kErase, 1, 1, 2, 3),
+        op(lin::MapSpec::kGet, 1, 5, 4, 5),
+    };
+    CCDS_MODEL_ASSERT(!lin::Checker<lin::MapSpec>::linearizable(ghost));
+  });
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+// ---- negative control: the torn read the seqlock exists to prevent --------
+
+// A group-shaped record that follows the swiss READ protocol faithfully but
+// whose writer omits the seqlock discipline: it stores the two payload
+// words directly, without taking the lock bit or bumping the version.  The
+// invariant "hi == 2*lo" then tears in plain interleavings, and the
+// explorer must catch it and hand back a replayable schedule.
+struct TornGroup {
+  Atomic<std::uint64_t> version{0};
+  Atomic<std::uint64_t> lo{0};
+  Atomic<std::uint64_t> hi{0};
+};
+
+void broken_seqlock_scenario() {
+  TornGroup g;
+  model::thread writer([&] {
+    // BUG (deliberate): payload stores with no odd-version window around
+    // them.  swiss_hash_map's lock_group/unlock_group provide exactly the
+    // window these stores are missing.
+    g.lo.store(21, std::memory_order_relaxed);  // relaxed: bug under test
+    g.hi.store(42, std::memory_order_relaxed);  // relaxed: bug under test
+  });
+  // Reader side: verbatim swiss find_in discipline.
+  for (;;) {
+    const std::uint64_t v1 = g.version.load(std::memory_order_acquire);
+    if (v1 & 1) {
+      model::yield_hint();
+      continue;
+    }
+    const std::uint64_t lo = g.lo.load(std::memory_order_relaxed);  // relaxed: seqlock payload
+    const std::uint64_t hi = g.hi.load(std::memory_order_relaxed);  // relaxed: seqlock payload
+    ccds::atomic_thread_fence(std::memory_order_acquire);
+    if (g.version.load(std::memory_order_relaxed) != v1) {  // relaxed: fenced
+      model::yield_hint();
+      continue;
+    }
+    CCDS_MODEL_ASSERT(hi == 2 * lo);  // torn: (21, 0) interleavings exist
+    break;
+  }
+  writer.join();
+}
+
+TEST(ModelSwiss, TornReadBugCaughtWithReplayableSchedule) {
+  Options opts;
+  Result res = model::explore(opts, broken_seqlock_scenario);
+  ASSERT_FALSE(res.ok) << "explorer failed to catch the seeded torn read";
+  ASSERT_FALSE(res.schedule.empty());
+
+  Options replay;
+  replay.replay = res.schedule;
+  Result again = model::explore(replay, broken_seqlock_scenario);
+  EXPECT_FALSE(again.ok);  // the schedule deterministically reproduces it
+  EXPECT_EQ(again.error, res.error);
+}
+
+}  // namespace
+}  // namespace ccds

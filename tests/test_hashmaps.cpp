@@ -13,6 +13,7 @@
 #include "hash/coarse_hash_map.hpp"
 #include "hash/split_ordered_set.hpp"
 #include "hash/striped_hash_map.hpp"
+#include "hash/swiss_hash_map.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard.hpp"
 #include "test_util.hpp"
@@ -25,8 +26,12 @@ namespace {
 template <typename M>
 class HashMapTest : public ::testing::Test {};
 
-using HashMapTypes = ::testing::Types<CoarseHashMap<std::uint64_t, std::uint64_t>,
-                                      StripedHashMap<std::uint64_t, std::uint64_t>>;
+using HashMapTypes =
+    ::testing::Types<CoarseHashMap<std::uint64_t, std::uint64_t>,
+                     StripedHashMap<std::uint64_t, std::uint64_t>,
+                     SwissHashMap<std::uint64_t, std::uint64_t>,
+                     SwissHashMap<std::uint64_t, std::uint64_t,
+                                  MixHash<std::uint64_t>, HazardDomain>>;
 TYPED_TEST_SUITE(HashMapTest, HashMapTypes);
 
 TYPED_TEST(HashMapTest, BasicMapSemantics) {
@@ -105,6 +110,115 @@ TEST(StripedHashMap, StripsActuallyResize) {
   EXPECT_GT(m.bucket_count(), before);
   for (std::uint64_t i = 0; i < 10000; ++i) {
     ASSERT_EQ(m.get(i).value(), i);
+  }
+}
+
+// ---------- swiss map specifics ----------
+
+TEST(SwissHashMap, GrowsByDoublingAndFinishesRehash) {
+  SwissHashMap<std::uint64_t, std::uint64_t> m(16);
+  const std::size_t cap0 = m.capacity();
+  for (std::uint64_t i = 0; i < 10000; ++i) ASSERT_TRUE(m.insert(i, i + 1));
+  EXPECT_GT(m.capacity(), cap0);
+  // Writers finish migrations cooperatively; after this quiescent point the
+  // sequential story must be fully consistent.
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_EQ(m.get(i).value(), i + 1) << "lost key " << i << " in rehash";
+  }
+  while (m.rehash_in_progress()) {
+    m.insert(0, 1);  // any write helps drain the old table
+  }
+  EXPECT_EQ(m.size(), 10000u);
+}
+
+TEST(SwissHashMap, ExplicitGrowPreservesContents) {
+  SwissHashMap<std::uint64_t, std::uint64_t> m(64);
+  for (std::uint64_t i = 0; i < 40; ++i) m.insert(i, ~i);
+  const std::size_t cap = m.capacity();
+  m.grow();
+  // Reads must be correct mid-migration (old table still partially live).
+  for (std::uint64_t i = 0; i < 40; ++i) ASSERT_EQ(m.get(i).value(), ~i);
+  for (std::uint64_t i = 0; i < 40; ++i) m.insert(i + 100, i);
+  EXPECT_GE(m.capacity(), 2 * cap);
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    ASSERT_EQ(m.get(i).value(), ~i);
+    ASSERT_EQ(m.get(i + 100).value(), i);
+  }
+}
+
+// Collapse every key into group 0 (hash low bits zero): probe chains spill
+// across consecutive groups, exercising the first-empty termination rule,
+// tombstone reuse, and cross-group migration.
+struct GroupCollidingHash {
+  std::uint64_t operator()(const std::uint64_t& k) const noexcept {
+    return k << 57;  // tag varies with k & 0x7f; group index always 0
+  }
+};
+
+TEST(SwissHashMap, ProbeChainsSurviveTombstonesAndGrowth) {
+  SwissHashMap<std::uint64_t, std::uint64_t, GroupCollidingHash> m(64);
+  for (std::uint64_t i = 0; i < 120; ++i) ASSERT_TRUE(m.insert(i, i * 7));
+  // Punch tombstones through the middle of the chain...
+  for (std::uint64_t i = 30; i < 90; ++i) ASSERT_TRUE(m.erase(i));
+  // ...keys beyond the tombstones must still be reachable.
+  for (std::uint64_t i = 90; i < 120; ++i) ASSERT_EQ(m.get(i).value(), i * 7);
+  for (std::uint64_t i = 30; i < 90; ++i) ASSERT_FALSE(m.contains(i));
+  // Reinsert over the tombstones (must not duplicate), then grow: the
+  // rehash drops tombstones wholesale and rebuilds the chain.
+  for (std::uint64_t i = 30; i < 90; ++i) ASSERT_TRUE(m.insert(i, i * 9));
+  m.grow();
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    ASSERT_EQ(m.get(i).value(), i < 30 || i >= 90 ? i * 7 : i * 9);
+  }
+  EXPECT_EQ(m.size(), 120u);
+}
+
+TEST(SwissHashMap, ReadersNeverSeeTornValues) {
+  // Seqlock runtime check: one key toggles between two bit patterns; any
+  // other observed value is a torn read.
+  SwissHashMap<std::uint64_t, std::uint64_t> m(64);
+  constexpr std::uint64_t kA = 0xaaaaaaaaaaaaaaaaull;
+  constexpr std::uint64_t kB = 0x5555555555555555ull;
+  m.insert(7, kA);
+  std::atomic<bool> torn{false};
+  test::run_threads(6, [&](std::size_t idx) {
+    if (idx < 2) {
+      for (int r = 0; r < 30000; ++r) m.insert(7, (r & 1) ? kA : kB);
+    } else {
+      for (int r = 0; r < 60000; ++r) {
+        const auto v = m.get(7);
+        if (!v || (*v != kA && *v != kB)) torn.store(true);
+      }
+    }
+  });
+  EXPECT_FALSE(torn.load());
+}
+
+TEST(SwissHashMap, ConcurrentChurnAcrossRehashes) {
+  // Mixed insert/erase/get across threads on a tiny initial table so the
+  // run is dominated by cooperative migrations.
+  SwissHashMap<std::uint64_t, std::uint64_t> m(16);
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kPer = 3000;
+  std::atomic<int> failures{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    const std::uint64_t base = idx * kPer;
+    for (std::uint64_t i = 0; i < kPer; ++i) {
+      if (!m.insert(base + i, base + i + 1)) failures.fetch_add(1);
+      if (i >= 10 && (i - 10) % 3 != 2) {  // not erased by this thread below
+        const auto v = m.get(base + i - 10);
+        if (!v || *v != base + i - 9) failures.fetch_add(1);
+      }
+      if (i % 3 == 2 && !m.erase(base + i)) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(m.size(), kThreads * (kPer - kPer / 3));
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPer; ++i) {
+      const bool erased = i % 3 == 2;
+      ASSERT_EQ(m.contains(t * kPer + i), !erased);
+    }
   }
 }
 
