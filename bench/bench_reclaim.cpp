@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "bench_util.hpp"
+#include "list/harris_list.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard.hpp"
 #include "reclaim/leaky.hpp"
@@ -75,6 +76,48 @@ void BM_ProtectedRead(benchmark::State& state) {
 BENCHMARK(BM_ProtectedRead<LeakyDomain>) CCDS_BENCH_THREADS;
 BENCHMARK(BM_ProtectedRead<HazardDomain>) CCDS_BENCH_THREADS;
 BENCHMARK(BM_ProtectedRead<EpochDomain>) CCDS_BENCH_THREADS;
+// Before/after for the asymmetric-fence read path: the classic fully-fenced
+// protocols (seq_cst publish on every protect/pin) on the same workload.
+BENCHMARK(BM_ProtectedRead<SeqCstHazardDomain>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_ProtectedRead<SeqCstEpochDomain>) CCDS_BENCH_THREADS;
+
+// End-to-end effect: Harris-Michael list under a read-heavy mix
+// (90% contains / 9% insert / 1% remove, keys in [0, 256)).  Here the
+// per-hop protect() cost dominates contains(), so eliding the read-side
+// fence moves the whole operation, not just a microbenchmark counter.
+template <typename Domain>
+void BM_HarrisListReadHeavy(benchmark::State& state) {
+  using List = HarrisMichaelListSet<std::uint64_t, Domain>;
+  static List* list = nullptr;
+  constexpr std::uint64_t kKeyRange = 256;
+  if (state.thread_index() == 0) {
+    list = new List();
+    for (std::uint64_t k = 0; k < kKeyRange; k += 2) list->insert(k);
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    const std::uint64_t r = rng.next();
+    const std::uint64_t key = r % kKeyRange;
+    const std::uint64_t op = (r >> 32) % 100;
+    if (op < 90) {
+      benchmark::DoNotOptimize(list->contains(key));
+    } else if (op < 99) {
+      benchmark::DoNotOptimize(list->insert(key));
+    } else {
+      benchmark::DoNotOptimize(list->remove(key));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete list;
+    list = nullptr;
+  }
+}
+
+BENCHMARK(BM_HarrisListReadHeavy<LeakyDomain>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_HarrisListReadHeavy<HazardDomain>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_HarrisListReadHeavy<SeqCstHazardDomain>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_HarrisListReadHeavy<EpochDomain>) CCDS_BENCH_THREADS;
 
 }  // namespace
 

@@ -24,6 +24,15 @@ need to be written down.  This lint enforces three house rules on src/:
       Members of nested structs (nodes, slots) are exempt: their placement
       is the enclosing container's concern.
 
+  R4 fenced-publish-validate
+      A seq_cst store followed closely by a seq_cst load is the Dekker
+      publish/validate shape (hazard-pointer protect, epoch pin).  The
+      library's house protocol pays that store-load fence ONCE per
+      reclamation batch via core/asymmetric_fence.hpp, so a fully-fenced
+      pair on a read path is either a perf bug or a deliberate baseline —
+      the latter is suppressed with a comment containing "asymmetric"
+      (canonical form: // asymmetric: OFF — <why the fenced protocol>).
+
 src/model/ is exempt: the checker manipulates memory orders as data.
 
 Usage:  lint_memory_orders.py [--self-test] [paths...]   (default path: src)
@@ -37,6 +46,10 @@ import sys
 
 # Lines of leading context in which a justification comment is accepted.
 COMMENT_WINDOW = 6
+
+# R4: how many lines after a seq_cst store a seq_cst load still reads as the
+# validating half of a publish/validate pair.
+PUBLISH_VALIDATE_WINDOW = 4
 
 ATOMIC_CALL_RE = re.compile(
     r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
@@ -197,10 +210,45 @@ class FileCheck:
                         class_at.pop()
                         class_depth -= 1
 
+    def check_fenced_publish_validate(self):
+        # A seq_cst .store whose argument list names memory_order_seq_cst,
+        # followed within PUBLISH_VALIDATE_WINDOW lines by a seq_cst .load:
+        # the classic fully-fenced Dekker publish/validate.  Suppressed by a
+        # comment containing "asymmetric" near the store (the deliberate
+        # baseline branches carry '// asymmetric: OFF').
+        for i, code in enumerate(self.code):
+            store = re.search(r"(?:\.|->)\s*store\s*\(", code)
+            if not store:
+                continue
+            args, complete = self.argument_list(i, store.end() - 1)
+            if not complete or "memory_order_seq_cst" not in args:
+                continue
+            hi = min(len(self.code), i + 1 + PUBLISH_VALIDATE_WINDOW)
+            for j in range(i, hi):
+                seg = self.code[j][store.end():] if j == i else self.code[j]
+                load = re.search(r"(?:\.|->)\s*load\s*\(", seg)
+                if not load:
+                    continue
+                col = load.end() - 1 + (store.end() if j == i else 0)
+                largs, lcomplete = self.argument_list(j, col)
+                if not lcomplete or "memory_order_seq_cst" not in largs:
+                    continue
+                if not self.justified(i, "asymmetric"):
+                    self.report(
+                        i,
+                        "fenced-publish-validate",
+                        "seq_cst store followed by seq_cst load (Dekker "
+                        "publish/validate): use the asymmetric-fence "
+                        "protocol (core/asymmetric_fence.hpp) or suppress "
+                        "with a '// asymmetric: ...' comment",
+                    )
+                break
+
     def run(self):
         self.check_naked_relaxed()
         self.check_implicit_seq_cst()
         self.check_unpadded_members()
+        self.check_fenced_publish_validate()
         return self.violations
 
 
@@ -241,6 +289,26 @@ def self_test():
         "  };\n};\n"
     )
     ok_ptr_member = "class C {\n  Atomic<int>* p_ = nullptr;\n};\n"
+    bad_publish_validate = (
+        "hp.store(p, std::memory_order_seq_cst);\n"
+        "auto q = src.load(std::memory_order_seq_cst);\n"
+    )
+    ok_publish_validate_suppressed = (
+        "// asymmetric: OFF — fenced baseline for the E11 ablation\n"
+        "hp.store(p, std::memory_order_seq_cst);\n"
+        "auto q = src.load(std::memory_order_seq_cst);\n"
+    )
+    ok_asymmetric_shape = (
+        "hp.store(p, std::memory_order_release);\n"
+        "asymmetric_light();\n"
+        "auto q = src.load(std::memory_order_seq_cst);\n"
+    )
+    ok_store_only = "done.store(1, std::memory_order_seq_cst);\n"
+    ok_load_far_away = (
+        "flag.store(1, std::memory_order_seq_cst);\n"
+        + "f();\n" * (PUBLISH_VALIDATE_WINDOW + 1)
+        + "auto v = other.load(std::memory_order_seq_cst);\n"
+    )
     cases = [
         (bad_relaxed, 1),
         (ok_relaxed, 0),
@@ -251,6 +319,11 @@ def self_test():
         (ok_member, 0),
         (ok_nested, 0),
         (ok_ptr_member, 0),
+        (bad_publish_validate, 1),
+        (ok_publish_validate_suppressed, 0),
+        (ok_asymmetric_shape, 0),
+        (ok_store_only, 0),
+        (ok_load_far_away, 0),
     ]
     failures = 0
     for idx, (text, want) in enumerate(cases):

@@ -1,0 +1,148 @@
+// Asymmetric fences: folly/hazptr- and liburcu-style barrier pairing.
+//
+// The hazard-pointer and epoch protocols both contain a Dekker-shaped
+// store-load conflict:
+//
+//   reader:    publish announcement      reclaimer:  unlink node
+//              ~~~ StoreLoad fence ~~~               ~~~ StoreLoad fence ~~~
+//              re-read source                        read announcements
+//
+// Classically BOTH sides pay a full fence (a seq_cst store on x86 compiles
+// to mov+mfence or xchg), and the reader side executes it on EVERY protected
+// read — the dominant cost of practical SMR (experiment E11).  The
+// asymmetric-fence technique moves the entire cost to the rare reclaimer:
+//
+//   asymmetric_light()  — reader side.  A compiler-only barrier: it pins the
+//       program order of the surrounding accesses in the emitted code but
+//       emits NO fence instruction.  The publication store itself is
+//       memory_order_release (a plain store on x86/ARM).
+//
+//   asymmetric_heavy()  — reclaimer side.  Forces a full memory barrier ON
+//       EVERY THREAD of the process.  On Linux this is
+//       membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED): the kernel IPIs every
+//       CPU currently running one of our threads and executes a full barrier
+//       there, so by the time the call returns each peer thread has passed a
+//       point where (a) its earlier stores are visible to us and (b) our
+//       earlier stores are visible to its later loads.  That is exactly the
+//       pairwise guarantee the Dekker conflict needs: either the reader's
+//       announcement is visible to the reclaimer's scan, or the reclaimer's
+//       unlink is visible to the reader's re-read.  Everywhere else (or when
+//       the kernel lacks the command) it falls back to a local seq_cst
+//       fence, which restores the SYMMETRIC protocol only if the reader side
+//       also fences — so the fallback is only correct because readers keep
+//       their release stores: see the per-call-site comments in
+//       reclaim/hazard.hpp and reclaim/epoch.hpp for why release+heavy is
+//       sufficient on fallback platforms too (TSO) and where we accept the
+//       cost of a reader-side fence instead (none today: all non-Linux
+//       targets we build for are x86/Apple-ARM, where the fallback fence on
+//       the reclaimer plus release publication is conservative but the bench
+//       gates only the Linux fast path).
+//
+// Under -DCCDS_MODEL=1 both calls route into the model checker:
+// asymmetric_heavy() is a schedule point that acts as a seq_cst fence on
+// behalf of ALL model threads (every store already executed becomes
+// mandatory reading for everyone — the operational meaning of "each CPU ran
+// smp_mb()"), so ccds-verify explores the protocol with its real semantics
+// and catches a reclaimer that wrongly uses the light barrier
+// (tests/model/test_model_reclaim.cpp).
+#pragma once
+
+#include <atomic>
+
+#include "core/atomic.hpp"
+
+#if !defined(CCDS_MODEL) && defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ccds {
+
+#if !defined(CCDS_MODEL) && defined(__linux__)
+namespace detail {
+
+// Command values from <linux/membarrier.h>, spelled out so the header is
+// not required at build time (the ABI is fixed).
+inline constexpr int kMembarrierCmdQuery = 0;
+inline constexpr int kMembarrierCmdPrivateExpedited = 1 << 3;
+inline constexpr int kMembarrierCmdRegisterPrivateExpedited = 1 << 4;
+
+inline long membarrier_call(int cmd) noexcept {
+#ifdef __NR_membarrier
+  return syscall(__NR_membarrier, cmd, 0, 0);
+#else
+  (void)cmd;
+  return -1;
+#endif
+}
+
+// One-time runtime detection + registration.  PRIVATE_EXPEDITED requires a
+// per-process REGISTER before first use (EPERM otherwise); both the query
+// and the registration happen exactly once, in a magic static, so the first
+// asymmetric_heavy() from any thread performs them and every later call is
+// a single predictable branch.
+inline bool membarrier_private_expedited_ready() noexcept {
+  static const bool ready = [] {
+    const long cmds = membarrier_call(kMembarrierCmdQuery);
+    if (cmds < 0) return false;
+    if ((cmds & kMembarrierCmdPrivateExpedited) == 0 ||
+        (cmds & kMembarrierCmdRegisterPrivateExpedited) == 0) {
+      return false;
+    }
+    return membarrier_call(kMembarrierCmdRegisterPrivateExpedited) == 0;
+  }();
+  return ready;
+}
+
+}  // namespace detail
+#endif  // !CCDS_MODEL && __linux__
+
+// Reader-side half of the asymmetric pair: compiler barrier only.  Zero
+// instructions; its entire job is to forbid the compiler from sinking the
+// announcement store below the validating load (the CPU-level reordering is
+// the reclaimer's heavy barrier's problem).  Under the model checker the
+// instrumented shim already executes operations strictly in program order,
+// so there is nothing to pin down and this is a true no-op there.
+inline void asymmetric_light() noexcept {
+#ifndef CCDS_MODEL
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Which implementation asymmetric_heavy() resolves to at runtime — surfaced
+// so tests can assert the fast path is actually exercised on Linux CI and
+// the benchmark JSON records what was measured.
+enum class AsymmetricHeavyBackend { kMembarrier, kSeqCstFence, kModel };
+
+inline AsymmetricHeavyBackend asymmetric_heavy_backend() noexcept {
+#if defined(CCDS_MODEL)
+  return AsymmetricHeavyBackend::kModel;
+#elif defined(__linux__)
+  return detail::membarrier_private_expedited_ready()
+             ? AsymmetricHeavyBackend::kMembarrier
+             : AsymmetricHeavyBackend::kSeqCstFence;
+#else
+  return AsymmetricHeavyBackend::kSeqCstFence;
+#endif
+}
+
+// Reclaimer-side half: a full barrier on behalf of every thread in the
+// process.  Expensive (an IPI broadcast, microseconds) and intended to be
+// amortized over an O(threshold) batch of retirements — never call it on a
+// per-operation path.
+inline void asymmetric_heavy() noexcept {
+#if defined(CCDS_MODEL)
+  model::heavy_fence();
+#else
+#if defined(__linux__)
+  if (detail::membarrier_private_expedited_ready()) {
+    if (detail::membarrier_call(detail::kMembarrierCmdPrivateExpedited) == 0) {
+      return;
+    }
+  }
+#endif
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace ccds

@@ -37,6 +37,7 @@ class ThreadRegistry {
       if (in_use_[i]->compare_exchange_strong(expected, true,
                                               std::memory_order_acq_rel,
                                               std::memory_order_relaxed)) {  // relaxed: failure -> try next slot
+        raise_ceiling(i + 1);
         return i;
       }
     }
@@ -48,9 +49,38 @@ class ThreadRegistry {
     in_use_[id]->store(false, std::memory_order_release);
   }
 
+  // Registration high-water mark: every id ever handed out is < ceiling().
+  // Monotone (released slots stay counted), so per-thread-slot sweeps in the
+  // reclamation domains can bound their loops by it instead of kMaxThreads:
+  // slots at or above the ceiling have never been written by anyone.
+  //
+  // Ordering contract for sweepers: a thread obtains its id (and thus
+  // raises the ceiling, seq_cst) BEFORE its first store to any per-thread
+  // slot array indexed by that id.  A scanner that can observe such a slot
+  // store is therefore guaranteed to observe the ceiling covering it —
+  // via the seq_cst total order for the classic fenced protocols, and via
+  // the membarrier pairwise guarantee ("all earlier stores of a visible
+  // thread are visible") for the asymmetric ones, provided the scanner
+  // reads the ceiling after its asymmetric_heavy() call.
+  std::size_t ceiling() const noexcept {
+    return ceiling_.value.load(std::memory_order_acquire);
+  }
+
  private:
   ThreadRegistry() = default;
+
+  void raise_ceiling(std::size_t n) noexcept {
+    std::size_t cur = ceiling_.value.load(std::memory_order_relaxed);  // relaxed: CAS below carries the ordering
+    while (cur < n &&
+           !ceiling_.value.compare_exchange_weak(cur, n,
+                                                 std::memory_order_seq_cst)) {
+      // seq_cst success order above: registration is cold, and the strong
+      // order keeps the sweep-bound argument a one-liner (see ceiling()).
+    }
+  }
+
   Padded<std::atomic<bool>> in_use_[kMaxThreads];
+  Padded<std::atomic<std::size_t>> ceiling_{};
 };
 
 struct ThreadIdSlot {
@@ -66,6 +96,14 @@ struct ThreadIdSlot {
 inline std::size_t thread_id() noexcept {
   thread_local detail::ThreadIdSlot slot;
   return slot.id;
+}
+
+// Upper bound (exclusive) on every thread id handed out so far; monotone,
+// always <= kMaxThreads.  Lets per-thread-slot sweeps skip the untouched
+// tail of their arrays — see ThreadRegistry::ceiling() for the ordering
+// contract sweepers must follow.
+inline std::size_t registered_ceiling() noexcept {
+  return detail::ThreadRegistry::instance().ceiling();
 }
 
 }  // namespace ccds

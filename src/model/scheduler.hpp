@@ -378,6 +378,43 @@ class ExecutionContext {
     note(current_, "fence", -1, 0, 0, detail::mo_name(mo));
   }
 
+  // Process-wide heavy barrier (ccds::asymmetric_heavy / Linux membarrier):
+  // a seq_cst fence executed on behalf of EVERY model thread at this
+  // schedule point.  Operationally membarrier means "each CPU ran smp_mb():
+  // all store buffers drained, all invalidation queues flushed" — in this
+  // model's terms, every store already appended to any atomic's history
+  // becomes mandatory reading for every thread (its view floor rises to the
+  // latest store index), and each thread additionally gets the acquire and
+  // release effects of a fence at its current suspension point.  This only
+  // REMOVES stale-read behaviors relative to not fencing, so modeling it is
+  // sound: a protocol verified with heavy_fence() relies on exactly the
+  // visibility the real barrier provides, and a seeded bug that downgrades
+  // the reclaimer to the light (compiler-only) barrier re-opens the stale
+  // branches and is caught (tests/model/test_model_reclaim.cpp).
+  void heavy_fence() {
+    std::unique_lock<std::mutex> lk(m_);
+    if (aborting_) return;
+    step(lk);
+    reschedule(lk, false);
+    for (auto& t : threads_) {
+      // Acquire half of the per-thread fence: promote relaxed-read edges.
+      view_join(t->view, t->pending_acq);
+      t->pending_acq.clear();
+      // Freshness: no thread may read a store older than what was globally
+      // visible when the barrier completed.
+      if (t->view.size() < latest_idx_.size()) {
+        t->view.resize(latest_idx_.size(), 0);
+      }
+      for (std::size_t i = 0; i < latest_idx_.size(); ++i) {
+        if (t->view[i] < latest_idx_[i]) t->view[i] = latest_idx_[i];
+      }
+      // Release half: the thread's subsequent relaxed stores publish
+      // everything it has done up to its current suspension point.
+      t->fence_rel = std::make_shared<const View>(t->view);
+    }
+    note(current_, "heavy_fence", -1, 0, 0, "seq_cst*");
+  }
+
   // ---- mutex ---------------------------------------------------------------
 
   void mutex_lock(MutexObj& mu) {
@@ -452,6 +489,12 @@ class ExecutionContext {
       if (o.stores.size() > 1) o.stores.erase(o.stores.begin(), o.stores.end() - 1);
       if (!o.stores.empty()) o.stores.back().rel = nullptr;
     }
+    if (latest_idx_.size() <= static_cast<std::size_t>(o.id)) {
+      latest_idx_.resize(o.id + 1, 0);
+    }
+    latest_idx_[o.id] =
+        o.stores.empty() ? 0
+                         : static_cast<std::uint32_t>(o.stores.size() - 1);
     for (auto& t : threads_) {
       if (t->view.size() <= static_cast<std::size_t>(o.id)) {
         t->view.resize(o.id + 1, 0);
@@ -592,6 +635,7 @@ class ExecutionContext {
     }
     rec.rel = std::move(base);
     o.stores.push_back(std::move(rec));
+    latest_idx_[o.id] = static_cast<std::uint32_t>(o.stores.size() - 1);
   }
 
   void note(int tid, const char* op, int obj, std::uint64_t a, std::uint64_t b,
@@ -697,6 +741,9 @@ class ExecutionContext {
   int preemptions_ = 0;
   int stale_branches_ = 0;
   int next_obj_id_ = 0;
+  // Latest store index per object id (survives node destruction, unlike the
+  // AtomicObj itself, so heavy_fence() never chases freed objects).
+  std::vector<std::uint32_t> latest_idx_;
 
   std::vector<detail::ChoiceRec> choices_;
   std::vector<detail::TraceRec> trace_;

@@ -220,4 +220,12 @@ inline void fence(std::memory_order mo) {
   if (ctx != nullptr) ctx->fence(mo);
 }
 
+// ccds::asymmetric_heavy counterpart (Linux membarrier): a seq_cst fence on
+// behalf of every model thread — see ExecutionContext::heavy_fence for the
+// soundness argument.  Outside an execution there is nothing to order.
+inline void heavy_fence() {
+  ExecutionContext* ctx = active_context();
+  if (ctx != nullptr) ctx->heavy_fence();
+}
+
 }  // namespace ccds::model

@@ -1,12 +1,31 @@
-// Epoch-based reclamation (Fraser 2004; the scheme behind crossbeam-epoch).
+// Epoch-based reclamation (Fraser 2004; the scheme behind crossbeam-epoch)
+// with an asymmetric-fence announcement path (liburcu's sys_membarrier
+// flavor).
 //
 // Readers "pin" the current global epoch for the duration of an operation;
 // retired nodes are stamped with the epoch at retirement and freed once the
-// global epoch has advanced two steps past it, which implies no pinned
+// global epoch has advanced enough steps past it, which implies no pinned
 // thread can still hold a reference.  Reads inside a pinned region cost a
-// plain acquire load (no per-pointer publication), making EBR's read side
-// much cheaper than hazard pointers — the flip side is that one stalled
-// pinned thread blocks all reclamation.
+// plain acquire load (no per-pointer publication) — the flip side is that
+// one stalled pinned thread blocks all reclamation.
+//
+// The classic pin() pays a seq_cst store/load (a full fence on x86) per
+// operation: the announcement must be advancer-visible before the validating
+// re-read of the global epoch.  The default protocol here is ASYMMETRIC:
+// pin announces with a release store plus a compiler-only barrier, and
+// try_advance() — the rare side, amortized over a whole retirement batch —
+// issues one process-wide heavy barrier before sweeping the announcement
+// slots.  Correctness (same Dekker resolution as hazard.hpp): after
+// asymmetric_heavy() either a pinner's announcement is visible to the sweep
+// (the advance is blocked or the pinner is counted at the current epoch), or
+// the announcement comes after the barrier — and since the validating
+// re-read of `global_epoch_` stays seq_cst (free on the hot path: a seq_cst
+// LOAD is a plain load on x86 and ldar on ARM; only the seq_cst STORE was
+// expensive), such a late pinner validates against the true current epoch,
+// so the advancer can never get more than one step ahead of any announced
+// pinner, which is exactly what the grace-period arithmetic in
+// collect_bag() assumes.  `Asymmetric = false` keeps the classic protocol
+// as the E11 before/after baseline.
 #pragma once
 
 #include <cstddef>
@@ -14,19 +33,21 @@
 #include <vector>
 
 #include "core/arch.hpp"
+#include "core/asymmetric_fence.hpp"
 #include "core/atomic.hpp"
 #include "core/padded.hpp"
 #include "core/thread_registry.hpp"
 
 namespace ccds {
 
-class EpochDomain {
+template <bool Asymmetric = true>
+class BasicEpochDomain {
  public:
   static constexpr std::size_t kSlots = 8;  // ignored; API parity with HP
 
   class Guard {
    public:
-    explicit Guard(EpochDomain& d) noexcept : dom_(&d) { dom_->pin(); }
+    explicit Guard(BasicEpochDomain& d) noexcept : dom_(&d) { dom_->pin(); }
 
     Guard(const Guard&) = delete;
     Guard& operator=(const Guard&) = delete;
@@ -45,7 +66,7 @@ class EpochDomain {
     void clear(std::size_t /*slot*/) noexcept {}
 
    private:
-    EpochDomain* dom_;
+    BasicEpochDomain* dom_;
   };
 
   Guard guard() noexcept { return Guard(*this); }
@@ -53,8 +74,8 @@ class EpochDomain {
   // Amortized pinning for read-dominated structures (QSBR flavor).  A Lease
   // announces the current epoch exactly like Guard, but LEAVES the
   // announcement in place at scope exit: the next lease on this thread
-  // skips the seq_cst publication entirely unless the global epoch moved
-  // in between, collapsing the per-operation pin cost to two cached loads.
+  // skips the publication entirely unless the global epoch moved in
+  // between, collapsing the per-operation pin cost to two cached loads.
   //
   // Safety is the same argument as pinning: while this thread stays
   // announced at epoch e the global epoch cannot pass e+1, so anything it
@@ -69,7 +90,7 @@ class EpochDomain {
   // on a domain shared with latency-sensitive reclaimers.
   class Lease {
    public:
-    explicit Lease(EpochDomain& d) noexcept { d.pin_lease(); }
+    explicit Lease(BasicEpochDomain& d) noexcept { d.pin_lease(); }
 
     Lease(const Lease&) = delete;
     Lease& operator=(const Lease&) = delete;
@@ -86,7 +107,7 @@ class EpochDomain {
 
   Lease lease() noexcept { return Lease(*this); }
 
-  // Hand over a detached node; freed once the epoch advances twice.
+  // Hand over a detached node; freed once the epoch advances enough.
   // May be called inside or outside a pinned region.
   template <typename T>
   void retire(T* p) {
@@ -135,15 +156,15 @@ class EpochDomain {
     return global_epoch_.load(std::memory_order_relaxed);  // relaxed: observational read
   }
 
-  ~EpochDomain() {
+  ~BasicEpochDomain() {
     for (auto& bag : limbo_) {
       for (auto& r : *bag) r.del(r.ptr);
     }
   }
 
-  EpochDomain() = default;
-  EpochDomain(const EpochDomain&) = delete;
-  EpochDomain& operator=(const EpochDomain&) = delete;
+  BasicEpochDomain() = default;
+  BasicEpochDomain(const BasicEpochDomain&) = delete;
+  BasicEpochDomain& operator=(const BasicEpochDomain&) = delete;
 
  private:
   struct Retired {
@@ -158,10 +179,24 @@ class EpochDomain {
     auto& local = local_epoch_[thread_id()].value;
     for (;;) {
       const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
-      // seq_cst store/load: the announcement must be visible to advancers
-      // before we validate that the epoch did not move under us (store-load
-      // ordering, same shape as the hazard-pointer publication).
-      local.store(e, std::memory_order_seq_cst);
+      if constexpr (Asymmetric) {
+        // release + light barrier: a plain store on x86/ARM.  The
+        // advancer-visibility of this announcement is try_advance()'s
+        // heavy barrier's job (see header comment).
+        local.store(e, std::memory_order_release);
+        asymmetric_light();
+      } else {
+        // asymmetric: OFF — classic protocol, the announcement pays the
+        // full fence itself (seq_cst store) so it is advancer-visible
+        // before the validating re-read below.
+        local.store(e, std::memory_order_seq_cst);
+      }
+      // seq_cst: the validate must read the CURRENT epoch (not a stale
+      // one), or a pinner could believe itself announced at e while the
+      // epoch had already left e behind — one step of lag the grace-period
+      // arithmetic does not budget for.  A seq_cst load is free on the
+      // architectures we target; only the seq_cst STORE was the hot-path
+      // cost the asymmetric protocol removes.
       if (global_epoch_.load(std::memory_order_seq_cst) == e) return;
     }
   }
@@ -176,9 +211,15 @@ class EpochDomain {
     if (local.load(std::memory_order_relaxed) == e) return;
     for (;;) {
       const std::uint64_t g = global_epoch_.load(std::memory_order_acquire);
-      // seq_cst: same store-load publication as pin() — the announcement
-      // must be advancer-visible before the validating re-read.
-      local.store(g, std::memory_order_seq_cst);
+      if constexpr (Asymmetric) {
+        // release + light: same announcement protocol as pin().
+        local.store(g, std::memory_order_release);
+        asymmetric_light();
+      } else {
+        // asymmetric: OFF — classic seq_cst publication (see pin()).
+        local.store(g, std::memory_order_seq_cst);
+      }
+      // seq_cst: same validate-freshness requirement as pin().
       if (global_epoch_.load(std::memory_order_seq_cst) == g) return;
     }
   }
@@ -193,8 +234,21 @@ class EpochDomain {
   // Advance the global epoch if every pinned thread has observed it.
   void try_advance() noexcept {
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
-    for (auto& slot : local_epoch_) {
-      const std::uint64_t l = slot->load(std::memory_order_acquire);
+    if constexpr (Asymmetric) {
+      // The one heavy barrier that pays for every pin's elided fence:
+      // every announcement made before this point is visible to the sweep
+      // below; an announcement made after it validated against the current
+      // epoch (seq_cst re-read in pin), so missing it here is benign — the
+      // pinner is at e, and advancing to e+1 keeps it within one step.
+      asymmetric_heavy();
+    }
+    // Ceiling read after the barrier: see thread_registry.hpp for why any
+    // announcement visible to this sweep is covered by the bound.
+    const std::size_t nthreads = registered_ceiling();
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      const std::uint64_t l =
+          local_epoch_[t]->load(Asymmetric ? std::memory_order_acquire
+                                           : std::memory_order_seq_cst);
       if (l != kInactive && l != e) return;  // straggler: cannot advance
     }
     std::uint64_t expected = e;
@@ -205,14 +259,19 @@ class EpochDomain {
 
   void collect_bag(std::vector<Retired>& bag) {
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
-    std::vector<Retired> keep;
+    // Reused per-thread scratch: steady-state reclamation is malloc-free
+    // (the vector keeps its capacity and trades buffers with the bag).
+    std::vector<Retired>& keep = keep_scratch_[thread_id()].value;
+    keep.clear();
     keep.reserve(bag.size());
     for (auto& r : bag) {
       // Safety: a retiring thread pinned at epoch ep reads a stamp
       // s >= ep while the true epoch is at most ep+1, so a reader that still
       // holds the node announces at most s+1; the epoch can never advance to
       // s+3 while that reader stays pinned.  (The textbook +2 rule assumes a
-      // stamp taken at the instantaneous epoch; the extra +1 covers the lag.)
+      // stamp taken at the instantaneous epoch; the extra +1 covers the lag.
+      // The asymmetric protocol preserves the "at most one step ahead"
+      // invariant this rests on — see try_advance.)
       if (r.epoch + 3 <= e) {
         r.del(r.ptr);
       } else {
@@ -229,6 +288,8 @@ class EpochDomain {
   Padded<std::vector<Retired>> limbo_[kMaxThreads];
   // Epoch at each thread's last bag scan (owner-thread access only).
   Padded<std::uint64_t> last_scan_epoch_[kMaxThreads] = {};
+  // Scratch for collect_bag (indexed by the COLLECTING thread's id).
+  Padded<std::vector<Retired>> keep_scratch_[kMaxThreads];
 
   // local_epoch_ default-initializes atomics to 0, which must mean inactive;
   // fix them up here.
@@ -240,5 +301,11 @@ class EpochDomain {
     }
   } init_{local_epoch_};
 };
+
+// Default domain used across the library: asymmetric announcement path.
+using EpochDomain = BasicEpochDomain<>;
+
+// Classic fully-fenced protocol — the E11 before/after baseline.
+using SeqCstEpochDomain = BasicEpochDomain</*Asymmetric=*/false>;
 
 }  // namespace ccds

@@ -1,10 +1,24 @@
-// Hazard pointers (Michael 2004).
+// Hazard pointers (Michael 2004) with asymmetric-fence read paths.
 //
 // A reader publishes the pointer it is about to dereference in a per-thread
 // hazard slot and re-validates the source; a reclaimer only frees a retired
 // node if no thread's hazard slots contain it.  Gives per-object, bounded
-// memory overhead at the price of a store+fence+reload on every protected
-// read — exactly the read-side cost experiment E11 measures against epochs.
+// memory overhead.
+//
+// The classic algorithm pays a store+FULL-FENCE+reload on every protected
+// read (the store-load Dekker between publication and the reclaimer's scan).
+// Here the default protocol is ASYMMETRIC (folly/hazptr technique): the
+// reader publishes with a release store plus a compiler-only barrier —
+// a plain store on x86/ARM — and scan() pays the whole ordering cost once
+// per reclamation batch with a process-wide heavy barrier
+// (core/asymmetric_fence.hpp).  Correctness: after asymmetric_heavy()
+// returns, for every reader either (a) its hazard publication is visible to
+// this scan, so the node is kept, or (b) the reader's publication comes
+// after the barrier, in which case the reclaimer's earlier unlink is
+// visible to the reader's program-order-later validating re-read, which
+// therefore fails and the reader never dereferences the retired node.
+// `Asymmetric = false` keeps the classic fully-fenced protocol — the
+// before/after baseline for bench_reclaim and the ablation suite.
 //
 // Usage discipline: one live Guard per thread per domain at a time (ccds
 // structures create exactly one per operation); the guard's slot indices are
@@ -13,17 +27,20 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/arch.hpp"
+#include "core/asymmetric_fence.hpp"
 #include "core/atomic.hpp"
 #include "core/padded.hpp"
 #include "core/thread_registry.hpp"
 
 namespace ccds {
 
-template <std::size_t ScanThreshold = 256>
+template <std::size_t ScanThreshold = 256, bool Asymmetric = true>
 class BasicHazardDomain {
  public:
   // Hazard slots per thread.  8 covers every ccds structure (max live
@@ -38,8 +55,16 @@ class BasicHazardDomain {
     Guard(const Guard&) = delete;
     Guard& operator=(const Guard&) = delete;
 
+    // Only slots this guard actually published are cleared: short read-side
+    // sections touch 1-3 of the 8 slots, and unconditional clearing would
+    // charge them 8 stores of fixed overhead per operation.
     ~Guard() {
-      for (std::size_t i = 0; i < kSlots; ++i) clear(i);
+      std::uint32_t used = used_;
+      while (used != 0) {
+        const auto i = static_cast<std::size_t>(std::countr_zero(used));
+        hp_[i].store(nullptr, std::memory_order_release);
+        used &= used - 1;
+      }
     }
 
     // Protect the pointer currently stored in `src`: publish-and-validate
@@ -47,35 +72,58 @@ class BasicHazardDomain {
     template <typename Atom>
     auto protect(std::size_t slot, const Atom& src) noexcept {
       CCDS_ASSERT(slot < kSlots);
+      used_ |= 1u << slot;
       auto p = src.load(std::memory_order_acquire);
       for (;;) {
-        // seq_cst store/load pair: the hazard publication must be globally
-        // visible before we re-read src, or a reclaimer's scan could miss it
-        // (classic store-load ordering requirement of the HP algorithm).
-        hp_[slot].store(p, std::memory_order_seq_cst);
-        auto q = src.load(std::memory_order_seq_cst);
+        if constexpr (Asymmetric) {
+          // release + light barrier: the publication is a plain store; the
+          // store-load ordering against the reclaimer's slot sweep is
+          // supplied by scan()'s asymmetric_heavy() (see header comment).
+          // The validating load needs only acquire — if it reads a stale
+          // (pre-unlink) value, the publication store precedes the heavy
+          // barrier and the scan keeps the node.
+          hp_[slot].store(p, std::memory_order_release);
+          asymmetric_light();
+        } else {
+          // asymmetric: OFF — classic Michael protocol kept as the fenced
+          // baseline; the seq_cst store/load pair makes the publication
+          // globally visible before the re-read on its own.
+          hp_[slot].store(p, std::memory_order_seq_cst);
+        }
+        auto q = src.load(Asymmetric ? std::memory_order_acquire
+                                     : std::memory_order_seq_cst);
         if (q == p) return p;
         p = q;
       }
     }
 
     // Assert protection of a pointer the caller will re-validate itself
-    // (caller must re-check its source after this returns).
+    // (caller must re-check its source after this returns — that re-check
+    // is the validating load of the same asymmetric Dekker as protect()).
     template <typename T>
     void set(std::size_t slot, T* p) noexcept {
       CCDS_ASSERT(slot < kSlots);
-      hp_[slot].store(p, std::memory_order_seq_cst);
+      used_ |= 1u << slot;
+      if constexpr (Asymmetric) {
+        hp_[slot].store(p, std::memory_order_release);
+        asymmetric_light();
+      } else {
+        // asymmetric: OFF — fenced baseline (see protect()).
+        hp_[slot].store(p, std::memory_order_seq_cst);
+      }
     }
 
     void clear(std::size_t slot) noexcept {
       CCDS_ASSERT(slot < kSlots);
       // release: the clearing must not float above the last dereference.
       hp_[slot].store(nullptr, std::memory_order_release);
+      used_ &= ~(1u << slot);
     }
 
    private:
     BasicHazardDomain* dom_;
     Atomic<void*>* hp_;
+    std::uint32_t used_ = 0;  // bitmask of slots published by this guard
   };
 
   Guard guard() noexcept { return Guard(*this); }
@@ -124,26 +172,50 @@ class BasicHazardDomain {
     void* ptr;
     void (*del)(void*);
   };
+  // Per-thread scratch for scan(): reused across passes so steady-state
+  // reclamation performs no allocation (the vectors keep their capacity).
+  struct Scratch {
+    std::vector<void*> hazards;
+    std::vector<Retired> keep;
+  };
 
-  // Scan threshold: amortizes the O(H) hazard sweep over many retirements
-  // (Michael recommends >= 2*H).  Template parameter so the ablation bench
-  // can sweep it; the 256 default keeps peak garbage modest while still
-  // amortizing well.
+  // Scan threshold: amortizes the O(H) hazard sweep — and, in the
+  // asymmetric protocol, the process-wide heavy barrier — over many
+  // retirements (Michael recommends >= 2*H).  Template parameter so the
+  // ablation bench can sweep it; the 256 default keeps peak garbage modest
+  // while still amortizing well.
   static constexpr std::size_t kScanThreshold = ScanThreshold;
 
   void scan(std::vector<Retired>& bag) {
-    std::vector<void*> hazards;
-    hazards.reserve(kMaxThreads * kSlots);
-    for (auto& rec : hazards_) {
-      for (auto& s : rec->slot) {
-        // seq_cst: pairs with Guard::protect's publication.
-        void* p = s.load(std::memory_order_seq_cst);
+    if constexpr (Asymmetric) {
+      // The one heavy barrier that pays for every reader's elided fence:
+      // all hazard publications made before this point are now visible to
+      // the acquire sweep below, and our earlier unlinks are visible to the
+      // validating re-read of any reader publishing after it.
+      asymmetric_heavy();
+    }
+    // Read the ceiling AFTER the barrier: a publication visible to the
+    // sweep implies the publisher's earlier registration (and its ceiling
+    // raise) is visible too, so the sweep bound always covers every slot
+    // the sweep needs to see (core/thread_registry.hpp).
+    const std::size_t nthreads = registered_ceiling();
+    Scratch& scratch = scratch_[thread_id()].value;
+    std::vector<void*>& hazards = scratch.hazards;
+    hazards.clear();
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      for (auto& s : hazards_[t]->slot) {
+        // acquire suffices under the asymmetric protocol (the heavy
+        // barrier above did the Dekker work); the classic baseline keeps
+        // seq_cst to pair with Guard::protect's publication.
+        void* p = s.load(Asymmetric ? std::memory_order_acquire
+                                    : std::memory_order_seq_cst);
         if (p != nullptr) hazards.push_back(p);
       }
     }
     std::sort(hazards.begin(), hazards.end());
 
-    std::vector<Retired> keep;
+    std::vector<Retired>& keep = scratch.keep;
+    keep.clear();
     keep.reserve(bag.size());
     for (auto& r : bag) {
       if (std::binary_search(hazards.begin(), hazards.end(), r.ptr)) {
@@ -152,14 +224,21 @@ class BasicHazardDomain {
         r.del(r.ptr);
       }
     }
+    // Trade buffers with the scratch: the bag inherits keep's storage and
+    // the scratch keeps the bag's old capacity for the next pass.
     bag.swap(keep);
   }
 
   Padded<HpRecord> hazards_[kMaxThreads];
   Padded<std::vector<Retired>> retired_[kMaxThreads];
+  // Owner-thread access only (indexed by the scanning thread's id).
+  Padded<Scratch> scratch_[kMaxThreads];
 };
 
-// Default domain used across the library.
+// Default domain used across the library: asymmetric read path.
 using HazardDomain = BasicHazardDomain<>;
+
+// Classic fully-fenced protocol — the E11 before/after baseline.
+using SeqCstHazardDomain = BasicHazardDomain<256, /*Asymmetric=*/false>;
 
 }  // namespace ccds

@@ -29,7 +29,10 @@ class PetersonLock {
     const int other = 1 - me;
     // seq_cst throughout: the proof needs flag[me]=true to be globally
     // ordered before the read of flag[other] (store-load), which x86 TSO
-    // would already reorder without a fence.
+    // would already reorder without a fence.  asymmetric: not applicable —
+    // both sides of this Dekker are equally hot (there is no rare
+    // "reclaimer" side to push the fence onto), so the symmetric fence
+    // stays.
     flag_[me].store(true, std::memory_order_seq_cst);
     victim_.store(me, std::memory_order_seq_cst);
     std::uint32_t spins = 0;
