@@ -12,10 +12,11 @@
 // read — the dominant cost of practical SMR (experiment E11).  The
 // asymmetric-fence technique moves the entire cost to the rare reclaimer:
 //
-//   asymmetric_light()  — reader side.  A compiler-only barrier: it pins the
-//       program order of the surrounding accesses in the emitted code but
-//       emits NO fence instruction.  The publication store itself is
-//       memory_order_release (a plain store on x86/ARM).
+//   asymmetric_light()  — reader side.  With the membarrier backend, a
+//       compiler-only barrier: it pins the program order of the surrounding
+//       accesses in the emitted code but emits NO fence instruction.  The
+//       publication store itself is memory_order_release (a plain store on
+//       x86/ARM).
 //
 //   asymmetric_heavy()  — reclaimer side.  Forces a full memory barrier ON
 //       EVERY THREAD of the process.  On Linux this is
@@ -26,17 +27,20 @@
 //       earlier stores are visible to its later loads.  That is exactly the
 //       pairwise guarantee the Dekker conflict needs: either the reader's
 //       announcement is visible to the reclaimer's scan, or the reclaimer's
-//       unlink is visible to the reader's re-read.  Everywhere else (or when
-//       the kernel lacks the command) it falls back to a local seq_cst
-//       fence, which restores the SYMMETRIC protocol only if the reader side
-//       also fences — so the fallback is only correct because readers keep
-//       their release stores: see the per-call-site comments in
-//       reclaim/hazard.hpp and reclaim/epoch.hpp for why release+heavy is
-//       sufficient on fallback platforms too (TSO) and where we accept the
-//       cost of a reader-side fence instead (none today: all non-Linux
-//       targets we build for are x86/Apple-ARM, where the fallback fence on
-//       the reclaimer plus release publication is conservative but the bench
-//       gates only the Linux fast path).
+//       unlink is visible to the reader's re-read.
+//
+// FALLBACK (non-Linux, kernels < 4.14, seccomp-blocked membarrier): there
+// is no way to fence other threads remotely, so asymmetric_heavy() can only
+// issue a LOCAL seq_cst fence — and a local fence on the reclaimer alone
+// cannot drain a reader's store buffer.  The Dekker store-load conflict
+// needs a StoreLoad fence on BOTH sides (this is true even on TSO: the one
+// reordering x86 permits is exactly store-load), so on fallback platforms
+// asymmetric_light() issues a real seq_cst fence too and the pair DEGRADES
+// TO THE CLASSIC SYMMETRIC PROTOCOL.  Correctness never depends on which
+// backend is live — only the read-side speedup does.  Both halves branch on
+// the same one-time detection, and asymmetric_light_is_fence() exposes the
+// coupling so tests can assert the unsound combination (compiler-only light
+// + local-only heavy) can never ship.
 //
 // Under -DCCDS_MODEL=1 both calls route into the model checker:
 // asymmetric_heavy() is a schedule point that acts as a seq_cst fence on
@@ -97,15 +101,45 @@ inline bool membarrier_private_expedited_ready() noexcept {
 }  // namespace detail
 #endif  // !CCDS_MODEL && __linux__
 
-// Reader-side half of the asymmetric pair: compiler barrier only.  Zero
-// instructions; its entire job is to forbid the compiler from sinking the
-// announcement store below the validating load (the CPU-level reordering is
-// the reclaimer's heavy barrier's problem).  Under the model checker the
-// instrumented shim already executes operations strictly in program order,
-// so there is nothing to pin down and this is a true no-op there.
+// Reader-side half of the asymmetric pair.  With the membarrier backend, a
+// compiler barrier only — zero instructions; its entire job is to forbid
+// the compiler from sinking the announcement store below the validating
+// load (the CPU-level reordering is the reclaimer's heavy barrier's
+// problem).  When asymmetric_heavy() can only fence locally, this must be a
+// real seq_cst fence: the symmetric protocol requires a StoreLoad fence on
+// both sides, and a compiler barrier here would reopen the missed-hazard
+// use-after-free (see FALLBACK in the header comment).  The branch resolves
+// off the same cached one-time detection as the heavy side, so the fast
+// path costs one predictable compare.  Under the model checker the
+// instrumented shim already executes operations strictly in program order
+// and heavy_fence() models membarrier for all threads, so this is a true
+// no-op there.
 inline void asymmetric_light() noexcept {
-#ifndef CCDS_MODEL
-  std::atomic_signal_fence(std::memory_order_seq_cst);
+#if defined(CCDS_MODEL)
+  // no-op: the model's heavy_fence() carries the protocol's ordering.
+#elif defined(__linux__)
+  if (detail::membarrier_private_expedited_ready()) {
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+  } else {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// True when asymmetric_light() issues a real fence — i.e. the pair is
+// running the symmetric fallback because asymmetric_heavy() can only fence
+// locally.  Tests assert this stays coupled to asymmetric_heavy_backend():
+// kMembarrier must imply compiler-only light, kSeqCstFence must imply a
+// fencing light.
+inline bool asymmetric_light_is_fence() noexcept {
+#if defined(CCDS_MODEL)
+  return false;
+#elif defined(__linux__)
+  return !detail::membarrier_private_expedited_ready();
+#else
+  return true;
 #endif
 }
 

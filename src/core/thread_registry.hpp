@@ -56,14 +56,24 @@ class ThreadRegistry {
   //
   // Ordering contract for sweepers: a thread obtains its id (and thus
   // raises the ceiling, seq_cst) BEFORE its first store to any per-thread
-  // slot array indexed by that id.  A scanner that can observe such a slot
-  // store is therefore guaranteed to observe the ceiling covering it —
-  // via the seq_cst total order for the classic fenced protocols, and via
-  // the membarrier pairwise guarantee ("all earlier stores of a visible
-  // thread are visible") for the asymmetric ones, provided the scanner
-  // reads the ceiling after its asymmetric_heavy() call.
+  // slot array indexed by that id.
+  //
+  // The load below is seq_cst so the classic fenced domains' sweep-bound
+  // argument runs entirely inside the seq_cst total order S: if a sweep's
+  // ceiling load misses a registration (load <_S raise-CAS), then every
+  // slot publication of that thread is also later in S, so by coherence no
+  // sweep load could have returned it anyway — the skipped slot is exactly
+  // the "empty slot" case the classic protocol's proof already covers (the
+  // reader's seq_cst validating load then observes the pre-sweep unlink
+  // and retries).  An acquire load would not participate in S and that
+  // argument would not hold.  The asymmetric domains get the same
+  // guarantee from the membarrier pairwise property instead ("all earlier
+  // stores of every thread are visible after the heavy barrier"), provided
+  // the scanner reads the ceiling after its asymmetric_heavy() call; the
+  // stronger load is harmless there — ceiling() is only called on
+  // amortized reclamation paths, never per-operation.
   std::size_t ceiling() const noexcept {
-    return ceiling_.value.load(std::memory_order_acquire);
+    return ceiling_.value.load(std::memory_order_seq_cst);
   }
 
  private:

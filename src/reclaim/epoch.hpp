@@ -12,7 +12,10 @@
 // The classic pin() pays a seq_cst store/load (a full fence on x86) per
 // operation: the announcement must be advancer-visible before the validating
 // re-read of the global epoch.  The default protocol here is ASYMMETRIC:
-// pin announces with a release store plus a compiler-only barrier, and
+// pin announces with a release store plus asymmetric_light() — compiler-only
+// where membarrier backs the heavy side; a real fence on fallback platforms,
+// where the pair degrades to the classic symmetric protocol
+// (core/asymmetric_fence.hpp) — and
 // try_advance() — the rare side, amortized over a whole retirement batch —
 // issues one process-wide heavy barrier before sweeping the announcement
 // slots.  Correctness (same Dekker resolution as hazard.hpp): after
@@ -157,8 +160,20 @@ class BasicEpochDomain {
   }
 
   ~BasicEpochDomain() {
-    for (auto& bag : limbo_) {
-      for (auto& r : *bag) r.del(r.ptr);
+    // Quiescent teardown frees unconditionally.  Deleters may retire()
+    // further nodes mid-teardown (they land in the destructing thread's
+    // bag, possibly one already visited), so drain to a fixpoint, popping
+    // each record before running its deleter.
+    for (bool again = true; again;) {
+      again = false;
+      for (auto& bag : limbo_) {
+        while (!bag->empty()) {
+          again = true;
+          Retired r = bag->back();
+          bag->pop_back();
+          r.del(r.ptr);
+        }
+      }
     }
   }
 
@@ -258,13 +273,23 @@ class BasicEpochDomain {
   }
 
   void collect_bag(std::vector<Retired>& bag) {
+    Scratch& scratch = scratch_[thread_id()].value;
+    // Reentrant call (a deleter below retired past the threshold): defer.
+    // A nested pass would clear/swap the scratch vector the outer pass is
+    // mid-iteration on, and the nested node is freshly stamped — nothing
+    // this pass could free anyway.
+    if (scratch.in_collect) return;
+    scratch.in_collect = true;
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
-    // Reused per-thread scratch: steady-state reclamation is malloc-free
-    // (the vector keeps its capacity and trades buffers with the bag).
-    std::vector<Retired>& keep = keep_scratch_[thread_id()].value;
-    keep.clear();
-    keep.reserve(bag.size());
-    for (auto& r : bag) {
+    // Move the bag aside BEFORE running any deleter: a deleter that
+    // retires on this domain appends to the live bag, which therefore must
+    // not be the list being iterated.  Survivors go back into the (now
+    // empty) bag; the swap trades capacity both ways, so steady-state
+    // reclamation stays malloc-free.
+    std::vector<Retired>& work = scratch.work;
+    work.clear();
+    work.swap(bag);
+    for (auto& r : work) {
       // Safety: a retiring thread pinned at epoch ep reads a stamp
       // s >= ep while the true epoch is at most ep+1, so a reader that still
       // holds the node announces at most s+1; the epoch can never advance to
@@ -273,12 +298,13 @@ class BasicEpochDomain {
       // The asymmetric protocol preserves the "at most one step ahead"
       // invariant this rests on — see try_advance.)
       if (r.epoch + 3 <= e) {
-        r.del(r.ptr);
+        r.del(r.ptr);  // may reenter retire()/collect_bag() — see latch above
       } else {
-        keep.push_back(r);
+        bag.push_back(r);
       }
     }
-    bag.swap(keep);
+    work.clear();
+    scratch.in_collect = false;
   }
 
   static constexpr std::uint64_t kInactive = ~0ull;
@@ -288,8 +314,15 @@ class BasicEpochDomain {
   Padded<std::vector<Retired>> limbo_[kMaxThreads];
   // Epoch at each thread's last bag scan (owner-thread access only).
   Padded<std::uint64_t> last_scan_epoch_[kMaxThreads] = {};
-  // Scratch for collect_bag (indexed by the COLLECTING thread's id).
-  Padded<std::vector<Retired>> keep_scratch_[kMaxThreads];
+  // Scratch for collect_bag (indexed by the COLLECTING thread's id), reused
+  // across passes so steady-state reclamation performs no allocation.
+  // `in_collect` is the reentrancy latch: a deleter may retire() on this
+  // domain and cross the threshold mid-pass.
+  struct Scratch {
+    std::vector<Retired> work;
+    bool in_collect = false;
+  };
+  Padded<Scratch> scratch_[kMaxThreads];
 
   // local_epoch_ default-initializes atomics to 0, which must mean inactive;
   // fix them up here.

@@ -8,10 +8,13 @@
 // The classic algorithm pays a store+FULL-FENCE+reload on every protected
 // read (the store-load Dekker between publication and the reclaimer's scan).
 // Here the default protocol is ASYMMETRIC (folly/hazptr technique): the
-// reader publishes with a release store plus a compiler-only barrier —
-// a plain store on x86/ARM — and scan() pays the whole ordering cost once
-// per reclamation batch with a process-wide heavy barrier
-// (core/asymmetric_fence.hpp).  Correctness: after asymmetric_heavy()
+// reader publishes with a release store plus asymmetric_light() — a
+// compiler-only barrier, i.e. a plain store on x86/ARM, wherever membarrier
+// backs the heavy side; on fallback platforms the light barrier is a real
+// seq_cst fence and the pair degrades to the classic symmetric protocol
+// (core/asymmetric_fence.hpp) — and scan() pays the whole ordering cost
+// once per reclamation batch with a process-wide heavy barrier.
+// Correctness on the membarrier path: after asymmetric_heavy()
 // returns, for every reader either (a) its hazard publication is visible to
 // this scan, so the node is kept, or (b) the reader's publication comes
 // after the barrier, in which case the reclaimer's earlier unlink is
@@ -76,9 +79,11 @@ class BasicHazardDomain {
       auto p = src.load(std::memory_order_acquire);
       for (;;) {
         if constexpr (Asymmetric) {
-          // release + light barrier: the publication is a plain store; the
-          // store-load ordering against the reclaimer's slot sweep is
-          // supplied by scan()'s asymmetric_heavy() (see header comment).
+          // release + light barrier: a plain store where membarrier backs
+          // scan()'s asymmetric_heavy(), which then supplies the
+          // store-load ordering against the slot sweep; on fallback
+          // platforms the light barrier is itself a full fence (symmetric
+          // protocol — see core/asymmetric_fence.hpp).
           // The validating load needs only acquire — if it reads a stale
           // (pre-unlink) value, the publication store precedes the heavy
           // barrier and the scan keeps the node.
@@ -155,8 +160,19 @@ class BasicHazardDomain {
 
   ~BasicHazardDomain() {
     // Caller guarantees quiescence at destruction; free everything left.
-    for (auto& bag : retired_) {
-      for (auto& r : *bag) r.del(r.ptr);
+    // Deleters may retire() further nodes mid-teardown (they land in the
+    // destructing thread's bag, possibly one already visited), so drain to
+    // a fixpoint, popping each record before running its deleter.
+    for (bool again = true; again;) {
+      again = false;
+      for (auto& bag : retired_) {
+        while (!bag->empty()) {
+          again = true;
+          Retired r = bag->back();
+          bag->pop_back();
+          r.del(r.ptr);
+        }
+      }
     }
   }
 
@@ -174,9 +190,13 @@ class BasicHazardDomain {
   };
   // Per-thread scratch for scan(): reused across passes so steady-state
   // reclamation performs no allocation (the vectors keep their capacity).
+  // `in_scan` is the reentrancy latch: a deleter run by scan() may itself
+  // retire() on this domain and cross the threshold, and a nested scan()
+  // would clear/swap the very vectors the outer pass is iterating.
   struct Scratch {
     std::vector<void*> hazards;
-    std::vector<Retired> keep;
+    std::vector<Retired> work;
+    bool in_scan = false;
   };
 
   // Scan threshold: amortizes the O(H) hazard sweep — and, in the
@@ -187,6 +207,13 @@ class BasicHazardDomain {
   static constexpr std::size_t kScanThreshold = ScanThreshold;
 
   void scan(std::vector<Retired>& bag) {
+    Scratch& scratch = scratch_[thread_id()].value;
+    // Reentrant call (a deleter retired past the threshold): defer.  The
+    // nested nodes sit in the live bag — which the outer pass appends its
+    // survivors to as well — and are picked up by the next scan; freeing
+    // them now would corrupt the outer pass's iteration state.
+    if (scratch.in_scan) return;
+    scratch.in_scan = true;
     if constexpr (Asymmetric) {
       // The one heavy barrier that pays for every reader's elided fence:
       // all hazard publications made before this point are now visible to
@@ -199,7 +226,6 @@ class BasicHazardDomain {
     // raise) is visible too, so the sweep bound always covers every slot
     // the sweep needs to see (core/thread_registry.hpp).
     const std::size_t nthreads = registered_ceiling();
-    Scratch& scratch = scratch_[thread_id()].value;
     std::vector<void*>& hazards = scratch.hazards;
     hazards.clear();
     for (std::size_t t = 0; t < nthreads; ++t) {
@@ -214,19 +240,23 @@ class BasicHazardDomain {
     }
     std::sort(hazards.begin(), hazards.end());
 
-    std::vector<Retired>& keep = scratch.keep;
-    keep.clear();
-    keep.reserve(bag.size());
-    for (auto& r : bag) {
+    // Move the bag aside BEFORE running any deleter: a deleter that
+    // retires on this domain appends to the live bag, which therefore must
+    // not be the list being iterated.  Survivors go back into the (now
+    // empty) bag; the swap trades capacity both ways, so steady-state
+    // reclamation stays malloc-free.
+    std::vector<Retired>& work = scratch.work;
+    work.clear();
+    work.swap(bag);
+    for (auto& r : work) {
       if (std::binary_search(hazards.begin(), hazards.end(), r.ptr)) {
-        keep.push_back(r);
+        bag.push_back(r);
       } else {
-        r.del(r.ptr);
+        r.del(r.ptr);  // may reenter retire()/scan() — see latch above
       }
     }
-    // Trade buffers with the scratch: the bag inherits keep's storage and
-    // the scratch keeps the bag's old capacity for the next pass.
-    bag.swap(keep);
+    work.clear();
+    scratch.in_scan = false;
   }
 
   Padded<HpRecord> hazards_[kMaxThreads];

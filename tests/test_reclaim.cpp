@@ -241,19 +241,72 @@ TEST_F(ReclaimTest, AsymmetricHeavyUsesMembarrierWhereAvailable) {
   // Exercise the heavy barrier directly (first call performs the one-time
   // registration; later calls hit the fast path).
   for (int i = 0; i < 4; ++i) asymmetric_heavy();
+  const AsymmetricHeavyBackend backend = asymmetric_heavy_backend();
 #ifdef __linux__
-  // On any Linux kernel >= 4.14 — including CI runners — the expedited
-  // membarrier fast path must be what protected reads rely on, not the
-  // fallback fence.  (The query gate keeps exotic hosts honest rather than
-  // red.)
-  if (asymmetric_heavy_backend() == AsymmetricHeavyBackend::kSeqCstFence) {
-    GTEST_SKIP() << "kernel lacks MEMBARRIER_CMD_PRIVATE_EXPEDITED; "
-                    "fallback fence path exercised instead";
+  if (backend == AsymmetricHeavyBackend::kSeqCstFence) {
+    // Kernel lacks (or seccomp blocks) PRIVATE_EXPEDITED.  A local fence
+    // on the reclaimer alone cannot drain a reader's store buffer, so on
+    // this configuration the reader side MUST pay a real fence too (the
+    // symmetric fallback).  This is the exact configuration that would
+    // ship a use-after-free if the coupling ever broke — so it FAILS, not
+    // skips, if asymmetric_light() is still compiler-only here.
+    EXPECT_TRUE(asymmetric_light_is_fence())
+        << "UNSOUND: heavy barrier degraded to a local fence but "
+           "asymmetric_light() is compiler-only; the Dekker store-load "
+           "conflict needs a StoreLoad fence on BOTH sides";
+  } else {
+    // On any Linux kernel >= 4.14 — including CI runners — the expedited
+    // membarrier fast path must be what protected reads rely on, and the
+    // reader side must be fence-free (the whole point of the protocol).
+    EXPECT_EQ(backend, AsymmetricHeavyBackend::kMembarrier);
+    EXPECT_FALSE(asymmetric_light_is_fence());
   }
-  EXPECT_EQ(asymmetric_heavy_backend(), AsymmetricHeavyBackend::kMembarrier);
 #else
-  EXPECT_EQ(asymmetric_heavy_backend(), AsymmetricHeavyBackend::kSeqCstFence);
+  EXPECT_EQ(backend, AsymmetricHeavyBackend::kSeqCstFence);
+  EXPECT_TRUE(asymmetric_light_is_fence());
 #endif
+}
+
+// ---------- reentrant deleters ----------
+//
+// A node's destructor may retire() further nodes on the SAME domain from
+// the same thread (e.g. a tree node releasing children).  If such a nested
+// retire crosses the scan threshold mid-scan, the nested pass must be
+// deferred — not run against the scratch buffers and bag the outer pass is
+// iterating (which double-frees or leaks).  ASan turns any such corruption
+// into a hard failure; the canary count checks nothing is leaked or freed
+// twice.
+
+TEST_F(ReclaimTest, HazardReentrantRetireFromDeleter) {
+  struct Node {
+    BasicHazardDomain<8>* dom;
+    Canary canary;
+    explicit Node(BasicHazardDomain<8>* d) : dom(d) {}
+    ~Node() { dom->retire(new Canary); }  // reenters retire() mid-scan
+  };
+  {
+    // Threshold 8: every handful of retires runs a scan whose deleters
+    // push fresh garbage into the bag being collected.
+    BasicHazardDomain<8> dom;
+    for (int i = 0; i < 200; ++i) dom.retire(new Node(&dom));
+    for (int i = 0; i < 8; ++i) dom.collect();
+  }  // destructor drains nested retires to a fixpoint
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TEST_F(ReclaimTest, EpochReentrantRetireFromDeleter) {
+  struct Node {
+    EpochDomain* dom;
+    Canary canary;
+    explicit Node(EpochDomain* d) : dom(d) {}
+    ~Node() { dom->retire(new Canary); }  // reenters retire() mid-collect
+  };
+  {
+    EpochDomain dom;
+    for (int i = 0; i < 600; ++i) dom.retire(new Node(&dom));
+    for (int i = 0; i < 12; ++i) dom.collect();
+  }  // destructor drains nested retires to a fixpoint
+  EXPECT_EQ(g_live.load(), 0);
 }
 
 // The classic fully-fenced protocols are kept as the E11 baseline; they
