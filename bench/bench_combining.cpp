@@ -1,0 +1,189 @@
+// E16 — combining engines head-to-head: CC-Synch vs flat combining, through
+// the structure fronts, against the lock-based and lock-free baselines.
+//
+// Survey / Fatourou-Kallimanis claim: the flat combiner's two fixed costs —
+// the combiner-lock acquisition and the O(threads) publication-slot scan —
+// are avoidable.  CC-Synch publishes a request with one wait-free exchange
+// onto a request list and the combiner walks exactly the pending requests,
+// so the per-operation synchronization cost is one exchange regardless of
+// how many threads exist.  The expected shape at high thread counts:
+//
+//   CcSynch front  >  FlatCombiner front  >  coarse lock
+//   CcSynch front  >  MS queue / Treiber  (no per-op allocation or CAS
+//                                          retries; one exchange per op)
+//
+// The batch rows measure the OBATCHER-style apply_batch front: k operations
+// ride one combining request, so the per-op synchronization cost drops by
+// another factor of k.
+//
+// Rows: queue fronts (vs MS queue, coarse lock queue), stack fronts (vs
+// Treiber, coarse lock stack), counter fronts (vs single fetch_add word,
+// lock counter), and batched queue fronts.  All 50/50 mixed op workloads,
+// prefilled; thread counts from the shared CCDS_BENCH_THREADS sweep.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "counter/combining_counter.hpp"
+#include "counter/counters.hpp"
+#include "queue/coarse_queue.hpp"
+#include "queue/combining_queue.hpp"
+#include "queue/ms_queue.hpp"
+#include "reclaim/epoch.hpp"
+#include "stack/coarse_stack.hpp"
+#include "stack/combining_stack.hpp"
+#include "stack/treiber_stack.hpp"
+#include "sync/ccsynch.hpp"
+#include "sync/flat_combining.hpp"
+#include "sync/spinlock.hpp"
+
+namespace {
+
+using namespace ccds;
+
+constexpr std::uint64_t kPrefill = 1024;
+
+// ---------------------------------------------------------------------------
+// Queues: 50/50 enqueue/dequeue.
+// ---------------------------------------------------------------------------
+
+template <typename Queue>
+void BM_QueueMix(benchmark::State& state) {
+  static Queue* q = nullptr;
+  if (state.thread_index() == 0) {
+    q = new Queue();
+    for (std::uint64_t i = 0; i < kPrefill; ++i) q->enqueue(i);
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  ccds::bench::ThreadOps ops(state);
+  for (auto _ : state) {
+    if (rng.next() & 1) {
+      q->enqueue(42);
+    } else {
+      benchmark::DoNotOptimize(q->try_dequeue());
+    }
+    ops.tick();
+  }
+  ops.finish();
+  if (state.thread_index() == 0) {
+    delete q;
+    q = nullptr;
+  }
+}
+
+using CcSynchQueue = CombiningQueue<std::uint64_t, CcSynch>;
+using FcQueue = CombiningQueue<std::uint64_t, FlatCombiner>;
+using MsQueueEbr = MSQueue<std::uint64_t, EpochDomain>;
+using LockQueueTtas = LockQueue<std::uint64_t, TtasLock>;
+
+BENCHMARK(BM_QueueMix<CcSynchQueue>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_QueueMix<FcQueue>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_QueueMix<MsQueueEbr>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_QueueMix<LockQueueTtas>) CCDS_BENCH_THREADS;
+
+// Batched fronts: 8 operations (4 enqueues, 4 dequeues) per combining
+// request.  Throughput counts operations, not batches.
+template <typename Queue>
+void BM_QueueBatch8(benchmark::State& state) {
+  constexpr int kBatch = 8;
+  static Queue* q = nullptr;
+  if (state.thread_index() == 0) {
+    q = new Queue();
+    for (std::uint64_t i = 0; i < kPrefill; ++i) q->enqueue(i);
+  }
+  ccds::bench::ThreadOps ops(state);
+  std::uint64_t batched = 0;
+  for (auto _ : state) {
+    using Op = QueueOp<std::uint64_t>;
+    Op batch[kBatch] = {Op::enqueue(1), Op::enqueue(2), Op::enqueue(3),
+                        Op::enqueue(4), Op::dequeue(),  Op::dequeue(),
+                        Op::dequeue(),  Op::dequeue()};
+    q->apply_batch(std::span<Op>(batch));
+    benchmark::DoNotOptimize(batch[4].result);
+    batched += kBatch;
+    ops.tick();
+  }
+  ops.finish();
+  state.SetItemsProcessed(static_cast<std::int64_t>(batched));
+  if (state.thread_index() == 0) {
+    delete q;
+    q = nullptr;
+  }
+}
+
+BENCHMARK(BM_QueueBatch8<CcSynchQueue>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_QueueBatch8<FcQueue>) CCDS_BENCH_THREADS;
+
+// ---------------------------------------------------------------------------
+// Stacks: 50/50 push/pop.
+// ---------------------------------------------------------------------------
+
+template <typename Stack>
+void BM_StackMix(benchmark::State& state) {
+  static Stack* s = nullptr;
+  if (state.thread_index() == 0) {
+    s = new Stack();
+    for (std::uint64_t i = 0; i < kPrefill; ++i) s->push(i);
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  ccds::bench::ThreadOps ops(state);
+  for (auto _ : state) {
+    if (rng.next() & 1) {
+      s->push(42);
+    } else {
+      benchmark::DoNotOptimize(s->try_pop());
+    }
+    ops.tick();
+  }
+  ops.finish();
+  if (state.thread_index() == 0) {
+    delete s;
+    s = nullptr;
+  }
+}
+
+using CcSynchStack = CombiningStack<std::uint64_t, CcSynch>;
+using FcStack = CombiningStack<std::uint64_t, FlatCombiner>;
+using TreiberEbr = TreiberStack<std::uint64_t, EpochDomain>;
+using LockStackTtas = LockStack<std::uint64_t, TtasLock>;
+
+BENCHMARK(BM_StackMix<CcSynchStack>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_StackMix<FcStack>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_StackMix<TreiberEbr>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_StackMix<LockStackTtas>) CCDS_BENCH_THREADS;
+
+// ---------------------------------------------------------------------------
+// Counters: pure fetch_add — the purest contention microbenchmark.
+// ---------------------------------------------------------------------------
+
+template <typename Counter>
+void BM_CounterAdd(benchmark::State& state) {
+  static Counter* c = nullptr;
+  if (state.thread_index() == 0) c = new Counter();
+  ccds::bench::ThreadOps ops(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c->fetch_add(1));
+    ops.tick();
+  }
+  ops.finish();
+  if (state.thread_index() == 0) {
+    delete c;
+    c = nullptr;
+  }
+}
+
+using CcSynchCounter = CombiningCounter<CcSynch>;
+using FcCounter = CombiningCounter<FlatCombiner>;
+
+BENCHMARK(BM_CounterAdd<CcSynchCounter>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_CounterAdd<FcCounter>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_CounterAdd<AtomicCounter>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_CounterAdd<LockCounter<TtasLock>>) CCDS_BENCH_THREADS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -6,6 +6,12 @@
 // holds the lock and executes everyone's published ops.  It therefore beats
 // the coarse lock under bursty contention, while the MS queue — which never
 // hands anything off — tops the chart.
+//
+// The combining side is engine-templated over the shared Combiner policy
+// (sync/combiner.hpp), so the same workload runs over FlatCombiner and
+// CcSynch; the head-to-head engine comparison (plus structure fronts and
+// batching) lives in bench_combining.cpp (E16).  Thread counts come from
+// the shared CCDS_BENCH_THREADS sweep in bench_util.hpp.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -17,6 +23,7 @@
 #include "queue/coarse_queue.hpp"
 #include "queue/ms_queue.hpp"
 #include "reclaim/epoch.hpp"
+#include "sync/ccsynch.hpp"
 #include "sync/flat_combining.hpp"
 #include "sync/spinlock.hpp"
 
@@ -24,22 +31,24 @@ namespace {
 
 using namespace ccds;
 
-void BM_FlatCombiningQueue(benchmark::State& state) {
-  using Fc = FlatCombiner<std::deque<std::uint64_t>>;
-  static Fc* fc = nullptr;
+template <template <typename> class Engine>
+void BM_CombinedSeqQueue(benchmark::State& state) {
+  using Combined = Engine<std::deque<std::uint64_t>>;
+  static Combined* cq = nullptr;
   if (state.thread_index() == 0) {
-    fc = new Fc();
-    fc->apply_locked([](std::deque<std::uint64_t>& q) {
+    cq = new Combined();
+    cq->apply_locked([](std::deque<std::uint64_t>& q) {
       for (std::uint64_t i = 0; i < 1024; ++i) q.push_back(i);
     });
   }
   Xoshiro256 rng = ccds::bench::make_rng(state);
+  ccds::bench::ThreadOps ops(state);
   for (auto _ : state) {
     if (rng.next() & 1) {
-      fc->apply([](std::deque<std::uint64_t>& q) { q.push_back(42); });
+      cq->apply([](std::deque<std::uint64_t>& q) { q.push_back(42); });
     } else {
       benchmark::DoNotOptimize(
-          fc->apply([](std::deque<std::uint64_t>& q)
+          cq->apply([](std::deque<std::uint64_t>& q)
                         -> std::optional<std::uint64_t> {
             if (q.empty()) return std::nullopt;
             std::uint64_t v = q.front();
@@ -47,14 +56,19 @@ void BM_FlatCombiningQueue(benchmark::State& state) {
             return v;
           }));
     }
+    ops.tick();
   }
-  state.SetItemsProcessed(state.iterations());
+  ops.finish();
   if (state.thread_index() == 0) {
-    delete fc;
-    fc = nullptr;
+    delete cq;
+    cq = nullptr;
   }
 }
-BENCHMARK(BM_FlatCombiningQueue) CCDS_BENCH_THREADS;
+
+// Row names keep the historical BM_FlatCombiningQueue spelling via the
+// template argument, so summaries read FlatCombiner vs CcSynch directly.
+BENCHMARK(BM_CombinedSeqQueue<FlatCombiner>) CCDS_BENCH_THREADS;
+BENCHMARK(BM_CombinedSeqQueue<CcSynch>) CCDS_BENCH_THREADS;
 
 template <typename Queue>
 void BM_BaselineQueue(benchmark::State& state) {
@@ -64,14 +78,16 @@ void BM_BaselineQueue(benchmark::State& state) {
     for (std::uint64_t i = 0; i < 1024; ++i) q->enqueue(i);
   }
   Xoshiro256 rng = ccds::bench::make_rng(state);
+  ccds::bench::ThreadOps ops(state);
   for (auto _ : state) {
     if (rng.next() & 1) {
       q->enqueue(42);
     } else {
       benchmark::DoNotOptimize(q->try_dequeue());
     }
+    ops.tick();
   }
-  state.SetItemsProcessed(state.iterations());
+  ops.finish();
   if (state.thread_index() == 0) {
     delete q;
     q = nullptr;

@@ -31,14 +31,16 @@ void BM_TreiberChurn(benchmark::State& state) {
     for (std::uint64_t i = 0; i < 1024; ++i) stack->push(i);
   }
   Xoshiro256 rng = ccds::bench::make_rng(state);
+  ccds::bench::ThreadOps ops(state);
   for (auto _ : state) {
     if (rng.next() & 1) {
       stack->push(1);
     } else {
       benchmark::DoNotOptimize(stack->try_pop());
     }
+    ops.tick();
   }
-  state.SetItemsProcessed(state.iterations());
+  ops.finish();
   if (state.thread_index() == 0) {
     delete stack;
     stack = nullptr;
@@ -58,12 +60,14 @@ void BM_ProtectedRead(benchmark::State& state) {
     dom = new Domain();
     src = new std::atomic<std::uint64_t*>(new std::uint64_t(42));
   }
+  ccds::bench::ThreadOps ops(state);
   for (auto _ : state) {
     auto g = dom->guard();
     std::uint64_t* p = g.protect(0, *src);
     benchmark::DoNotOptimize(*p);
+    ops.tick();
   }
-  state.SetItemsProcessed(state.iterations());
+  ops.finish();
   if (state.thread_index() == 0) {
     delete src->load();
     delete src;
@@ -95,6 +99,7 @@ void BM_HarrisListReadHeavy(benchmark::State& state) {
     for (std::uint64_t k = 0; k < kKeyRange; k += 2) list->insert(k);
   }
   Xoshiro256 rng = ccds::bench::make_rng(state);
+  ccds::bench::ThreadOps ops(state);
   for (auto _ : state) {
     const std::uint64_t r = rng.next();
     const std::uint64_t key = r % kKeyRange;
@@ -106,8 +111,9 @@ void BM_HarrisListReadHeavy(benchmark::State& state) {
     } else {
       benchmark::DoNotOptimize(list->remove(key));
     }
+    ops.tick();
   }
-  state.SetItemsProcessed(state.iterations());
+  ops.finish();
   if (state.thread_index() == 0) {
     delete list;
     list = nullptr;

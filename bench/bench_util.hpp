@@ -10,12 +10,20 @@
 //     figures use;
 //   * workload mixes follow the survey's convention: a (read%, insert%,
 //     remove%) triple over a fixed key range, prefilled to half occupancy.
+//   * every table also carries per-thread fairness fields
+//     (thread_ops_per_sec_min / thread_ops_per_sec_max / fairness /
+//     per_thread_ops_per_sec) emitted by ThreadOps below: total throughput
+//     can hide one thread starving (combining makes this failure mode
+//     easy), the slowest thread's measured rate cannot.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 
+#include "core/arch.hpp"
 #include "core/rng.hpp"
 
 namespace ccds::bench {
@@ -25,12 +33,129 @@ inline Xoshiro256 make_rng(const benchmark::State& state) {
   return Xoshiro256(0x9e3779b97f4a7c15ull * (state.thread_index() + 1) + 1);
 }
 
+// Records how many operations each thread of a threaded benchmark completed
+// and emits per-thread throughput and fairness counters.
+//
+// Usage inside a benchmark body:
+//   ThreadOps ops(state);
+//   for (auto _ : state) { ...one operation...; ops.tick(); }
+//   ops.finish();   // replaces state.SetItemsProcessed(state.iterations())
+//
+// JSON fields added to every row (set by thread 0; google-benchmark merges
+// counters across threads by summation, so thread-0-only values pass
+// through):
+//   thread_ops_per_sec_min / thread_ops_per_sec_max — measured throughput of
+//     the slowest and fastest thread.  The framework hands every thread the
+//     SAME iteration quota, so per-run op *counts* are equal by construction;
+//     what differs — and what combining can skew, since the combiner does
+//     everyone's work while requesters spin — is how fast each thread moves
+//     through its quota.
+//   fairness — thread_ops_per_sec_min / thread_ops_per_sec_max in [0, 1];
+//     1.0 means all threads progressed at the same rate.
+//   per_thread_ops_per_sec — average per-thread throughput (every thread
+//     contributes its count; kAvgThreads|kIsRate divides by threads & time;
+//     equals items_per_second / threads).
+//
+// Per-thread rates are derived from sampled timestamps: every tick bumps a
+// thread-local counter, and every 64th tick writes (count, steady_clock now)
+// to a cache-line-padded slot owned by the ticking thread — no sharing, one
+// clock read per 64 ops, and the same constant cost for every structure
+// under test, so relative comparisons are unaffected.  Rows too short to
+// produce two samples per thread report min = max = 0 and fairness = 1.0
+// (smoke runs); real artifact runs sample thousands of times.
+class ThreadOps {
+ public:
+  static constexpr int kMaxBenchThreads = 64;
+  static constexpr std::uint64_t kSampleMask = 63;  // sample every 64 ticks
+
+  explicit ThreadOps(benchmark::State& state)
+      : state_(state), tid_(state.thread_index()) {
+    // Thread 0 resets the slots before the start barrier (the timed loop's
+    // begin() blocks on it), so no tick can race the reset.
+    if (tid_ == 0) {
+      for (int t = 0; t < state.threads() && t < kMaxBenchThreads; ++t) {
+        slots()[t].count.store(0, std::memory_order_relaxed);
+        slots()[t].first_ns.store(0, std::memory_order_relaxed);
+        slots()[t].last_ns.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void tick() {
+    if (((++local_) & kSampleMask) == 0) sample();
+  }
+
+  void finish() {
+    state_.SetItemsProcessed(state_.iterations());
+    state_.counters["per_thread_ops_per_sec"] = benchmark::Counter(
+        static_cast<double>(local_),
+        benchmark::Counter::kIsRate | benchmark::Counter::kAvgThreads);
+    if (tid_ != 0) return;
+    // Post-loop code runs after the stop barrier: every thread's samples are
+    // visible here (the final one is at most kSampleMask ops stale, which is
+    // noise at artifact iteration counts).
+    double mn = 0.0;
+    double mx = 0.0;
+    bool have = false;
+    for (int t = 0; t < state_.threads() && t < kMaxBenchThreads; ++t) {
+      const Slot& s = slots()[t];
+      const std::uint64_t ops = s.count.load(std::memory_order_relaxed);
+      const std::uint64_t t0 = s.first_ns.load(std::memory_order_relaxed);
+      const std::uint64_t t1 = s.last_ns.load(std::memory_order_relaxed);
+      // Need two distinct samples: the first fixes (kSampleMask+1, t0).
+      if (ops <= kSampleMask + 1 || t1 <= t0) continue;
+      const double rate = static_cast<double>(ops - (kSampleMask + 1)) *
+                          1e9 / static_cast<double>(t1 - t0);
+      mn = (!have || rate < mn) ? rate : mn;
+      mx = (!have || rate > mx) ? rate : mx;
+      have = true;
+    }
+    state_.counters["thread_ops_per_sec_min"] = benchmark::Counter(mn);
+    state_.counters["thread_ops_per_sec_max"] = benchmark::Counter(mx);
+    state_.counters["fairness"] =
+        benchmark::Counter(mx > 0.0 ? mn / mx : 1.0);
+  }
+
+ private:
+  struct CCDS_CACHELINE_ALIGNED Slot {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> first_ns{0};
+    std::atomic<std::uint64_t> last_ns{0};
+  };
+  // One static slot array shared by all benchmarks in a binary: runs are
+  // sequential and thread 0 resets before each, so reuse is safe.
+  static Slot* slots() {
+    static Slot arr[kMaxBenchThreads];
+    return arr;
+  }
+
+  void sample() {
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    Slot& s = slots()[tid_];
+    // relaxed: single-writer slot; the loop-end barrier orders the final
+    // values before thread 0's reads in finish().
+    if (s.first_ns.load(std::memory_order_relaxed) == 0) {
+      s.first_ns.store(ns, std::memory_order_relaxed);
+    }
+    s.count.store(local_, std::memory_order_relaxed);
+    s.last_ns.store(ns, std::memory_order_relaxed);
+  }
+
+  benchmark::State& state_;
+  const int tid_;
+  std::uint64_t local_ = 0;
+};
+
 // Mixed read/insert/remove loop over a key range for set-like structures
 // (contains/insert/remove).  Returns ops performed.
 template <typename Set>
 void run_set_mix(Set& set, benchmark::State& state, std::uint64_t key_range,
                  int read_pct, int insert_pct) {
   Xoshiro256 rng = make_rng(state);
+  ThreadOps ops(state);
   for (auto _ : state) {
     const std::uint64_t r = rng.next();
     const std::uint64_t key = (r >> 32) % key_range;
@@ -42,8 +167,9 @@ void run_set_mix(Set& set, benchmark::State& state, std::uint64_t key_range,
     } else {
       benchmark::DoNotOptimize(set.remove(key));
     }
+    ops.tick();
   }
-  state.SetItemsProcessed(state.iterations());
+  ops.finish();
 }
 
 // Same for map-like structures (get/insert/erase).
@@ -51,6 +177,7 @@ template <typename Map>
 void run_map_mix(Map& map, benchmark::State& state, std::uint64_t key_range,
                  int read_pct, int insert_pct) {
   Xoshiro256 rng = make_rng(state);
+  ThreadOps ops(state);
   for (auto _ : state) {
     const std::uint64_t r = rng.next();
     const std::uint64_t key = (r >> 32) % key_range;
@@ -62,8 +189,9 @@ void run_map_mix(Map& map, benchmark::State& state, std::uint64_t key_range,
     } else {
       benchmark::DoNotOptimize(map.erase(key));
     }
+    ops.tick();
   }
-  state.SetItemsProcessed(state.iterations());
+  ops.finish();
 }
 
 // Prefill with every other key (half occupancy), visiting keys in a

@@ -33,6 +33,16 @@ need to be written down.  This lint enforces three house rules on src/:
       the latter is suppressed with a comment containing "asymmetric"
       (canonical form: // asymmetric: OFF — <why the fenced protocol>).
 
+  R5 unpadded-combining-node
+      A combining/queue-lock request node — a struct with both an atomic
+      link pointer and an atomic spin flag (wait/locked/completed/ready/
+      done) — is spun on by its owner and written remotely by a combiner or
+      predecessor.  Two such nodes on one cache line turn every remote
+      hand-off into false sharing on the hot spin.  The struct must be
+      CCDS_CACHELINE_ALIGNED, or the file must hold instances in Padded<>
+      (the MCS-lock shape), or the struct carries a comment containing
+      "unpadded" explaining why sharing is acceptable.
+
 src/model/ is exempt: the checker manipulates memory orders as data.
 
 Usage:  lint_memory_orders.py [--self-test] [paths...]   (default path: src)
@@ -65,6 +75,15 @@ ATOMIC_MEMBER_RE = re.compile(
 )
 
 CLASS_OPEN_RE = re.compile(r"\b(?:class|struct)\s+\w+[^;{]*\{")
+
+# R5: a struct/class definition opening, with the optional alignment macro
+# between the keyword and the name (the house spelling).
+STRUCT_DEF_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:CCDS_CACHELINE_ALIGNED\s+)?(?P<name>\w+)[^;{]*\{"
+)
+
+# R5: member names that read as a locally-spun flag.
+SPIN_FLAG_NAMES = re.compile(r"^(wait|locked|completed|ready|done)\w*$")
 
 
 def split_comment(line, in_block):
@@ -244,11 +263,63 @@ class FileCheck:
                     )
                 break
 
+    def check_unpadded_combining_nodes(self):
+        # Find each struct/class definition, walk its body by brace count,
+        # and record which atomic members it declares.  A node with both an
+        # atomic link pointer and an atomic spin flag is a combining/queue-
+        # lock request node and must own its cache line (see R5 docstring).
+        all_code = "\n".join(self.code)
+        for i, code in enumerate(self.code):
+            m = STRUCT_DEF_RE.search(code)
+            if not m:
+                continue
+            name = m.group("name")
+            # Walk from the opening brace to its match.
+            depth = 0
+            has_link = False
+            has_flag = False
+            closed = False
+            for j in range(i, len(self.code)):
+                seg = self.code[j][m.end() - 1 :] if j == i else self.code[j]
+                mem = ATOMIC_MEMBER_RE.match(self.code[j]) if depth == 1 else None
+                if mem:
+                    tmpl = self.code[j][: self.code[j].rfind(mem.group("name"))]
+                    if "*" in tmpl:
+                        has_link = True
+                    elif SPIN_FLAG_NAMES.match(mem.group("name").rstrip("_")):
+                        has_flag = True
+                for ch in seg:
+                    if ch == "{":
+                        depth += 1
+                    elif ch == "}":
+                        depth -= 1
+                        if depth == 0:
+                            closed = True
+                            break
+                if closed:
+                    break
+            if not (has_link and has_flag):
+                continue
+            if "CCDS_CACHELINE_ALIGNED" in code:
+                continue
+            if "Padded<%s>" % name in all_code:
+                continue  # instances padded at the container (MCS-lock shape)
+            if self.justified(i, "unpadded"):
+                continue
+            self.report(
+                i,
+                "unpadded-combining-node",
+                "request node '%s' has an atomic link and an atomic spin "
+                "flag but is not CCDS_CACHELINE_ALIGNED, held in Padded<>, "
+                "or excused with a '// unpadded: ...' comment" % name,
+            )
+
     def run(self):
         self.check_naked_relaxed()
         self.check_implicit_seq_cst()
         self.check_unpadded_members()
         self.check_fenced_publish_validate()
+        self.check_unpadded_combining_nodes()
         return self.violations
 
 
@@ -303,6 +374,48 @@ def self_test():
         "asymmetric_light();\n"
         "auto q = src.load(std::memory_order_seq_cst);\n"
     )
+    bad_combining_node = (
+        "class C {\n"
+        "  struct Node {\n"
+        "    Atomic<Node*> next{nullptr};\n"
+        "    Atomic<bool> wait{false};\n"
+        "  };\n"
+        "};\n"
+    )
+    ok_combining_node_aligned = (
+        "class C {\n"
+        "  struct CCDS_CACHELINE_ALIGNED Node {\n"
+        "    Atomic<Node*> next{nullptr};\n"
+        "    Atomic<bool> wait{false};\n"
+        "  };\n"
+        "};\n"
+    )
+    ok_combining_node_padded_instances = (
+        "class C {\n"
+        "  struct QNode {\n"
+        "    Atomic<QNode*> next{nullptr};\n"
+        "    Atomic<bool> locked{false};\n"
+        "  };\n"
+        "  Padded<QNode> nodes_[8];\n"
+        "};\n"
+    )
+    ok_combining_node_excused = (
+        "class C {\n"
+        "  // unpadded: checker fixture, never spun on concurrently\n"
+        "  struct Node {\n"
+        "    Atomic<Node*> next{nullptr};\n"
+        "    Atomic<bool> done{false};\n"
+        "  };\n"
+        "};\n"
+    )
+    ok_link_only_node = (
+        "class C {\n"
+        "  struct Node {\n"
+        "    Atomic<Node*> next{nullptr};\n"
+        "    int value = 0;\n"
+        "  };\n"
+        "};\n"
+    )
     ok_store_only = "done.store(1, std::memory_order_seq_cst);\n"
     ok_load_far_away = (
         "flag.store(1, std::memory_order_seq_cst);\n"
@@ -324,6 +437,11 @@ def self_test():
         (ok_asymmetric_shape, 0),
         (ok_store_only, 0),
         (ok_load_far_away, 0),
+        (bad_combining_node, 1),
+        (ok_combining_node_aligned, 0),
+        (ok_combining_node_padded_instances, 0),
+        (ok_combining_node_excused, 0),
+        (ok_link_only_node, 0),
     ]
     failures = 0
     for idx, (text, want) in enumerate(cases):

@@ -18,7 +18,9 @@
 // sync: the mutual-exclusion spectrum and combining.
 #include "sync/anderson_lock.hpp"
 #include "sync/atomic_snapshot.hpp"
+#include "sync/ccsynch.hpp"
 #include "sync/clh_lock.hpp"
+#include "sync/combiner.hpp"
 #include "sync/flat_combining.hpp"
 #include "sync/mcs_lock.hpp"
 #include "sync/rwlock.hpp"
@@ -35,18 +37,21 @@
 #include "reclaim/reclaim.hpp"
 
 // counter: shared counters.
+#include "counter/combining_counter.hpp"
 #include "counter/combining_tree.hpp"
 #include "counter/counters.hpp"
 #include "counter/counting_network.hpp"
 
 // stack: LIFO structures.
 #include "stack/coarse_stack.hpp"
+#include "stack/combining_stack.hpp"
 #include "stack/elimination_stack.hpp"
 #include "stack/treiber_stack.hpp"
 
 // queue: FIFO structures, rings, and work-stealing deques.
 #include "queue/blocking_queue.hpp"
 #include "queue/coarse_queue.hpp"
+#include "queue/combining_queue.hpp"
 #include "queue/mpmc_queue.hpp"
 #include "queue/ms_queue.hpp"
 #include "queue/spsc_ring.hpp"

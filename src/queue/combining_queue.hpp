@@ -1,0 +1,94 @@
+// Combining-backed FIFO queue front.
+//
+// A sequential std::deque behind a combining engine (CcSynch by default,
+// FlatCombiner as a drop-in alternative — see sync/combiner.hpp).  Under
+// bursty multi-producer/multi-consumer load the combiner executes whole
+// convoys of enqueues/dequeues in one episode, so the structure pays one
+// synchronization action (a single exchange for CcSynch) per operation
+// instead of a lock handoff or a contended CAS retry loop per operation —
+// the survey's combining argument, and the reason this front overtakes the
+// MS queue at high thread counts (EXPERIMENTS.md E16).
+//
+// The OBATCHER-style apply_batch(span<QueueOp>) entry point submits k
+// operations as ONE combining request: the batch executes back-to-back with
+// no foreign operation interleaved, and the whole batch costs one
+// publication.  Batch ops linearize consecutively at the batch's execution.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "sync/ccsynch.hpp"
+#include "sync/combiner.hpp"
+
+namespace ccds {
+
+// One queue operation for the batch interface; results of dequeues are
+// routed back through the op itself.
+template <typename T>
+struct QueueOp {
+  enum class Kind : std::uint8_t { kEnqueue, kDequeue };
+
+  static QueueOp enqueue(T v) { return {Kind::kEnqueue, std::move(v), {}}; }
+  static QueueOp dequeue() { return {Kind::kDequeue, T{}, {}}; }
+
+  void operator()(std::deque<T>& q) {
+    if (kind == Kind::kEnqueue) {
+      q.push_back(std::move(value));
+      return;
+    }
+    if (q.empty()) {
+      result.reset();
+    } else {
+      result = std::move(q.front());
+      q.pop_front();
+    }
+  }
+
+  Kind kind = Kind::kEnqueue;
+  T value{};                  // enqueue payload
+  std::optional<T> result{};  // dequeue result (nullopt: queue was empty)
+};
+
+template <typename T, template <typename> class Engine = CcSynch>
+class CombiningQueue {
+  using State = std::deque<T>;
+  static_assert(CombinerFor<Engine<State>, State>,
+                "Engine must model the Combiner policy (sync/combiner.hpp)");
+
+ public:
+  CombiningQueue() = default;
+
+  void enqueue(T v) {
+    engine_.apply([&v](State& q) { q.push_back(std::move(v)); });
+  }
+
+  std::optional<T> try_dequeue() {
+    return engine_.apply([](State& q) -> std::optional<T> {
+      if (q.empty()) return std::nullopt;
+      std::optional<T> v(std::move(q.front()));
+      q.pop_front();
+      return v;
+    });
+  }
+
+  bool empty() const {
+    return engine_.apply([](State& q) { return q.empty(); });
+  }
+
+  std::size_t size() const {
+    return engine_.apply([](State& q) { return q.size(); });
+  }
+
+  // Execute all of `ops` as one combining request (in span order).
+  void apply_batch(std::span<QueueOp<T>> ops) { engine_.apply_batch(ops); }
+
+ private:
+  // mutable: combining serializes logically-const reads through apply too.
+  mutable Engine<State> engine_;
+};
+
+}  // namespace ccds

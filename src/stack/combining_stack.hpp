@@ -1,0 +1,91 @@
+// Combining-backed LIFO stack front.
+//
+// A sequential std::vector behind a combining engine (CcSynch by default,
+// FlatCombiner as a drop-in alternative — sync/combiner.hpp).  A stack top
+// is the worst case for CAS-based designs (every operation fights over one
+// word); a combiner instead executes whole convoys of pushes/pops against
+// the vector in one episode, paying one exchange per operation and scaling
+// where TreiberStack's retry loop collapses (EXPERIMENTS.md E16).
+//
+// apply_batch(span<StackOp>) is the OBATCHER-style entry point: k operations
+// submitted as one combining request, executed back-to-back with no foreign
+// operation interleaved.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sync/ccsynch.hpp"
+#include "sync/combiner.hpp"
+
+namespace ccds {
+
+// One stack operation for the batch interface; pop results are routed back
+// through the op itself.
+template <typename T>
+struct StackOp {
+  enum class Kind : std::uint8_t { kPush, kPop };
+
+  static StackOp push(T v) { return {Kind::kPush, std::move(v), {}}; }
+  static StackOp pop() { return {Kind::kPop, T{}, {}}; }
+
+  void operator()(std::vector<T>& s) {
+    if (kind == Kind::kPush) {
+      s.push_back(std::move(value));
+      return;
+    }
+    if (s.empty()) {
+      result.reset();
+    } else {
+      result = std::move(s.back());
+      s.pop_back();
+    }
+  }
+
+  Kind kind = Kind::kPush;
+  T value{};                  // push payload
+  std::optional<T> result{};  // pop result (nullopt: stack was empty)
+};
+
+template <typename T, template <typename> class Engine = CcSynch>
+class CombiningStack {
+  using State = std::vector<T>;
+  static_assert(CombinerFor<Engine<State>, State>,
+                "Engine must model the Combiner policy (sync/combiner.hpp)");
+
+ public:
+  CombiningStack() = default;
+
+  void push(T v) {
+    engine_.apply([&v](State& s) { s.push_back(std::move(v)); });
+  }
+
+  std::optional<T> try_pop() {
+    return engine_.apply([](State& s) -> std::optional<T> {
+      if (s.empty()) return std::nullopt;
+      std::optional<T> v(std::move(s.back()));
+      s.pop_back();
+      return v;
+    });
+  }
+
+  bool empty() const {
+    return engine_.apply([](State& s) { return s.empty(); });
+  }
+
+  std::size_t size() const {
+    return engine_.apply([](State& s) { return s.size(); });
+  }
+
+  // Execute all of `ops` as one combining request (in span order).
+  void apply_batch(std::span<StackOp<T>> ops) { engine_.apply_batch(ops); }
+
+ private:
+  // mutable: combining serializes logically-const reads through apply too.
+  mutable Engine<State> engine_;
+};
+
+}  // namespace ccds

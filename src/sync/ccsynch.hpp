@@ -1,0 +1,208 @@
+// CC-Synch combining engine (Fatourou & Kallimanis, PPoPP 2012).
+//
+// Like flat combining, CC-Synch turns a sequential State into a scalable
+// concurrent object by letting one thread (the combiner) execute many
+// threads' operations in one lock-free episode.  What it fixes is the two
+// scalability sinks of the classic flat combiner:
+//
+//   * publication: instead of writing into a per-thread slot and racing for
+//     a combiner lock, a thread swap-appends a cache-line-padded request
+//     node onto a global list with ONE atomic exchange — there is no lock
+//     acquisition anywhere in the protocol;
+//   * discovery: the combiner walks the request list in arrival order, so
+//     it touches exactly the pending requests, not all kMaxThreads slots
+//     (FlatCombiner::combine is O(kMaxThreads) per pass even with one
+//     thread active).
+//
+// Protocol (per apply):
+//   1. re-arm a privately-owned node F (next=null, wait=true,
+//      completed=false) and publish it: C = tail_.exchange(F).  F is now the
+//      global tail; C — the previous tail — becomes OUR request node, and we
+//      adopt it as our spare for the next call (nodes migrate between
+//      threads; the total population is fixed at kMaxThreads + 1, all owned
+//      by this engine instance).
+//   2. write the request into C and link C->next = F (release: this is what
+//      hands the request to a combiner).
+//   3. spin on C->wait — a field of OUR node only, so the spin is strictly
+//      local (MCS-style; no shared flag is hammered).
+//   4. when wait drops: if completed, the result is in our ResultSlot —
+//      return.  Otherwise we ARE the combiner: walk the list from C,
+//      executing each request whose `next` link is present, up to Window
+//      requests, then hand off by dropping `wait` on the first node we did
+//      not serve (its owner — present or future — inherits the combiner
+//      role exactly as we did).
+//
+// The linearization point of an operation is its execution by the combiner;
+// list order makes the combining order the arrival (exchange) order, which
+// also gives starvation freedom: a published request is at most Window
+// executions away from the list head.
+//
+// The `Window` bound caps combiner tenure so one thread is not captured
+// forever serving a firehose of arrivals; larger windows amortize handoffs
+// better, smaller ones bound latency (and let the model checker exercise
+// the window-exhausted handoff with a tiny state space).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "core/arch.hpp"
+#include "core/atomic.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+#include "sync/combiner.hpp"
+
+namespace ccds {
+
+// Default combining window: a few full pipelines of every possible thread.
+// Handoff cost is amortized over up to this many requests; any request
+// admitted to the list is served after at most Window executions.
+inline constexpr int kCcSynchWindow = 3 * static_cast<int>(kMaxThreads);
+
+template <typename State, int Window = kCcSynchWindow>
+class CcSynch {
+  static_assert(Window >= 1, "combining window must admit the own request");
+
+ public:
+  CcSynch() : CcSynch(State{}) {}
+
+  explicit CcSynch(State initial) : state_(std::move(initial)) {
+    // pool_[i] starts as thread i's spare; the extra node is the initial
+    // global tail.  The tail node must read as "combiner role free":
+    // wait=false / completed=false, so the first arrival combines.
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      spare_[i].value = &pool_[i];
+    }
+    tail_.store(&pool_[kMaxThreads], std::memory_order_relaxed);  // relaxed: constructor, pre-publication
+  }
+
+  CcSynch(const CcSynch&) = delete;
+  CcSynch& operator=(const CcSynch&) = delete;
+
+  // Execute `op(state)` with combining; returns op's result.
+  template <typename F>
+  auto apply(F&& op) -> std::invoke_result_t<F&, State&> {
+    using R = std::invoke_result_t<F&, State&>;
+    detail::ResultSlot<R> result;
+
+    const std::size_t tid = thread_id();
+    Node* fresh = spare_[tid].value;
+    // Re-arm the node we are about to install as the global tail.
+    // relaxed: all three stores are published by the exchange's release.
+    fresh->next.store(nullptr, std::memory_order_relaxed);
+    fresh->wait.store(true, std::memory_order_relaxed);
+    fresh->completed.store(false, std::memory_order_relaxed);
+
+    // Swap-append: the only global synchronization action of the fast path.
+    // acq_rel: release publishes fresh's re-armed fields to the next
+    // arrival; acquire pairs with the previous arrival's release so cur's
+    // fields are ours to write.
+    Node* cur = tail_.exchange(fresh, std::memory_order_acq_rel);
+    // cur is now our request node; recycle it as our spare for the next
+    // call (it is quiescent by the time this call returns — see combine()).
+    spare_[tid].value = cur;
+
+    cur->run = &detail::run_erased<State, std::remove_reference_t<F>>;
+    cur->ctx = &op;
+    cur->result = &result;
+    // release: hand the fully-written request to whichever combiner follows
+    // this link (its acquire load of `next` pairs with this).
+    cur->next.store(fresh, std::memory_order_release);
+
+    // Local spin on our own node.  The waiter can make no progress until
+    // the current combiner executes (or hands off to) its request, so the
+    // spin must eventually yield: on an oversubscribed host a pure
+    // cpu_relax loop burns the combiner's own scheduler quantum.
+    // spin_wait is spin-then-yield natively and a deterministic scheduler
+    // yield under the model checker.
+    std::uint32_t spins = 0;
+    // acquire: pairs with the combiner's releasing wait-drop, making the
+    // result (completed path) or all prior state mutations (handoff path)
+    // visible.
+    while (cur->wait.load(std::memory_order_acquire)) {
+      spin_wait(spins);
+    }
+
+    // relaxed: the acquire above ordered this flag; it was written before
+    // the wait-drop we just observed.
+    if (!cur->completed.load(std::memory_order_relaxed)) {
+      combine(cur);
+    }
+    if constexpr (!std::is_void_v<R>) return result.take();
+  }
+
+  // OBATCHER-style batch submission: all of `ops` execute back-to-back as
+  // one combining request — one exchange and one spin episode for the whole
+  // batch, and no foreign operation interleaves inside it.  Each op is a
+  // callable `void(State&)`; per-op results live inside the ops themselves
+  // (see the structure fronts' Op types).
+  template <typename Op>
+  void apply_batch(std::span<Op> ops) {
+    if (ops.empty()) return;
+    apply([ops](State& s) {
+      for (Op& op : ops) op(s);
+    });
+  }
+
+  // Direct exclusive access (initialization / inspection).  Combining is
+  // already a total serialization of operations, so this is just apply.
+  template <typename F>
+  auto apply_locked(F&& op) -> std::invoke_result_t<F&, State&> {
+    return apply(std::forward<F>(op));
+  }
+
+ private:
+  // A combining request node.  `wait` is spun on by its owner and dropped
+  // remotely by the combiner, so the node owns a full cache line (the
+  // memory-order lint's unpadded-combining-node rule enforces this shape).
+  struct CCDS_CACHELINE_ALIGNED Node {
+    Atomic<Node*> next{nullptr};
+    Atomic<bool> wait{false};
+    Atomic<bool> completed{false};
+    void (*run)(void* ctx, void* res, State& s) = nullptr;
+    void* ctx = nullptr;
+    void* result = nullptr;
+  };
+
+  // Serve requests from `head` (our own, always first) in list order.
+  void combine(Node* head) {
+    Node* node = head;
+    for (int served = 0; served < Window; ++served) {
+      // acquire: pairs with the requester's release link store — if we see
+      // `next`, we see the request fields written before it.
+      Node* next = node->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;  // `node` is the tail: no request in it yet
+      node->run(node->ctx, node->result, state_);
+      // Read order matters: `next` was loaded above, BEFORE the wait-drop —
+      // after it the owner may return and re-arm the node for its next call.
+      // relaxed: sequenced before the wait release below, which publishes it.
+      node->completed.store(true, std::memory_order_relaxed);
+      // release: publishes the result and all state mutations to the owner.
+      node->wait.store(false, std::memory_order_release);
+      node = next;
+    }
+    // Hand off.  `node` is either the current tail (its future owner will
+    // find the combiner role free and self-serve) or, when the window is
+    // exhausted, a pending request whose spinning owner now becomes the
+    // combiner.  completed stays false in both cases.
+    // release: the next combiner's acquire of `wait` inherits our state
+    // mutations.
+    node->wait.store(false, std::memory_order_release);
+  }
+
+  State state_;
+  CCDS_CACHELINE_ALIGNED Atomic<Node*> tail_{nullptr};
+  // Node pool: one per possible thread plus the initial tail.  Nodes
+  // migrate between threads via the exchange but never leave the pool, so
+  // destruction frees everything wholesale and no reclamation is needed.
+  Node pool_[kMaxThreads + 1];
+  // spare_[t] is thread t's private node for its next apply.  Only the
+  // owner of dense id t touches entry t (the registry hands each id to one
+  // live thread at a time), so the entries are plain pointers; padding
+  // keeps neighbouring threads' re-arm writes off each other's line.
+  Padded<Node*> spare_[kMaxThreads];
+};
+
+}  // namespace ccds

@@ -1,0 +1,101 @@
+// The Combiner policy concept and shared plumbing for combining engines.
+//
+// ccds has two combining engines — FlatCombiner (scan-all-slots, Hendler et
+// al. 2010) and CcSynch (swap-append list, Fatourou & Kallimanis 2012) — and
+// both expose the same surface:
+//
+//   * apply(op)          — execute `op(state)` atomically, return its result;
+//   * apply_batch(ops)   — submit a contiguous batch of operations as ONE
+//                          combining request (the OBATCHER entry point: the
+//                          batch is executed back-to-back with no other
+//                          operation interleaved, paying one synchronization
+//                          episode for k operations);
+//   * apply_locked(op)   — direct exclusive access for initialization and
+//                          inspection, serialized with combining passes.
+//
+// `CombinerFor<Engine, State>` spells that contract out as a C++20 concept
+// so the combining fronts (CombiningQueue / CombiningStack /
+// CombiningCounter) can accept either engine as a drop-in template argument.
+//
+// This header also owns detail::ResultSlot<R>: aligned storage for a
+// combined-op result that the *combiner* constructs in place.  Results are
+// therefore not required to be default-constructible (they used to be, via
+// value-initialized detail::FcResult) — any move-constructible R works, and
+// for void nothing is stored at all.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+namespace ccds {
+
+namespace detail {
+
+// Uninitialized, correctly-aligned storage for one combined-op result.  The
+// submitting thread owns the slot (it lives on its stack); the combiner
+// constructs the value with construct_from(); the submitter moves it out
+// with take() after observing its completion flag.  The combining protocol
+// guarantees construct_from() happens-before take() and each runs exactly
+// once, so no constructed-flag is needed; combined ops must not throw (they
+// run inside another thread's combining pass).
+template <typename R>
+class ResultSlot {
+ public:
+  ResultSlot() = default;
+  ResultSlot(const ResultSlot&) = delete;
+  ResultSlot& operator=(const ResultSlot&) = delete;
+
+  template <typename F, typename State>
+  void construct_from(F& fn, State& s) {
+    ::new (static_cast<void*>(buf_)) R(fn(s));
+  }
+
+  R take() {
+    R* p = std::launder(reinterpret_cast<R*>(buf_));
+    R out = std::move(*p);
+    p->~R();
+    return out;
+  }
+
+ private:
+  alignas(R) unsigned char buf_[sizeof(R)];
+};
+
+template <>
+class ResultSlot<void> {};
+
+// Type-erased trampoline shared by both engines' request records: `ctx`
+// points at the caller's callable, `res` at its ResultSlot (null/ignored for
+// void results).
+template <typename State, typename F>
+void run_erased(void* ctx, void* res, State& s) {
+  using R = std::invoke_result_t<F&, State&>;
+  auto& fn = *static_cast<F*>(ctx);
+  if constexpr (std::is_void_v<R>) {
+    (void)res;
+    fn(s);
+  } else {
+    static_cast<ResultSlot<R>*>(res)->construct_from(fn, s);
+  }
+}
+
+}  // namespace detail
+
+// A combining engine over sequential `State`.  Modeled by FlatCombiner and
+// CcSynch; the structure fronts static_assert it so a third engine (e.g. a
+// future DSM-Synch for cacheless/NUMA machines) plugs in by conforming.
+template <typename C, typename State>
+concept CombinerFor =
+    std::is_default_constructible_v<C> &&
+    requires(C c, void (*vop)(State&), int (*iop)(State&),
+             std::span<void (*)(State&)> batch) {
+      { c.apply(vop) } -> std::same_as<void>;
+      { c.apply(iop) } -> std::same_as<int>;
+      { c.apply_locked(iop) } -> std::same_as<int>;
+      { c.apply_batch(batch) } -> std::same_as<void>;
+    };
+
+}  // namespace ccds

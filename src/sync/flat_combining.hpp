@@ -10,32 +10,29 @@
 // callables `R(State&)`, executed with mutual exclusion but submitted
 // concurrently.  The linearization point of an operation is its execution by
 // the combiner.
+//
+// FlatCombiner models the Combiner policy (sync/combiner.hpp), so it is
+// drop-in interchangeable with the CcSynch engine in the combining fronts
+// (CombiningQueue / CombiningStack / CombiningCounter).  Structurally the
+// two differ in how requests reach the combiner: FlatCombiner scans ALL
+// kMaxThreads publication slots per pass and arbitrates the combiner role
+// with a lock; CcSynch swap-appends requests onto a list and walks exactly
+// the pending ones.  Under high thread counts the O(threads) scan and the
+// lock handoff are what CC-Synch's single-exchange protocol removes.
 #pragma once
 
 #include <atomic>
+#include <span>
 #include <type_traits>
 #include <utility>
 
 #include "core/arch.hpp"
 #include "core/padded.hpp"
 #include "core/thread_registry.hpp"
+#include "sync/combiner.hpp"
 #include "sync/spinlock.hpp"
 
 namespace ccds {
-
-namespace detail {
-
-template <typename R>
-struct FcResult {
-  // ccds requires combined-op results to be default-constructible (all
-  // library uses return values, bools, or std::optional, which are).
-  R value{};
-};
-
-template <>
-struct FcResult<void> {};
-
-}  // namespace detail
 
 template <typename State>
 class FlatCombiner {
@@ -43,23 +40,17 @@ class FlatCombiner {
   FlatCombiner() = default;
   explicit FlatCombiner(State initial) : state_(std::move(initial)) {}
 
-  // Execute `op(state)` with combining; returns op's result.
+  // Execute `op(state)` with combining; returns op's result.  The result is
+  // constructed in place by the combiner (detail::ResultSlot), so R only
+  // needs to be move-constructible, not default-constructible.
   template <typename F>
   auto apply(F&& op) -> std::invoke_result_t<F&, State&> {
     using R = std::invoke_result_t<F&, State&>;
-    detail::FcResult<R> result;
+    detail::ResultSlot<R> result;
     Record rec;
+    rec.run = &detail::run_erased<State, std::remove_reference_t<F>>;
     rec.ctx = &op;
     rec.result = &result;
-    rec.run = [](void* ctx, void* res, State& s) {
-      auto& fn = *static_cast<std::remove_reference_t<F>*>(ctx);
-      if constexpr (std::is_void_v<R>) {
-        (void)res;
-        fn(s);
-      } else {
-        static_cast<detail::FcResult<R>*>(res)->value = fn(s);
-      }
-    };
 
     Padded<std::atomic<Record*>>& slot = slots_[thread_id()];
     // release: publish the fully-initialized record to the combiner.
@@ -77,7 +68,20 @@ class FlatCombiner {
       spin_wait(spins);
     }
 
-    if constexpr (!std::is_void_v<R>) return std::move(result.value);
+    if constexpr (!std::is_void_v<R>) return result.take();
+  }
+
+  // OBATCHER-style batch submission: all of `ops` execute back-to-back as
+  // one combining record — one publication and one combiner handoff for the
+  // whole batch, with no foreign operation interleaved inside it.  Each op
+  // is a callable `void(State&)` carrying its own result storage (see the
+  // structure fronts' Op types).
+  template <typename Op>
+  void apply_batch(std::span<Op> ops) {
+    if (ops.empty()) return;
+    apply([ops](State& s) {
+      for (Op& op : ops) op(s);
+    });
   }
 
   // Direct exclusive access (initialization / inspection).  Takes the
@@ -122,7 +126,7 @@ class FlatCombiner {
   static constexpr int kCombinePasses = 3;
 
   TtasLock lock_;
-  State state_;
+  State state_{};
   Padded<std::atomic<Record*>> slots_[kMaxThreads]{};
 };
 

@@ -1,0 +1,216 @@
+// Bounded model checking of the CC-Synch combining engine: on every explored
+// interleaving no request may be lost or executed twice, results must route
+// back to their submitters, the window-exhausted handoff must pass the
+// combiner role without dropping the pending request, and a deliberately
+// mis-ordered handoff (wait dropped before completed is set) must be caught
+// with a replayable schedule.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+#include <set>
+
+#include "core/arch.hpp"
+#include "core/atomic.hpp"
+#include "model/scheduler.hpp"
+#include "model/shim.hpp"
+#include "queue/combining_queue.hpp"
+#include "sync/ccsynch.hpp"
+
+namespace ccds {
+namespace {
+
+using model::Options;
+using model::Result;
+
+// Two threads push increments through the engine; every explored schedule
+// must apply each exactly once.  Covers both protocol roles: depending on
+// interleaving a thread either self-serves (combiner-role-free tail),
+// combines the other's request, or is served remotely.
+TEST(ModelCcSynch, ConcurrentIncrementsExactAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    CcSynch<int> cc;
+    model::thread t([&] {
+      cc.apply([](int& v) { v += 1; });
+      cc.apply([](int& v) { v += 10; });
+    });
+    cc.apply([](int& v) { v += 100; });
+    cc.apply([](int& v) { v += 1000; });
+    t.join();
+    // Each delta distinct in decimal position: any lost or duplicated
+    // request changes the digit pattern.
+    CCDS_MODEL_ASSERT(cc.apply([](int& v) { return v; }) == 1111);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 10);
+}
+
+// Window = 1: every combine serves exactly one request, so any second
+// pending request is delivered via the window-exhausted handoff (the owner
+// wakes with completed == false and becomes the combiner).  That path must
+// not lose the request.
+TEST(ModelCcSynch, WindowExhaustedHandoffAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    CcSynch<int, 1> cc;
+    model::thread t([&] { cc.apply([](int& v) { v += 1; }); });
+    cc.apply([](int& v) { v += 10; });
+    t.join();
+    CCDS_MODEL_ASSERT(cc.apply([](int& v) { return v; }) == 11);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// Result routing: concurrent fetch_adds must observe distinct priors — the
+// combined-counter linearizability witness — on every schedule.
+TEST(ModelCcSynch, FetchAddPriorsUniqueAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    CcSynch<int> cc;
+    int p0 = -1;
+    int p1 = -1;
+    model::thread t([&] {
+      p1 = cc.apply([](int& v) { return v++; });
+    });
+    p0 = cc.apply([](int& v) { return v++; });
+    t.join();
+    CCDS_MODEL_ASSERT(p0 != p1);
+    CCDS_MODEL_ASSERT((p0 == 0 || p0 == 1) && (p1 == 0 || p1 == 1));
+    CCDS_MODEL_ASSERT(cc.apply([](int& v) { return v; }) == 2);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// A batch is one combining request: both of its ops must land, and the
+// concurrent single op must not interleave between them (witnessed by the
+// probe seeing either none or both of the batch's deltas).
+TEST(ModelCcSynch, BatchAppliesAtomicallyAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    CcSynch<int> cc;
+    struct AddOp {
+      int delta;
+      void operator()(int& v) { v += delta; }
+    };
+    model::thread t([&] {
+      AddOp ops[2] = {{1}, {10}};
+      cc.apply_batch(std::span<AddOp>(ops));
+    });
+    const int seen = cc.apply([](int& v) {
+      const int s = v;
+      v += 100;
+      return s;
+    });
+    t.join();
+    CCDS_MODEL_ASSERT(seen == 0 || seen == 11);  // never a half-batch
+    CCDS_MODEL_ASSERT(cc.apply([](int& v) { return v; }) == 111);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// The CombiningQueue front over the instrumented engine: enqueues from both
+// threads are conserved — nothing lost, nothing duplicated.
+TEST(ModelCcSynch, CombiningQueueConservationAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    CombiningQueue<std::uint64_t, CcSynch> q;
+    model::thread t([&] { q.enqueue(1); });
+    q.enqueue(2);
+    t.join();
+    std::multiset<std::uint64_t> seen;
+    while (auto v = q.try_dequeue()) seen.insert(*v);
+    CCDS_MODEL_ASSERT((seen == std::multiset<std::uint64_t>{1, 2}));
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// Miniature CC-Synch with the combiner's handoff stores swapped: `wait` is
+// dropped BEFORE `completed` is set.  A preemption in that window lets the
+// served owner wake, read completed == false, conclude it inherited the
+// combiner role, and re-execute its own already-executed request.  The
+// explorer must find the window and hand back a replayable schedule — this
+// is the ordering the real engine's combine() comments justify.
+struct BrokenHandoffCcSynch {
+  struct CCDS_CACHELINE_ALIGNED Node {
+    Atomic<Node*> next{nullptr};
+    Atomic<bool> wait{false};
+    Atomic<bool> completed{false};
+    int delta = 0;
+  };
+
+  BrokenHandoffCcSynch() {
+    spare_[0] = &pool_[0];
+    spare_[1] = &pool_[1];
+    tail_.store(&pool_[2], std::memory_order_relaxed);  // relaxed: constructor, pre-publication
+  }
+
+  void add(std::size_t tid, int d) {
+    Node* fresh = spare_[tid];
+    // relaxed: published by the exchange's release, as in the real engine.
+    fresh->next.store(nullptr, std::memory_order_relaxed);
+    fresh->wait.store(true, std::memory_order_relaxed);
+    fresh->completed.store(false, std::memory_order_relaxed);
+    Node* cur = tail_.exchange(fresh, std::memory_order_acq_rel);
+    spare_[tid] = cur;
+    cur->delta = d;
+    cur->next.store(fresh, std::memory_order_release);
+    std::uint32_t spins = 0;
+    while (cur->wait.load(std::memory_order_acquire)) spin_wait(spins);
+    if (cur->completed.load(std::memory_order_relaxed)) return;
+    Node* node = cur;
+    for (;;) {
+      Node* next = node->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;
+      value += node->delta;
+      // BUG: handoff stores swapped relative to the real engine — the owner
+      // can observe wait == false with completed still false and duplicate
+      // its request.
+      node->wait.store(false, std::memory_order_release);
+      node->completed.store(true, std::memory_order_relaxed);
+      node = next;
+    }
+    node->wait.store(false, std::memory_order_release);
+  }
+
+  int value = 0;
+  Atomic<Node*> tail_{nullptr};
+  Node pool_[3];
+  Node* spare_[2];
+};
+
+void broken_handoff_scenario() {
+  BrokenHandoffCcSynch cc;
+  model::thread t([&] { cc.add(1, 1); });
+  cc.add(0, 1);
+  t.join();
+  CCDS_MODEL_ASSERT(cc.value == 2);
+}
+
+TEST(ModelCcSynch, BrokenHandoffCaughtWithReplayableSchedule) {
+  Options opts;
+  Result res = model::explore(opts, broken_handoff_scenario);
+  ASSERT_FALSE(res.ok) << "explorer missed the swapped-handoff window";
+  EXPECT_FALSE(res.schedule.empty());
+  std::cout << "broken handoff caught: " << res.error
+            << "\nreplayable schedule: " << res.schedule << "\n";
+
+  Options replay;
+  replay.replay = res.schedule;
+  Result again = model::explore(replay, broken_handoff_scenario);
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.executions, 1);
+}
+
+}  // namespace
+}  // namespace ccds

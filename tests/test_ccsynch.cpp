@@ -1,6 +1,8 @@
-// Tests for the flat-combining executor: operations must appear atomic, all
-// submitted operations must execute exactly once, and results must be routed
-// back to their submitters.
+// Tests for the CC-Synch combining engine: operations must appear atomic,
+// all submitted operations must execute exactly once, results must be routed
+// back to their submitters, and the combining-window handoff must not lose
+// requests.  Mirrors test_flat_combining.cpp so the two engines are held to
+// the same contract (sync/combiner.hpp).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -8,56 +10,63 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <span>
 #include <vector>
 
+#include "sync/ccsynch.hpp"
+#include "sync/combiner.hpp"
 #include "sync/flat_combining.hpp"
 #include "test_util.hpp"
 
 namespace ccds {
 namespace {
 
-TEST(FlatCombiner, SingleThreadedApply) {
-  FlatCombiner<std::uint64_t> fc(10);
-  const std::uint64_t prior = fc.apply([](std::uint64_t& v) {
+// Both engines must model the shared policy the fronts are templated over.
+static_assert(CombinerFor<CcSynch<std::uint64_t>, std::uint64_t>);
+static_assert(CombinerFor<CcSynch<std::deque<int>>, std::deque<int>>);
+static_assert(CombinerFor<FlatCombiner<std::uint64_t>, std::uint64_t>);
+static_assert(CombinerFor<FlatCombiner<std::deque<int>>, std::deque<int>>);
+
+TEST(CcSynch, SingleThreadedApply) {
+  CcSynch<std::uint64_t> cc(10);
+  const std::uint64_t prior = cc.apply([](std::uint64_t& v) {
     const std::uint64_t p = v;
     v += 5;
     return p;
   });
   EXPECT_EQ(prior, 10u);
-  EXPECT_EQ(fc.apply([](std::uint64_t& v) { return v; }), 15u);
+  EXPECT_EQ(cc.apply([](std::uint64_t& v) { return v; }), 15u);
 }
 
-TEST(FlatCombiner, VoidOperations) {
-  FlatCombiner<int> fc(0);
-  fc.apply([](int& v) { v = 7; });
-  EXPECT_EQ(fc.apply([](int& v) { return v; }), 7);
+TEST(CcSynch, VoidOperations) {
+  CcSynch<int> cc;
+  cc.apply([](int& v) { v = 7; });
+  EXPECT_EQ(cc.apply([](int& v) { return v; }), 7);
 }
 
-TEST(FlatCombiner, ConcurrentIncrementsAllApply) {
-  FlatCombiner<std::uint64_t> fc(0);
+TEST(CcSynch, ConcurrentIncrementsAllApply) {
+  CcSynch<std::uint64_t> cc;
   constexpr int kThreads = 8;
   constexpr int kIters = 10000;
   test::run_threads(kThreads, [&](std::size_t) {
     for (int i = 0; i < kIters; ++i) {
-      fc.apply([](std::uint64_t& v) { ++v; });
+      cc.apply([](std::uint64_t& v) { ++v; });
     }
   });
-  EXPECT_EQ(fc.apply([](std::uint64_t& v) { return v; }),
+  EXPECT_EQ(cc.apply([](std::uint64_t& v) { return v; }),
             static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
-TEST(FlatCombiner, FetchAddReturnsUniquePriors) {
+TEST(CcSynch, FetchAddReturnsUniquePriors) {
   // fetch_add through the combiner must behave like an atomic counter: all
   // returned priors are distinct — the linearizability witness for counters.
-  FlatCombiner<std::uint64_t> fc(0);
+  CcSynch<std::uint64_t> cc;
   constexpr int kThreads = 6;
   constexpr int kIters = 5000;
   std::vector<std::vector<std::uint64_t>> priors(kThreads);
   test::run_threads(kThreads, [&](std::size_t idx) {
     priors[idx].reserve(kIters);
     for (int i = 0; i < kIters; ++i) {
-      priors[idx].push_back(fc.apply([](std::uint64_t& v) { return v++; }));
+      priors[idx].push_back(cc.apply([](std::uint64_t& v) { return v++; }));
     }
   });
   std::set<std::uint64_t> all;
@@ -67,9 +76,24 @@ TEST(FlatCombiner, FetchAddReturnsUniquePriors) {
   EXPECT_EQ(*all.rbegin(), static_cast<std::uint64_t>(kThreads) * kIters - 1);
 }
 
-TEST(FlatCombiner, WrapsNonTrivialState) {
-  // A combined FIFO queue: the canonical flat-combining application.
-  FlatCombiner<std::deque<int>> fc;
+TEST(CcSynch, TinyCombiningWindowStillExact) {
+  // Window = 1: every combining pass serves exactly one request and hands
+  // off — the maximum-handoff regime.  Conservation must be unaffected.
+  CcSynch<std::uint64_t, 1> cc;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kIters; ++i) {
+      cc.apply([](std::uint64_t& v) { ++v; });
+    }
+  });
+  EXPECT_EQ(cc.apply([](std::uint64_t& v) { return v; }),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(CcSynch, WrapsNonTrivialState) {
+  // A combined FIFO queue: the canonical combining application.
+  CcSynch<std::deque<int>> cc;
   constexpr int kThreads = 4;
   constexpr int kPerThread = 2500;
 
@@ -77,8 +101,8 @@ TEST(FlatCombiner, WrapsNonTrivialState) {
   test::run_threads(kThreads, [&](std::size_t idx) {
     for (int i = 0; i < kPerThread; ++i) {
       const int value = static_cast<int>(idx) * kPerThread + i;
-      fc.apply([value](std::deque<int>& q) { q.push_back(value); });
-      const auto got = fc.apply([](std::deque<int>& q) -> std::optional<int> {
+      cc.apply([value](std::deque<int>& q) { q.push_back(value); });
+      const auto got = cc.apply([](std::deque<int>& q) -> std::optional<int> {
         if (q.empty()) return std::nullopt;
         int v = q.front();
         q.pop_front();
@@ -95,37 +119,37 @@ TEST(FlatCombiner, WrapsNonTrivialState) {
   EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kPerThread);
   std::set<int> uniq(all.begin(), all.end());
   EXPECT_EQ(uniq.size(), all.size()) << "duplicate pop";
-  EXPECT_TRUE(fc.apply([](std::deque<int>& q) { return q.empty(); }));
+  EXPECT_TRUE(cc.apply([](std::deque<int>& q) { return q.empty(); }));
 }
 
-// A result type with no default constructor: results are now constructed in
-// place by the combiner (detail::ResultSlot), so this must compile and
-// round-trip.  The previous FcResult<R> design value-initialized R in the
-// publication record and rejected exactly this type.
+// A result type with no default constructor: combined-op results are
+// constructed in place by the combiner (detail::ResultSlot), so this must
+// compile and round-trip — the old FcResult<R> value-initialized R and
+// rejected exactly this type.
 struct NoDefault {
   explicit NoDefault(std::uint64_t v) : value(v) {}
   NoDefault() = delete;
   std::uint64_t value;
 };
 
-TEST(FlatCombiner, NonDefaultConstructibleResult) {
-  FlatCombiner<std::uint64_t> fc(41);
-  const NoDefault r = fc.apply([](std::uint64_t& v) { return NoDefault(++v); });
+TEST(CcSynch, NonDefaultConstructibleResult) {
+  CcSynch<std::uint64_t> cc(41);
+  const NoDefault r = cc.apply([](std::uint64_t& v) { return NoDefault(++v); });
   EXPECT_EQ(r.value, 42u);
 }
 
-TEST(FlatCombiner, MoveOnlyResult) {
-  FlatCombiner<std::uint64_t> fc(7);
+TEST(CcSynch, MoveOnlyResult) {
+  CcSynch<std::uint64_t> cc(7);
   std::unique_ptr<std::uint64_t> p =
-      fc.apply([](std::uint64_t& v) { return std::make_unique<std::uint64_t>(v); });
+      cc.apply([](std::uint64_t& v) { return std::make_unique<std::uint64_t>(v); });
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(*p, 7u);
 }
 
-TEST(FlatCombiner, ApplyBatchRunsAtomically) {
+TEST(CcSynch, ApplyBatchRunsAtomically) {
   // A batch must execute with no foreign operation interleaved: reads at the
   // batch's ends bracket exactly the batch's own mutations.
-  FlatCombiner<std::uint64_t> fc(0);
+  CcSynch<std::uint64_t> cc;
   constexpr int kThreads = 6;
   constexpr int kIters = 3000;
   struct ProbeOp {
@@ -139,28 +163,14 @@ TEST(FlatCombiner, ApplyBatchRunsAtomically) {
   test::run_threads(kThreads, [&](std::size_t) {
     for (int i = 0; i < kIters; ++i) {
       ProbeOp ops[3] = {{0, 0}, {10, 0}, {0, 0}};
-      fc.apply_batch(std::span<ProbeOp>(ops));
+      cc.apply_batch(std::span<ProbeOp>(ops));
       // ops[1] added 10 between the two probes; nothing else may interleave.
       ASSERT_EQ(ops[1].seen, ops[0].seen);
       ASSERT_EQ(ops[2].seen, ops[0].seen + 10);
     }
   });
-  EXPECT_EQ(fc.apply([](std::uint64_t& v) { return v; }),
+  EXPECT_EQ(cc.apply([](std::uint64_t& v) { return v; }),
             static_cast<std::uint64_t>(kThreads) * kIters * 10);
-}
-
-TEST(FlatCombiner, ApplyLockedSerializesWithApply) {
-  FlatCombiner<std::uint64_t> fc(0);
-  test::run_threads(4, [&](std::size_t idx) {
-    for (int i = 0; i < 5000; ++i) {
-      if (idx % 2 == 0) {
-        fc.apply([](std::uint64_t& v) { ++v; });
-      } else {
-        fc.apply_locked([](std::uint64_t& v) { ++v; });
-      }
-    }
-  });
-  EXPECT_EQ(fc.apply([](std::uint64_t& v) { return v; }), 20000u);
 }
 
 }  // namespace

@@ -1,0 +1,203 @@
+// Tests for the combining fronts (CombiningQueue / CombiningStack /
+// CombiningCounter): sequential semantics, concurrent conservation, batch
+// atomicity, and engine interchangeability — every front must behave
+// identically whether backed by CcSynch or FlatCombiner.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "counter/combining_counter.hpp"
+#include "queue/combining_queue.hpp"
+#include "stack/combining_stack.hpp"
+#include "sync/ccsynch.hpp"
+#include "sync/flat_combining.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Typed fixtures: each front is instantiated with both engines.
+// ---------------------------------------------------------------------------
+
+template <typename Q>
+class CombiningQueueTest : public ::testing::Test {};
+using QueueTypes = ::testing::Types<CombiningQueue<std::uint64_t, CcSynch>,
+                                    CombiningQueue<std::uint64_t, FlatCombiner>>;
+TYPED_TEST_SUITE(CombiningQueueTest, QueueTypes);
+
+TYPED_TEST(CombiningQueueTest, FifoOrder) {
+  TypeParam q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.try_dequeue(), std::nullopt);
+  for (std::uint64_t i = 0; i < 100; ++i) q.enqueue(i);
+  EXPECT_EQ(q.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    auto v = q.try_dequeue();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TYPED_TEST(CombiningQueueTest, ConcurrentConservation) {
+  TypeParam q;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int i = 0; i < kPerThread; ++i) {
+      q.enqueue(static_cast<std::uint64_t>(idx) * kPerThread + i);
+      if (auto v = q.try_dequeue()) got[idx].push_back(*v);
+    }
+  });
+  // Drain the residue left by empty-queue dequeues racing enqueues.
+  std::size_t residue = 0;
+  while (q.try_dequeue()) ++residue;
+  std::set<std::uint64_t> uniq;
+  std::size_t total = residue;
+  for (auto& v : got) {
+    total += v.size();
+    uniq.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(uniq.size(), total - residue) << "duplicate dequeue";
+  EXPECT_TRUE(q.empty());
+}
+
+TYPED_TEST(CombiningQueueTest, BatchExecutesInOrderAtomically) {
+  TypeParam q;
+  using Op = QueueOp<std::uint64_t>;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kIters; ++i) {
+      // Enqueue two, dequeue two, all in one request: because the batch is
+      // atomic and per-batch net queue delta is zero, the two dequeues must
+      // return SOME two values (queue holds ≥2 entries once ours land).
+      std::vector<Op> ops;
+      ops.push_back(Op::enqueue(1));
+      ops.push_back(Op::enqueue(2));
+      ops.push_back(Op::dequeue());
+      ops.push_back(Op::dequeue());
+      q.apply_batch(std::span<Op>(ops));
+      ASSERT_TRUE(ops[2].result.has_value());
+      ASSERT_TRUE(ops[3].result.has_value());
+    }
+  });
+  EXPECT_TRUE(q.empty());
+}
+
+template <typename S>
+class CombiningStackTest : public ::testing::Test {};
+using StackTypes = ::testing::Types<CombiningStack<std::uint64_t, CcSynch>,
+                                    CombiningStack<std::uint64_t, FlatCombiner>>;
+TYPED_TEST_SUITE(CombiningStackTest, StackTypes);
+
+TYPED_TEST(CombiningStackTest, LifoOrder) {
+  TypeParam s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.try_pop(), std::nullopt);
+  for (std::uint64_t i = 0; i < 100; ++i) s.push(i);
+  EXPECT_EQ(s.size(), 100u);
+  for (std::uint64_t i = 100; i-- > 0;) {
+    auto v = s.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+TYPED_TEST(CombiningStackTest, ConcurrentConservation) {
+  TypeParam s;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int i = 0; i < kPerThread; ++i) {
+      s.push(static_cast<std::uint64_t>(idx) * kPerThread + i);
+      if (auto v = s.try_pop()) got[idx].push_back(*v);
+    }
+  });
+  std::size_t residue = 0;
+  while (s.try_pop()) ++residue;
+  std::set<std::uint64_t> uniq;
+  std::size_t total = residue;
+  for (auto& v : got) {
+    total += v.size();
+    uniq.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(uniq.size(), total - residue) << "duplicate pop";
+}
+
+TYPED_TEST(CombiningStackTest, BatchPushPopRoundTrip) {
+  TypeParam s;
+  using Op = StackOp<std::uint64_t>;
+  std::vector<Op> ops;
+  ops.push_back(Op::push(10));
+  ops.push_back(Op::push(20));
+  ops.push_back(Op::pop());  // sees 20 (LIFO within the atomic batch)
+  ops.push_back(Op::pop());  // sees 10
+  ops.push_back(Op::pop());  // stack empty again
+  s.apply_batch(std::span<Op>(ops));
+  ASSERT_TRUE(ops[2].result.has_value());
+  EXPECT_EQ(*ops[2].result, 20u);
+  ASSERT_TRUE(ops[3].result.has_value());
+  EXPECT_EQ(*ops[3].result, 10u);
+  EXPECT_EQ(ops[4].result, std::nullopt);
+  EXPECT_TRUE(s.empty());
+}
+
+template <typename C>
+class CombiningCounterTest : public ::testing::Test {};
+using CounterTypes = ::testing::Types<CombiningCounter<CcSynch>,
+                                      CombiningCounter<FlatCombiner>>;
+TYPED_TEST_SUITE(CombiningCounterTest, CounterTypes);
+
+TYPED_TEST(CombiningCounterTest, UniquePriorsUnderContention) {
+  TypeParam c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::vector<std::vector<std::uint64_t>> priors(kThreads);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    priors[idx].reserve(kPerThread);
+    for (int i = 0; i < kPerThread; ++i) priors[idx].push_back(c.fetch_add(1));
+  });
+  std::set<std::uint64_t> uniq;
+  for (auto& v : priors) uniq.insert(v.begin(), v.end());
+  EXPECT_EQ(uniq.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(c.load(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TYPED_TEST(CombiningCounterTest, BatchIsAtomic) {
+  // Batch {read, add 10, read}: the two reads must differ by exactly the
+  // batch's own delta — the witness that no foreign add interleaved.
+  TypeParam c;
+  constexpr int kThreads = 6;
+  constexpr int kIters = 2000;
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kIters; ++i) {
+      CounterOp ops[3] = {CounterOp::read(), CounterOp::add(10),
+                          CounterOp::read()};
+      c.apply_batch(std::span<CounterOp>(ops));
+      ASSERT_EQ(ops[1].prior, ops[0].prior);
+      ASSERT_EQ(ops[2].prior, ops[0].prior + 10);
+    }
+  });
+  EXPECT_EQ(c.load(), static_cast<std::uint64_t>(kThreads) * kIters * 10);
+}
+
+TYPED_TEST(CombiningCounterTest, InitialValue) {
+  TypeParam c(100);
+  EXPECT_EQ(c.load(), 100u);
+  EXPECT_EQ(c.fetch_add(5), 100u);
+  EXPECT_EQ(c.load(), 105u);
+}
+
+}  // namespace
+}  // namespace ccds

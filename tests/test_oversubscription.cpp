@@ -8,14 +8,20 @@
 // tests do not.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <set>
+#include <span>
+#include <thread>
 #include <vector>
 
+#include "counter/combining_counter.hpp"
 #include "counter/counters.hpp"
 #include "hash/split_ordered_set.hpp"
 #include "list/harris_list.hpp"
+#include "queue/combining_queue.hpp"
 #include "queue/mpmc_queue.hpp"
 #include "queue/ms_queue.hpp"
 #include "reclaim/epoch.hpp"
@@ -23,6 +29,7 @@
 #include "skiplist/lockfree_skiplist.hpp"
 #include "stack/elimination_stack.hpp"
 #include "stack/treiber_stack.hpp"
+#include "sync/ccsynch.hpp"
 #include "sync/flat_combining.hpp"
 #include "sync/mcs_lock.hpp"
 #include "sync/spinlock.hpp"
@@ -33,6 +40,16 @@ namespace {
 
 constexpr std::size_t kThreads = 16;
 constexpr int kOps = 4000;
+
+// 4x the hardware for the combining tests: a combiner that gets preempted
+// mid-episode stalls every spinning requester, so heavy oversubscription is
+// exactly where the handoff protocol earns (or loses) its keep.  Clamped
+// into [8, 64] so the test is meaningful on tiny hosts and bounded (and
+// under kMaxThreads) on huge ones.
+std::size_t oversub_threads() {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::clamp<std::size_t>(4 * hw, 8, 64);
+}
 
 TEST(Oversubscribed, TreiberStackConservation) {
   TreiberStack<std::uint64_t, HazardDomain> s;
@@ -187,6 +204,76 @@ TEST(Oversubscribed, FlatCombinerExactness) {
   });
   EXPECT_EQ(fc.apply([](std::uint64_t& v) { return v; }),
             kThreads * static_cast<std::uint64_t>(kOps));
+}
+
+// CC-Synch at 4x hardware concurrency: every thread's full quota of
+// operations must be applied (conservation) and every thread must finish its
+// loop (forward progress — a dropped handoff would leave a spinner stuck and
+// hang the test).  Per-thread completion counts make a partial stall visible
+// as a specific count, not just a timeout.
+TEST(Oversubscribed, CcSynchExactnessAt4xHardware) {
+  const std::size_t n = oversub_threads();
+  CcSynch<std::uint64_t> cc;
+  std::vector<std::uint64_t> done(n, 0);
+  test::run_threads(n, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      cc.apply([](std::uint64_t& v) { ++v; });
+      ++done[idx];
+    }
+  });
+  for (std::size_t t = 0; t < n; ++t) {
+    EXPECT_EQ(done[t], static_cast<std::uint64_t>(kOps)) << "thread " << t;
+  }
+  EXPECT_EQ(cc.apply([](std::uint64_t& v) { return v; }),
+            n * static_cast<std::uint64_t>(kOps));
+}
+
+TEST(Oversubscribed, FlatCombinerExactnessAt4xHardware) {
+  const std::size_t n = oversub_threads();
+  FlatCombiner<std::uint64_t> fc(0);
+  std::vector<std::uint64_t> done(n, 0);
+  test::run_threads(n, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      fc.apply([](std::uint64_t& v) { ++v; });
+      ++done[idx];
+    }
+  });
+  for (std::size_t t = 0; t < n; ++t) {
+    EXPECT_EQ(done[t], static_cast<std::uint64_t>(kOps)) << "thread " << t;
+  }
+  EXPECT_EQ(fc.apply([](std::uint64_t& v) { return v; }),
+            n * static_cast<std::uint64_t>(kOps));
+}
+
+// The CombiningQueue front (CC-Synch engine) under heavy oversubscription,
+// mixing single ops and batches: enqueues and successful dequeues must
+// balance exactly.
+TEST(Oversubscribed, CombiningQueueConservationAt4xHardware) {
+  const std::size_t n = oversub_threads();
+  CombiningQueue<std::uint64_t, CcSynch> q;
+  using Op = QueueOp<std::uint64_t>;
+  std::atomic<std::uint64_t> enq{0}, deq{0};
+  test::run_threads(n, [&](std::size_t idx) {
+    for (int i = 0; i < kOps / 4; ++i) {
+      if ((i + idx) % 2 == 0) {
+        std::vector<Op> ops;
+        ops.push_back(Op::enqueue(i));
+        ops.push_back(Op::enqueue(i + 1));
+        ops.push_back(Op::dequeue());
+        q.apply_batch(std::span<Op>(ops));
+        enq.fetch_add(2, std::memory_order_relaxed);
+        if (ops[2].result) deq.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        q.enqueue(i);
+        enq.fetch_add(1, std::memory_order_relaxed);
+        if (q.try_dequeue()) deq.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::uint64_t leftover = 0;
+  while (q.try_dequeue()) ++leftover;
+  EXPECT_EQ(deq.load() + leftover, enq.load());
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(Oversubscribed, ShardedCounterExactness) {
