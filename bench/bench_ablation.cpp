@@ -5,7 +5,9 @@
 //   * elimination spin budget: how long a parked op waits for a partner;
 //   * hazard-pointer scan threshold: scan amortization vs garbage held;
 //   * counting-network width: toggles-per-token (log^2 w layers) vs
-//     per-wire contention.
+//     per-wire contention;
+//   * reclamation policy x update ratio: the same list under every
+//     reclaimer at read-mostly and update-heavy mixes.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -13,7 +15,11 @@
 #include "bench_util.hpp"
 #include "counter/counters.hpp"
 #include "counter/counting_network.hpp"
+#include "list/harris_list.hpp"
+#include "reclaim/epoch.hpp"
 #include "reclaim/hazard.hpp"
+#include "reclaim/leaky.hpp"
+#include "reclaim/qsbr.hpp"
 #include "stack/elimination_stack.hpp"
 #include "stack/treiber_stack.hpp"
 
@@ -125,6 +131,58 @@ void BM_CountingNetworkAtomicRef(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CountingNetworkAtomicRef)->ThreadRange(1, 8)->UseRealTime();
+
+// ---------- reclamation policy x update ratio ----------
+//
+// The cross-policy ablation the reclaimer concept unlocks: the SAME
+// Harris-Michael list code under every policy, at two update ratios.  HP
+// pays per pointer hop (hurts reads), QSBR pays per operation boundary
+// (read path free, reclamation latency worst), epochs sit between; the
+// update ratio shifts how much of the op is traversal vs retirement, so
+// the policy ranking can flip between the two mixes.
+template <typename Domain, int UpdatePct>
+void BM_ListPolicyMix(benchmark::State& state) {
+  using List = HarrisMichaelListSet<std::uint64_t, Domain>;
+  static List* list = nullptr;
+  constexpr std::uint64_t kKeyRange = 256;
+  if (state.thread_index() == 0) {
+    list = new List();
+    for (std::uint64_t k = 0; k < kKeyRange; k += 2) list->insert(k);
+  }
+  Xoshiro256 rng = ccds::bench::make_rng(state);
+  for (auto _ : state) {
+    const std::uint64_t r = rng.next();
+    const std::uint64_t key = r % kKeyRange;
+    const std::uint64_t op = (r >> 32) % 100;
+    if (op >= static_cast<std::uint64_t>(UpdatePct)) {
+      benchmark::DoNotOptimize(list->contains(key));
+    } else if (op & 1) {
+      benchmark::DoNotOptimize(list->insert(key));
+    } else {
+      benchmark::DoNotOptimize(list->remove(key));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete list;
+    list = nullptr;
+  }
+}
+
+#define CCDS_POLICY_MIX(domain)                                       \
+  BENCHMARK(BM_ListPolicyMix<domain, 2>)                              \
+      ->ThreadRange(2, 8)                                             \
+      ->UseRealTime();                                                \
+  BENCHMARK(BM_ListPolicyMix<domain, 40>)                             \
+      ->ThreadRange(2, 8)                                             \
+      ->UseRealTime()
+
+CCDS_POLICY_MIX(LeakyDomain);
+CCDS_POLICY_MIX(HazardDomain);
+CCDS_POLICY_MIX(EpochDomain);
+CCDS_POLICY_MIX(EpochLeaseDomain);
+CCDS_POLICY_MIX(QsbrDomain);
+CCDS_POLICY_MIX(QsbrLeaseDomain);
 
 }  // namespace
 

@@ -2,7 +2,7 @@
 """Memory-order lint for ccds.
 
 Every relaxation away from seq_cst is a claim about the algorithm, and claims
-need to be written down.  This lint enforces three house rules on src/:
+need to be written down.  This lint enforces the house rules on src/:
 
   R1 naked-relaxed
       `memory_order_relaxed` must have a justification comment containing the
@@ -42,6 +42,17 @@ need to be written down.  This lint enforces three house rules on src/:
       CCDS_CACHELINE_ALIGNED, or the file must hold instances in Padded<>
       (the MCS-lock shape), or the struct carries a comment containing
       "unpadded" explaining why sharing is acceptable.
+
+  R6 concrete-domain-coupling
+      Structure headers are templates over the ccds::reclaimer concept; a
+      concrete domain type (LeakyDomain, HazardDomain, EpochDomain,
+      QsbrDomain, ...) may appear in code only in template DEFAULT-ARGUMENT
+      position (`reclaimer Domain = HazardDomain`).  Anywhere else it
+      hard-couples the structure to one policy — the bug that once made
+      StealingPool epoch-only regardless of its parameter.  String literals
+      (static_assert messages) and comments are ignored; deliberate
+      couplings are suppressed with a comment containing "concrete-domain".
+      src/reclaim/ is exempt: that is where the concrete domains live.
 
 src/model/ is exempt: the checker manipulates memory orders as data.
 
@@ -84,6 +95,13 @@ STRUCT_DEF_RE = re.compile(
 
 # R5: member names that read as a locally-spun flag.
 SPIN_FLAG_NAMES = re.compile(r"^(wait|locked|completed|ready|done)\w*$")
+
+# R6: a concrete reclamation domain type.  Requires at least one character
+# before "Domain", so the bare template-parameter name `Domain` never matches.
+CONCRETE_DOMAIN_RE = re.compile(r"\b[A-Z]\w*Domain\b")
+
+# R6: a double-quoted string literal (static_assert messages name domains).
+STRING_LITERAL_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
 
 def split_comment(line, in_block):
@@ -314,12 +332,48 @@ class FileCheck:
                 "or excused with a '// unpadded: ...' comment" % name,
             )
 
+    def check_concrete_domain_coupling(self):
+        # Structure headers must stay generic over ccds::reclaimer.  A
+        # concrete domain name in code is allowed only in default-argument
+        # position (`reclaimer Domain = HazardDomain`); string literals are
+        # dropped first so static_assert messages ("use WideHazardDomain")
+        # don't trip the rule.  src/reclaim/ defines the domains and is
+        # exempt wholesale.
+        if "reclaim" in pathlib.PurePath(self.name).parts:
+            return
+        for i, code in enumerate(self.code):
+            stripped = STRING_LITERAL_RE.sub('""', code)
+            for m in CONCRETE_DOMAIN_RE.finditer(stripped):
+                prefix = stripped[: m.start()]
+                if not prefix.strip():
+                    # Wrapped default arg: the `=` sits at the end of the
+                    # nearest preceding non-blank code line.
+                    for j in range(i - 1, max(-1, i - 3), -1):
+                        prev = STRING_LITERAL_RE.sub('""', self.code[j])
+                        if prev.strip():
+                            prefix = prev
+                            break
+                if re.search(r"=\s*$", prefix):
+                    continue  # default template argument
+                if self.justified(i, "concrete-domain"):
+                    continue
+                self.report(
+                    i,
+                    "concrete-domain-coupling",
+                    "concrete reclamation domain '%s' outside default-"
+                    "argument position couples this header to one policy; "
+                    "take a `ccds::reclaimer` template parameter or "
+                    "suppress with a '// concrete-domain: ...' comment"
+                    % m.group(0),
+                )
+
     def run(self):
         self.check_naked_relaxed()
         self.check_implicit_seq_cst()
         self.check_unpadded_members()
         self.check_fenced_publish_validate()
         self.check_unpadded_combining_nodes()
+        self.check_concrete_domain_coupling()
         return self.violations
 
 
@@ -416,6 +470,26 @@ def self_test():
         "  };\n"
         "};\n"
     )
+    bad_concrete_domain = (
+        "class C {\n  TreiberStack<int, EpochDomain> stacks_[8];\n};\n"
+    )
+    ok_default_arg_domain = (
+        "template <typename T, reclaimer Domain = HazardDomain>\nclass C;\n"
+    )
+    ok_multiline_default_arg_domain = (
+        "template <typename T,\n"
+        "          typename Reclaimer =\n"
+        "              EpochDomain>\n"
+        "class C;\n"
+    )
+    ok_domain_string_literal = (
+        'static_assert(kSlots >= 4, "use WideHazardDomain");\n'
+    )
+    ok_concrete_domain_excused = (
+        "// concrete-domain: ablation fixture pins the baseline policy\n"
+        "using S = TreiberStack<int, EpochDomain>;\n"
+    )
+    ok_bare_domain_param = "auto g = typename Domain::Guard(d);\n"
     ok_store_only = "done.store(1, std::memory_order_seq_cst);\n"
     ok_load_far_away = (
         "flag.store(1, std::memory_order_seq_cst);\n"
@@ -442,6 +516,12 @@ def self_test():
         (ok_combining_node_padded_instances, 0),
         (ok_combining_node_excused, 0),
         (ok_link_only_node, 0),
+        (bad_concrete_domain, 1),
+        (ok_default_arg_domain, 0),
+        (ok_multiline_default_arg_domain, 0),
+        (ok_domain_string_literal, 0),
+        (ok_concrete_domain_excused, 0),
+        (ok_bare_domain_param, 0),
     ]
     failures = 0
     for idx, (text, want) in enumerate(cases):
@@ -453,6 +533,10 @@ def self_test():
                 file=sys.stderr,
             )
             failures += 1
+    # R6 path gate: files under src/reclaim/ define the domains.
+    if check_text("src/reclaim/reclaim.hpp", "HazardDomain d;\n"):
+        print("self-test: reclaim/ path gate failed", file=sys.stderr)
+        failures += 1
     if failures:
         return 2
     print("lint_memory_orders: self-test ok (%d cases)" % len(cases))

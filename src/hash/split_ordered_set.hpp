@@ -22,16 +22,21 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "core/arch.hpp"
 #include "core/hash.hpp"
 #include "reclaim/hazard.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace ccds {
 
 template <typename Key, typename Hash = MixHash<Key>,
-          typename Domain = HazardDomain>
+          reclaimer Domain = HazardDomain>
 class SplitOrderedHashSet {
+  static_assert(!reclaimer_traits<Domain>::pointer_based ||
+                    Domain::kSlots >= 3,
+                "the traversal window needs prev/curr/next slots");
  public:
   SplitOrderedHashSet() {
     // Bucket 0's dummy (so_key 0) is the list head anchor.
@@ -246,12 +251,15 @@ class SplitOrderedHashSet {
     }
   }
 
+  // guard() may return a Guard or (via LeasedDomain) a Lease.
+  using GuardT = decltype(std::declval<Domain&>().guard());
+
   // Harris-Michael window search over split-order keys, starting at `start`
   // (a never-removed dummy's next link).  `key == nullptr` targets the
   // (unique) dummy with so_key == so; otherwise targets a regular node with
   // this so_key and an equal key, scanning the collision run.
   Window find(std::atomic<Node*>* start, std::uint64_t so, const Key* key,
-              typename Domain::Guard& g) {
+              GuardT& g) {
   retry:
     std::atomic<Node*>* prev = start;
     g.clear(0);
@@ -265,7 +273,7 @@ class SplitOrderedHashSet {
       Node* next_raw = curr->next.load(std::memory_order_acquire);
       if (is_marked(next_raw)) {
         Node* next = unmark(next_raw);
-        g.set(2, next);
+        g.protect_raw(2, next);
         if (curr->next.load(std::memory_order_acquire) != next_raw) {
           goto retry;
         }
@@ -277,7 +285,7 @@ class SplitOrderedHashSet {
         }
         domain_.retire(curr);
         curr = next;
-        g.set(1, curr);
+        g.protect_raw(1, curr);
         continue;
       }
       if (prev->load(std::memory_order_acquire) != curr) goto retry;
@@ -294,12 +302,12 @@ class SplitOrderedHashSet {
       }
       // Advance.
       Node* next = unmark(next_raw);
-      g.set(0, curr);
-      g.set(2, next);
+      g.protect_raw(0, curr);
+      g.protect_raw(2, next);
       if (curr->next.load(std::memory_order_acquire) != next_raw) goto retry;
       prev = &curr->next;
       curr = next;
-      g.set(1, curr);
+      g.protect_raw(1, curr);
     }
   }
 

@@ -67,12 +67,16 @@
 #include "core/padded.hpp"
 #include "core/thread_registry.hpp"
 #include "reclaim/epoch.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace ccds {
 
 template <typename Key, typename Value, typename Hash = MixHash<Key>,
-          typename Reclaimer = EpochDomain>
+          reclaimer Reclaimer = EpochDomain>
 class SwissHashMap {
+  static_assert(!reclaimer_traits<Reclaimer>::pointer_based ||
+                    Reclaimer::kSlots >= 2,
+                "probes protect the table and its old predecessor");
   static_assert(std::is_trivially_copyable_v<Key> && sizeof(Key) <= 8,
                 "SwissHashMap keys must be trivially copyable and <= 8 bytes");
   static_assert(std::is_trivially_copyable_v<Value> && sizeof(Value) <= 8,
@@ -275,13 +279,7 @@ class SwissHashMap {
   // Prefer the reclaimer's amortized read lease (EpochDomain::lease —
   // standing announcement, two cached loads per op) over a full guard.
   // Reclaimers without one (hazard pointers, leaky) fall back to guard().
-  auto acquire_guard() const {
-    if constexpr (requires(Reclaimer& r) { r.lease(); }) {
-      return domain_.lease();
-    } else {
-      return domain_.guard();
-    }
-  }
+  auto acquire_guard() const { return lease_of(domain_); }
 
   // Fetch a group's first slot line in parallel with the demand loads of
   // its metadata line, before the dependent chain (version -> tags ->

@@ -19,15 +19,20 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "core/arch.hpp"
 #include "reclaim/hazard.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace ccds {
 
-template <typename Key, typename Domain = HazardDomain,
+template <typename Key, reclaimer Domain = HazardDomain,
           typename Compare = std::less<Key>>
 class HarrisMichaelListSet {
+  static_assert(!reclaimer_traits<Domain>::pointer_based ||
+                    Domain::kSlots >= 3,
+                "the traversal window needs prev/curr/next slots");
  public:
   HarrisMichaelListSet() = default;
   HarrisMichaelListSet(const HarrisMichaelListSet&) = delete;
@@ -122,10 +127,14 @@ class HarrisMichaelListSet {
                                    ~std::uintptr_t{1});
   }
 
+  // guard() may return a Guard or (via LeasedDomain) a Lease; name whatever
+  // it is so find() can take it by reference.
+  using GuardT = decltype(std::declval<Domain&>().guard());
+
   // Traverse to the window for `key`, helping unlink marked nodes.  On
   // return, slot 1 protects w.curr and slot 0 protects the node containing
   // w.prev (when it is not the head).
-  Window find(const Key& key, typename Domain::Guard& g) {
+  Window find(const Key& key, GuardT& g) {
   retry:
     std::atomic<Node*>* prev = &head_;
     g.clear(0);
@@ -138,7 +147,7 @@ class HarrisMichaelListSet {
         // curr is logically deleted: help unlink it, then continue from the
         // successor.
         Node* next = unmark(next_raw);
-        g.set(2, next);
+        g.protect_raw(2, next);
         // Validate next is still curr's successor after protecting it.
         if (curr->next.load(std::memory_order_acquire) != next_raw) {
           goto retry;
@@ -151,7 +160,7 @@ class HarrisMichaelListSet {
         }
         domain_.retire(curr);
         curr = next;
-        g.set(1, curr);  // slot 2 still covers it during the handover
+        g.protect_raw(1, curr);  // slot 2 still covers it during the handover
         continue;
       }
       // Validate the window: prev must still link to curr (this also
@@ -162,14 +171,14 @@ class HarrisMichaelListSet {
       }
       // Advance: curr becomes the node containing prev.
       Node* next = unmark(next_raw);
-      g.set(0, curr);  // keep curr alive as prev-container (slot 1 -> 0)
-      g.set(2, next);
+      g.protect_raw(0, curr);  // keep curr alive as prev-container (slot 1 -> 0)
+      g.protect_raw(2, next);
       if (curr->next.load(std::memory_order_acquire) != next_raw) {
         goto retry;  // next changed before we protected it
       }
       prev = &curr->next;
       curr = next;
-      g.set(1, curr);
+      g.protect_raw(1, curr);
     }
   }
 

@@ -10,21 +10,33 @@
 // Removal is "lazy": mark first (the logical delete — the operation's
 // linearization point), then unlink physically.  Traversals may still be
 // walking through marked or even unlinked nodes, so unlinked nodes are
-// retired through an epoch domain and every operation runs under a guard.
+// retired through the reclamation domain and every operation runs under a
+// guard.  Under a pointer-based domain (hazard pointers) traversals go
+// hand-over-hand and re-check the predecessor's mark after each hazard
+// publication (an unlinked node's frozen next pointer can outlive its
+// successor), which costs contains() its wait-freedom — it inherits the
+// traversal's retry loop.  Blanket domains keep the original wait-free
+// read path.
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <mutex>
+#include <utility>
 
 #include "reclaim/epoch.hpp"
+#include "reclaim/reclaim.hpp"
 #include "sync/spinlock.hpp"
 
 namespace ccds {
 
 template <typename Key, typename Compare = std::less<Key>,
-          typename Lock = TtasLock>
+          typename Lock = TtasLock, reclaimer Domain = EpochDomain>
 class LazyListSet {
+  static_assert(!reclaimer_traits<Domain>::pointer_based ||
+                    Domain::kSlots >= 2,
+                "the traversal window needs pred/curr slots");
+
  public:
   LazyListSet() : head_(new Node) {}
   LazyListSet(const LazyListSet&) = delete;
@@ -39,21 +51,29 @@ class LazyListSet {
     }
   }
 
-  // Wait-free: one traversal, no locks, no retries.
+  // Wait-free under blanket domains: one traversal, no locks, no retries.
+  // Pointer-based domains reuse the protected locate (lock-free, not
+  // wait-free — see header).
   bool contains(const Key& key) {
     auto g = domain_.guard();
-    Node* curr = head_->next.load(std::memory_order_acquire);
-    while (curr != nullptr && comp_(curr->key, key)) {
-      curr = curr->next.load(std::memory_order_acquire);
+    if constexpr (kPointerBased) {
+      auto [pred, curr] = locate(key, g);
+      return curr != nullptr && !comp_(key, curr->key) &&
+             !curr->marked.load(std::memory_order_acquire);
+    } else {
+      Node* curr = head_->next.load(std::memory_order_acquire);
+      while (curr != nullptr && comp_(curr->key, key)) {
+        curr = curr->next.load(std::memory_order_acquire);
+      }
+      return curr != nullptr && !comp_(key, curr->key) &&
+             !curr->marked.load(std::memory_order_acquire);
     }
-    return curr != nullptr && !comp_(key, curr->key) &&
-           !curr->marked.load(std::memory_order_acquire);
   }
 
   bool insert(const Key& key) {
     auto g = domain_.guard();
     for (;;) {
-      auto [pred, curr] = locate(key);
+      auto [pred, curr] = locate(key, g);
       std::lock_guard<Lock> lp(pred->lock);
       if (curr != nullptr) {
         std::lock_guard<Lock> lc(curr->lock);
@@ -76,7 +96,7 @@ class LazyListSet {
   bool remove(const Key& key) {
     auto g = domain_.guard();
     for (;;) {
-      auto [pred, curr] = locate(key);
+      auto [pred, curr] = locate(key, g);
       if (curr == nullptr) {
         std::lock_guard<Lock> lp(pred->lock);
         if (!validate(pred, curr)) continue;
@@ -96,7 +116,7 @@ class LazyListSet {
     }
   }
 
-  EpochDomain& domain() noexcept { return domain_; }
+  Domain& domain() noexcept { return domain_; }
 
  private:
   struct Node {
@@ -109,14 +129,40 @@ class LazyListSet {
     Node(const Key& k, Node* nx) : key(k), next(nx) {}
   };
 
-  std::pair<Node*, Node*> locate(const Key& key) const {
-    Node* pred = head_;
-    Node* curr = pred->next.load(std::memory_order_acquire);
-    while (curr != nullptr && comp_(curr->key, key)) {
-      pred = curr;
-      curr = curr->next.load(std::memory_order_acquire);
+  static constexpr bool kPointerBased = reclaimer_traits<Domain>::pointer_based;
+
+  // guard() may return a Guard or (via LeasedDomain) a Lease.
+  using GuardT = decltype(std::declval<Domain&>().guard());
+
+  // Traversal to the window (pred < key <= curr).  Blanket domains walk
+  // unsynchronized (protect degrades to an acquire load and the marked
+  // checks compile out); pointer-based domains keep pred in slot 0 and
+  // curr in slot 1, restarting when pred turns out marked — observing
+  // marked == false after the hazard publication proves the link we
+  // validated against was live (the mark precedes the unlink, which
+  // precedes retirement; the domain's heavy barrier makes the mark visible
+  // to any reader whose hazard a scan missed).
+  std::pair<Node*, Node*> locate(const Key& key, GuardT& g) const {
+    for (;;) {  // outer: restart from head when a predecessor died (HP only)
+      Node* pred = head_;
+      Node* curr = g.protect(1, pred->next);
+      bool restart = false;
+      while (!restart) {
+        if constexpr (kPointerBased) {
+          // acquire: pairs with the remover's release store of the flag (the
+          // sentinel head is never removed).
+          if (pred != head_ &&
+              pred->marked.load(std::memory_order_acquire)) {
+            restart = true;
+            continue;
+          }
+        }
+        if (curr == nullptr || !comp_(curr->key, key)) return {pred, curr};
+        g.protect_raw(0, curr);  // slot 1 still covers it during the handover
+        pred = curr;
+        curr = g.protect(1, pred->next);
+      }
     }
-    return {pred, curr};
   }
 
   // O(1) validation under both locks: neither endpoint was logically
@@ -128,7 +174,7 @@ class LazyListSet {
   }
 
   Node* const head_;  // sentinel (never marked)
-  mutable EpochDomain domain_;
+  mutable Domain domain_;
   [[no_unique_address]] Compare comp_{};
 };
 

@@ -5,23 +5,37 @@
 // links to curr; retry on failure.  Wins when traversals are long and
 // conflicts rare; loses when validation (a second traversal) dominates.
 //
-// Unlinked nodes are retired through an epoch domain because lock-free
-// traversals may still be reading them; every operation runs under an epoch
-// guard.
+// Unlinked nodes are retired through the reclamation domain because
+// optimistic traversals may still be reading them; every operation runs
+// under a guard.  Blanket domains (epoch/QSBR — the default) cover the
+// whole traversal for free.  Pointer-based domains (hazard pointers) need
+// more care, because an unlinked node's frozen next pointer can outlive its
+// successor: nodes carry a `marked` flag, set under the window locks
+// immediately before the unlink, and the traversal re-checks it after each
+// protection — observing marked == false after publishing the successor's
+// hazard proves the link was live at validation time (the flag's setter
+// unlinks only after the flag store, and the domain's heavy barrier makes
+// the flag visible to any reader whose hazard a scan missed).
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <mutex>
+#include <utility>
 
 #include "reclaim/epoch.hpp"
+#include "reclaim/reclaim.hpp"
 #include "sync/spinlock.hpp"
 
 namespace ccds {
 
 template <typename Key, typename Compare = std::less<Key>,
-          typename Lock = TtasLock>
+          typename Lock = TtasLock, reclaimer Domain = EpochDomain>
 class OptimisticListSet {
+  static_assert(!reclaimer_traits<Domain>::pointer_based ||
+                    Domain::kSlots >= 4,
+                "locate holds pred/curr while validate walks with two more");
+
  public:
   OptimisticListSet() : head_(new Node) {}
   OptimisticListSet(const OptimisticListSet&) = delete;
@@ -39,14 +53,14 @@ class OptimisticListSet {
   bool contains(const Key& key) {
     auto g = domain_.guard();
     for (;;) {
-      auto [pred, curr] = locate(key);
+      auto [pred, curr] = locate(key, g);
       std::lock_guard<Lock> lp(pred->lock);
       if (curr != nullptr) {
         std::lock_guard<Lock> lc(curr->lock);
-        if (!validate(pred, curr)) continue;
+        if (!validate(pred, curr, g)) continue;
         return !comp_(key, curr->key);
       }
-      if (!validate(pred, curr)) continue;
+      if (!validate(pred, curr, g)) continue;
       return false;
     }
   }
@@ -54,17 +68,17 @@ class OptimisticListSet {
   bool insert(const Key& key) {
     auto g = domain_.guard();
     for (;;) {
-      auto [pred, curr] = locate(key);
+      auto [pred, curr] = locate(key, g);
       std::lock_guard<Lock> lp(pred->lock);
       if (curr != nullptr) {
         std::lock_guard<Lock> lc(curr->lock);
-        if (!validate(pred, curr)) continue;
+        if (!validate(pred, curr, g)) continue;
         if (!comp_(key, curr->key)) return false;  // already present
         Node* n = new Node{key, curr};
         pred->next.store(n, std::memory_order_release);
         return true;
       }
-      if (!validate(pred, curr)) continue;
+      if (!validate(pred, curr, g)) continue;
       Node* n = new Node{key, nullptr};
       pred->next.store(n, std::memory_order_release);
       return true;
@@ -74,16 +88,20 @@ class OptimisticListSet {
   bool remove(const Key& key) {
     auto g = domain_.guard();
     for (;;) {
-      auto [pred, curr] = locate(key);
+      auto [pred, curr] = locate(key, g);
       if (curr == nullptr) {
         std::lock_guard<Lock> lp(pred->lock);
-        if (!validate(pred, curr)) continue;
+        if (!validate(pred, curr, g)) continue;
         return false;
       }
       std::lock_guard<Lock> lp(pred->lock);
       std::lock_guard<Lock> lc(curr->lock);
-      if (!validate(pred, curr)) continue;
+      if (!validate(pred, curr, g)) continue;
       if (comp_(key, curr->key)) return false;  // absent
+      // Logical delete BEFORE the unlink: pointer-based traversals use the
+      // flag to reject windows read through an unlinked predecessor.
+      // release: must be visible no later than the unlink below.
+      curr->marked.store(true, std::memory_order_release);
       // relaxed: pred and curr are locked; next cannot change.
       pred->next.store(curr->next.load(std::memory_order_relaxed),
                        std::memory_order_release);
@@ -92,43 +110,86 @@ class OptimisticListSet {
     }
   }
 
-  EpochDomain& domain() noexcept { return domain_; }
+  Domain& domain() noexcept { return domain_; }
 
  private:
   struct Node {
     Key key{};
     std::atomic<Node*> next{nullptr};
+    // Set (under the window locks) right before the node is unlinked.
+    std::atomic<bool> marked{false};
     Lock lock;
 
     Node() = default;
     Node(const Key& k, Node* nx) : key(k), next(nx) {}
   };
 
-  // Unsynchronized traversal to the window (pred < key <= curr).
-  std::pair<Node*, Node*> locate(const Key& key) const {
-    Node* pred = head_;
-    Node* curr = pred->next.load(std::memory_order_acquire);
-    while (curr != nullptr && comp_(curr->key, key)) {
-      pred = curr;
-      curr = curr->next.load(std::memory_order_acquire);
+  static constexpr bool kPointerBased = reclaimer_traits<Domain>::pointer_based;
+
+  // guard() may return a Guard or (via LeasedDomain) a Lease.
+  using GuardT = decltype(std::declval<Domain&>().guard());
+
+  // Traversal to the window (pred < key <= curr).  Blanket domains traverse
+  // unsynchronized (protect degrades to an acquire load, the marked checks
+  // compile out); pointer-based domains keep pred in slot 0 and curr in
+  // slot 1, hand-over-hand, restarting whenever pred turns out marked (its
+  // frozen next pointer can name an already-freed successor — header
+  // comment).
+  std::pair<Node*, Node*> locate(const Key& key, GuardT& g) const {
+    for (;;) {  // outer: restart from head when a predecessor died (HP only)
+      Node* pred = head_;
+      Node* curr = g.protect(1, pred->next);
+      bool restart = false;
+      while (!restart) {
+        if constexpr (kPointerBased) {
+          // acquire: pairs with the remover's release store of the flag; a
+          // false read after our hazard publication proves the link we
+          // validated against was live (the sentinel head is never removed).
+          if (pred != head_ &&
+              pred->marked.load(std::memory_order_acquire)) {
+            restart = true;
+            continue;
+          }
+        }
+        if (curr == nullptr || !comp_(curr->key, key)) return {pred, curr};
+        g.protect_raw(0, curr);  // slot 1 still covers it during the handover
+        pred = curr;
+        curr = g.protect(1, pred->next);
+      }
     }
-    return {pred, curr};
   }
 
   // Re-traverse from head: pred must still be reachable and link to curr.
-  bool validate(Node* pred, Node* curr) const {
-    Node* n = head_;
-    while (n != nullptr) {
-      if (n == pred) {
-        return pred->next.load(std::memory_order_acquire) == curr;
+  // Key-bounded — the list is strictly sorted, so once a key passes
+  // pred's, pred cannot appear later (pred is locked, so pred->key is
+  // stable; a spurious false only retries).  Pointer-based domains walk
+  // hand-over-hand in slots 2/3, leaving locate's window protections
+  // intact.
+  bool validate(Node* pred, Node* curr, GuardT& g) const {
+    for (;;) {  // outer: restart from head when the walk hit a dead node
+      Node* x = head_;
+      bool restart = false;
+      while (!restart) {
+        if (x == pred) {
+          return pred->next.load(std::memory_order_acquire) == curr;
+        }
+        Node* nx = g.protect(3, x->next);
+        if constexpr (kPointerBased) {
+          if (x != head_ && x->marked.load(std::memory_order_acquire)) {
+            restart = true;
+            continue;
+          }
+        }
+        if (nx == nullptr) return false;
+        if (comp_(pred->key, nx->key)) return false;  // walked past pred
+        g.protect_raw(2, nx);  // slot 3 still covers it during the handover
+        x = nx;
       }
-      n = n->next.load(std::memory_order_acquire);
     }
-    return false;  // pred was unlinked while we were locking
   }
 
   Node* const head_;  // sentinel
-  mutable EpochDomain domain_;
+  mutable Domain domain_;
   [[no_unique_address]] Compare comp_{};
 };
 

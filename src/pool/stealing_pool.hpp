@@ -15,11 +15,15 @@
 #include "core/rng.hpp"
 #include "core/thread_registry.hpp"
 #include "reclaim/epoch.hpp"
+#include "reclaim/reclaim.hpp"
 #include "stack/treiber_stack.hpp"
 
 namespace ccds {
 
-template <typename T>
+// Epoch reclamation by default: stealing pops run concurrently with the
+// owner's, so the per-thread stacks need a real domain; any `reclaimer`
+// works (each shard owns its own domain instance).
+template <typename T, reclaimer Domain = EpochDomain>
 class StealingPool {
  public:
   void put(T v) { stacks_[thread_id()].push(std::move(v)); }
@@ -46,8 +50,7 @@ class StealingPool {
   }
 
  private:
-  // Epoch reclamation: stealing pops run concurrently with the owner's.
-  TreiberStack<T, EpochDomain> stacks_[kMaxThreads];
+  TreiberStack<T, Domain> stacks_[kMaxThreads];
 };
 
 }  // namespace ccds

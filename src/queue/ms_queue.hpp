@@ -15,11 +15,15 @@
 #include "core/atomic.hpp"
 #include "core/backoff.hpp"
 #include "reclaim/hazard.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace ccds {
 
-template <typename T, typename Domain = HazardDomain>
+template <typename T, reclaimer Domain = HazardDomain>
 class MSQueue {
+  static_assert(!reclaimer_traits<Domain>::pointer_based ||
+                    Domain::kSlots >= 2,
+                "dequeue protects head and its successor");
  public:
   MSQueue() {
     Node* dummy = new Node;

@@ -40,6 +40,7 @@
 #include "core/atomic.hpp"
 #include "core/padded.hpp"
 #include "core/thread_registry.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace ccds {
 
@@ -65,7 +66,11 @@ class BasicEpochDomain {
       return src.load(std::memory_order_acquire);
     }
     template <typename T>
-    void set(std::size_t /*slot*/, T* /*p*/) noexcept {}
+    void protect_raw(std::size_t /*slot*/, T* /*p*/) noexcept {}
+    template <typename T>
+    void set(std::size_t slot, T* p) noexcept {  // legacy alias
+      protect_raw(slot, p);
+    }
     void clear(std::size_t /*slot*/) noexcept {}
 
    private:
@@ -104,7 +109,11 @@ class BasicEpochDomain {
       return src.load(std::memory_order_acquire);
     }
     template <typename T>
-    void set(std::size_t /*slot*/, T* /*p*/) noexcept {}
+    void protect_raw(std::size_t /*slot*/, T* /*p*/) noexcept {}
+    template <typename T>
+    void set(std::size_t slot, T* p) noexcept {  // legacy alias
+      protect_raw(slot, p);
+    }
     void clear(std::size_t /*slot*/) noexcept {}
   };
 
@@ -143,8 +152,18 @@ class BasicEpochDomain {
   }
 
   // Advance repeatedly and reclaim EVERY thread's bag.  Only safe at
-  // quiescence (no concurrent retires or pins by other threads).
+  // quiescence (no live guards or leases, no concurrent retires, by any
+  // thread).  Announcements are force-reset first: a standing lease — or a
+  // stale announcement left by an exited thread — would otherwise freeze
+  // the epoch and make the drain contract (retired_count() == 0 after)
+  // unreachable.  Same discipline as QSBR's collect_all.
   void collect_all() {
+    const std::size_t nthreads = registered_ceiling();
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      // release: quiescent contract — nothing concurrent pairs with this;
+      // ordering matters only against our own try_advance below.
+      local_epoch_[t]->store(kInactive, std::memory_order_release);
+    }
     for (int i = 0; i < 4; ++i) try_advance();
     for (auto& bag : limbo_) collect_bag(bag.value);
   }
@@ -340,5 +359,16 @@ using EpochDomain = BasicEpochDomain<>;
 
 // Classic fully-fenced protocol — the E11 before/after baseline.
 using SeqCstEpochDomain = BasicEpochDomain</*Asymmetric=*/false>;
+
+// "Epoch+Lease" ablation policy: every guard() is a standing lease, so the
+// per-operation read path collapses to two cached loads (reclaim.hpp's
+// LeasedDomain has the trade-off discussion).
+using EpochLeaseDomain = LeasedDomain<EpochDomain>;
+
+static_assert(reclaimer<EpochDomain>);
+static_assert(reclaimer<SeqCstEpochDomain>);
+static_assert(reclaimer<EpochLeaseDomain>);
+static_assert(!reclaimer_traits<EpochDomain>::pointer_based);
+static_assert(reclaimer_traits<EpochDomain>::has_lease);
 
 }  // namespace ccds

@@ -40,15 +40,27 @@
 #include "core/atomic.hpp"
 #include "core/padded.hpp"
 #include "core/thread_registry.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace ccds {
 
-template <std::size_t ScanThreshold = 256, bool Asymmetric = true>
+template <std::size_t ScanThreshold = 256, bool Asymmetric = true,
+          std::size_t Slots = 8>
 class BasicHazardDomain {
+  static_assert(Slots >= 1 && Slots <= 64,
+                "the guard's dirty mask is a single 64-bit word");
+
  public:
-  // Hazard slots per thread.  8 covers every ccds structure (max live
-  // protections in Harris-Michael list traversal is 3).
-  static constexpr std::size_t kSlots = 8;
+  // Hazard slots per thread.  The default 8 covers the flat structures
+  // (Harris-Michael traversal peaks at 3 live protections); skip lists
+  // need a preds/succs pair per level plus scratch — see WideHazardDomain.
+  static constexpr std::size_t kSlots = Slots;
+
+  // Pointer-based protection (reclaim/reclaim.hpp): ONLY the pointers
+  // published in guard slots are safe to dereference; structures must run
+  // their hand-over-hand protect-and-validate traversals against this
+  // domain.
+  static constexpr bool kPointerBased = true;
 
   class Guard {
    public:
@@ -62,7 +74,7 @@ class BasicHazardDomain {
     // sections touch 1-3 of the 8 slots, and unconditional clearing would
     // charge them 8 stores of fixed overhead per operation.
     ~Guard() {
-      std::uint32_t used = used_;
+      std::uint64_t used = used_;
       while (used != 0) {
         const auto i = static_cast<std::size_t>(std::countr_zero(used));
         hp_[i].store(nullptr, std::memory_order_release);
@@ -75,7 +87,7 @@ class BasicHazardDomain {
     template <typename Atom>
     auto protect(std::size_t slot, const Atom& src) noexcept {
       CCDS_ASSERT(slot < kSlots);
-      used_ |= 1u << slot;
+      used_ |= 1ull << slot;
       auto p = src.load(std::memory_order_acquire);
       for (;;) {
         if constexpr (Asymmetric) {
@@ -102,13 +114,15 @@ class BasicHazardDomain {
       }
     }
 
-    // Assert protection of a pointer the caller will re-validate itself
-    // (caller must re-check its source after this returns — that re-check
-    // is the validating load of the same asymmetric Dekker as protect()).
+    // Assert protection of an already-read pointer WITHOUT validation.
+    // Sound only when the caller re-validates its source afterwards (that
+    // re-check is the validating load of the same asymmetric Dekker as
+    // protect()) or when `p` is already protected by another slot of this
+    // guard (slot-to-slot handover).
     template <typename T>
-    void set(std::size_t slot, T* p) noexcept {
+    void protect_raw(std::size_t slot, T* p) noexcept {
       CCDS_ASSERT(slot < kSlots);
-      used_ |= 1u << slot;
+      used_ |= 1ull << slot;
       if constexpr (Asymmetric) {
         hp_[slot].store(p, std::memory_order_release);
         asymmetric_light();
@@ -118,17 +132,22 @@ class BasicHazardDomain {
       }
     }
 
+    template <typename T>
+    void set(std::size_t slot, T* p) noexcept {  // legacy alias
+      protect_raw(slot, p);
+    }
+
     void clear(std::size_t slot) noexcept {
       CCDS_ASSERT(slot < kSlots);
       // release: the clearing must not float above the last dereference.
       hp_[slot].store(nullptr, std::memory_order_release);
-      used_ &= ~(1u << slot);
+      used_ &= ~(1ull << slot);
     }
 
    private:
     BasicHazardDomain* dom_;
     Atomic<void*>* hp_;
-    std::uint32_t used_ = 0;  // bitmask of slots published by this guard
+    std::uint64_t used_ = 0;  // bitmask of slots published by this guard
   };
 
   Guard guard() noexcept { return Guard(*this); }
@@ -270,5 +289,16 @@ using HazardDomain = BasicHazardDomain<>;
 
 // Classic fully-fenced protocol — the E11 before/after baseline.
 using SeqCstHazardDomain = BasicHazardDomain<256, /*Asymmetric=*/false>;
+
+// Wide variant for deep-window structures: skip lists protect a
+// preds/succs pair per level (2 * kSkipListMaxLevel = 32) plus traversal
+// scratch, so they require kSlots >= 35 (they static_assert it).
+using WideHazardDomain = BasicHazardDomain<256, true, /*Slots=*/40>;
+
+static_assert(reclaimer<HazardDomain>);
+static_assert(reclaimer<SeqCstHazardDomain>);
+static_assert(reclaimer<WideHazardDomain>);
+static_assert(reclaimer_traits<HazardDomain>::pointer_based);
+static_assert(!reclaimer_traits<HazardDomain>::has_lease);
 
 }  // namespace ccds

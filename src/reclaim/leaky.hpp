@@ -1,9 +1,17 @@
-// Leaky "reclamation": never frees retired nodes until domain destruction.
+// Leaky "reclamation": never frees retired nodes on any operation path.
 //
 // Baseline for benchmarking the overhead of real reclamation schemes
 // (experiment E11), and a valid choice for bounded-lifetime structures
 // (arena-style usage).  Retire is a per-thread vector push — no
-// synchronization on the hot path.
+// synchronization on the hot path.  Guards carry no state at all, so the
+// protected-read cost IS the raw acquire load.
+//
+// Concept conformance (reclaim/reclaim.hpp): collect() is a no-op — with
+// no guard tracking there is never evidence a node is unreferenced — and
+// collect_all() frees unconditionally, which is sound only under its
+// quiescent contract (no live guards anywhere).  That keeps the unified
+// drain invariant (`collect_all()` at quiescence → `retired_count() == 0`)
+// without putting any reclamation on a concurrent path.
 #pragma once
 
 #include <atomic>
@@ -13,6 +21,7 @@
 #include "core/arch.hpp"
 #include "core/padded.hpp"
 #include "core/thread_registry.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace ccds {
 
@@ -28,7 +37,11 @@ class LeakyDomain {
       return src.load(std::memory_order_acquire);
     }
     template <typename T>
-    void set(std::size_t /*slot*/, T* /*p*/) noexcept {}
+    void protect_raw(std::size_t /*slot*/, T* /*p*/) noexcept {}
+    template <typename T>
+    void set(std::size_t slot, T* p) noexcept {  // legacy alias
+      protect_raw(slot, p);
+    }
     void clear(std::size_t /*slot*/) noexcept {}
   };
 
@@ -40,19 +53,38 @@ class LeakyDomain {
         {p, [](void* q) { delete static_cast<T*>(q); }});
   }
 
-  // Number of nodes waiting (i.e., leaked until destruction).  Only accurate
-  // when no thread is concurrently retiring.
+  // No-op: nothing tracks guards, so no retired node can ever be proven
+  // unreferenced while threads run.  That is the whole point of the leaky
+  // baseline.
+  void collect() noexcept {}
+
+  // Free EVERY thread's bag.  Only safe at quiescence (no live guards, no
+  // concurrent retires) — the caller asserts no reference to any retired
+  // node survives.  Drains to a fixpoint: deleters may retire() more nodes
+  // on this domain mid-pass.
+  void collect_all() {
+    for (bool again = true; again;) {
+      again = false;
+      for (auto& bag : graveyard_) {
+        while (!bag->empty()) {
+          again = true;
+          Retired r = bag->back();
+          bag->pop_back();
+          r.del(r.ptr);
+        }
+      }
+    }
+  }
+
+  // Number of nodes waiting (i.e., leaked until collect_all/destruction).
+  // Only accurate when no thread is concurrently retiring.
   std::size_t retired_count() const {
     std::size_t n = 0;
     for (const auto& bag : graveyard_) n += bag->size();
     return n;
   }
 
-  ~LeakyDomain() {
-    for (auto& bag : graveyard_) {
-      for (auto& r : *bag) r.del(r.ptr);
-    }
-  }
+  ~LeakyDomain() { collect_all(); }
 
   LeakyDomain() = default;
   LeakyDomain(const LeakyDomain&) = delete;
@@ -65,5 +97,9 @@ class LeakyDomain {
   };
   Padded<std::vector<Retired>> graveyard_[kMaxThreads];
 };
+
+static_assert(reclaimer<LeakyDomain>);
+static_assert(!reclaimer_traits<LeakyDomain>::pointer_based);
+static_assert(!reclaimer_traits<LeakyDomain>::has_lease);
 
 }  // namespace ccds

@@ -1,0 +1,400 @@
+// Quiescent-state-based reclamation (QSBR; the scheme behind liburcu's
+// urcu-qsbr flavor and DEBRA, Brown PODC 2015), with the same asymmetric-
+// fence announcement path as reclaim/epoch.hpp.
+//
+// The third point in the design space next to hazard pointers (per-pointer
+// protection, bounded garbage, a publication per protected read) and epochs
+// (per-operation pin/unpin, a validated announcement per operation):
+// QSBR's read path does NOTHING AT ALL.  No slot publication, no pin — a
+// protected read is a plain acquire load.  Instead, each thread announces
+// at its OPERATION BOUNDARIES (guard destruction) that it holds no
+// structure references — a quiescent state — by copying the global epoch
+// into its per-thread slot with a single release store to an otherwise
+// thread-private cache line.  try_advance() bumps the global epoch only
+// once every ONLINE thread has announced the current one, so a node
+// retired at stamp s is freed once the epoch reaches s+3, by which point
+// every thread has passed a quiescent state after the unlink.
+//
+// Protocol in full:
+//
+//   * Onlining (first guard on a thread, and any lease after the epoch
+//     moved): a VALIDATED announcement, exactly epoch pin's Dekker —
+//     release-store the observed epoch, asymmetric_light(), then re-read
+//     the global epoch seq_cst and loop until it matched.  Without the
+//     validating re-read a sweep could miss the announcement and advance
+//     twice past a thread that believes itself online (the seeded
+//     missed-quiescence bug in tests/model/test_model_qsbr.cpp).
+//
+//   * Boundary (guard destructor): load the global epoch (acquire), store
+//     it to the own slot (release) if it moved.  NO validation and no
+//     fence: a boundary announcement only RELEASES the past — if the sweep
+//     reads a stale older value the advance is merely blocked
+//     (conservative), never unsafe.  This is why the read path can be
+//     free: the expensive validated publication happens once per thread
+//     (plus once per epoch change on the lease path), not per operation.
+//
+//   * Advance (try_advance, amortized over a retirement batch): one
+//     process-wide asymmetric_heavy() — which also closes the onlining
+//     Dekker — then sweep the announcement slots up to the registration
+//     ceiling; advance by one iff every slot is kOffline or equals the
+//     current epoch.
+//
+// Safety sketch (the grace-period arithmetic): while a thread stays
+// announced at e the epoch cannot pass e+1, so collect_bag's `stamp + 3 <=
+// E` condition implies stamp <= e_T - 2 for every online thread T.  The
+// advance chain to e_T acquired a post-retire boundary announcement from
+// the retiring thread (its pre-retire boundary can only announce <= stamp),
+// and that boundary release-store is sequenced after the unlink — so by the
+// time T's boundary acquire-load observes e_T, the unlink is visible and T
+// can never load a link to the freed node.  The +3 (not the textbook +2)
+// buys exactly the "pre-retire boundary may announce the stamp itself"
+// step of lag, mirroring epoch's reasoning.
+//
+// Trade-offs vs. the siblings (docs/algorithms.md has the table): the
+// fastest possible read path, but reclamation stalls whenever ANY online
+// thread stops passing boundaries (a blocked thread freezes the epoch
+// forever — strictly worse than epoch, where only a thread blocked INSIDE
+// a guard freezes it), and garbage is unbounded in the interim.  Threads
+// never go offline on their own; collect_all() (quiescent-only) force-
+// resets every announcement, and threads re-online on their next guard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/asymmetric_fence.hpp"
+#include "core/atomic.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+#include "reclaim/reclaim.hpp"
+
+namespace ccds {
+
+template <bool Asymmetric = true>
+class BasicQsbrDomain {
+ public:
+  static constexpr std::size_t kSlots = 8;  // ignored; API parity with HP
+
+  class Guard {
+   public:
+    explicit Guard(BasicQsbrDomain& d) noexcept
+        : dom_(&d), slot_(&d.announce_[thread_id()].value) {
+      // relaxed: own slot — only this thread writes it outside quiescent
+      // collect_all, and a racy kOffline read just re-runs the onlining.
+      announced_ = slot_->load(std::memory_order_relaxed);
+      if (announced_ == kOffline) {
+        d.online();
+        announced_ = slot_->load(std::memory_order_relaxed);
+      }
+    }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    // Operation boundary: the quiescent-state announcement QSBR is named
+    // for.  This is the entire per-operation overhead of the scheme —
+    // the slot pointer and its announced value are carried from the ctor,
+    // so the boundary is one epoch load plus (only when it moved) one
+    // release store, with no TLS re-resolution.
+    ~Guard() {
+      // acquire: pairs with the advance CAS chain; the ops after this
+      // boundary must see every unlink this announcement lets age out.
+      const std::uint64_t e =
+          dom_->global_epoch_.load(std::memory_order_acquire);
+      if (announced_ != e) {
+        // release: reads of the finished operation complete before the
+        // announcement that lets their referents be freed.
+        slot_->store(e, std::memory_order_release);
+      }
+    }
+
+    template <typename Atom>
+    auto protect(std::size_t /*slot*/, const Atom& src) noexcept {
+      // The read path QSBR exists for: a plain acquire load, bit-for-bit
+      // the leaky baseline.  Generic over the atomic type so the model
+      // checker's instrumented Atomic<T*> works unchanged.
+      return src.load(std::memory_order_acquire);
+    }
+    template <typename T>
+    void protect_raw(std::size_t /*slot*/, T* /*p*/) noexcept {}
+    template <typename T>
+    void set(std::size_t slot, T* p) noexcept {  // legacy alias
+      protect_raw(slot, p);
+    }
+    void clear(std::size_t /*slot*/) noexcept {}
+
+   private:
+    BasicQsbrDomain* dom_;
+    Atomic<std::uint64_t>* slot_;
+    std::uint64_t announced_;
+  };
+
+  Guard guard() noexcept { return Guard(*this); }
+
+  // Amortized read path, mirroring EpochDomain::Lease: a lease leaves the
+  // announcement standing and SKIPS the boundary at scope exit, so
+  // back-to-back leases in an unchanged epoch cost two cached loads total.
+  // The ctor re-onlines (validated) whenever the epoch moved — a lease is
+  // taken at operation start, when the thread holds no references, so that
+  // announcement is itself a legal quiescent state.  Same trade-off as the
+  // epoch lease: reclamation lags until every leasing thread leases again
+  // after an advance.
+  class Lease {
+   public:
+    explicit Lease(BasicQsbrDomain& d) noexcept {
+      // acquire: pairs with the advance CAS so post-lease loads see the
+      // unlinks of every epoch this announcement retires.
+      const std::uint64_t e =
+          d.global_epoch_.load(std::memory_order_acquire);
+      // relaxed: own slot (see Guard).
+      if (d.announce_[thread_id()]->load(std::memory_order_relaxed) != e) {
+        d.online();
+      }
+    }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    template <typename Atom>
+    auto protect(std::size_t /*slot*/, const Atom& src) noexcept {
+      return src.load(std::memory_order_acquire);
+    }
+    template <typename T>
+    void protect_raw(std::size_t /*slot*/, T* /*p*/) noexcept {}
+    template <typename T>
+    void set(std::size_t slot, T* p) noexcept {  // legacy alias
+      protect_raw(slot, p);
+    }
+    void clear(std::size_t /*slot*/) noexcept {}
+  };
+
+  Lease lease() noexcept { return Lease(*this); }
+
+  // Hand over a detached node; freed once the epoch advances enough.
+  // May be called inside or outside a guard.
+  template <typename T>
+  void retire(T* p) {
+    auto& bag = limbo_[thread_id()].value;
+    // seq_cst: the freshest stamp we can get; collect_bag's +3 covers the
+    // one boundary of announce lag (header comment).
+    bag.push_back({p, [](void* q) { delete static_cast<T*>(q); },
+                   global_epoch_.load(std::memory_order_seq_cst)});
+    if (bag.size() >= kCollectThreshold) {
+      try_advance();
+      // Rescan only if the epoch moved since the last scan: a thread that
+      // stopped passing boundaries freezes the epoch, and rescanning an
+      // ever-growing bag every threshold retires would be quadratic (the
+      // unbounded-garbage window is QSBR's inherent cost).
+      const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+      auto& last = last_scan_epoch_[thread_id()].value;
+      if (e != last) {
+        last = e;
+        collect_bag(bag);
+      }
+    }
+  }
+
+  // Announce a quiescent state for the calling thread (it must hold no
+  // guard/lease on this domain), attempt an advance, and reclaim what the
+  // calling thread can.  The explicit-checkpoint shape matches liburcu's
+  // rcu_quiescent_state(): without it a thread that retires but never
+  // opens another guard could never see its own garbage age out.
+  void collect() {
+    quiescent_checkpoint();
+    try_advance();
+    collect_bag(limbo_[thread_id()].value);
+  }
+
+  // Force-offline every thread, advance repeatedly, and reclaim EVERY
+  // thread's bag.  Only safe at quiescence (no live guards or leases, no
+  // concurrent retires, by any thread): a standing lease or a stopped
+  // thread would otherwise block the epoch forever, and this is the one
+  // place the domain writes another thread's announcement slot.  Threads
+  // re-online on their next guard (the Guard ctor checks the slot itself).
+  void collect_all() {
+    const std::size_t nthreads = registered_ceiling();
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      // release: quiescent contract — nothing concurrent pairs with this;
+      // ordering matters only against our own try_advance below.
+      announce_[t]->store(kOffline, std::memory_order_release);
+    }
+    for (int i = 0; i < 4; ++i) try_advance();
+    for (auto& bag : limbo_) collect_bag(bag.value);
+  }
+
+  std::size_t retired_count() const {
+    std::size_t n = 0;
+    for (const auto& bag : limbo_) n += bag->size();
+    return n;
+  }
+
+  std::uint64_t epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_relaxed);  // relaxed: observational read
+  }
+
+  ~BasicQsbrDomain() {
+    // Quiescent teardown frees unconditionally; drain to a fixpoint since
+    // deleters may retire() further nodes mid-teardown.
+    for (bool again = true; again;) {
+      again = false;
+      for (auto& bag : limbo_) {
+        while (!bag->empty()) {
+          again = true;
+          Retired r = bag->back();
+          bag->pop_back();
+          r.del(r.ptr);
+        }
+      }
+    }
+  }
+
+  BasicQsbrDomain() = default;
+  BasicQsbrDomain(const BasicQsbrDomain&) = delete;
+  BasicQsbrDomain& operator=(const BasicQsbrDomain&) = delete;
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*del)(void*);
+    std::uint64_t epoch;
+  };
+
+  static constexpr std::size_t kCollectThreshold = 256;
+
+  // Validated announcement — epoch pin's Dekker, verbatim.  Used for
+  // onlining (and lease refresh), where claiming a FRESH epoch without
+  // proof the sweep can see the claim would let an advancer pass a thread
+  // that is about to start reading (the seeded missed-quiescence bug the
+  // model tests replay).
+  void online() noexcept {
+    auto& slot = announce_[thread_id()].value;
+    for (;;) {
+      const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+      if constexpr (Asymmetric) {
+        // release + light barrier: a plain store on x86/ARM; advancer
+        // visibility is try_advance()'s heavy barrier's job.
+        slot.store(e, std::memory_order_release);
+        asymmetric_light();
+      } else {
+        // asymmetric: OFF — classic protocol, the announcement pays the
+        // full fence itself (seq_cst store).
+        slot.store(e, std::memory_order_seq_cst);
+      }
+      // seq_cst: the validate must read the CURRENT epoch or the advancer
+      // could already be one step further than the announcement admits —
+      // same freshness requirement as epoch's pin().
+      if (global_epoch_.load(std::memory_order_seq_cst) == e) return;
+    }
+  }
+
+  // Boundary announcement: unvalidated and fence-free (see header — a
+  // stale or missed boundary only delays the advance, never unfrees).
+  void quiescent_checkpoint() noexcept {
+    auto& slot = announce_[thread_id()].value;
+    // acquire: pairs with the advance CAS chain; the ops after this
+    // boundary must see every unlink this announcement lets age out.
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    // relaxed: own slot; kOffline check keeps a guard-less collect() from
+    // onlining an otherwise idle thread (offline never blocks advances).
+    const std::uint64_t a = slot.load(std::memory_order_relaxed);
+    if (a != kOffline && a != e) {
+      // release: reads of the finished operation complete before the
+      // announcement that lets their referents be freed.
+      slot.store(e, std::memory_order_release);
+    }
+  }
+
+  // Advance the global epoch iff every ONLINE thread has announced it.
+  void try_advance() noexcept {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    if constexpr (Asymmetric) {
+      // One heavy barrier pays for every onlining's elided fence (and for
+      // the boundary stores' visibility, though those only need it for
+      // progress, not safety).
+      asymmetric_heavy();
+    }
+    // Ceiling read after the barrier: see thread_registry.hpp for why any
+    // announcement visible to this sweep is covered by the bound.
+    const std::size_t nthreads = registered_ceiling();
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      const std::uint64_t l =
+          announce_[t]->load(Asymmetric ? std::memory_order_acquire
+                                        : std::memory_order_seq_cst);
+      if (l != kOffline && l != e) return;  // straggler: cannot advance
+    }
+    std::uint64_t expected = e;
+    global_epoch_.compare_exchange_strong(expected, e + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed);  // relaxed: failure means someone advanced
+  }
+
+  void collect_bag(std::vector<Retired>& bag) {
+    Scratch& scratch = scratch_[thread_id()].value;
+    // Reentrant call (a deleter below retired past the threshold): defer —
+    // same latch-and-swap discipline as epoch's collect_bag.
+    if (scratch.in_collect) return;
+    scratch.in_collect = true;
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    // Move the bag aside BEFORE running any deleter (deleters may retire
+    // on this domain); survivors go back into the emptied bag and the swap
+    // trades capacity both ways, so steady-state reclamation stays
+    // malloc-free.
+    std::vector<Retired>& work = scratch.work;
+    work.clear();
+    work.swap(bag);
+    for (auto& r : work) {
+      // stamp + 3 <= E: every online thread has passed a boundary strictly
+      // after the retiring thread's post-retire boundary (header comment).
+      if (r.epoch + 3 <= e) {
+        r.del(r.ptr);  // may reenter retire()/collect_bag() — see latch
+      } else {
+        bag.push_back(r);
+      }
+    }
+    work.clear();
+    scratch.in_collect = false;
+  }
+
+  static constexpr std::uint64_t kOffline = ~0ull;
+
+  CCDS_CACHELINE_ALIGNED Atomic<std::uint64_t> global_epoch_{2};
+  Padded<Atomic<std::uint64_t>> announce_[kMaxThreads] = {};
+  Padded<std::vector<Retired>> limbo_[kMaxThreads];
+  // Epoch at each thread's last bag scan (owner-thread access only).
+  Padded<std::uint64_t> last_scan_epoch_[kMaxThreads] = {};
+  struct Scratch {
+    std::vector<Retired> work;
+    bool in_collect = false;
+  };
+  Padded<Scratch> scratch_[kMaxThreads];
+
+  // announce_ default-initializes atomics to 0, which must mean offline;
+  // fix them up here.
+  struct Init {
+    explicit Init(Padded<Atomic<std::uint64_t>>* slots) {
+      for (std::size_t i = 0; i < kMaxThreads; ++i) {
+        slots[i].value.store(kOffline, std::memory_order_relaxed);  // relaxed: startup, before any sharing
+      }
+    }
+  } init_{announce_};
+};
+
+// Default domain: asymmetric announcement path.
+using QsbrDomain = BasicQsbrDomain<>;
+
+// Classic fully-fenced onlining — the E11 before/after baseline.
+using SeqCstQsbrDomain = BasicQsbrDomain</*Asymmetric=*/false>;
+
+// Lease-amortized flavor: guard() hands out leases (no boundary at scope
+// exit), mirroring EpochLeaseDomain.
+using QsbrLeaseDomain = LeasedDomain<QsbrDomain>;
+
+static_assert(reclaimer<QsbrDomain>);
+static_assert(reclaimer<SeqCstQsbrDomain>);
+static_assert(reclaimer<LeasedDomain<QsbrDomain>>);
+static_assert(!reclaimer_traits<QsbrDomain>::pointer_based);
+static_assert(reclaimer_traits<QsbrDomain>::has_lease);
+
+}  // namespace ccds

@@ -1,32 +1,39 @@
-// RcuCell<T> — read-copy-update over a single value, built on the epoch
-// domain.
+// RcuCell<T> — read-copy-update over a single value, built on a pluggable
+// reclamation domain (epoch by default).
 //
 // The survey's answer for read-mostly shared state: readers take a snapshot
-// with one acquire load inside an epoch guard (no stores, no RMW, perfectly
-// scalable); writers copy the current value, modify the copy, publish it
-// with a CAS, and retire the old copy to the epoch domain.  Readers holding
-// old snapshots keep them alive through their guards.
+// with one acquire load inside a guard (no stores, no RMW under blanket
+// domains — perfectly scalable); writers copy the current value, modify the
+// copy, publish it with a CAS, and retire the old copy to the domain.
+// Readers holding old snapshots keep them alive through their guards.
+// Under a pointer-based domain the snapshot is a real hazard publication
+// (protect's publish-and-validate loop), trading a store per read for
+// bounded garbage.
 //
 // This is the userspace analogue of kernel RCU's rcu_dereference /
 // rcu_assign_pointer / synchronize_rcu triple, with the grace period
-// handled by EpochDomain.
+// handled by the domain.
 #pragma once
 
 #include <atomic>
 #include <utility>
 
 #include "reclaim/epoch.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace ccds {
 
-template <typename T>
+template <typename T, reclaimer Domain = EpochDomain>
 class RcuCell {
+  // guard() may return a Guard or (via LeasedDomain) a Lease.
+  using GuardT = decltype(std::declval<Domain&>().guard());
+
  public:
-  // A snapshot pins the epoch for its lifetime; keep it short-lived.
+  // A snapshot holds a guard for its lifetime; keep it short-lived.
   class Snapshot {
    public:
-    Snapshot(EpochDomain& d, const std::atomic<T*>& src)
-        : guard_(d), ptr_(guard_.protect(0, src)) {}
+    Snapshot(Domain& d, const std::atomic<T*>& src)
+        : guard_(d.guard()), ptr_(guard_.protect(0, src)) {}
 
     const T& operator*() const noexcept { return *ptr_; }
     const T* operator->() const noexcept { return ptr_; }
@@ -36,7 +43,7 @@ class RcuCell {
     Snapshot& operator=(const Snapshot&) = delete;
 
    private:
-    EpochDomain::Guard guard_;
+    GuardT guard_;
     T* ptr_;
   };
 
@@ -47,7 +54,7 @@ class RcuCell {
 
   ~RcuCell() { delete ptr_.load(std::memory_order_relaxed); }  // relaxed: destructor
 
-  // Read-side: O(1), no shared-memory writes beyond the epoch pin.
+  // Read-side: O(1), no shared-memory writes beyond the domain's guard.
   Snapshot read() { return Snapshot(domain_, ptr_); }
 
   // Copy of the current value (for callers that outlive any guard).
@@ -72,11 +79,11 @@ class RcuCell {
         domain_.retire(cur);
         return;
       }
-      // Lost the race: cur now holds the winner (acquire above); retry
-      // against it.
+      // Lost the race: re-protect the winner before copying from it.  The
+      // protect MUST be the source of `cur` — a separate re-load could
+      // observe a newer, unprotected version under a pointer-based domain.
       delete fresh;
-      guard.protect(0, ptr_);  // re-pin current version (epoch: no-op cost)
-      cur = ptr_.load(std::memory_order_acquire);
+      cur = guard.protect(0, ptr_);
     }
   }
 
@@ -85,11 +92,11 @@ class RcuCell {
     update([&](T& v) { v = value; });
   }
 
-  EpochDomain& domain() noexcept { return domain_; }
+  Domain& domain() noexcept { return domain_; }
 
  private:
   CCDS_CACHELINE_ALIGNED std::atomic<T*> ptr_;
-  EpochDomain domain_;
+  Domain domain_;
 };
 
 }  // namespace ccds

@@ -1,46 +1,150 @@
-// Safe memory reclamation — common documentation and the domain concept.
+// Safe memory reclamation — the formal `ccds::reclaimer` concept.
 //
 // Lock-free structures cannot free a node the moment it is unlinked: a
-// concurrent reader may still be traversing it.  The survey's two practical
-// answers are hazard pointers (Michael 2004) and epoch-based reclamation
-// (Fraser 2004); ccds provides both, plus a deliberately leaking domain used
-// to measure the cost of reclamation itself (experiment E11).
+// concurrent reader may still be traversing it.  ccds ships three first-class
+// answers — hazard pointers (Michael 2004, reclaim/hazard.hpp), epoch-based
+// reclamation (Fraser 2004, reclaim/epoch.hpp), quiescent-state-based
+// reclamation (DEBRA-style, reclaim/qsbr.hpp) — plus a deliberately leaking
+// baseline (reclaim/leaky.hpp) used to measure the cost of reclamation
+// itself (experiment E11).  docs/algorithms.md has the policy-selection
+// table (read-path cost, reclamation latency, garbage bounds, behavior
+// under blocked threads).
 //
-// Every ccds lock-free structure is parameterized by a *domain* type D with:
+// Every node-based ccds structure is a template over a `reclaimer Domain`
+// parameter; the concepts below are the contract those structures compile
+// against, and every concrete domain static_asserts them at the bottom of
+// its header so API drift fails the build, not a downstream user.
 //
-//   typename D::Guard g = domain.guard();
-//       RAII protection region.  For epochs this pins the thread; for hazard
-//       pointers it reserves per-thread hazard slots; for the leaky domain it
-//       is a no-op.  Guards must not be held across blocking calls.
+// The two protection FLAVORS matter to structure authors:
 //
-//   T* p = g.protect(slot, src);
-//       Read `src` so that the referent stays safe to dereference until the
-//       guard is destroyed or the slot is re-used.  `slot` indexes the
-//       guard's hazard slots (< D::kSlots); epoch/leaky ignore it.
+//   * POINTER-BASED domains (hazard pointers; `reclaimer_traits<D>::
+//     pointer_based == true`) protect exactly the pointers published in the
+//     guard's slots.  Traversals must protect-and-validate every node they
+//     dereference (hand-over-hand), and a structure needs D::kSlots large
+//     enough for its deepest window (skip lists need 2*levels + scratch —
+//     see WideHazardDomain).
 //
-//   g.set(slot, p);
-//       Assert protection of an already-read pointer (used after validating
-//       it another way, e.g. re-checking a link).  HP only; others no-op.
+//   * BLANKET domains (epoch, QSBR, leaky) protect everything unlinked
+//     after the guard began; protect() degrades to an acquire load and the
+//     slot arguments are ignored.  Structures may traverse freely inside a
+//     guard.
 //
-//   domain.retire(p);
-//       Hand a detached node to the domain; it calls `delete p` once no
-//       guard can still reference it.
-//
-// All domains are per-structure objects (no global singletons), so tests and
-// structures are isolated from one another.  Destruction of a domain frees
-// everything still retired; callers must be quiesced by then, which the
-// owning structure's destructor guarantees.
+// Structures that support both dispatch on `reclaimer_traits<D>::
+// pointer_based` with `if constexpr`, paying the hand-over-hand discipline
+// only when the domain actually needs it.
 #pragma once
 
 #include <concepts>
+#include <cstddef>
+
+#include "core/atomic.hpp"
 
 namespace ccds {
 
-// Concept sketch (structural, checked where used): see module comment.
+// The RAII protection region handed out by Domain::guard().
+//
+//   p = g.protect(slot, src)   read `src` (any atomic-like with load()) so
+//                              the referent stays dereferenceable until the
+//                              guard dies or the slot is reused.  For
+//                              pointer-based domains this is a publish-and-
+//                              validate loop; blanket domains do one acquire
+//                              load.
+//   g.protect_raw(slot, p)     publish protection of an already-read
+//                              pointer WITHOUT validation.  Sound only when
+//                              the caller re-validates its source afterwards
+//                              (the re-read is the validating half of the
+//                              publication Dekker) or when `p` is already
+//                              protected by another slot of this guard
+//                              (slot-to-slot handover).  Blanket domains
+//                              no-op.
+//   g.clear(slot)              drop one slot's protection early.
+//
+// Guards must not be held across blocking calls, and ccds structures open
+// exactly one guard per operation (one live guard per thread per domain).
+template <typename G>
+concept reclaimer_guard =
+    requires(G& g, std::size_t slot, const Atomic<int*>& src, int* p) {
+      { g.protect(slot, src) } -> std::convertible_to<int*>;
+      g.protect_raw(slot, p);
+      g.clear(slot);
+    };
+
+// A reclamation domain.  Domains are per-structure objects (no global
+// singletons), so tests and structures are isolated from one another.
+//
+//   D::kSlots          guard slots per thread (pointer-based domains bound
+//                      how many pointers one guard can hold; blanket
+//                      domains keep the constant for API parity).
+//   d.guard()          open a protection region (see reclaimer_guard).
+//   d.retire(p)        hand over a DETACHED node; the domain calls
+//                      `delete p` once no guard can still reference it.
+//                      Callable inside or outside a guard.
+//   d.collect()        best-effort reclamation pass over the calling
+//                      thread's retired bag; safe concurrently.
+//   d.collect_all()    reclamation pass over EVERY thread's bag.  Only safe
+//                      at quiescence (no live guards/leases, no concurrent
+//                      retires); afterwards retired_count() == 0 for every
+//                      domain — the unified drain contract the typed tests
+//                      pin down.
+//   d.retired_count()  retired-but-not-yet-freed nodes (accurate only at
+//                      quiescence).
+//
+// Destruction of a domain frees everything still retired; callers must be
+// quiesced by then, which the owning structure's destructor guarantees.
+// Deleters may retire() further nodes on the same domain (reentrancy);
+// every domain defers nested passes and drains its destructor to a
+// fixpoint.
 template <typename D>
-concept ReclaimDomainLike = requires(D d) {
-  { d.guard() };
+concept reclaimer = requires(D& d, const D& cd, int* p) {
   { D::kSlots } -> std::convertible_to<std::size_t>;
+  { d.guard() } -> reclaimer_guard;
+  d.retire(p);
+  d.collect();
+  d.collect_all();
+  { cd.retired_count() } -> std::convertible_to<std::size_t>;
+};
+
+// Capability probes, all structural:
+//   pointer_based  — D opted in with `static constexpr bool kPointerBased =
+//                    true` (hazard pointers).  Absent or false = blanket.
+//   has_lease      — D offers lease(): an amortized read path that LEAVES
+//                    its announcement standing at scope exit, so back-to-
+//                    back leases skip publication entirely (epoch, QSBR).
+template <typename D>
+struct reclaimer_traits {
+  static constexpr bool pointer_based = requires { requires D::kPointerBased; };
+  static constexpr bool has_lease = requires(D& d) { d.lease(); };
+};
+
+// The cheapest read path D offers: lease() where available, guard()
+// otherwise.  Returns by value (guards are immovable; guaranteed copy
+// elision constructs in place):
+//
+//   auto g = lease_of(domain_);   // Lease or Guard, depending on D
+//
+// Use only where retired garbage is rare and bounded (a standing lease
+// delays reclamation until the thread leases again) — see EpochDomain::
+// Lease for the full trade-off discussion.
+template <reclaimer D>
+[[nodiscard]] auto lease_of(D& d) noexcept {
+  if constexpr (reclaimer_traits<D>::has_lease) {
+    return d.lease();
+  } else {
+    return d.guard();
+  }
+}
+
+// Policy adapter for the benches and ablations: a leasing domain whose
+// guard() IS its lease().  Every operation then rides the amortized
+// standing-announcement read path ("Epoch+Lease" / "Qsbr+Lease" in
+// BENCH_reclaim.json) with no structure changes.  Reclamation can lag
+// arbitrarily while a leasing thread stays quiet — benchmark/ablation use,
+// not a general-purpose default.
+template <reclaimer Base>
+  requires(reclaimer_traits<Base>::has_lease)
+class LeasedDomain : public Base {
+ public:
+  auto guard() noexcept { return Base::lease(); }
 };
 
 }  // namespace ccds

@@ -8,24 +8,44 @@
 //                 and remove() ignore half-linked nodes (insert's
 //                 linearization point is setting this flag);
 //   marked      — logical deletion flag (remove's linearization point).
-// contains() is wait-free.  Unlinked nodes are retired through an epoch
-// domain; all operations run under an epoch guard.
+// contains() is wait-free under blanket domains.  Unlinked nodes are
+// retired through the reclamation domain (epoch by default); all operations
+// run under a guard.
+//
+// Under a pointer-based domain (hazard pointers) the traversal goes
+// hand-over-hand, re-checking each predecessor's `marked` flag after the
+// hazard publication — an unlinked node's frozen next pointers can outlive
+// their successors, and observing marked == false after publishing proves
+// the link was live (the flag is set under locks before the unlink, and the
+// domain's heavy barrier makes it visible to any reader whose hazard a scan
+// missed).  Slot budget: a preds/succs pair per level plus two walking
+// slots = 2*kSkipListMaxLevel + 2 (static_asserted; WideHazardDomain
+// provides 40).  remove()'s victim needs no standing protection: it is
+// marked and locked by the removing thread, and only that thread retires
+// it.
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <mutex>
+#include <utility>
 
 #include "core/arch.hpp"
 #include "reclaim/epoch.hpp"
+#include "reclaim/reclaim.hpp"
 #include "skiplist/seq_skiplist.hpp"
 #include "sync/spinlock.hpp"
 
 namespace ccds {
 
 template <typename Key, typename Compare = std::less<Key>,
-          typename Lock = TtasLock>
+          typename Lock = TtasLock, reclaimer Domain = EpochDomain>
 class LazySkipListSet {
+  static_assert(!reclaimer_traits<Domain>::pointer_based ||
+                    Domain::kSlots >= 2 * kSkipListMaxLevel + 2,
+                "pointer-based traversal needs a preds/succs pair per level "
+                "plus walking scratch — use WideHazardDomain");
+
  public:
   LazySkipListSet() : head_(new Node{}) {
     head_->height = kSkipListMaxLevel;
@@ -43,12 +63,12 @@ class LazySkipListSet {
     }
   }
 
-  // Wait-free.
+  // Wait-free under blanket domains; lock-free (restarting) under HP.
   bool contains(const Key& key) {
     auto g = domain_.guard();
     Node* preds[kSkipListMaxLevel];
     Node* succs[kSkipListMaxLevel];
-    const int found = find(key, preds, succs);
+    const int found = find(key, preds, succs, g);
     return found != -1 &&
            succs[found]->fully_linked.load(std::memory_order_acquire) &&
            !succs[found]->marked.load(std::memory_order_acquire);
@@ -60,9 +80,9 @@ class LazySkipListSet {
     Node* succs[kSkipListMaxLevel];
     auto g = domain_.guard();
     for (;;) {
-      const int found = find(key, preds, succs);
+      const int found = find(key, preds, succs, g);
       if (found != -1) {
-        Node* existing = succs[found];
+        Node* existing = succs[found];  // protected (HP: succs slot bank)
         if (!existing->marked.load(std::memory_order_acquire)) {
           // Present (or about to be): wait until its insert completes so our
           // "false" is linearizable, then report duplicate.
@@ -76,6 +96,9 @@ class LazySkipListSet {
       }
 
       // Lock the distinct predecessors bottom-up and validate each window.
+      // Under HP every preds[level]/succs[level] is still protected by its
+      // find() slot, so the dereferences below are safe even if a window
+      // has already moved (validation catches that).
       int highest_locked = -1;
       Node* last_locked = nullptr;
       bool valid = true;
@@ -123,7 +146,7 @@ class LazySkipListSet {
     int height = -1;
     auto g = domain_.guard();
     for (;;) {
-      const int found = find(key, preds, succs);
+      const int found = find(key, preds, succs, g);
       if (!is_marked) {
         if (found == -1) return false;
         victim = succs[found];
@@ -138,7 +161,9 @@ class LazySkipListSet {
           victim->lock.unlock();
           return false;  // someone else removed it first
         }
-        // Linearization point: logical deletion.
+        // Linearization point: logical deletion.  From here on victim is
+        // ours alone to retire, so it stays safe to dereference across the
+        // re-find below even though find() recycles the protection slots.
         victim->marked.store(true, std::memory_order_release);
         is_marked = true;
       }
@@ -174,7 +199,7 @@ class LazySkipListSet {
     }
   }
 
-  EpochDomain& domain() noexcept { return domain_; }
+  Domain& domain() noexcept { return domain_; }
 
  private:
   struct Node {
@@ -186,24 +211,64 @@ class LazySkipListSet {
     std::atomic<bool> fully_linked{false};
   };
 
+  static constexpr bool kPointerBased = reclaimer_traits<Domain>::pointer_based;
+  // Walking scratch past the preds/succs banks (HP mode only).
+  static constexpr std::size_t kPredSlot = 2 * kSkipListMaxLevel;
+  static constexpr std::size_t kCurrSlot = 2 * kSkipListMaxLevel + 1;
+
+  // guard() may return a Guard or (via LeasedDomain) a Lease.
+  using GuardT = decltype(std::declval<Domain&>().guard());
+
   // Lock-free traversal filling preds/succs at every level; returns the
-  // highest level whose successor matches `key`, or -1.
-  int find(const Key& key, Node** preds, Node** succs) const {
-    int found = -1;
-    Node* pred = head_;
-    for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
-      Node* curr = pred->next[level].load(std::memory_order_acquire);
-      while (curr != nullptr && comp_(curr->key, key)) {
-        pred = curr;
-        curr = pred->next[level].load(std::memory_order_acquire);
+  // highest level whose successor matches `key`, or -1.  Under HP,
+  // preds[l]/succs[l] are left protected in slots l / kSkipListMaxLevel+l.
+  int find(const Key& key, Node** preds, Node** succs, GuardT& g) const {
+    if constexpr (kPointerBased) {
+    retry:
+      int found = -1;
+      Node* pred = head_;
+      for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+        // protect() validates against the link; the marked re-check
+        // afterwards rejects windows read through a frozen (unlinked)
+        // predecessor — header comment.  The sentinel head is never marked,
+        // so checking it unconditionally is harmless.
+        Node* curr = g.protect(kCurrSlot, pred->next[level]);
+        if (pred->marked.load(std::memory_order_acquire)) goto retry;
+        while (curr != nullptr && comp_(curr->key, key)) {
+          g.protect_raw(kPredSlot, curr);  // kCurrSlot covers the handover
+          pred = curr;
+          curr = g.protect(kCurrSlot, pred->next[level]);
+          if (pred->marked.load(std::memory_order_acquire)) goto retry;
+        }
+        if (found == -1 && curr != nullptr && !comp_(key, curr->key)) {
+          found = level;
+        }
+        // Park the window for this level; pred stays covered through the
+        // descent (which recycles the walking slots).
+        g.protect_raw(static_cast<std::size_t>(level), pred);
+        g.protect_raw(static_cast<std::size_t>(kSkipListMaxLevel) + level,
+                      curr);
+        preds[level] = pred;
+        succs[level] = curr;
       }
-      if (found == -1 && curr != nullptr && !comp_(key, curr->key)) {
-        found = level;
+      return found;
+    } else {
+      int found = -1;
+      Node* pred = head_;
+      for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+        Node* curr = pred->next[level].load(std::memory_order_acquire);
+        while (curr != nullptr && comp_(curr->key, key)) {
+          pred = curr;
+          curr = pred->next[level].load(std::memory_order_acquire);
+        }
+        if (found == -1 && curr != nullptr && !comp_(key, curr->key)) {
+          found = level;
+        }
+        preds[level] = pred;
+        succs[level] = curr;
       }
-      preds[level] = pred;
-      succs[level] = curr;
+      return found;
     }
-    return found;
   }
 
   void unlock_preds(Node** preds, int highest_locked) {
@@ -217,7 +282,7 @@ class LazySkipListSet {
   }
 
   Node* const head_;  // sentinel: full height, fully linked, never marked
-  mutable EpochDomain domain_;
+  mutable Domain domain_;
   [[no_unique_address]] Compare comp_{};
 };
 

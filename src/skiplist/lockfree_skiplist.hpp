@@ -7,14 +7,33 @@
 // traversals snip marked nodes as they pass.  The bottom level is the
 // authoritative set; upper levels are just shortcuts.
 //
-// Reclamation: epoch-based only.  After the winning remover's final find()
-// pass the node is unlinked at every level (each level's incoming pointer
-// lies on the search path for its key), so it is retired exactly once, by
-// the thread whose bottom-level mark CAS succeeded.  Concurrent traversals
-// that still hold references are protected by their epoch guards; a stale
-// insert CAS cannot re-link a retired node because its expected value is
-// the node pointer itself, which cannot be recycled within the inserter's
-// pinned epoch (no ABA).
+// Reclamation is pluggable (epoch by default).  After the winning remover's
+// final find() pass the node is unlinked at every level (each level's
+// incoming pointer lies on the search path for its key), so it is retired
+// exactly once, by the thread whose bottom-level mark CAS succeeded.  A
+// stale insert CAS cannot re-link a retired node because its expected value
+// is the node pointer itself, which cannot be recycled while the inserter's
+// guard protects it (no ABA).
+//
+// Under a BLANKET domain traversals run exactly as in the textbook: guards
+// cover everything, and contains() walks wait-free straight through marked
+// nodes.  Under a POINTER-BASED domain (hazard pointers) the traversal is
+// hand-over-hand:
+//
+//   * A marked pred->next[level] means pred was logically deleted under us;
+//     its frozen link may name an already-freed successor, so the traversal
+//     restarts from the head (marked links never change again — no CAS in
+//     the algorithm expects a marked value — so validating against one
+//     proves nothing).
+//   * Marked nodes must be snipped, not skipped: a successful snip CAS on a
+//     live pred proves the successor was not yet unlinked at this level,
+//     hence not yet retired (every unlink path changes that same link
+//     first), hence safe to protect-and-validate on the next step.  This
+//     costs contains()/pop_min() their no-CAS traversals.
+//   * Slot budget: preds[l] in slot l, succs[l] in slot kSkipListMaxLevel+l,
+//     plus a walking pred, a candidate, and the inserter's own node —
+//     2*kSkipListMaxLevel + 3 = 35 slots (static_asserted below;
+//     WideHazardDomain provides 40).
 #pragma once
 
 #include <algorithm>
@@ -23,16 +42,24 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/arch.hpp"
 #include "reclaim/epoch.hpp"
+#include "reclaim/reclaim.hpp"
 #include "skiplist/seq_skiplist.hpp"
 
 namespace ccds {
 
-template <typename Key, typename Compare = std::less<Key>>
+template <typename Key, typename Compare = std::less<Key>,
+          reclaimer Domain = EpochDomain>
 class LockFreeSkipListSet {
+  static_assert(!reclaimer_traits<Domain>::pointer_based ||
+                    Domain::kSlots >= 2 * kSkipListMaxLevel + 3,
+                "pointer-based traversal needs a preds/succs pair per level "
+                "plus walking scratch — use WideHazardDomain");
+
  public:
   LockFreeSkipListSet() : head_(new Node{}) {
     head_->height = kSkipListMaxLevel;
@@ -49,31 +76,38 @@ class LockFreeSkipListSet {
     }
   }
 
-  // Wait-free traversal (never snips, never CASes).
+  // Wait-free traversal under blanket domains (never snips, never CASes);
+  // pointer-based domains reuse the snipping find (lock-free only).
   bool contains(const Key& key) {
     auto g = domain_.guard();
-    Node* pred = head_;
-    Node* curr = nullptr;
-    for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
-      curr = unmark(pred->next[level].load(std::memory_order_acquire));
-      for (;;) {
-        if (curr == nullptr) break;
-        Node* succ_raw = curr->next[level].load(std::memory_order_acquire);
-        if (is_marked(succ_raw)) {
-          // Logically deleted: skip over it without helping.
-          curr = unmark(succ_raw);
-          continue;
+    if constexpr (kPointerBased) {
+      Node* preds[kSkipListMaxLevel];
+      Node* succs[kSkipListMaxLevel];
+      return find(key, preds, succs, g);
+    } else {
+      Node* pred = head_;
+      Node* curr = nullptr;
+      for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+        curr = unmark(pred->next[level].load(std::memory_order_acquire));
+        for (;;) {
+          if (curr == nullptr) break;
+          Node* succ_raw = curr->next[level].load(std::memory_order_acquire);
+          if (is_marked(succ_raw)) {
+            // Logically deleted: skip over it without helping.
+            curr = unmark(succ_raw);
+            continue;
+          }
+          if (comp_(curr->key, key)) {
+            pred = curr;
+            curr = unmark(succ_raw);
+            continue;
+          }
+          break;
         }
-        if (comp_(curr->key, key)) {
-          pred = curr;
-          curr = unmark(succ_raw);
-          continue;
-        }
-        break;
       }
+      return curr != nullptr && !comp_(key, curr->key) &&
+             !is_marked(curr->next[0].load(std::memory_order_acquire));
     }
-    return curr != nullptr && !comp_(key, curr->key) &&
-           !is_marked(curr->next[0].load(std::memory_order_acquire));
   }
 
   bool insert(const Key& key) {
@@ -83,7 +117,7 @@ class LockFreeSkipListSet {
     auto g = domain_.guard();
     Node* n = nullptr;
     for (;;) {
-      if (find(key, preds, succs)) {
+      if (find(key, preds, succs, g)) {
         delete n;  // n is still private here (or null); plain delete is fine
         return false;
       }
@@ -91,6 +125,10 @@ class LockFreeSkipListSet {
         n = new Node{};
         n->key = key;
         n->height = height;
+        // Publish our own hazard for n while it is still private: once the
+        // bottom-level splice lands, a concurrent remover may unlink and
+        // retire n before we finish its tower (blanket domains no-op).
+        g.protect_raw(kNodeSlot, n);
       }
       // n is private until the bottom-level splice: plain stores are fine.
       // relaxed: links published by the bottom-level release CAS.
@@ -113,7 +151,7 @@ class LockFreeSkipListSet {
           if (is_marked(fwd)) {
             // n was deleted while we were building its tower; make sure it
             // is unlinked everywhere we may have linked it, then stop.
-            find(key, preds, succs);
+            find(key, preds, succs, g);
             return true;
           }
           Node* succ = succs[level];
@@ -128,13 +166,13 @@ class LockFreeSkipListSet {
             // Re-validate: if a remover finished while we linked, its
             // cleanup may have missed this brand-new link.
             if (is_marked(n->next[0].load(std::memory_order_acquire))) {
-              find(key, preds, succs);
+              find(key, preds, succs, g);
               return true;
             }
             break;
           }
           // Window moved: recompute.
-          if (find(key, preds, succs)) {
+          if (find(key, preds, succs, g)) {
             if (succs[0] != n) return true;  // removed (+ maybe reinserted)
           } else {
             return true;  // removed entirely; find snipped any leftovers
@@ -149,9 +187,9 @@ class LockFreeSkipListSet {
     Node* preds[kSkipListMaxLevel];
     Node* succs[kSkipListMaxLevel];
     auto g = domain_.guard();
-    if (!find(key, preds, succs)) return false;
-    Node* victim = succs[0];
-    return remove_node(victim, key);
+    if (!find(key, preds, succs, g)) return false;
+    Node* victim = succs[0];  // protected by slot kSkipListMaxLevel under HP
+    return remove_node(victim, key, g);
   }
 
   // Priority-queue pop: claim and remove the smallest unclaimed key.  Only
@@ -159,21 +197,50 @@ class LockFreeSkipListSet {
   // with remove() of the same keys can double-deliver).
   std::optional<Key> pop_min() {
     auto g = domain_.guard();
-    Node* curr = unmark(head_->next[0].load(std::memory_order_acquire));
-    while (curr != nullptr) {
-      Node* succ_raw = curr->next[0].load(std::memory_order_acquire);
-      if (!is_marked(succ_raw) &&
-          !curr->claimed.exchange(true, std::memory_order_acq_rel)) {
-        const Key key = curr->key;
-        remove_node(curr, key);
-        return key;
+    if constexpr (kPointerBased) {
+    retry:
+      Node* pred = head_;
+      for (;;) {
+        Node* curr;
+        if (!protect_next(g, pred, 0, kCurrSlot, curr)) goto retry;
+        if (curr == nullptr) return std::nullopt;
+        Node* succ_raw = curr->next[0].load(std::memory_order_acquire);
+        if (is_marked(succ_raw)) {
+          // Cannot walk through a marked node under HP — snip it (a
+          // successful snip proves the successor is not yet retired).
+          Node* expected = curr;
+          if (!pred->next[0].compare_exchange_strong(
+                  expected, unmark(succ_raw), std::memory_order_release,
+                  std::memory_order_relaxed)) {  // relaxed: failure restarts
+            goto retry;
+          }
+          continue;
+        }
+        if (!curr->claimed.exchange(true, std::memory_order_acq_rel)) {
+          const Key key = curr->key;
+          remove_node(curr, key, g);
+          return key;
+        }
+        g.protect_raw(kPredSlot, curr);  // kCurrSlot covers the handover
+        pred = curr;
       }
-      curr = unmark(succ_raw);
+    } else {
+      Node* curr = unmark(head_->next[0].load(std::memory_order_acquire));
+      while (curr != nullptr) {
+        Node* succ_raw = curr->next[0].load(std::memory_order_acquire);
+        if (!is_marked(succ_raw) &&
+            !curr->claimed.exchange(true, std::memory_order_acq_rel)) {
+          const Key key = curr->key;
+          remove_node(curr, key, g);
+          return key;
+        }
+        curr = unmark(succ_raw);
+      }
+      return std::nullopt;
     }
-    return std::nullopt;
   }
 
-  EpochDomain& domain() noexcept { return domain_; }
+  Domain& domain() noexcept { return domain_; }
 
  private:
   struct Node {
@@ -182,6 +249,15 @@ class LockFreeSkipListSet {
     std::atomic<bool> claimed{false};  // pop_min coordination only
     std::atomic<Node*> next[kSkipListMaxLevel] = {};
   };
+
+  static constexpr bool kPointerBased = reclaimer_traits<Domain>::pointer_based;
+  // Scratch slots past the preds/succs banks (HP mode only).
+  static constexpr std::size_t kPredSlot = 2 * kSkipListMaxLevel;
+  static constexpr std::size_t kCurrSlot = 2 * kSkipListMaxLevel + 1;
+  static constexpr std::size_t kNodeSlot = 2 * kSkipListMaxLevel + 2;
+
+  // guard() may return a Guard or (via LeasedDomain) a Lease.
+  using GuardT = decltype(std::declval<Domain&>().guard());
 
   // ----- marked pointers -----
   static bool is_marked(Node* p) noexcept {
@@ -201,10 +277,37 @@ class LockFreeSkipListSet {
         std::memory_order_relaxed);  // relaxed: failure handled by caller
   }
 
+  // HP helper: protect pred's level-`level` successor in `slot`.  Returns
+  // false if the link is marked — pred died under us and its frozen link
+  // cannot be validated (header comment) — in which case the caller must
+  // restart from the head.  `pred` must itself be protected (or the head).
+  bool protect_next(GuardT& g, Node* pred, int level, std::size_t slot,
+                    Node*& out) {
+    for (;;) {
+      Node* raw = pred->next[level].load(std::memory_order_acquire);
+      if (is_marked(raw)) return false;
+      if (raw == nullptr) {
+        out = nullptr;
+        return true;
+      }
+      g.protect_raw(slot, raw);
+      // Validating re-read: pred is live (unmarked link) and still points
+      // at raw after the hazard was published, so raw cannot have been
+      // retired before the publication.
+      if (pred->next[level].load(std::memory_order_acquire) == raw) {
+        out = raw;
+        return true;
+      }
+    }
+  }
+
   // Mark `victim` at every level (bottom mark is the linearization point),
   // then run one find() pass to unlink it everywhere, then retire.  Returns
-  // false if another thread won the bottom-level mark.
-  bool remove_node(Node* victim, const Key& key) {
+  // false if another thread won the bottom-level mark.  Under HP the caller
+  // must hold a protection on victim; it is consumed here (the find pass
+  // recycles the scratch slots, after which victim is only passed to
+  // retire, never dereferenced).
+  bool remove_node(Node* victim, const Key& key, GuardT& g) {
     const int height = victim->height;
     // Mark top levels (idempotent; concurrent helpers welcome).
     for (int level = height - 1; level >= 1; --level) {
@@ -226,7 +329,7 @@ class LockFreeSkipListSet {
         // occupies (find snips every marked node on the key's search path).
         Node* preds[kSkipListMaxLevel];
         Node* succs[kSkipListMaxLevel];
-        find(key, preds, succs);
+        find(key, preds, succs, g);
         domain_.retire(victim);
         return true;
       }
@@ -235,37 +338,86 @@ class LockFreeSkipListSet {
 
   // Harris-style window search with snipping at every level.  On return,
   // preds[l]/succs[l] bracket `key` at level l with no marked node between;
-  // returns whether succs[0] holds `key` (and is unmarked).
-  bool find(const Key& key, Node** preds, Node** succs) {
+  // returns whether succs[0] holds `key` (and is unmarked).  Under HP,
+  // preds[l]/succs[l] are protected in slots l / kSkipListMaxLevel+l.
+  bool find(const Key& key, Node** preds, Node** succs, GuardT& g) {
+    if constexpr (kPointerBased) {
+      return find_hp(key, preds, succs, g);
+    } else {
+    retry:
+      Node* pred = head_;
+      for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+        Node* curr = unmark(pred->next[level].load(std::memory_order_acquire));
+        for (;;) {
+          if (curr == nullptr) break;
+          Node* succ_raw = curr->next[level].load(std::memory_order_acquire);
+          while (is_marked(succ_raw)) {
+            // Snip the logically-deleted curr out of this level.
+            Node* expected = curr;
+            if (!pred->next[level].compare_exchange_strong(
+                    expected, unmark(succ_raw), std::memory_order_release,
+                    std::memory_order_relaxed)) {  // relaxed: failure goes back to retry
+              goto retry;
+            }
+            curr = unmark(pred->next[level].load(std::memory_order_acquire));
+            if (curr == nullptr) break;
+            succ_raw = curr->next[level].load(std::memory_order_acquire);
+          }
+          if (curr == nullptr) break;
+          if (comp_(curr->key, key)) {
+            pred = curr;
+            curr = unmark(succ_raw);
+            continue;
+          }
+          break;
+        }
+        preds[level] = pred;
+        succs[level] = curr;
+      }
+      Node* bottom = succs[0];
+      return bottom != nullptr && !comp_(key, bottom->key) &&
+             !comp_(bottom->key, key);
+    }
+  }
+
+  // HP flavor of find: hand-over-hand through kPredSlot/kCurrSlot, window
+  // endpoints parked in the preds/succs slot banks before each descent.
+  bool find_hp(const Key& key, Node** preds, Node** succs, GuardT& g) {
   retry:
     Node* pred = head_;
     for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
-      Node* curr = unmark(pred->next[level].load(std::memory_order_acquire));
       for (;;) {
-        if (curr == nullptr) break;
-        Node* succ_raw = curr->next[level].load(std::memory_order_acquire);
-        while (is_marked(succ_raw)) {
-          // Snip the logically-deleted curr out of this level.
-          Node* expected = curr;
-          if (!pred->next[level].compare_exchange_strong(
-                  expected, unmark(succ_raw), std::memory_order_release,
-                  std::memory_order_relaxed)) {  // relaxed: failure goes back to retry
-            goto retry;
+        Node* curr;
+        if (!protect_next(g, pred, level, kCurrSlot, curr)) goto retry;
+        if (curr != nullptr) {
+          Node* succ_raw = curr->next[level].load(std::memory_order_acquire);
+          if (is_marked(succ_raw)) {
+            // Snip the logically-deleted curr out of this level; success
+            // proves the successor is not yet retired (header comment).
+            Node* expected = curr;
+            if (!pred->next[level].compare_exchange_strong(
+                    expected, unmark(succ_raw), std::memory_order_release,
+                    std::memory_order_relaxed)) {  // relaxed: failure restarts
+              goto retry;
+            }
+            continue;  // re-protect pred's (new) successor
           }
-          curr = unmark(pred->next[level].load(std::memory_order_acquire));
-          if (curr == nullptr) break;
-          succ_raw = curr->next[level].load(std::memory_order_acquire);
+          if (comp_(curr->key, key)) {
+            g.protect_raw(kPredSlot, curr);  // kCurrSlot covers the handover
+            pred = curr;
+            continue;
+          }
         }
-        if (curr == nullptr) break;
-        if (comp_(curr->key, key)) {
-          pred = curr;
-          curr = unmark(succ_raw);
-          continue;
-        }
+        // Park the window endpoints for this level: pred keeps a slot of
+        // its own so the descent (which recycles kPredSlot/kCurrSlot) and
+        // the caller's later CASes stay covered.
+        g.protect_raw(level, pred);
+        g.protect_raw(static_cast<std::size_t>(kSkipListMaxLevel) + level,
+                      curr);
+        preds[level] = pred;
+        succs[level] = curr;
         break;
       }
-      preds[level] = pred;
-      succs[level] = curr;
     }
     Node* bottom = succs[0];
     return bottom != nullptr && !comp_(key, bottom->key) &&
@@ -273,7 +425,7 @@ class LockFreeSkipListSet {
   }
 
   Node* const head_;
-  mutable EpochDomain domain_;
+  mutable Domain domain_;
   [[no_unique_address]] Compare comp_{};
 };
 
@@ -281,7 +433,7 @@ class LockFreeSkipListSet {
 // (Lotan & Shavit 2000): push inserts a unique (priority, sequence) key;
 // pop_min claims the leftmost unclaimed node.  Duplicate priorities are
 // allowed (disambiguated by the sequence counter).
-template <typename Priority = std::uint32_t>
+template <typename Priority = std::uint32_t, reclaimer Domain = EpochDomain>
 class SkipListPriorityQueue {
   static_assert(sizeof(Priority) <= 4,
                 "priority must fit 32 bits (packed with a sequence number)");
@@ -300,7 +452,7 @@ class SkipListPriorityQueue {
   }
 
  private:
-  LockFreeSkipListSet<std::uint64_t> list_;
+  LockFreeSkipListSet<std::uint64_t, std::less<std::uint64_t>, Domain> list_;
   std::atomic<std::uint64_t> seq_{0};  // unpadded: test scaffolding, not a hot path
 };
 

@@ -25,6 +25,7 @@
 #include "core/padded.hpp"
 #include "core/rng.hpp"
 #include "reclaim/hazard.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace ccds {
 
@@ -32,7 +33,7 @@ namespace ccds {
 // slots lower collision-per-slot rates but also lower the chance two
 // threads meet at all; the spin budget bounds how long a parked operation
 // waits for a partner before falling back to the main stack.
-template <typename T, typename Domain = HazardDomain, int ElimSlots = 16,
+template <typename T, reclaimer Domain = HazardDomain, int ElimSlots = 16,
           int SpinBudget = 512>
 class EliminationBackoffStack {
  public:

@@ -14,10 +14,11 @@
 #include "core/atomic.hpp"
 #include "core/backoff.hpp"
 #include "reclaim/hazard.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace ccds {
 
-template <typename T, typename Domain = HazardDomain>
+template <typename T, reclaimer Domain = HazardDomain>
 class TreiberStack {
  public:
   TreiberStack() = default;

@@ -13,7 +13,12 @@
 //     scan wait-free: each register can spoil at most two collects).
 //
 // Registers are immutable revision objects swapped in by pointer; old
-// revisions are reclaimed through an epoch domain.
+// revisions are reclaimed through the domain (epoch by default).  Under a
+// pointer-based domain a scan must keep TWO whole collects protected at
+// once (old and fresh), so the guard's slots are split into two banks of
+// `registers` each and collects alternate banks — which bounds the register
+// count at Domain::kSlots / 2 (asserted in the constructor; WideHazardDomain
+// covers larger arrays).
 #pragma once
 
 #include <atomic>
@@ -24,14 +29,19 @@
 #include "core/arch.hpp"
 #include "core/padded.hpp"
 #include "reclaim/epoch.hpp"
+#include "reclaim/reclaim.hpp"
 
 namespace ccds {
 
-template <typename T>
+template <typename T, reclaimer Domain = EpochDomain>
 class AtomicSnapshot {
  public:
   explicit AtomicSnapshot(std::size_t registers)
       : regs_(registers) {
+    if constexpr (reclaimer_traits<Domain>::pointer_based) {
+      // Two protection banks per scan (see header).
+      CCDS_ASSERT(2 * registers <= Domain::kSlots);
+    }
     // relaxed: constructor; the snapshot is unpublished.
     for (auto& r : regs_) {
       r->store(new Revision{}, std::memory_order_relaxed);
@@ -53,6 +63,8 @@ class AtomicSnapshot {
   void update(std::size_t i, T value) {
     // The embedded snapshot must be taken before the write (it is what
     // lets a double-moved register's revision stand in for a scan).
+    // scan()'s guard is closed by the time ours opens (one live guard per
+    // thread per domain).
     std::vector<T> snap = scan();
     auto guard = domain_.guard();
     Revision* old = guard.protect(0, regs_[i].value);
@@ -68,9 +80,14 @@ class AtomicSnapshot {
     auto guard = domain_.guard();
     const std::size_t n = regs_.size();
     std::vector<bool> moved(n, false);
-    std::vector<const Revision*> old = collect(guard);
+    // Bank 0 first; each subsequent collect targets the other bank, so the
+    // protections backing `old` (the previous collect) stay published
+    // until `old` is overwritten.
+    bool bank = false;
+    std::vector<const Revision*> old = collect(guard, bank ? n : 0);
     for (;;) {
-      std::vector<const Revision*> fresh = collect(guard);
+      bank = !bank;
+      std::vector<const Revision*> fresh = collect(guard, bank ? n : 0);
       bool clean = true;
       for (std::size_t i = 0; i < n; ++i) {
         if (fresh[i]->seq != old[i]->seq) {
@@ -99,7 +116,7 @@ class AtomicSnapshot {
     return guard.protect(0, regs_[i].value)->value;
   }
 
-  EpochDomain& domain() noexcept { return domain_; }
+  Domain& domain() noexcept { return domain_; }
 
  private:
   struct Revision {
@@ -108,17 +125,20 @@ class AtomicSnapshot {
     std::vector<T> snap;  // the writer's scan, taken just before writing
   };
 
-  std::vector<const Revision*> collect(EpochDomain::Guard& guard) {
+  // guard() may return a Guard or (via LeasedDomain) a Lease.
+  using GuardT = decltype(std::declval<Domain&>().guard());
+
+  std::vector<const Revision*> collect(GuardT& guard, std::size_t base) {
     std::vector<const Revision*> out;
     out.reserve(regs_.size());
-    for (auto& r : regs_) {
-      out.push_back(guard.protect(0, r.value));
+    for (std::size_t i = 0; i < regs_.size(); ++i) {
+      out.push_back(guard.protect(base + i, regs_[i].value));
     }
     return out;
   }
 
   std::vector<Padded<std::atomic<Revision*>>> regs_;
-  EpochDomain domain_;
+  Domain domain_;
 };
 
 }  // namespace ccds

@@ -1,0 +1,153 @@
+// Bounded model checking of the QSBR announcement protocol
+// (reclaim/qsbr.hpp), mirroring test_model_reclaim.cpp's treatment of the
+// hazard and epoch domains.
+//
+// QSBR's safety rests on the same advance invariant as epochs — the global
+// epoch never moves more than ONE step past an epoch a thread is validly
+// announced at — but the announcement happens at ONLINING (first guard /
+// lease refresh), not per operation.  The onlining must be VALIDATED: store
+// the observed epoch, then re-read the global epoch seq_cst and loop until
+// it matched.  The seeded bug here skips that validating re-read (the
+// "missed quiescence": a sweep that ran before the announcement became
+// visible advances past a thread that believes itself online, and a second
+// advance frees nodes the thread can still reach).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/asymmetric_fence.hpp"
+#include "core/atomic.hpp"
+#include "model/scheduler.hpp"
+#include "model/shim.hpp"
+#include "reclaim/qsbr.hpp"
+
+namespace ccds {
+namespace {
+
+using model::Options;
+using model::Result;
+
+// ---------------------------------------------------------------------------
+// Onlining Dekker, distilled.  advancer = try_advance (heavy barrier +
+// sweep + CAS), run twice so a missed announcement can advance TWICE past
+// the onliner — one advance past a fresh announcement is legal.
+// ---------------------------------------------------------------------------
+
+void qsbr_dekker(bool onliner_validates) {
+  Atomic<std::uint64_t> global{2};
+  constexpr std::uint64_t kOffline = ~0ull;
+  Atomic<std::uint64_t> slot{kOffline};
+
+  model::thread advancer([&] {
+    for (int round = 0; round < 2; ++round) {
+      const std::uint64_t e = global.load(std::memory_order_acquire);
+      asymmetric_heavy();
+      const std::uint64_t l = slot.load(std::memory_order_acquire);
+      if (l == kOffline || l == e) {
+        std::uint64_t expected = e;
+        global.compare_exchange_strong(expected, e + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed);  // relaxed: failure = raced, fine
+      }
+    }
+  });
+
+  // Onliner: a thread opening its first guard announces the observed epoch.
+  std::uint64_t e;
+  for (;;) {
+    e = global.load(std::memory_order_acquire);
+    slot.store(e, std::memory_order_release);
+    asymmetric_light();
+    if (!onliner_validates) break;  // SEEDED BUG: claim being online without
+                                    // proof the sweep can see the claim
+    if (global.load(std::memory_order_seq_cst) == e) break;
+  }
+  // While (validly) announced at e, the epoch may advance to e+1 but never
+  // further — the grace-period arithmetic (stamp + 3 <= E) rests on this.
+  const std::uint64_t g1 = global.load(std::memory_order_seq_cst);
+  CCDS_MODEL_ASSERT(g1 <= e + 1);
+  const std::uint64_t g2 = global.load(std::memory_order_seq_cst);
+  CCDS_MODEL_ASSERT(g2 <= e + 1);
+  slot.store(kOffline, std::memory_order_release);
+  advancer.join();
+}
+
+TEST(ModelQsbr, ValidatedOnliningAdvanceInvariantAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] { qsbr_dekker(true); });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 10);
+}
+
+TEST(ModelQsbr, UnvalidatedOnliningMissedQuiescenceBugCaught) {
+  Options opts;
+  Result res = model::explore(opts, [] { qsbr_dekker(false); });
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("CCDS_MODEL_ASSERT"), std::string::npos)
+      << res.error;
+  EXPECT_FALSE(res.schedule.empty());
+
+  // The recorded schedule replays the exact failing interleaving.
+  Options replay;
+  replay.replay = res.schedule;
+  Result again = model::explore(replay, [] { qsbr_dekker(false); });
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.executions, 1);
+  EXPECT_EQ(again.error, res.error);
+}
+
+// ---------------------------------------------------------------------------
+// The REAL QsbrDomain under the model: onlining (validated announce),
+// boundary checkpoints, try_advance's heavy barrier + registration-ceiling
+// sweep, and the limbo-bag grace arithmetic, explored end-to-end.
+// ---------------------------------------------------------------------------
+
+struct FreeLog {
+  Atomic<void*> last{nullptr};
+};
+
+struct TrackedNode {
+  FreeLog* log;
+  explicit TrackedNode(FreeLog* l) : log(l) {}
+  ~TrackedNode() {
+    log->last.store(this, std::memory_order_seq_cst);  // seq_cst: free witness must be schedule-ordered
+  }
+};
+
+TEST(ModelQsbr, RealQsbrDomainNoUseAfterFreeAllSchedules) {
+  Options opts;
+  opts.stale_read_bound = 2;  // domain code has many schedule points
+  Result res = model::explore(opts, [] {
+    FreeLog log;  // before the domain: freed nodes' destructors write it
+    QsbrDomain dom;
+    Atomic<TrackedNode*> src{new TrackedNode(&log)};
+
+    model::thread reader([&] {
+      auto g = dom.guard();  // onlines this thread (validated announce)
+      TrackedNode* p = g.protect(0, src);  // plain acquire load — the point
+      CCDS_MODEL_ASSERT(p != nullptr);
+      CCDS_MODEL_ASSERT(log.last.load(std::memory_order_seq_cst) != p);
+    });
+
+    TrackedNode* old =
+        src.exchange(new TrackedNode(&log), std::memory_order_acq_rel);
+    dom.retire(old);
+    // collect(): quiescent checkpoint + try_advance (heavy + bounded sweep)
+    // + bag scan.  While the reader is between onlining and its boundary
+    // the epoch is capped one past its announcement, so the stamp can never
+    // age out and the node must survive.
+    dom.collect();
+    dom.collect();
+    reader.join();
+    dom.retire(src.load(std::memory_order_acquire));
+    // Domain destructor frees the remainder after the reader is done.
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_GE(res.executions, 20);
+}
+
+}  // namespace
+}  // namespace ccds

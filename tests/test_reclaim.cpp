@@ -14,6 +14,8 @@
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard.hpp"
 #include "reclaim/leaky.hpp"
+#include "reclaim/qsbr.hpp"
+#include "reclaim/reclaim.hpp"
 #include "test_util.hpp"
 
 namespace ccds {
@@ -233,6 +235,219 @@ TEST_F(ReclaimTest, EpochStressManyThreads) {
   dom.retire(src.load());
   for (int i = 0; i < 8; ++i) dom.collect_all();
   EXPECT_EQ(g_live.load(), 0);
+}
+
+// ---------- QSBR ----------
+
+TEST_F(ReclaimTest, QsbrFreesAfterCollects) {
+  QsbrDomain dom;
+  for (int i = 0; i < 300; ++i) dom.retire(new Canary);
+  // The retiring thread never onlined (no guard), so its slot is kOffline
+  // and every collect() can advance the epoch; three advances age the
+  // stamps out (stamp + 3 <= E).
+  for (int i = 0; i < 8; ++i) dom.collect();
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TEST_F(ReclaimTest, QsbrGuardedReaderBlocksReclamation) {
+  QsbrDomain dom;
+  std::atomic<bool> onlined{false};
+  std::atomic<bool> release{false};
+  std::atomic<Canary*> src{new Canary};
+  Canary* target = src.load();
+
+  std::thread holder([&] {
+    auto g = dom.guard();  // onlines this thread; no boundary until dtor
+    Canary* p = g.protect(0, src);
+    onlined.store(true);
+    while (!release.load()) std::this_thread::yield();
+    EXPECT_EQ(p->payload, 0xdeadbeefu);
+  });
+
+  while (!onlined.load()) std::this_thread::yield();
+  src.store(nullptr);
+  dom.retire(target);
+  for (int i = 0; i < 6; ++i) dom.collect();
+  // The holder is announced at its onlining epoch: the global epoch cannot
+  // move more than one past it, so the retire stamp cannot age out.
+  EXPECT_GE(g_live.load(), 1);
+  EXPECT_EQ(target->payload, 0xdeadbeefu);
+  release.store(true);
+  holder.join();
+  dom.collect_all();
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TEST_F(ReclaimTest, QsbrIdleOnlineThreadFreezesReclamationUntilCollectAll) {
+  // THE defining QSBR hazard (docs/algorithms.md): a LIVE thread that
+  // onlined once and then stopped passing operation boundaries freezes the
+  // epoch — even with its guard long closed, since threads never
+  // self-offline.  (A thread that EXITS is different: its registry id is
+  // recycled, and the next owner of the id adopts — and keeps refreshing —
+  // the announcement slot.)
+  QsbrDomain dom;
+  std::atomic<bool> idle{false};
+  std::atomic<bool> release{false};
+  std::thread idler([&] {
+    {
+      auto g = dom.guard();  // online + one boundary at guard death
+      (void)g;
+    }
+    idle.store(true);
+    while (!release.load()) std::this_thread::yield();  // alive, no boundaries
+  });
+  while (!idle.load()) std::this_thread::yield();
+
+  std::atomic<Canary*> src{new Canary};
+  Canary* target = src.exchange(nullptr);
+  dom.retire(target);
+  for (int i = 0; i < 8; ++i) dom.collect();
+  // One advance past the idler's last announcement is possible; the +3
+  // grace can never be met, so the garbage sticks.
+  EXPECT_GE(g_live.load(), 1);
+  EXPECT_EQ(target->payload, 0xdeadbeefu);
+
+  // collect_all (quiescent-only: the idler holds no guard) force-offlines
+  // every slot and drains.  The idler would re-online on its next guard.
+  dom.collect_all();
+  EXPECT_EQ(dom.retired_count(), 0u);
+  EXPECT_EQ(g_live.load(), 0);
+
+  release.store(true);
+  idler.join();
+}
+
+TEST_F(ReclaimTest, QsbrBoundariesKeepEpochAdvancing) {
+  // A reader that keeps passing boundaries (guard per operation) must not
+  // block reclamation: the mirror of EpochAdvancesWithActiveReaders.
+  QsbrDomain dom;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto g = dom.guard();
+      (void)g;
+    }
+  });
+
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 300; ++i) dom.retire(new Canary);
+    dom.collect();
+  }
+  stop.store(true);
+  reader.join();
+  dom.collect_all();  // the exited reader's slot needs the force-offline
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TEST_F(ReclaimTest, QsbrStressManyThreads) {
+  QsbrDomain dom;
+  std::atomic<Canary*> src{new Canary};
+  constexpr int kThreads = 6;
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    if (idx == 0) {  // mutator
+      for (int i = 0; i < 20000; ++i) {
+        Canary* old = src.exchange(new Canary, std::memory_order_acq_rel);
+        dom.retire(old);
+      }
+    } else {  // readers: guard = online + boundary; protect = plain load
+      for (int i = 0; i < 20000; ++i) {
+        auto g = dom.guard();
+        Canary* p = g.protect(0, src);
+        ASSERT_EQ(p->payload, 0xdeadbeefu);
+      }
+    }
+  });
+  dom.retire(src.load());
+  dom.collect_all();
+  EXPECT_EQ(dom.retired_count(), 0u);
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TEST_F(ReclaimTest, QsbrLeaseAmortizedReadPath) {
+  QsbrDomain dom;
+  std::atomic<Canary*> src{new Canary};
+  {
+    auto l = dom.lease();
+    Canary* p = l.protect(0, src);
+    EXPECT_EQ(p->payload, 0xdeadbeefu);
+  }
+  // A lease leaves the announcement standing (no boundary at scope exit):
+  // collects alone cannot advance past it...
+  std::atomic<Canary*> next{new Canary};
+  Canary* old = src.exchange(next.load());
+  dom.retire(old);
+  for (int i = 0; i < 6; ++i) dom.collect();
+  // ...but this thread's own collect() passes a checkpoint, which counts
+  // as the boundary, so reclamation does proceed here.  The lease contract
+  // only delays OTHER threads' reclamation until this thread leases again.
+  EXPECT_EQ(g_live.load(), 1);
+  dom.retire(src.load());
+  dom.collect_all();
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TEST_F(ReclaimTest, QsbrReentrantRetireFromDeleter) {
+  struct Node {
+    QsbrDomain* dom;
+    Canary canary;
+    explicit Node(QsbrDomain* d) : dom(d) {}
+    ~Node() { dom->retire(new Canary); }  // reenters retire() mid-collect
+  };
+  {
+    QsbrDomain dom;
+    for (int i = 0; i < 600; ++i) dom.retire(new Node(&dom));
+    for (int i = 0; i < 12; ++i) dom.collect();
+  }  // destructor drains nested retires to a fixpoint
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TEST_F(ReclaimTest, SeqCstQsbrBaselineStillReclaims) {
+  SeqCstQsbrDomain dom;
+  for (int i = 0; i < 300; ++i) dom.retire(new Canary);
+  for (int i = 0; i < 8; ++i) dom.collect();
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+// ---------- cross-domain drain contract ----------
+//
+// Every domain promises: at quiescence (no guards, no leases, no
+// concurrent retires), collect_all() frees EVERYTHING retired so far and
+// leaves retired_count() == 0.  The ablation harness and the structure
+// destructors lean on this being uniform across policies.
+
+template <typename D>
+class DrainContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override { g_live.store(0); }
+};
+
+using AllDomains = ::testing::Types<LeakyDomain, HazardDomain, EpochDomain,
+                                    QsbrDomain, EpochLeaseDomain,
+                                    LeasedDomain<QsbrDomain>>;
+TYPED_TEST_SUITE(DrainContractTest, AllDomains);
+
+TYPED_TEST(DrainContractTest, CollectAllDrainsEverythingAtQuiescence) {
+  static_assert(reclaimer<TypeParam>);
+  TypeParam dom;
+  {
+    auto g = dom.guard();
+    std::atomic<Canary*> src{new Canary};
+    Canary* p = g.protect(0, src);
+    EXPECT_EQ(p->payload, 0xdeadbeefu);
+    dom.retire(src.load());
+  }
+  for (int i = 0; i < 500; ++i) dom.retire(new Canary);
+  dom.collect_all();
+  EXPECT_EQ(dom.retired_count(), 0u);
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TYPED_TEST(DrainContractTest, RetiredCountTracksBacklog) {
+  TypeParam dom;
+  for (int i = 0; i < 100; ++i) dom.retire(new Canary);
+  EXPECT_EQ(dom.retired_count(), 100u);  // below every domain's threshold
+  dom.collect_all();
+  EXPECT_EQ(dom.retired_count(), 0u);
 }
 
 // ---------- asymmetric fence ----------
