@@ -1,0 +1,1983 @@
+#!/usr/bin/env python3
+"""ccds-analyze: semantic concurrency analyzer for the ccds tree.
+
+Where scripts/lint_memory_orders.py is a fast regex-over-lines pre-commit
+tier, this tool parses C++ (libclang when importable, a built-in token/scope
+engine otherwise) and runs four checks that need scopes, call sites, and
+record layout:
+
+  A1 guard-escape
+      A pointer derived from a dereference under a live reclaimer guard
+      (Domain::guard(), Lease, lease_of()) must not be RETURNED from the
+      function that opened the guard, STORED to a field or global, or used
+      after the guard's scope has closed.  This is the paper's central
+      hazard — a reader holding a node reference after reclamation is
+      allowed to free it — caught at analysis time instead of
+      probabilistically under ASan churn.  Pointers derived under a guard
+      the function received BY PARAMETER are the caller's responsibility
+      and are not flagged.
+
+  A2 memory-order audit
+      The R1/R2 house rules re-implemented on real call sites: every atomic
+      member call is found on the token stream (multiline calls, calls in
+      macros, and order arguments hidden behind ternaries are all visible;
+      string/comment text never is), every `memory_order_relaxed` must bind
+      to a '// relaxed: ...' justification, and every order-less call must
+      bind to a '// seq_cst: ...' justification.  --json emits the full
+      relaxation audit (site -> justification text) for CI artifacts.
+
+  A3 layout-true false sharing
+      Replaces the R3/R5 name-pattern heuristics with measured offsets: the
+      analyzer computes each record's layout (Itanium-ABI rules; libclang's
+      record layout when available) and flags two REMOTELY-WRITTEN atomic
+      members of the same record that can land on one 64-byte line.  A
+      member is "remotely written" when some call site in the analyzed tree
+      stores/RMWs through that field name.  Records whose layout depends on
+      template parameters are skipped (reported with --stats), not guessed.
+
+  A4 unguarded traversal
+      A dereference of a node's atomic link field (`n->next.load(...)` where
+      `next` was declared `Atomic<T*>`) outside any live guard scope, guard
+      parameter, constructor, or destructor.  Constructors/destructors are
+      exempt by contract (the owning structure guarantees quiescence).
+
+Suppressions, in precedence order:
+  * an inline comment `// analyze-ok(A1): <why>` on the line or within the
+    6 lines above (check name may also be A2, A3, A4);
+  * the house justification words the regex lint already honours
+    ("relaxed"/"seq_cst" for A2, "unpadded" for A3, "unguarded" for A4);
+  * a baseline file (default tools/analyze/baseline.txt) of
+    `check | file-suffix | symbol | reason` lines for findings that are
+    understood but not yet fixed.  Stale baseline entries are reported.
+
+Usage:
+  ccds_analyze.py [paths...]                 analyze (default: src)
+  ccds_analyze.py -p build [paths...]        read build/compile_commands.json
+                                             (include dirs + TU set for the
+                                             libclang backend)
+  ccds_analyze.py --json out.json [paths..]  machine-readable findings+audit
+  ccds_analyze.py --self-test                run against tools/analyze
+                                             fixtures; every seeded bug must
+                                             be found, clean fixtures must
+                                             stay clean
+  ccds_analyze.py --backend internal|libclang|auto
+                                             frontend selection (auto =
+                                             libclang when importable, with
+                                             per-check fallback)
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+CACHE_LINE = 64
+COMMENT_WINDOW = 6
+
+CHECKS = ("A1-guard-escape", "A2-memory-order", "A3-false-sharing",
+          "A4-unguarded-traversal")
+
+ATOMIC_METHODS = {
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "compare_exchange_strong",
+    "compare_exchange_weak", "test_and_set", "clear", "wait", "notify_one",
+    "notify_all",
+}
+# Methods whose call means the receiver is written (possibly remotely).
+ATOMIC_WRITE_METHODS = {
+    "store", "exchange", "fetch_add", "fetch_sub", "fetch_and", "fetch_or",
+    "fetch_xor", "compare_exchange_strong", "compare_exchange_weak",
+    "test_and_set",
+}
+# Methods A2 audits for explicit orders (clear/wait/notify excluded: the
+# house style never passes orders there).
+ORDERED_METHODS = ATOMIC_WRITE_METHODS | {"load"}
+
+# Mutex RAII types that contain "guard"/"lock" but are NOT reclaimer guards.
+NOT_RECLAIMER_GUARDS = {"lock_guard", "scoped_lock", "unique_lock",
+                        "shared_lock"}
+
+# Return types through which a tainted pointer cannot escape as a pointer
+# (e.g. `return p;` from a bool function is a conversion, not an escape).
+NON_POINTER_SCALARS = {
+    "bool", "void", "int", "unsigned", "long", "short", "char", "float",
+    "double", "size_t", "std::size_t", "uint8_t", "uint16_t", "uint32_t",
+    "uint64_t", "int8_t", "int16_t", "int32_t", "int64_t", "ptrdiff_t",
+    "std::ptrdiff_t", "uintptr_t", "std::uintptr_t",
+}
+
+MO_RELAXED_TOKENS = {"memory_order_relaxed"}
+MO_ANY_RE = re.compile(r"^memory_order(_\w+)?$")
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+PUNCT2 = [
+    "<<=", ">>=", "->*", "...", "::", "->", "==", "!=", "<=", ">=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "<<", ">>", "++",
+    "--", ".*",
+]
+
+ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+ID_CONT = ID_START | set("0123456789")
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "col")
+
+    def __init__(self, kind, text, line, col):
+        self.kind = kind  # id | num | str | chr | punct | pp
+        self.text = text
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return "Token(%s,%r,%d)" % (self.kind, self.text, self.line)
+
+
+def tokenize(text):
+    """Return (tokens, comments) where comments maps line -> comment text.
+
+    Strings/chars become single tokens (their content can never trip a
+    check); comments are captured for justification binding and never enter
+    the token stream; preprocessor directives become 'pp' tokens covering
+    the whole logical line (continuations included) — both arms of every
+    #if are analyzed.
+    """
+    tokens = []
+    comments = {}
+
+    def add_comment(line, s):
+        comments[line] = comments.get(line, "") + " " + s
+
+    i, n = 0, len(text)
+    line, col = 1, 1
+    at_line_start = True
+
+    def advance(k):
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = text[i]
+        if c in " \t\r\n":
+            if c == "\n":
+                at_line_start = True
+            advance(1)
+            continue
+        if text.startswith("//", i):
+            end = text.find("\n", i)
+            end = n if end < 0 else end
+            add_comment(line, text[i + 2:end])
+            advance(end - i)
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i)
+            end = n - 2 if end < 0 else end
+            first = line
+            for off, s in enumerate(text[i + 2:end].split("\n")):
+                add_comment(first + off, s)
+            advance(end + 2 - i)
+            continue
+        if c == "#" and at_line_start:
+            # Whole logical line (backslash continuations glued).
+            start, l0, c0 = i, line, col
+            while i < n:
+                end = text.find("\n", i)
+                end = n if end < 0 else end
+                advance(end - i)
+                if i < n and text[i - 1] == "\\":
+                    advance(1)
+                    continue
+                break
+            tokens.append(Token("pp", text[start:i], l0, c0))
+            at_line_start = True
+            if i < n:
+                advance(1)
+            continue
+        at_line_start = False
+        if c == '"' or (c == "R" and text.startswith('R"', i)):
+            l0, c0 = line, col
+            if c == "R":
+                m = re.match(r'R"([^ ()\\\t\n]*)\(', text[i:])
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    end = text.find(close, i + m.end())
+                    end = n if end < 0 else end + len(close)
+                    tokens.append(Token("str", text[i:end], l0, c0))
+                    advance(end - i)
+                    continue
+                # plain identifier starting with R
+            else:
+                j = i + 1
+                while j < n and text[j] != '"':
+                    j += 2 if text[j] == "\\" else 1
+                tokens.append(Token("str", text[i:j + 1], l0, c0))
+                advance(j + 1 - i)
+                continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            tokens.append(Token("chr", text[i:j + 1], line, col))
+            advance(j + 1 - i)
+            continue
+        if c in ID_START:
+            j = i
+            while j < n and text[j] in ID_CONT:
+                j += 1
+            tokens.append(Token("id", text[i:j], line, col))
+            advance(j - i)
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            m = re.match(r"[0-9][0-9a-fA-FxXbB'.uUlLzZ+-]*", text[i:])
+            tok = m.group(0) if m else c
+            # trim exponent-sign overmatches like "1e+5f;" capturing ';'
+            tok = re.sub(r"[+-]+$", "", tok)
+            tokens.append(Token("num", tok, line, col))
+            advance(len(tok))
+            continue
+        for p in PUNCT2:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line, col))
+                advance(len(p))
+                break
+        else:
+            tokens.append(Token("punct", c, line, col))
+            advance(1)
+    return tokens, comments
+
+
+# ---------------------------------------------------------------------------
+# Source file wrapper: comments, justification, suppression
+# ---------------------------------------------------------------------------
+
+EXPECT_RE = re.compile(r"EXPECT-(A1|A2R1|A2R2|A3|A4)\b")
+SUPPRESS_RE = re.compile(r"analyze-ok\s*\(\s*(A1|A2|A3|A4)\s*\)")
+
+
+class SourceFile:
+    def __init__(self, path, text):
+        self.path = str(path)
+        self.text = text
+        self.tokens, self.comments = tokenize(text)
+
+    def comment_at(self, line):
+        # EXPECT markers are test metadata: their text must never satisfy a
+        # justification search (the marker names the rule it seeds).
+        s = self.comments.get(line, "")
+        return EXPECT_RE.sub("", s)
+
+    def justified(self, line, word):
+        lo = max(1, line - COMMENT_WINDOW)
+        return any(word in self.comment_at(l).lower()
+                   for l in range(lo, line + 1))
+
+    def justification_text(self, line, word):
+        # same [line-6, line] window as justified()
+        for l in range(line, max(0, line - COMMENT_WINDOW) - 1, -1):
+            c = self.comment_at(l)
+            if word in c.lower():
+                return c.strip()
+        return None
+
+    def suppressed(self, line, check):
+        lo = max(1, line - COMMENT_WINDOW)
+        short = check.split("-")[0]
+        for l in range(lo, line + 1):
+            m = SUPPRESS_RE.search(self.comments.get(l, ""))
+            if m and m.group(1) == short:
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+class Finding:
+    def __init__(self, check, file, line, col, symbol, message):
+        self.check = check
+        self.file = file
+        self.line = line
+        self.col = col
+        self.symbol = symbol
+        self.message = message
+        self.baselined = None  # reason when matched by a baseline entry
+
+    def key(self):
+        return (self.check, self.file, self.line)
+
+    def text(self):
+        return "%s:%d:%d: [%s] %s (symbol: %s)" % (
+            self.file, self.line, self.col, self.check, self.message,
+            self.symbol)
+
+    def as_json(self):
+        d = {"check": self.check, "file": self.file, "line": self.line,
+             "col": self.col, "symbol": self.symbol, "message": self.message}
+        if self.baselined is not None:
+            d["baselined"] = self.baselined
+        return d
+
+
+# ---------------------------------------------------------------------------
+# Pass 1 — records, members, constants, atomic fields
+# ---------------------------------------------------------------------------
+
+QUALIFIER_TOKENS = {"const", "mutable", "volatile", "inline", "static",
+                    "constexpr", "typename", "struct", "class", "explicit",
+                    "friend", "using", "extern"}
+
+
+class Member:
+    __slots__ = ("name", "line", "type_tokens", "array", "align64",
+                 "is_func", "is_static")
+
+    def __init__(self, name, line, type_tokens, array, align64, is_static):
+        self.name = name
+        self.line = line
+        self.type_tokens = type_tokens  # list of token texts
+        self.array = array  # None | token-text list of the [...] contents
+        self.align64 = align64
+        self.is_static = is_static
+
+
+class Record:
+    def __init__(self, name, file, line, align64, template_params):
+        self.name = name
+        self.file = file
+        self.line = line
+        self.align64 = align64
+        self.template_params = template_params  # set of type-ish param names
+        self.members = []  # data members, declaration order
+        self.member_names = set()  # data + function member names
+
+
+class Model:
+    """Whole-analysis symbol knowledge shared by all checks."""
+
+    def __init__(self):
+        self.records = {}  # (file, name) -> Record
+        self.records_by_name = {}  # name -> [Record]
+        self.constants = {"kCacheLineSize": 64}
+        self.atomic_fields = {}  # field name -> "ptr" | "val"
+        self.written_atomics = set()  # receiver field names seen written
+        self.files = []  # SourceFile list
+
+    def add_record(self, rec):
+        self.records[(rec.file, rec.name)] = rec
+        self.records_by_name.setdefault(rec.name, []).append(rec)
+
+    def lookup_record(self, name, file):
+        rec = self.records.get((file, name))
+        if rec:
+            return rec
+        cands = self.records_by_name.get(name, [])
+        return cands[0] if len(cands) == 1 else None
+
+
+def is_atomic_type(type_tokens):
+    """('Atomic'|'atomic') '<' ... '>' possibly behind std::/ccds::/model::"""
+    ids = [t for t in type_tokens if t not in ("std", "ccds", "model", "::",
+                                               "const", "mutable", "typename")]
+    return bool(ids) and ids[0] in ("Atomic", "atomic") and "<" in type_tokens
+
+
+def atomic_inner_tokens(type_tokens):
+    """Tokens between the outermost <> of an Atomic<...> type."""
+    try:
+        i = type_tokens.index("<")
+    except ValueError:
+        return []
+    depth = 0
+    out = []
+    for t in type_tokens[i:]:
+        if t == "<":
+            depth += 1
+            if depth == 1:
+                continue
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                break
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                break
+        out.append(t)
+    return out
+
+
+def collect_structure(sf, model):
+    """Populate model with records/members/constants from one file."""
+    toks = sf.tokens
+    n = len(toks)
+
+    # --- constants: [static] [inline] constexpr <type> name = <expr>; ---
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind == "id" and t.text == "constexpr":
+            j = i + 1
+            decl = []
+            while j < n and toks[j].text != ";" and toks[j].kind != "pp":
+                decl.append(toks[j])
+                j += 1
+            eq = next((k for k, d in enumerate(decl) if d.text == "="), None)
+            if eq is not None and eq >= 1 and decl[eq - 1].kind == "id":
+                name = decl[eq - 1].text
+                val = eval_const_expr([d.text for d in decl[eq + 1:]],
+                                      model.constants)
+                if val is not None:
+                    model.constants.setdefault(name, val)
+            i = j
+        i += 1
+
+    # --- records ---
+    scope = []  # stack of (kind, Record|None, brace_depth_at_open)
+    depth = 0
+    template_params = set()
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind == "pp":
+            i += 1
+            continue
+        if t.kind == "id" and t.text == "template":
+            # capture type-ish parameter names up to matching '>'
+            j = i + 1
+            if j < n and toks[j].text == "<":
+                d = 0
+                params = []
+                while j < n:
+                    x = toks[j].text
+                    if x == "<":
+                        d += 1
+                    elif x == ">":
+                        d -= 1
+                        if d == 0:
+                            break
+                    elif x == ">>":
+                        d -= 2
+                        if d <= 0:
+                            break
+                    params.append(toks[j])
+                    j += 1
+                prev = None
+                for p in params:
+                    if p.kind == "id" and prev is not None and \
+                            prev.kind == "id" and p.text not in ("std",):
+                        template_params.add(p.text)
+                    prev = p
+                i = j + 1
+                continue
+        if t.kind == "id" and t.text in ("struct", "class") and \
+                i + 1 < n and (i == 0 or toks[i - 1].text != "enum"):
+            # find name and the '{' (or bail at ';' / ':' base list ok)
+            j = i + 1
+            align64 = False
+            name = None
+            while j < n:
+                x = toks[j]
+                if x.text in ("CCDS_CACHELINE_ALIGNED",):
+                    align64 = True
+                elif x.text == "alignas":
+                    align64 = True  # house code only ever alignas(line)
+                    j = skip_balanced(toks, j + 1, "(", ")")
+                    continue
+                elif x.kind == "id" and name is None:
+                    name = x.text
+                elif x.text in ("{", ";"):
+                    break
+                elif x.text == ":" and name is not None:
+                    # base-class list: scan to '{'
+                    while j < n and toks[j].text not in ("{", ";"):
+                        j += 1
+                    break
+                j += 1
+            if j < n and toks[j].text == "{" and name is not None:
+                rec = Record(name, sf.path, t.line, align64,
+                             set(template_params))
+                template_params = set()
+                model.add_record(rec)
+                collect_members(sf, toks, j, rec, model)
+        if t.text == "{":
+            depth += 1
+        elif t.text == "}":
+            depth -= 1
+        i += 1
+
+
+def skip_balanced(toks, i, open_t, close_t):
+    """i points at or before open_t; return index just past the match."""
+    n = len(toks)
+    while i < n and toks[i].text != open_t:
+        i += 1
+    d = 0
+    while i < n:
+        if toks[i].text == open_t:
+            d += 1
+        elif toks[i].text == close_t:
+            d -= 1
+            if d == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def collect_members(sf, toks, brace_i, rec, model):
+    """Walk one record body collecting data members at its top level."""
+    n = len(toks)
+    i = brace_i + 1
+    depth = 1
+    stmt = []
+
+    def flush():
+        parse_member_stmt(sf, stmt, rec, model)
+        stmt.clear()
+
+    while i < n and depth > 0:
+        t = toks[i]
+        if t.kind == "pp":
+            i += 1
+            continue
+        x = t.text
+        if x == "{":
+            if brace_role(stmt) == "init":
+                # init-brace: swallow balanced braces into the statement
+                j = skip_balanced(toks, i, "{", "}")
+                stmt.extend(toks[i:j])
+                i = j
+                continue
+            # Nested record bodies are skipped but the header tokens are
+            # KEPT so `struct Init { ... } init_{...};` still declares the
+            # member init_ (the nested record itself is collected by
+            # collect_structure's linear walk, which sees every 'struct').
+            if any(t2.kind == "id" and t2.text in ("struct", "class",
+                                                   "union", "enum")
+                   for t2 in stmt):
+                i = skip_balanced(toks, i, "{", "}")
+                continue
+            # a function definition: record its name as a member
+            if stmt:
+                register_stmt_name(stmt, rec)
+                stmt.clear()
+            i = skip_balanced(toks, i, "{", "}")
+            continue
+        if x == "}":
+            depth -= 1
+            i += 1
+            continue
+        if x == ";":
+            flush()
+            i += 1
+            continue
+        if x in ("public", "private", "protected") and \
+                i + 1 < n and toks[i + 1].text == ":":
+            stmt.clear()
+            i += 2
+            continue
+        if x == "(":
+            j = skip_balanced(toks, i, "(", ")")
+            stmt.extend(toks[i:j])
+            i = j
+            continue
+        stmt.append(t)
+        i += 1
+
+
+def brace_role(stmt):
+    """Is this '{' a scope opener or an initializer/lambda-body brace?
+
+    Record/namespace/function/control braces open scopes; braces after an
+    identifier, '=', 'return', ',', '>', or ']' are aggregate inits or
+    lambda bodies and are swallowed into the enclosing statement.
+    """
+    if not stmt:
+        return "scope"
+    for t in stmt:
+        if t.kind == "id" and t.text in ("struct", "class", "namespace",
+                                         "union", "enum"):
+            return "scope"
+    last = stmt[-1]
+    if last.text in (")", "const", "noexcept", "override", "final", "try",
+                     "else", "do", ":", "&", "&&", "mutable"):
+        return "scope"
+    if last.kind in ("id", "num") or last.text in ("=", ",", "(", "[", "]",
+                                                   ">", "return"):
+        return "init"
+    return "scope"
+
+
+def register_stmt_name(stmt, rec):
+    """Best-effort: note the declared name (function) for member_names."""
+    for k, t in enumerate(stmt):
+        if t.text == "(" and k > 0 and stmt[k - 1].kind == "id":
+            rec.member_names.add(stmt[k - 1].text)
+            return
+
+
+def parse_member_stmt(sf, stmt, rec, model):
+    """Classify one record-level statement; append data members."""
+    if not stmt:
+        return
+    texts = [t.text for t in stmt]
+    if texts[0] in ("using", "typedef", "friend", "template", "static_assert",
+                    "enum", "namespace", "public", "private", "protected"):
+        return
+    if "(" in texts:
+        # could be a function decl `T f(args)` or an init `T x{...}`/`T x = f(y)`
+        # function: NAME immediately before first '(' and no '=' before it
+        p = texts.index("(")
+        if p > 0 and stmt[p - 1].kind == "id" and "=" not in texts[:p] and \
+                texts[p - 1] not in ("alignas", "decltype"):
+            # `Atomic<int> x{0};` has no '('; `int f(int)` lands here.
+            # Constructor-style member init `T x(0);` is not house style;
+            # `alignas(64) T x;` is a member, not a function named alignas.
+            rec.member_names.add(texts[p - 1])
+            return
+    # strip default init: cut at '=' or the init-brace
+    end = len(stmt)
+    for k, t in enumerate(stmt):
+        if t.text == "=" or (t.text == "{" and k > 0):
+            end = k
+            break
+    decl = stmt[:end]
+    # array suffix
+    array = None
+    if decl and decl[-1].text == "]":
+        b = len(decl) - 1
+        d = 0
+        while b >= 0:
+            if decl[b].text == "]":
+                d += 1
+            elif decl[b].text == "[":
+                d -= 1
+                if d == 0:
+                    break
+            b -= 1
+        array = [t.text for t in decl[b + 1:-1]]
+        decl = decl[:b]
+    if not decl or decl[-1].kind != "id":
+        return
+    name = decl[-1].text
+    type_toks = [t.text for t in decl[:-1]]
+    type_toks = [t for t in type_toks if t not in ("struct", "class")]
+    if not type_toks:
+        return  # bare nested-record definition, not a data member
+    is_static = "static" in type_toks
+    align64 = "CCDS_CACHELINE_ALIGNED" in type_toks or "alignas" in type_toks
+    type_toks = [t for t in type_toks
+                 if t not in ("CCDS_CACHELINE_ALIGNED", "mutable", "static")]
+    if "alignas" in type_toks:
+        # drop alignas(...) run
+        out, skip_depth, skipping = [], 0, False
+        for t in type_toks:
+            if t == "alignas":
+                skipping = True
+                continue
+            if skipping:
+                if t == "(":
+                    skip_depth += 1
+                elif t == ")":
+                    skip_depth -= 1
+                    if skip_depth == 0:
+                        skipping = False
+                continue
+            out.append(t)
+        type_toks = out
+    m = Member(name, decl[-1].line, type_toks, array, align64, is_static)
+    rec.members.append(m)
+    rec.member_names.add(name)
+    # atomic field registry for A2/A4
+    if not is_static and is_atomic_type(type_toks) and \
+            not type_toks[-1] == "*":  # Atomic<int>* p is a pointer member
+        inner = atomic_inner_tokens(type_toks)
+        kind = "ptr" if "*" in inner else "val"
+        prev = model.atomic_fields.get(name)
+        # pointer-ness wins on conflicts: A4 cares about link fields
+        if prev != "ptr":
+            model.atomic_fields[name] = kind
+
+
+# ---------------------------------------------------------------------------
+# Constant-expression evaluation (array bounds)
+# ---------------------------------------------------------------------------
+
+def eval_const_expr(texts, constants):
+    """Evaluate +-*/%<<() over int literals and known constants; None if
+    anything is unknown (template parameter, sizeof, ternary...)."""
+    expr = []
+    for t in texts:
+        if re.fullmatch(r"[0-9][0-9a-fA-FxX']*[uUlLzZ]*", t or ""):
+            expr.append(t.rstrip("uUlLzZ").replace("'", ""))
+        elif t in ("+", "-", "*", "/", "%", "(", ")", "<<", ">>"):
+            expr.append(t)
+        elif t in constants:
+            expr.append(str(constants[t]))
+        elif t in ("std", "::", "size_t", "uint64_t", "int", "unsigned",
+                   "long", "uint32_t", "bool", "true", "false"):
+            if t == "true":
+                expr.append("1")
+            elif t == "false":
+                expr.append("0")
+            continue  # casts/qualifiers in simple forms
+        else:
+            return None
+    if not expr:
+        return None
+    try:
+        v = eval("".join(expr), {"__builtins__": {}}, {})  # arithmetic only
+        return int(v)
+    except Exception:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Layout engine (internal backend)
+# ---------------------------------------------------------------------------
+
+SCALARS = {
+    "bool": (1, 1), "char": (1, 1), "int8_t": (1, 1), "uint8_t": (1, 1),
+    "byte": (1, 1), "short": (2, 2), "int16_t": (2, 2), "uint16_t": (2, 2),
+    "int": (4, 4), "unsigned": (4, 4), "int32_t": (4, 4), "uint32_t": (4, 4),
+    "float": (4, 4), "long": (8, 8), "int64_t": (8, 8), "uint64_t": (8, 8),
+    "size_t": (8, 8), "ptrdiff_t": (8, 8), "intptr_t": (8, 8),
+    "uintptr_t": (8, 8), "double": (8, 8),
+}
+
+
+class Layout:
+    def __init__(self, size, align):
+        self.size = size
+        self.align = align
+        self.atoms = []  # (leaf name, member line, offset, size)
+
+
+def align_up(x, a):
+    return (x + a - 1) // a * a
+
+
+def type_layout(type_toks, file, model, rec, depth=0):
+    """(size, align, atoms) for a type, or None when unknown.
+    atoms lists atomic leaves as (relative offset, size)."""
+    if depth > 8:
+        return None
+    toks = [t for t in type_toks if t not in ("const", "volatile", "typename",
+                                              "struct", "class", "::")]
+    toks = [t for t in toks if t not in ("std", "ccds", "model")]
+    if not toks:
+        return None
+    if toks[-1] == "*" or toks[-1] == "&":
+        return (8, 8, [])
+    if toks[0] in ("Atomic", "atomic"):
+        inner = atomic_inner_tokens(type_toks)
+        il = type_layout(inner, file, model, rec, depth + 1)
+        if il is None:
+            return None
+        s, a, _ = il
+        # std::atomic<T> for power-of-two scalar T has T's size/align;
+        # 16-byte payloads get 16/16 on x86-64.
+        return (s, max(a, s if s in (1, 2, 4, 8, 16) else a), [(0, s)])
+    if toks[0] == "Padded":
+        inner = atomic_inner_tokens(type_toks)
+        il = type_layout(inner, file, model, rec, depth + 1)
+        if il is None:
+            return None
+        s, _, atoms = il
+        pad = CACHE_LINE - (s % CACHE_LINE)
+        return (s + pad, CACHE_LINE, atoms)
+    if toks[0] == "array" and "<" in type_toks:
+        inner = atomic_inner_tokens(type_toks)
+        # split TYPE , N at top angle depth
+        d = 0
+        for k, t in enumerate(inner):
+            if t == "<":
+                d += 1
+            elif t == ">":
+                d -= 1
+            elif t == "," and d == 0:
+                elem, cnt = inner[:k], inner[k + 1:]
+                break
+        else:
+            return None
+        il = type_layout(elem, file, model, rec, depth + 1)
+        cn = eval_const_expr(cnt, model.constants)
+        if il is None or cn is None:
+            return None
+        s, a, atoms = il
+        stride = align_up(s, a)
+        out = [(e * stride + off, sz) for e in range(min(cn, 256))
+               for (off, sz) in atoms]
+        return (stride * cn, a, out)
+    if len(toks) == 1 or (len(toks) == 2 and toks[0] in ("unsigned", "signed")):
+        base = toks[-1]
+        if toks == ["unsigned", "long"] or base == "long" and "long" in toks[:-1]:
+            return (8, 8, [])
+        if base in SCALARS:
+            s, a = SCALARS[base]
+            return (s, a, [])
+        if rec is not None and base in rec.template_params:
+            return None
+        sub = model.lookup_record(base, file)
+        if sub is not None:
+            lay = record_layout(sub, model)
+            if lay is None:
+                return None
+            return (lay.size, lay.align,
+                    [(off, sz) for (_, _, off, sz) in lay.atoms])
+        return None
+    return None
+
+
+_layout_cache = {}
+
+
+def record_layout(rec, model):
+    """Layout of a record, or None when any member's size is unknown."""
+    key = (rec.file, rec.name, rec.line)
+    if key in _layout_cache:
+        return _layout_cache[key]
+    _layout_cache[key] = None  # cycle guard
+    off = 0
+    align = CACHE_LINE if rec.align64 else 1
+    lay = Layout(0, align)
+    for m in rec.members:
+        if m.is_static:
+            continue
+        tl = type_layout(m.type_tokens, rec.file, model, rec)
+        if tl is None:
+            return None
+        s, a, atoms = tl
+        count = 1
+        if m.array is not None:
+            count = eval_const_expr(m.array, model.constants)
+            if count is None:
+                return None
+        if m.align64:
+            a = max(a, CACHE_LINE)
+        stride = align_up(s, a)
+        off = align_up(off, a)
+        is_atomic = is_atomic_type(m.type_tokens)
+        for e in range(min(count, 256)):
+            base = off + e * stride
+            for (ao, asz) in atoms:
+                leaf = m.name if count == 1 else "%s[%d]" % (m.name, e)
+                lay.atoms.append((leaf, m.line, base + ao, asz))
+            if is_atomic and not atoms:
+                pass
+        off += stride * count if count > 1 else s
+        lay.align = max(lay.align, a)
+    lay.size = align_up(off, lay.align) if off else lay.align if rec.align64 else 0
+    _layout_cache[key] = lay
+    return lay
+
+
+# ---------------------------------------------------------------------------
+# A3 — layout-true false sharing
+# ---------------------------------------------------------------------------
+
+def check_a3(model, stats):
+    findings = []
+    sf_by_path = {f.path: f for f in model.files}
+    for rec in sorted({id(r): r for rs in model.records_by_name.values()
+                       for r in rs}.values(), key=lambda r: (r.file, r.line)):
+        lay = record_layout(rec, model)
+        if lay is None:
+            stats["a3_skipped_unknown_layout"] += 1
+            continue
+        stats["a3_records_measured"] += 1
+        sf = sf_by_path.get(rec.file)
+        written = []
+        for (leaf, line, off, sz) in lay.atoms:
+            base = leaf.split("[")[0]
+            if base in model.written_atomics:
+                written.append((leaf, base, line, off, sz))
+        seen_pairs = set()
+        for i in range(len(written)):
+            for j in range(i + 1, len(written)):
+                l1, b1, ln1, o1, s1 = written[i]
+                l2, b2, ln2, o2, s2 = written[j]
+                if b1 == b2:
+                    continue  # intra-array / same member: container's call
+                pair = (b1, b2)
+                if pair in seen_pairs:
+                    continue
+                if lay.align >= CACHE_LINE:
+                    share = o1 // CACHE_LINE == o2 // CACHE_LINE
+                else:
+                    share = (max(o1 + s1, o2 + s2) - min(o1, o2)) <= CACHE_LINE
+                if not share:
+                    continue
+                seen_pairs.add(pair)
+                line = max(ln1, ln2)
+                if sf and (sf.justified(ln1, "unpadded")
+                           or sf.justified(ln2, "unpadded")
+                           or sf.justified(rec.line, "unpadded")
+                           or sf.suppressed(ln1, "A3")
+                           or sf.suppressed(ln2, "A3")
+                           or sf.suppressed(rec.line, "A3")):
+                    continue
+                findings.append(Finding(
+                    "A3-false-sharing", rec.file, line,
+                    1, "%s::%s+%s" % (rec.name, b1, b2),
+                    "atomics '%s' (offset %d, %dB) and '%s' (offset %d, %dB)"
+                    " of record '%s' are both remotely written and can share"
+                    " one %d-byte cache line; pad with"
+                    " CCDS_CACHELINE_ALIGNED/Padded<> or justify with"
+                    " '// unpadded: ...'"
+                    % (l1, o1, s1, l2, o2, s2, rec.name, CACHE_LINE)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# A2 — memory-order audit on real call sites
+# ---------------------------------------------------------------------------
+
+def receiver_chain(toks, i):
+    """Identifiers of the receiver expression ending before toks[i] ('.' or
+    '->').  Walks back over id/]/)/ chains: `hazards_[t].value` -> ['value',
+    'hazards_']."""
+    chain = []
+    j = i - 1
+    while j >= 0:
+        t = toks[j]
+        if t.text in ("]", ")"):
+            close, open_t = (t.text, "[" if t.text == "]" else "(")
+            d = 0
+            while j >= 0:
+                if toks[j].text == close:
+                    d += 1
+                elif toks[j].text == open_t:
+                    d -= 1
+                    if d == 0:
+                        break
+                j -= 1
+            j -= 1
+            continue
+        if t.kind == "id":
+            chain.append(t.text)
+            j -= 1
+            if j >= 0 and toks[j].text in (".", "->", "::"):
+                j -= 1
+                continue
+            break
+        if t.text in (".", "->", "::"):
+            j -= 1
+            continue
+        break
+    return chain
+
+
+def balanced_args(toks, i):
+    """toks[i] == '('; return (texts, end_index) of the balanced list."""
+    d = 0
+    out = []
+    n = len(toks)
+    while i < n:
+        x = toks[i].text
+        if x == "(":
+            d += 1
+            if d == 1:
+                i += 1
+                continue
+        elif x == ")":
+            d -= 1
+            if d == 0:
+                return out, i
+        out.append(x)
+        i += 1
+    return out, n
+
+
+DEFINE_HEAD_RE = re.compile(r"#\s*define\s+\w+(\([^)]*\))?")
+
+
+def check_a2(sf, model, audit, stats):
+    findings = []
+
+    def scan(toks):
+        n = len(toks)
+        for i, t in enumerate(toks):
+            scan_one(toks, n, i, t)
+
+    def scan_one(toks, n, i, t):
+        if t.kind != "id":
+            return
+        # free fences: atomic_thread_fence / atomic_signal_fence(relaxed)
+        if t.text in ("atomic_thread_fence", "atomic_signal_fence") and \
+                i + 1 < n and toks[i + 1].text == "(":
+            args, _ = balanced_args(toks, i + 1)
+            if any(a in MO_RELAXED_TOKENS or a == "relaxed" for a in args):
+                if not sf.justified(t.line, "relaxed"):
+                    findings.append(Finding(
+                        "A2-memory-order", sf.path, t.line, t.col,
+                        t.text, "relaxed fence without a '// relaxed: ...'"
+                        " justification comment nearby"))
+            return
+        if t.text not in ORDERED_METHODS:
+            return
+        if i == 0 or toks[i - 1].text not in (".", "->"):
+            return
+        if i + 1 >= n or toks[i + 1].text != "(":
+            return
+        chain = receiver_chain(toks, i - 1)
+        recv = chain[0] if chain else "?"
+        # `x.value.store(...)`: Padded<Atomic<..>> access — receiver for the
+        # written-atomics registry is the padded field's name.
+        reg = recv
+        if recv == "value" and len(chain) > 1:
+            reg = chain[1]
+        args, end = balanced_args(toks, i + 1)
+        stats["a2_sites"] += 1
+        if t.text in ATOMIC_WRITE_METHODS:
+            model.written_atomics.add(reg)
+        has_order = any(MO_ANY_RE.match(a) or a in
+                        ("relaxed", "acquire", "release", "acq_rel", "seq_cst",
+                         "consume") for a in args)
+        relaxed = any(a in MO_RELAXED_TOKENS for a in args) or \
+            ("memory_order" in args and "relaxed" in args)
+        symbol = "%s.%s" % (".".join(reversed(chain)) or "?", t.text)
+        # In multiline calls the house justification comment rides on the
+        # line of the relaxed ARGUMENT, not the method name — bind there too.
+        site_lines = [t.line] + sorted(
+            {toks[k].line for k in range(i + 1, min(end + 1, n))
+             if toks[k].text in MO_RELAXED_TOKENS})
+        if relaxed:
+            just = None
+            for ln in site_lines:
+                just = sf.justification_text(ln, "relaxed")
+                if just is not None:
+                    break
+            audit.append({"file": sf.path, "line": t.line, "site": symbol,
+                          "order": "relaxed", "justification": just})
+            if just is None and not any(sf.suppressed(ln, "A2")
+                                        for ln in site_lines):
+                findings.append(Finding(
+                    "A2-memory-order", sf.path, t.line, t.col, symbol,
+                    "memory_order_relaxed on '%s' without a"
+                    " '// relaxed: ...' justification comment nearby"
+                    % symbol))
+        elif not has_order:
+            close_line = toks[end].line if end < n else t.line
+            if not sf.justified(t.line, "seq_cst") and \
+                    not sf.justified(close_line, "seq_cst") and \
+                    not sf.suppressed(t.line, "A2"):
+                findings.append(Finding(
+                    "A2-memory-order", sf.path, t.line, t.col, symbol,
+                    "'%s()' call without an explicit memory order (defaults"
+                    " to seq_cst; spell the order or justify with"
+                    " '// seq_cst: ...')" % t.text))
+
+    scan(sf.tokens)
+    # Macro bodies: directive lines are opaque `pp` tokens in the main
+    # stream, so atomic call sites inside #define bodies would be invisible
+    # — exactly the regex lint's old macro blind spot.  Re-tokenize each
+    # define body (line-shifted back to the real file) and scan it too.
+    for t in sf.tokens:
+        if t.kind != "pp":
+            continue
+        m = DEFINE_HEAD_RE.match(t.text)
+        if m is None:
+            continue
+        body_toks, _ = tokenize(m.group(0).count("\n") * "\n" +
+                                t.text[m.end():])
+        shifted = [Token(b.kind, b.text, b.line + t.line - 1, b.col)
+                   for b in body_toks]
+        scan(shifted)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# A1 + A4 — function-scope analysis
+# ---------------------------------------------------------------------------
+
+GUARD_CALLS = {"guard", "lease"}
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "do", "else"}
+
+
+class Scope:
+    def __init__(self, kind, depth, record=None, func=None):
+        self.kind = kind  # function | record | namespace | block | other
+        self.depth = depth
+        self.record = record
+        self.func = func
+        self.guards = {}  # name -> dict(local=bool, line=int)
+        self.vars = set()
+
+
+class FuncCtx:
+    def __init__(self, name, ret_tokens, guard_params, record, line):
+        self.name = name
+        self.ret_tokens = ret_tokens
+        self.guard_params = guard_params  # set of param names
+        self.record = record  # enclosing Record or None
+        self.line = line
+        self.taint = {}  # var -> guard name ('<param>' prefixed when param)
+        self.stale = {}  # var -> (guard, guard_end_line)
+        self.reported_stale = set()
+        self.is_ctor_dtor = False
+
+
+def split_top(texts_toks, sep):
+    """Split a token list on sep at zero paren/bracket/brace depth."""
+    out, cur, d = [], [], 0
+    for t in texts_toks:
+        x = t.text
+        if x in ("(", "[", "{"):
+            d += 1
+        elif x in (")", "]", "}"):
+            d -= 1
+        if x == sep and d == 0:
+            out.append(cur)
+            cur = []
+        else:
+            cur.append(t)
+    out.append(cur)
+    return out
+
+
+def check_a1_a4(sf, model, stats):
+    findings = []
+    toks = sf.tokens
+    n = len(toks)
+    scopes = []
+    stmt = []
+    i = 0
+
+    def innermost_func():
+        for s in reversed(scopes):
+            if s.kind == "function":
+                return s.func
+        return None
+
+    def enclosing_record():
+        for s in reversed(scopes):
+            if s.kind == "record":
+                return s.record
+        return None
+
+    def live_guards():
+        out = {}
+        for s in scopes:
+            if s.kind == "function" and s.func is not None:
+                for p in s.func.guard_params:
+                    out[p] = {"local": False, "line": s.func.line}
+            out.update(s.guards)
+        return out
+
+    def classify_brace(header):
+        texts = [t.text for t in header]
+        if not texts:
+            return "block", None, None
+        if "namespace" in texts[:2]:
+            return "namespace", None, None
+        for k, x in enumerate(texts):
+            if x in ("struct", "class") and "=" not in texts[:k]:
+                # find the record in the model
+                for t2 in header[k + 1:]:
+                    if t2.kind == "id" and t2.text not in (
+                            "CCDS_CACHELINE_ALIGNED", "final", "alignas"):
+                        rec = model.lookup_record(t2.text, sf.path)
+                        return "record", rec, None
+                return "record", None, None
+        if "(" in texts and texts[-1] != "=":
+            # control statement?
+            p = texts.index("(")
+            if p > 0 and texts[p - 1] in CONTROL_KEYWORDS:
+                return "block", None, None
+            if any(x in CONTROL_KEYWORDS for x in texts[:2]):
+                return "block", None, None
+            # function definition: NAME '(' params ')' [quals] at end
+            func = parse_function_header(header, sf, model,
+                                         enclosing_record())
+            if func is not None:
+                return "function", None, func
+        if texts[-1] in ("else", "try", "do"):
+            return "block", None, None
+        return "other", None, None
+
+    def process_statement(st):
+        func = innermost_func()
+        if func is None or not st:
+            return
+        # recurse into control-statement parens: for(init;cond;inc), if(decl)
+        texts = [t.text for t in st]
+        if texts and texts[0] in CONTROL_KEYWORDS and "(" in texts:
+            p = texts.index("(")
+            inner, _ = balanced_toks(st, p)
+            for sub in split_top(inner, ";"):
+                if sub:
+                    process_statement(sub)
+            return
+        a4_scan(st, func)
+        # --- return ---
+        if texts and texts[0] == "return":
+            expr = st[1:]
+            handle_return(expr, func, st[0])
+            return
+        # --- declaration / assignment ---
+        eq = None
+        d = 0
+        for k, t in enumerate(st):
+            x = t.text
+            if x in ("(", "[", "{"):
+                d += 1
+            elif x in (")", "]", "}"):
+                d -= 1
+            elif x == "=" and d == 0:
+                eq = k
+                break
+        if eq is not None:
+            lhs, rhs = st[:eq], st[eq + 1:]
+            handle_assign(lhs, rhs, func)
+        else:
+            # declaration without init (`Node* p;`) registers the var
+            if len(st) >= 2 and st[-1].kind == "id" and \
+                    all(t.kind == "id" or t.text in ("*", "&", "<", ">",
+                                                     "::", ">>")
+                        for t in st[:-1]):
+                if scopes:
+                    scopes[-1].vars.add(st[-1].text)
+            # stale deref in expression statements (e.g. `p->next();`)
+            stale_scan(st, func)
+
+    def balanced_toks(st, p):
+        d = 0
+        out = []
+        for k in range(p, len(st)):
+            x = st[k].text
+            if x == "(":
+                d += 1
+                if d == 1:
+                    continue
+            elif x == ")":
+                d -= 1
+                if d == 0:
+                    return out, k
+            out.append(st[k])
+        return out, len(st)
+
+    def taint_of_expr(expr_toks, func):
+        """Guard name tainting this expression, else None."""
+        guards = live_guards()
+        texts = [t.text for t in expr_toks]
+        if "new" in texts or texts == ["nullptr"]:
+            return None
+        for k, t in enumerate(expr_toks):
+            if t.kind != "id":
+                continue
+            # g.protect(...)
+            if t.text in ("protect", "protect_raw") and k >= 2 and \
+                    expr_toks[k - 1].text in (".", "->"):
+                g = expr_toks[k - 2].text
+                if g in guards:
+                    return g
+            if t.text in func.taint:
+                # a tainted var used anywhere in the expression taints it
+                return func.taint[t.text]
+            if t.text in guards and k + 1 < len(expr_toks) and \
+                    expr_toks[k + 1].text in (",", ")"):
+                # passing the guard itself into a call: result derives
+                # from protections made under it (find(key, g) shape)
+                if k >= 1 and expr_toks[k - 1].text in ("(", ","):
+                    return t.text
+        return None
+
+    def guard_is_local(gname, func):
+        guards = live_guards()
+        info = guards.get(gname)
+        if info is None:
+            return False
+        return info["local"] and gname not in func.guard_params
+
+    def handle_assign(lhs, rhs, func):
+        stale_scan(rhs, func)
+        a4_scan(rhs, func)
+        taint = taint_of_expr(rhs, func)
+        lt = [t.text for t in lhs]
+        # declaration? type tokens then name
+        is_decl = len(lhs) >= 2 and lhs[-1].kind == "id" and all(
+            t.kind in ("id", "num") or t.text in ("*", "&", "<", ">", ">>",
+                                                  "::", ",", "[", "]")
+            for t in lhs[:-1])
+        target_member = False
+        target = None
+        if is_decl:
+            target = lhs[-1].text
+            if scopes:
+                scopes[-1].vars.add(target)
+            # guard declaration?
+            rtexts = [t.text for t in rhs]
+            # d.guard() / d.lease() / lease_of(d) / acquire_guard() — any
+            # *_guard() helper counts, except the mutex RAII names.
+            if any(x in GUARD_CALLS for k, x in enumerate(rtexts)
+                   if k >= 1 and rtexts[k - 1] in (".", "->")
+                   and k + 1 < len(rtexts) and rtexts[k + 1] == "(") or \
+                    "lease_of" in rtexts or \
+                    any(x.endswith("_guard") and
+                        x not in NOT_RECLAIMER_GUARDS and
+                        k + 1 < len(rtexts) and rtexts[k + 1] == "("
+                        for k, x in enumerate(rtexts)):
+                if not any(x in NOT_RECLAIMER_GUARDS for x in lt):
+                    scopes[-1].guards[target] = {"local": True,
+                                                 "line": lhs[-1].line}
+                    return
+            if any(("Guard" in x) and x not in NOT_RECLAIMER_GUARDS
+                   for x in lt[:-1]):
+                scopes[-1].guards[target] = {"local": True,
+                                             "line": lhs[-1].line}
+                return
+        elif len(lhs) >= 1:
+            # assignment target: member? global? local?
+            target = lhs[-1].text if lhs[-1].kind == "id" else None
+            head = lhs[0].text
+            rec = enclosing_record()
+            if head == "this" or (target and target.endswith("_")) or \
+                    (rec is not None and len(lhs) == 1 and
+                     target in {m.name for m in rec.members}):
+                target_member = True
+        if taint is None:
+            if target is not None and target in func.taint and not target_member:
+                del func.taint[target]  # overwritten with a clean value
+            func.stale.pop(target, None)
+            return
+        if target_member:
+            # Storing a guard-protected pointer into a field outlives both
+            # a local guard AND a caller's guard parameter: flag either way
+            # (suppressible where the store is re-validated).
+            line = lhs[-1].line if lhs else rhs[0].line
+            if not sf.suppressed(line, "A1") and \
+                    not sf.justified(line, "escape"):
+                findings.append(Finding(
+                    "A1-guard-escape", sf.path, line, lhs[-1].col,
+                    "%s.%s" % (func.name, target or "?"),
+                    "pointer protected by guard '%s' stored to"
+                    " field/global '%s'; the guard dies at scope exit"
+                    " and the referent may be reclaimed"
+                    % (taint, "".join(lt))))
+            return
+        if target is not None:
+            func.taint[target] = taint
+            func.stale.pop(target, None)
+
+    def handle_return(expr, func, rtok):
+        stale_scan(expr, func)
+        a4_scan(expr, func)
+        if not expr:
+            return
+        taint = taint_of_expr(expr, func)
+        if taint is None or not guard_is_local(taint, func):
+            return
+        texts = [t.text for t in expr]
+        ret = [t for t in func.ret_tokens
+               if t not in ("static", "inline", "constexpr", "virtual",
+                            "const", "noexcept", "[[nodiscard]]")]
+        ret_s = "".join(ret)
+        # bare tainted var (or deref chain of one)
+        bare = len(texts) == 1 and texts[0] in func.taint
+        chainy = bool(texts) and texts[0] in func.taint and \
+            len(texts) > 1 and texts[1] in (".", "->")
+        if bare:
+            if ret_s in NON_POINTER_SCALARS:
+                return  # converted, not escaped (e.g. `return p;` -> bool)
+            line = expr[0].line
+            if not sf.suppressed(line, "A1") and \
+                    not sf.justified(line, "escape"):
+                findings.append(Finding(
+                    "A1-guard-escape", sf.path, line, expr[0].col,
+                    "%s.return" % func.name,
+                    "returning pointer '%s' protected by locally-scoped"
+                    " guard '%s'; the guard dies at return and the referent"
+                    " may be reclaimed" % (texts[0], taint)))
+            return
+        if chainy and len(texts) >= 3:
+            if ret_s in NON_POINTER_SCALARS or any(
+                    x in ("==", "!=", "&&", "||", "<", ">") for x in texts):
+                return  # compared/converted, the pointer itself never leaves
+            field = texts[2]
+            if model.atomic_fields.get(field) == "ptr" or \
+                    field_is_pointer(field, model, sf.path):
+                line = expr[0].line
+                if not sf.suppressed(line, "A1") and \
+                        not sf.justified(line, "escape"):
+                    findings.append(Finding(
+                        "A1-guard-escape", sf.path, line, expr[0].col,
+                        "%s.return" % func.name,
+                        "returning pointer member '%s' of guard-protected"
+                        " '%s' past guard '%s'" % (field, texts[0], taint)))
+
+    def stale_scan(ts, func):
+        for k, t in enumerate(ts):
+            if t.kind == "id" and t.text in func.stale and \
+                    k + 1 < len(ts) and ts[k + 1].text in ("->",):
+                if t.text in func.reported_stale:
+                    continue
+                g, gline = func.stale[t.text]
+                func.reported_stale.add(t.text)
+                if not sf.suppressed(t.line, "A1") and \
+                        not sf.justified(t.line, "escape"):
+                    findings.append(Finding(
+                        "A1-guard-escape", sf.path, t.line, t.col,
+                        "%s.%s" % (func.name, t.text),
+                        "'%s' was protected by guard '%s' (closed at line"
+                        " %d) and is dereferenced after the guard's scope"
+                        " ended" % (t.text, g, gline)))
+
+    def a4_scan(ts, func):
+        if func.is_ctor_dtor:
+            return
+        guards = live_guards()
+        for k, t in enumerate(ts):
+            if t.kind != "id" or t.text not in ATOMIC_METHODS:
+                continue
+            if k < 3 or ts[k - 1].text != ".":
+                continue
+            field = ts[k - 2].text
+            if ts[k - 3].text != "->":
+                continue
+            if model.atomic_fields.get(field) != "ptr":
+                continue
+            if k - 4 < 0 or ts[k - 4].kind != "id" or \
+                    ts[k - 4].text == "this":
+                continue
+            if guards:
+                continue
+            line = t.line
+            if sf.suppressed(line, "A4") or sf.justified(line, "unguarded"):
+                continue
+            sym = "%s.%s->%s" % (func.name, ts[k - 4].text, field)
+            if sym in stats["a4_seen"]:
+                continue
+            stats["a4_seen"].add(sym)
+            findings.append(Finding(
+                "A4-unguarded-traversal", sf.path, line, t.col, sym,
+                "atomic link field '%s' dereferenced through '%s' with no"
+                " live reclaimer guard in scope (no local guard, no guard"
+                " parameter); traversals of reclaimable nodes must run"
+                " under Domain::guard()/lease()"
+                % (field, ts[k - 4].text)))
+
+    # ---- main walk ----
+    while i < n:
+        t = toks[i]
+        if t.kind == "pp":
+            i += 1
+            continue
+        x = t.text
+        if x == "{":
+            if brace_role(stmt) == "init":
+                j = skip_balanced(toks, i, "{", "}")
+                stmt.extend(toks[i:j])
+                i = j
+                continue
+            kind, rec, func = classify_brace(stmt)
+            if kind == "block" and stmt:
+                # for(...) / if(...) headers carry declarations
+                process_statement(stmt)
+            depth = len(scopes)
+            scopes.append(Scope(kind, depth, record=rec, func=func))
+            stmt = []
+            i += 1
+            continue
+        if x == "}":
+            if stmt:
+                process_statement(stmt)
+                stmt = []
+            if scopes:
+                dying = scopes.pop()
+                func = innermost_func()
+                if func is not None and dying.guards:
+                    # vars tainted by a dying local guard, declared in an
+                    # outer (still-open) scope, go stale
+                    for g in dying.guards:
+                        for var, tg in list(func.taint.items()):
+                            if tg == g and var not in dying.vars:
+                                func.stale[var] = (g, t.line)
+                                del func.taint[var]
+                    for var in dying.vars:
+                        func.taint.pop(var, None)
+                if dying.kind == "function":
+                    pass
+            i += 1
+            continue
+        if x == ";":
+            process_statement(stmt)
+            stmt = []
+            i += 1
+            continue
+        stmt.append(t)
+        i += 1
+    return findings
+
+
+def field_is_pointer(field, model, file):
+    for recs in model.records_by_name.values():
+        for rec in recs:
+            if rec.file != file:
+                continue
+            for m in rec.members:
+                if m.name == field and m.type_tokens and \
+                        m.type_tokens[-1] == "*":
+                    return True
+    return False
+
+
+def parse_function_header(header, sf, model, rec):
+    """Parse `RET NAME(params) quals` from the tokens before a '{'.
+    Returns FuncCtx or None."""
+    # find the param list: last ')' at depth 0 scanning from the end
+    texts = [t.text for t in header]
+    if ")" not in texts:
+        return None
+    # Trailing qualifiers after the param list are fine; find the matching
+    # '(' for the LAST ')' run.
+    end = len(header) - 1
+    while end >= 0 and header[end].text in ("const", "noexcept", "override",
+                                            "final", "&", "&&", "mutable"):
+        end -= 1
+    # member-initializer lists `: x_(v)` — scan back past them
+    if end < 0 or header[end].text != ")":
+        # could be `try` / `-> T` forms; bail
+        return None
+    d = 0
+    p_open = None
+    for k in range(end, -1, -1):
+        if header[k].text == ")":
+            d += 1
+        elif header[k].text == "(":
+            d -= 1
+            if d == 0:
+                p_open = k
+                break
+    if p_open is None or p_open == 0:
+        return None
+    name_tok = header[p_open - 1]
+    if name_tok.kind != "id":
+        if name_tok.text == "~" or name_tok.text == "operator":
+            pass
+        return None
+    name = name_tok.text
+    is_dtor = p_open >= 2 and header[p_open - 2].text == "~"
+    ret_tokens = [t.text for t in header[:max(0, p_open - 1)]]
+    params = header[p_open + 1:end]
+    guard_params = set()
+    for param in split_top(params, ","):
+        ptexts = [t.text for t in param]
+        if not param:
+            continue
+        pname = param[-1].text if param[-1].kind == "id" else None
+        if pname and any("Guard" in x and x not in NOT_RECLAIMER_GUARDS
+                         for x in ptexts[:-1]):
+            guard_params.add(pname)
+    ctx = FuncCtx(name, ret_tokens, guard_params, rec, name_tok.line)
+    ctx.is_ctor_dtor = is_dtor or (rec is not None and name == rec.name)
+    # ctor with no record context: `X::X(...)` out-of-line
+    if not ctx.is_ctor_dtor and p_open >= 3 and \
+            header[p_open - 2].text == "::" and \
+            header[p_open - 3].text == name:
+        ctx.is_ctor_dtor = True
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang refinement
+# ---------------------------------------------------------------------------
+
+def try_libclang():
+    try:
+        import clang.cindex as ci  # noqa
+        ci.Index.create()
+        return ci
+    except Exception:
+        return None
+
+
+def libclang_refine(ci, cc_path, paths, model, stats):
+    """Authoritative record layouts from libclang, replacing computed ones.
+    Fully defensive: any failure leaves the internal results standing."""
+    try:
+        args = ["-std=c++20", "-xc++"]
+        if cc_path is not None:
+            try:
+                db = json.loads(
+                    pathlib.Path(cc_path, "compile_commands.json").read_text())
+                for ent in db[:1]:
+                    for a in ent.get("command", "").split():
+                        if a.startswith(("-I", "-D", "-std=")):
+                            args.append(a)
+            except Exception:
+                pass
+        index = ci.Index.create()
+        hdrs = [f.path for f in model.files if f.path.endswith(".hpp")]
+        stub = "\n".join('#include "%s"' % h for h in hdrs)
+        tu = index.parse("ccds_analyze_tu.cpp", args=args,
+                         unsaved_files=[("ccds_analyze_tu.cpp", stub)])
+
+        def walk(cur):
+            try:
+                if cur.kind in (ci.CursorKind.STRUCT_DECL,
+                                ci.CursorKind.CLASS_DECL) and \
+                        cur.is_definition():
+                    f = cur.location.file
+                    if f is None:
+                        return
+                    key = (str(f.name), cur.spelling)
+                    rec = model.records.get(key)
+                    if rec is not None:
+                        lay = Layout(cur.type.get_size(),
+                                     cur.type.get_align())
+                        for fld in cur.type.get_fields():
+                            off = cur.type.get_offset(fld.spelling)
+                            if off >= 0 and "atomic" in \
+                                    fld.type.get_canonical().spelling:
+                                lay.atoms.append(
+                                    (fld.spelling, fld.location.line,
+                                     off // 8, fld.type.get_size()))
+                        if lay.size > 0:
+                            _layout_cache[(rec.file, rec.name,
+                                           rec.line)] = lay
+                            stats["a3_libclang_layouts"] += 1
+                for ch in cur.get_children():
+                    walk(ch)
+            except Exception:
+                pass
+
+        walk(tu.cursor)
+    except Exception as e:  # pragma: no cover - environment dependent
+        print("ccds-analyze: libclang refinement unavailable (%s);"
+              " internal layouts kept" % e, file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+def load_baseline(path):
+    entries = []
+    p = pathlib.Path(path)
+    if not p.is_file():
+        return entries
+    for ln, raw in enumerate(p.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [x.strip() for x in line.split("|")]
+        if len(parts) < 4:
+            print("%s:%d: malformed baseline line (want 'check | file |"
+                  " symbol | reason')" % (path, ln), file=sys.stderr)
+            continue
+        entries.append({"check": parts[0], "file": parts[1],
+                        "symbol": parts[2], "reason": parts[3],
+                        "used": False, "line": ln})
+    return entries
+
+
+def apply_baseline(findings, entries):
+    out = []
+    for f in findings:
+        matched = None
+        for e in entries:
+            if f.check.startswith(e["check"]) and \
+                    f.file.endswith(e["file"]) and f.symbol == e["symbol"]:
+                matched = e
+                break
+        if matched is not None:
+            matched["used"] = True
+            f.baselined = matched["reason"]
+        out.append(f)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def iter_sources(paths):
+    for p in paths:
+        path = pathlib.Path(p)
+        if path.is_file():
+            yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(p)
+        for f in sorted(path.rglob("*.hpp")) + sorted(path.rglob("*.cpp")):
+            if "model" in f.parts:
+                continue  # the model checker manipulates orders as data
+            yield f
+
+
+def analyze(paths, backend="auto", cc_path=None, extra_files=()):
+    """Run all checks; returns (findings, audit, stats, model)."""
+    _layout_cache.clear()
+    model = Model()
+    stats = {"files": 0, "a2_sites": 0, "a3_records_measured": 0,
+             "a3_skipped_unknown_layout": 0, "a3_libclang_layouts": 0,
+             "a4_seen": set()}
+    files = list(iter_sources(paths)) + [pathlib.Path(f)
+                                         for f in extra_files]
+    for f in files:
+        try:
+            text = f.read_text(encoding="utf-8")
+        except OSError as e:
+            print("cannot read %s: %s" % (f, e), file=sys.stderr)
+            return None
+        sf = SourceFile(f, text)
+        model.files.append(sf)
+        stats["files"] += 1
+    for sf in model.files:
+        collect_structure(sf, model)
+    findings = []
+    audit = []
+    # A2 first: it also feeds written_atomics for A3.
+    for sf in model.files:
+        findings.extend(check_a2(sf, model, audit, stats))
+    ci = None
+    if backend in ("auto", "libclang"):
+        ci = try_libclang()
+        if ci is None and backend == "libclang":
+            print("ccds-analyze: --backend=libclang requested but"
+                  " clang.cindex is not importable", file=sys.stderr)
+            return None
+        if ci is not None:
+            libclang_refine(ci, cc_path, paths, model, stats)
+    findings.extend(check_a3(model, stats))
+    for sf in model.files:
+        findings.extend(check_a1_a4(sf, model, stats))
+    findings.sort(key=lambda f: (f.file, f.line, f.check))
+    stats["a4_seen"] = len(stats["a4_seen"])
+    stats["backend"] = "libclang+internal" if ci is not None else "internal"
+    return findings, audit, stats, model
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+# ---------------------------------------------------------------------------
+
+def repo_root():
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def collect_expectations(files):
+    """EXPECT-<rule> markers -> {(check, file, line)} plus rule tags."""
+    rule_to_check = {"A1": "A1-guard-escape", "A2R1": "A2-memory-order",
+                     "A2R2": "A2-memory-order", "A3": "A3-false-sharing",
+                     "A4": "A4-unguarded-traversal"}
+    want = set()
+    for f in files:
+        # scan raw text lines, not the tokenized comment map: markers on
+        # preprocessor-directive lines are swallowed into the pp token
+        text = pathlib.Path(f).read_text()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for m in EXPECT_RE.finditer(line):
+                want.add((rule_to_check[m.group(1)], str(f), lineno))
+    return want
+
+
+def layout_cross_check(model, fixture_files):
+    """Compile static_asserts of our computed fixture layouts with the real
+    compiler.  Returns (ok, detail)."""
+    cxx = shutil.which("g++") or shutil.which("c++") or shutil.which("clang++")
+    if cxx is None:
+        return True, "skipped (no C++ compiler on PATH)"
+    lines = ["#include <atomic>", "#include <cstdint>", "#include <cstddef>",
+             "#include <cstdlib>"]
+    checked = 0
+    for f in fixture_files:
+        if "false_sharing" not in str(f):
+            continue
+        lines.append(pathlib.Path(f).read_text())
+    lines.append("using namespace fix;")  # fixtures live in namespace fix
+    for recs in model.records_by_name.values():
+        for rec in recs:
+            if "false_sharing" not in rec.file:
+                continue
+            lay = record_layout(rec, model)
+            if lay is None:
+                continue
+            lines.append("static_assert(sizeof(%s) == %d, \"size %s\");"
+                         % (rec.name, lay.size, rec.name))
+            lines.append("static_assert(alignof(%s) == %d, \"align %s\");"
+                         % (rec.name, lay.align, rec.name))
+            for (leaf, _, off, _) in lay.atoms:
+                if "[" in leaf:
+                    continue
+                lines.append(
+                    "static_assert(__builtin_offsetof(%s, %s) == %d,"
+                    " \"offset %s::%s\");" % (rec.name, leaf, off,
+                                              rec.name, leaf))
+                checked += 1
+    if checked == 0:
+        return False, "no fixture layouts to cross-check"
+    with tempfile.NamedTemporaryFile("w", suffix=".cpp", delete=False) as tf:
+        tf.write("\n".join(lines) + "\n")
+        tmp = tf.name
+    try:
+        r = subprocess.run(
+            [cxx, "-std=c++20", "-fsyntax-only", "-Wno-invalid-offsetof",
+             tmp], capture_output=True, text=True)
+        if r.returncode != 0:
+            return False, "compiler rejected computed layout:\n" + r.stderr
+        return True, "%d offsets verified by %s" % (checked,
+                                                    pathlib.Path(cxx).name)
+    finally:
+        pathlib.Path(tmp).unlink(missing_ok=True)
+
+
+def self_test():
+    root = repo_root()
+    fixdir = root / "tools" / "analyze" / "fixtures"
+    if not fixdir.is_dir():
+        print("self-test: missing %s" % fixdir, file=sys.stderr)
+        return 2
+    files = sorted(fixdir.glob("*.hpp")) + sorted(fixdir.glob("*.cpp"))
+    test_fixture = root / "tests" / "test_analyzer_fixture.cpp"
+    if test_fixture.is_file():
+        files.append(test_fixture)
+    want = collect_expectations(files)
+    result = analyze([], backend="internal", extra_files=files)
+    if result is None:
+        return 2
+    findings, audit, stats, model = result
+    got = {f.key() for f in findings}
+    failures = 0
+    for miss in sorted(want - got):
+        print("self-test: MISSED seeded bug %s at %s:%d"
+              % miss, file=sys.stderr)
+        failures += 1
+    for extra in sorted(got - want):
+        print("self-test: FALSE POSITIVE %s at %s:%d"
+              % extra, file=sys.stderr)
+        for f in findings:
+            if f.key() == extra:
+                print("    " + f.message, file=sys.stderr)
+        failures += 1
+    # The relaxation audit must bind justifications on the clean fixture.
+    bound = [a for a in audit if a["justification"] is not None
+             and "ok_memory_order" in a["file"]]
+    if not bound:
+        print("self-test: audit bound no justification comments",
+              file=sys.stderr)
+        failures += 1
+    ok, detail = layout_cross_check(model, files)
+    print("self-test: layout cross-check: %s" % detail)
+    if not ok:
+        failures += 1
+    # Tokenizer unit checks.
+    toks, comments = tokenize(
+        'auto s = "x.load(); /* not code */";\n'
+        "// relaxed: justification\n"
+        'R"(y.store(1))";\n'
+        "a->b . load ( std::memory_order_relaxed ) ;\n")
+    texts = [t.text for t in toks]
+    if "load" not in texts or texts.count("load") != 1:
+        print("self-test: tokenizer leaked string contents", file=sys.stderr)
+        failures += 1
+    if "relaxed: justification" not in comments.get(2, ""):
+        print("self-test: comment capture broken", file=sys.stderr)
+        failures += 1
+    if failures:
+        print("self-test: %d failure(s)" % failures, file=sys.stderr)
+        return 2
+    print("ccds-analyze: self-test ok (%d seeded findings matched exactly,"
+          " %d files, backend=%s)" % (len(want), stats["files"],
+                                      stats["backend"]))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# main
+# ---------------------------------------------------------------------------
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="ccds semantic concurrency analyzer (A1 guard-escape,"
+                    " A2 memory-order audit, A3 layout-true false sharing,"
+                    " A4 unguarded traversal)")
+    ap.add_argument("paths", nargs="*", help="files/dirs (default: src)")
+    ap.add_argument("-p", "--compile-commands", metavar="DIR", default=None,
+                    help="build dir containing compile_commands.json")
+    ap.add_argument("--backend", choices=("auto", "internal", "libclang"),
+                    default="auto")
+    ap.add_argument("--json", metavar="FILE", default=None,
+                    help="write findings+audit JSON ('-' for stdout)")
+    ap.add_argument("--baseline", metavar="FILE",
+                    default=str(repo_root() / "tools" / "analyze" /
+                                "baseline.txt"))
+    ap.add_argument("--no-baseline", action="store_true")
+    ap.add_argument("--stats", action="store_true")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    paths = args.paths or [str(repo_root() / "src")]
+    try:
+        result = analyze(paths, backend=args.backend,
+                         cc_path=args.compile_commands)
+    except FileNotFoundError as e:
+        print("no such file or directory: %s" % e, file=sys.stderr)
+        return 2
+    if result is None:
+        return 2
+    findings, audit, stats, _ = result
+    entries = [] if args.no_baseline else load_baseline(args.baseline)
+    findings = apply_baseline(findings, entries)
+    active = [f for f in findings if f.baselined is None]
+
+    if args.json:
+        doc = {
+            "version": 1,
+            "backend": stats["backend"],
+            "findings": [f.as_json() for f in findings],
+            "relaxation_audit": audit,
+            "stats": {k: v for k, v in stats.items() if k != "a4_seen"},
+        }
+        text = json.dumps(doc, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            pathlib.Path(args.json).write_text(text + "\n")
+
+    for f in active:
+        print(f.text())
+    stale = [e for e in entries if not e["used"]]
+    for e in stale:
+        print("%s:%d: stale baseline entry (%s | %s | %s) — fixed? remove it"
+              % (args.baseline, e["line"], e["check"], e["file"],
+                 e["symbol"]), file=sys.stderr)
+    if args.stats:
+        print("analyzed %d files: %d atomic call sites, %d records measured,"
+              " %d skipped (template-dependent layout), backend=%s"
+              % (stats["files"], stats["a2_sites"],
+                 stats["a3_records_measured"],
+                 stats["a3_skipped_unknown_layout"], stats["backend"]),
+              file=sys.stderr)
+    baselined = len(findings) - len(active)
+    if baselined:
+        print("%d finding(s) suppressed by baseline" % baselined,
+              file=sys.stderr)
+    if active:
+        print("%d finding(s)" % len(active))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -61,6 +61,7 @@ Exit status: 0 clean, 1 violations, 2 usage/internal error.
 """
 
 import argparse
+import json
 import pathlib
 import re
 import sys
@@ -547,6 +548,9 @@ def main(argv):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("paths", nargs="*", default=["src"])
     ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("--json", action="store_true",
+                    help="emit violations as a JSON array "
+                         "({file, line, rule, message} objects)")
     args = ap.parse_args(argv)
     if args.self_test:
         return self_test()
@@ -568,6 +572,21 @@ def main(argv):
     if scanned == 0:
         print("no sources found under: %s" % " ".join(map(str, paths)), file=sys.stderr)
         return 2
+    if args.json:
+        # Violations are formatted "file:line: [rule] message" (report());
+        # decompose that fixed shape rather than threading a second
+        # representation through every check.
+        vre = re.compile(r"^(.*?):(\d+): \[([^\]]+)\] (.*)$", re.S)
+        objs = []
+        for v in violations:
+            m = vre.match(v)
+            objs.append({"file": m.group(1), "line": int(m.group(2)),
+                         "rule": m.group(3), "message": m.group(4)}
+                        if m else {"file": "", "line": 0,
+                                   "rule": "unparsed", "message": v})
+        json.dump(objs, sys.stdout, indent=2)
+        print()
+        return 1 if violations else 0
     for v in violations:
         print(v)
     if violations:

@@ -8,7 +8,10 @@
 # grep's — a crashing test with no data race counted as clean.
 set -eu
 root="$(cd "$(dirname "$0")/.." && pwd)"
+# CCDS_TSAN_SOUND is forced by CCDS_SANITIZE_THREAD anyway; passing it
+# explicitly keeps a stale build-tsan/ cache from ever dropping it.
 cmake -B "$root/build-tsan" -G Ninja -DCCDS_SANITIZE_THREAD=ON \
+      -DCCDS_TSAN_SOUND=ON \
       -DCCDS_BUILD_BENCHMARKS=OFF -DCCDS_BUILD_EXAMPLES=OFF "$root"
 cmake --build "$root/build-tsan"
 log="$(mktemp)"

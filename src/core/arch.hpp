@@ -24,6 +24,20 @@
 #include <arm_neon.h>
 #endif
 
+// ThreadSanitizer detection.  GCC defines __SANITIZE_THREAD__ under
+// -fsanitize=thread; Clang exposes the same fact through __has_feature.
+// CCDS_TSAN gates the soundness backstop in core/asymmetric_fence.hpp: TSan
+// cannot model the asymmetric membarrier protocol (it neither instruments
+// the syscall nor understands a compiler-only light barrier), so TSan
+// builds must run the classic symmetric protocol via CCDS_TSAN_SOUND.
+#if defined(__SANITIZE_THREAD__)
+#define CCDS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CCDS_TSAN 1
+#endif
+#endif
+
 namespace ccds {
 
 // Size used to pad shared variables so that logically-independent hot fields

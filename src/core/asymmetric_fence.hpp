@@ -53,6 +53,7 @@
 
 #include <atomic>
 
+#include "core/arch.hpp"
 #include "core/atomic.hpp"
 
 #if !defined(CCDS_MODEL) && defined(__linux__)
@@ -60,7 +61,38 @@
 #include <unistd.h>
 #endif
 
+// TSAN SOUNDNESS BACKSTOP.  ThreadSanitizer cannot model the asymmetric
+// protocol: it does not instrument the membarrier syscall, and a
+// compiler-only atomic_signal_fence contributes nothing to its
+// happens-before graph — so every protected read under the membarrier
+// backend would be reported as a race (false positive), and worse, TSan's
+// instrumentation can mask the real ordering the protocol depends on
+// (false negative).  A TSan build must therefore run the classic symmetric
+// seq_cst protocol: define CCDS_TSAN_SOUND (the CMake option of the same
+// name does it, and -DCCDS_SANITIZE_THREAD=ON forces it on).  This is a
+// hard error, not a silent downgrade, so a hand-rolled
+// `g++ -fsanitize=thread` invocation cannot ship an unsound binary.
+#if defined(CCDS_TSAN) && !defined(CCDS_TSAN_SOUND) && !defined(CCDS_MODEL)
+#error \
+    "ThreadSanitizer build without CCDS_TSAN_SOUND: TSan cannot model " \
+    "asymmetric membarrier fences. Configure with -DCCDS_TSAN_SOUND=ON " \
+    "(CMake does this automatically for -DCCDS_SANITIZE_THREAD=ON) or " \
+    "define CCDS_TSAN_SOUND=1 to force the symmetric seq_cst protocol."
+#endif
+
 namespace ccds {
+
+// False when CCDS_TSAN_SOUND forces the classic symmetric protocol.  The
+// reclaimer domains (hazard/epoch/qsbr) default their Asymmetric template
+// parameter to this constant and static_assert against an explicit
+// Asymmetric=true instantiation when it is false — a TSan build that
+// selects an asymmetric-fence domain FAILS TO COMPILE rather than
+// silently skipping or, worse, running an unverifiable protocol.
+#if defined(CCDS_TSAN_SOUND)
+inline constexpr bool kAsymmetricFencesAllowed = false;
+#else
+inline constexpr bool kAsymmetricFencesAllowed = true;
+#endif
 
 #if !defined(CCDS_MODEL) && defined(__linux__)
 namespace detail {
@@ -117,6 +149,9 @@ inline bool membarrier_private_expedited_ready() noexcept {
 inline void asymmetric_light() noexcept {
 #if defined(CCDS_MODEL)
   // no-op: the model's heavy_fence() carries the protocol's ordering.
+#elif defined(CCDS_TSAN_SOUND)
+  // Symmetric protocol, unconditionally: a real fence TSan can see.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
 #elif defined(__linux__)
   if (detail::membarrier_private_expedited_ready()) {
     std::atomic_signal_fence(std::memory_order_seq_cst);
@@ -136,6 +171,8 @@ inline void asymmetric_light() noexcept {
 inline bool asymmetric_light_is_fence() noexcept {
 #if defined(CCDS_MODEL)
   return false;
+#elif defined(CCDS_TSAN_SOUND)
+  return true;
 #elif defined(__linux__)
   return !detail::membarrier_private_expedited_ready();
 #else
@@ -151,6 +188,8 @@ enum class AsymmetricHeavyBackend { kMembarrier, kSeqCstFence, kModel };
 inline AsymmetricHeavyBackend asymmetric_heavy_backend() noexcept {
 #if defined(CCDS_MODEL)
   return AsymmetricHeavyBackend::kModel;
+#elif defined(CCDS_TSAN_SOUND)
+  return AsymmetricHeavyBackend::kSeqCstFence;
 #elif defined(__linux__)
   return detail::membarrier_private_expedited_ready()
              ? AsymmetricHeavyBackend::kMembarrier
@@ -168,7 +207,7 @@ inline void asymmetric_heavy() noexcept {
 #if defined(CCDS_MODEL)
   model::heavy_fence();
 #else
-#if defined(__linux__)
+#if defined(__linux__) && !defined(CCDS_TSAN_SOUND)
   if (detail::membarrier_private_expedited_ready()) {
     if (detail::membarrier_call(detail::kMembarrierCmdPrivateExpedited) == 0) {
       return;

@@ -242,6 +242,9 @@ class SwissHashMap {
     Group* const groups;
     // Predecessor still being drained (null when no rehash in flight).
     // Retired through the Reclaimer once every group is migrated.
+    // unpadded: old/migrate_next/migrated only see writes during a
+    // migration window (rare and short); the hot-path insert counters
+    // used/tombs are Padded off this line, which is what matters.
     Atomic<Table*> old{nullptr};
     // Next old-group index to claim for migration; may overshoot.
     Atomic<std::uint64_t> migrate_next{0};
@@ -533,6 +536,8 @@ class SwissHashMap {
   }
 
   void start_grow(Table* t, bool force_double = false) {
+    // unguarded: `t` is pinned by the caller's operation guard (every
+    // mutating op holds one across maybe_grow/grow before calling here).
     // One migration at a time: finish draining before doubling again.
     if (t->old.load(std::memory_order_acquire) != nullptr) return;
     if (table_.load(std::memory_order_acquire) != t) return;  // superseded
@@ -549,14 +554,16 @@ class SwissHashMap {
     const bool dbl =
         force_double || live * 2 >= t->group_count * kGroupSlots;
     Table* bigger = new Table(t->group_count * (dbl ? 2 : 1));
-    // relaxed: `bigger` is thread-private until the CAS below publishes it.
+    // relaxed, unguarded: `bigger` is thread-private until the CAS below
+    // publishes it (and `t` is pinned by the caller's guard, see above).
     bigger->old.store(t, std::memory_order_relaxed);
     Table* expected = t;
     if (!table_.compare_exchange_strong(
             expected, bigger, std::memory_order_acq_rel,
             std::memory_order_relaxed)) {  // relaxed: lost race, no ordering
       // Another thread installed a table first; ours was never visible.
-      bigger->old.store(nullptr, std::memory_order_relaxed);  // relaxed: private
+      // relaxed, unguarded: never-published private table.
+      bigger->old.store(nullptr, std::memory_order_relaxed);
       delete bigger;
     }
   }
@@ -631,6 +638,8 @@ class SwissHashMap {
     }
     // acquire: pairs with the drainers' acq_rel increments so the retire
     // happens-after every group's migration completed.
+    // unguarded: `t` (and through it `old_t`) is pinned by the caller's
+    // operation guard for the duration of help_migrate.
     if (old_t->migrated.load(std::memory_order_acquire) == n) {
       Table* expected = old_t;
       if (t->old.compare_exchange_strong(

@@ -167,6 +167,8 @@ class LazyListSet {
 
   // O(1) validation under both locks: neither endpoint was logically
   // deleted, and the window is still intact.
+  // unguarded: pred/curr stay pinned by the caller's traversal guard
+  // across the lock/validate/unlock window; validate adds no new reach.
   bool validate(Node* pred, Node* curr) const {
     return !pred->marked.load(std::memory_order_acquire) &&
            (curr == nullptr || !curr->marked.load(std::memory_order_acquire)) &&

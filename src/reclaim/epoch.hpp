@@ -44,8 +44,14 @@
 
 namespace ccds {
 
-template <bool Asymmetric = true>
+template <bool Asymmetric = kAsymmetricFencesAllowed>
 class BasicEpochDomain {
+  static_assert(!Asymmetric || kAsymmetricFencesAllowed,
+                "asymmetric-fence epoch domain selected in a build where "
+                "asymmetric fences are unsound (CCDS_TSAN_SOUND): use the "
+                "default Asymmetric=kAsymmetricFencesAllowed or "
+                "SeqCstEpochDomain");
+
  public:
   static constexpr std::size_t kSlots = 8;  // ignored; API parity with HP
 

@@ -44,11 +44,16 @@
 
 namespace ccds {
 
-template <std::size_t ScanThreshold = 256, bool Asymmetric = true,
-          std::size_t Slots = 8>
+template <std::size_t ScanThreshold = 256,
+          bool Asymmetric = kAsymmetricFencesAllowed, std::size_t Slots = 8>
 class BasicHazardDomain {
   static_assert(Slots >= 1 && Slots <= 64,
                 "the guard's dirty mask is a single 64-bit word");
+  static_assert(!Asymmetric || kAsymmetricFencesAllowed,
+                "asymmetric-fence hazard domain selected in a build where "
+                "asymmetric fences are unsound (CCDS_TSAN_SOUND): use the "
+                "default Asymmetric=kAsymmetricFencesAllowed or the "
+                "SeqCst* alias");
 
  public:
   // Hazard slots per thread.  The default 8 covers the flat structures
@@ -284,7 +289,9 @@ class BasicHazardDomain {
   Padded<Scratch> scratch_[kMaxThreads];
 };
 
-// Default domain used across the library: asymmetric read path.
+// Default domain used across the library: asymmetric read path (degrades
+// to the symmetric protocol under CCDS_TSAN_SOUND, where the asymmetric
+// one is unverifiable — see core/asymmetric_fence.hpp).
 using HazardDomain = BasicHazardDomain<>;
 
 // Classic fully-fenced protocol — the E11 before/after baseline.
@@ -293,7 +300,8 @@ using SeqCstHazardDomain = BasicHazardDomain<256, /*Asymmetric=*/false>;
 // Wide variant for deep-window structures: skip lists protect a
 // preds/succs pair per level (2 * kSkipListMaxLevel = 32) plus traversal
 // scratch, so they require kSlots >= 35 (they static_assert it).
-using WideHazardDomain = BasicHazardDomain<256, true, /*Slots=*/40>;
+using WideHazardDomain =
+    BasicHazardDomain<256, kAsymmetricFencesAllowed, /*Slots=*/40>;
 
 static_assert(reclaimer<HazardDomain>);
 static_assert(reclaimer<SeqCstHazardDomain>);

@@ -72,8 +72,14 @@
 
 namespace ccds {
 
-template <bool Asymmetric = true>
+template <bool Asymmetric = kAsymmetricFencesAllowed>
 class BasicQsbrDomain {
+  static_assert(!Asymmetric || kAsymmetricFencesAllowed,
+                "asymmetric-fence QSBR domain selected in a build where "
+                "asymmetric fences are unsound (CCDS_TSAN_SOUND): use the "
+                "default Asymmetric=kAsymmetricFencesAllowed or "
+                "SeqCstQsbrDomain");
+
  public:
   static constexpr std::size_t kSlots = 8;  // ignored; API parity with HP
 

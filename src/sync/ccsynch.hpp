@@ -168,6 +168,8 @@ class CcSynch {
 
   // Serve requests from `head` (our own, always first) in list order.
   void combine(Node* head) {
+    // unguarded: Nodes are per-thread slots recycled through the handoff
+    // protocol, never freed while the lock is live — no reclaimer in play.
     Node* node = head;
     for (int served = 0; served < Window; ++served) {
       // acquire: pairs with the requester's release link store — if we see

@@ -60,6 +60,10 @@ class McsLock {
   }
 
  private:
+  // unpadded: next and locked each take exactly one remote write per
+  // handoff (successor links itself; predecessor drops the latch), and
+  // the whole QNode sits inside a Padded<> array slot below — splitting
+  // the two fields would double the per-thread footprint for nothing.
   struct QNode {
     Atomic<QNode*> next{nullptr};
     Atomic<bool> locked{false};

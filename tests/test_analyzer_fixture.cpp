@@ -1,0 +1,45 @@
+// Analyzer fixture riding inside the test tree.  The function below leaks
+// a guard-protected pointer, but only when CCDS_ANALYZE_FIXTURE is defined:
+// the analyzer reads both arms of every #if, so `scripts/ccds_analyze.py
+// --self-test` asserts the A1 finding at the marked line while the compiled
+// test binary never contains the bug.  The TEST exercises the same API
+// shape the correct way, pinning the in-scope discipline at runtime.
+#include <gtest/gtest.h>
+
+#include "core/atomic.hpp"
+#include "reclaim/hazard.hpp"
+
+namespace {
+
+struct FixNode {
+  int key = 0;
+};
+
+#ifdef CCDS_ANALYZE_FIXTURE
+// BAD (analysis-only, never compiled): the guard dies at return, so the
+// caller receives a pointer the domain is free to reclaim.
+FixNode* leak_protected_pointer(ccds::HazardDomain& dom,
+                                ccds::Atomic<FixNode*>& head) {
+  auto g = dom.guard();
+  FixNode* p = g.protect(0, head);
+  return p;  // EXPECT-A1
+}
+#endif
+
+TEST(AnalyzerFixture, GuardedReadStaysInScope) {
+  ccds::HazardDomain dom;
+  ccds::Atomic<FixNode*> head{new FixNode{41}};
+  int out = 0;
+  {
+    auto g = dom.guard();
+    FixNode* p = g.protect(0, head);
+    out = p->key + 1;
+  }
+  FixNode* victim = head.exchange(nullptr, std::memory_order_acq_rel);
+  dom.retire(victim);
+  dom.collect_all();
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(dom.retired_count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,41 @@
+// A3 seeded-bad fixture: two remotely-written atomics sharing one cache
+// line, detected from MEASURED offsets (not member-name patterns).  These
+// records are self-contained plain std::atomic so the self-test can
+// cross-check every computed offset against the real compiler.
+#include <atomic>
+#include <cstdint>
+
+namespace fix {
+
+// BAD: producer writes fs_enq, consumer writes fs_deq; offsets 0 and 8
+// land on the same 64-byte line, so every write invalidates the other
+// side's cache line.
+struct FsBadPair {
+  std::atomic<std::uint64_t> fs_enq;
+  std::atomic<std::uint64_t> fs_deq;  // EXPECT-A3
+};
+
+inline void fs_bad_writer_a(FsBadPair& s) {
+  s.fs_enq.store(1, std::memory_order_release);
+}
+
+inline void fs_bad_writer_b(FsBadPair& s) {
+  s.fs_deq.fetch_add(1, std::memory_order_acq_rel);
+}
+
+// BAD: aligning the RECORD to the line does not separate the members —
+// offsets 0 and 8 still share the first line of the record.
+struct alignas(64) FsBadHeadTail {
+  std::atomic<std::uint64_t> fs_head;
+  std::atomic<std::uint64_t> fs_tail;  // EXPECT-A3
+};
+
+inline void fs_bad_writer_c(FsBadHeadTail& s) {
+  s.fs_head.store(2, std::memory_order_release);
+}
+
+inline void fs_bad_writer_d(FsBadHeadTail& s) {
+  s.fs_tail.store(3, std::memory_order_release);
+}
+
+}  // namespace fix

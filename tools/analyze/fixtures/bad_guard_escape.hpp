@@ -1,0 +1,56 @@
+// A1 seeded-bad fixture: guard-escape shapes ccds_analyze.py must catch.
+// These headers are analyzer inputs only — never compiled into the build.
+// Minimal stand-ins for a ccds reclamation domain keep them self-contained.
+#include <atomic>
+#include <cstddef>
+
+namespace fix {
+
+struct EscNode {
+  int key;
+  std::atomic<EscNode*> next;
+};
+
+struct EscDomain {
+  struct Guard {
+    EscNode* protect(std::size_t slot, const std::atomic<EscNode*>& src);
+    void protect_raw(std::size_t slot, EscNode* p);
+    void clear(std::size_t slot);
+  };
+  Guard guard();
+};
+
+struct EscList {
+  std::atomic<EscNode*> head_;
+  EscNode* cached_;
+  EscDomain dom_;
+
+  // BAD: the returned pointer was protected by a guard that dies at
+  // return; the caller holds a reference the domain may reclaim.
+  EscNode* leak_return() {
+    auto g = dom_.guard();
+    EscNode* p = g.protect(0, head_);
+    return p;  // EXPECT-A1
+  }
+
+  // BAD: the protected pointer is stored into a field that outlives the
+  // guard's scope.
+  void leak_store() {
+    auto g = dom_.guard();
+    EscNode* p = g.protect(0, head_);
+    cached_ = p;  // EXPECT-A1
+  }
+
+  // BAD: the pointer is dereferenced after the block holding its guard
+  // has closed.
+  int leak_stale() {
+    EscNode* p = nullptr;
+    {
+      auto g = dom_.guard();
+      p = g.protect(0, head_);
+    }
+    return p->key;  // EXPECT-A1
+  }
+};
+
+}  // namespace fix

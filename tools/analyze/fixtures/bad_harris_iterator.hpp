@@ -1,0 +1,40 @@
+// A1 seeded-bad fixture: a deliberately broken Harris-list iterator.
+// begin() opens a guard, protects the head node, and parks the raw pointer
+// in iterator state that OUTLIVES the guard — the exact escape the paper's
+// reclamation argument forbids (src/list/harris_list.hpp instead threads
+// the caller's guard through find() so protections outlive the traversal).
+#include <atomic>
+#include <cstddef>
+
+namespace fix {
+
+struct HNode {
+  int key;
+  std::atomic<HNode*> link;
+};
+
+struct HDomain {
+  struct HGuard {
+    HNode* protect(std::size_t slot, const std::atomic<HNode*>& src);
+    void protect_raw(std::size_t slot, HNode* p);
+    void clear(std::size_t slot);
+  };
+  HGuard guard();
+};
+
+template <typename Key>
+struct BrokenHarrisIterator {
+  HNode* pos_;
+  std::atomic<HNode*> head_;
+  HDomain dom_;
+
+  // BAD: pos_ survives begin()'s guard; operator++ will dereference a
+  // node the domain is free to reclaim the moment begin() returns.
+  void begin() {
+    auto g = dom_.guard();
+    HNode* first = g.protect(0, head_);
+    pos_ = first;  // EXPECT-A1
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,35 @@
+// A2 seeded-bad fixture: unjustified relaxations and default orders on
+// real call sites, including the shapes the regex lint cannot see
+// (multiline argument lists, macro bodies).
+#include <atomic>
+#include <cstdint>
+
+namespace fix {
+
+inline void mo_bad_bump() {
+  static std::atomic<std::uint32_t> mo_ctr{0};
+  mo_ctr.fetch_add(1, std::memory_order_relaxed);  // EXPECT-A2R1
+}
+
+inline void mo_bad_default_order() {
+  static std::atomic<bool> mo_flag{false};
+  mo_flag.store(true);  // EXPECT-A2R2
+}
+
+inline bool mo_bad_multiline(std::atomic<std::uint32_t>& mo_gen,
+                             std::uint32_t& expected) {
+  return mo_gen.compare_exchange_weak(  // EXPECT-A2R1
+      expected, expected + 1,
+      std::memory_order_relaxed,
+      std::memory_order_relaxed);
+}
+
+// A call site hidden in a macro body: invisible to line-based regexes.
+#define CCDS_FIX_BUMP(counter) \
+  (counter).fetch_add(1, std::memory_order_relaxed)  // EXPECT-A2R1
+
+inline void mo_bad_macro_user(std::atomic<std::uint64_t>& mo_macro_ctr) {
+  CCDS_FIX_BUMP(mo_macro_ctr);
+}
+
+}  // namespace fix

@@ -1,0 +1,29 @@
+// A4 seeded-bad fixture: traversal of atomic link fields with no
+// reclaimer guard anywhere in scope (no local guard, no guard parameter).
+#include <atomic>
+#include <cstddef>
+
+namespace fix {
+
+struct UNode {
+  int key;
+  std::atomic<UNode*> fwd;
+};
+
+struct UList {
+  std::atomic<UNode*> top_;
+
+  // BAD: walks the list's atomic links with nothing protecting the nodes;
+  // any concurrent remove() may reclaim a node mid-walk.
+  int sum_unguarded(UNode* start) {
+    int acc = 0;
+    UNode* cur = start;
+    while (cur != nullptr) {
+      acc += cur->key;
+      cur = cur->fwd.load(std::memory_order_acquire);  // EXPECT-A4
+    }
+    return acc;
+  }
+};
+
+}  // namespace fix

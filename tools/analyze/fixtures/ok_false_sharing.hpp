@@ -1,0 +1,47 @@
+// A3 clean fixture: padded, justified, and read-mostly layouts that the
+// measured-offset check must NOT flag.  Self-contained plain std::atomic
+// so the self-test can cross-check the computed offsets.
+#include <atomic>
+#include <cstdint>
+
+namespace fix {
+
+// Padded: each hot counter gets its own 64-byte line (offsets 0 and 64).
+struct FsOkPadded {
+  alignas(64) std::atomic<std::uint64_t> fs_ok_enq;
+  alignas(64) std::atomic<std::uint64_t> fs_ok_deq;
+};
+
+inline void fs_ok_writer_a(FsOkPadded& s) {
+  s.fs_ok_enq.store(1, std::memory_order_release);
+}
+
+inline void fs_ok_writer_b(FsOkPadded& s) {
+  s.fs_ok_deq.fetch_add(1, std::memory_order_acq_rel);
+}
+
+// unpadded: both fields are written by the single owner thread, so the
+// shared line is deliberate (keeps the pair on one line for its reader).
+struct FsOkJustified {
+  std::atomic<std::uint64_t> fs_ok_a;
+  std::atomic<std::uint64_t> fs_ok_b;
+};
+
+inline void fs_ok_writer_c(FsOkJustified& s) {
+  s.fs_ok_a.store(1, std::memory_order_release);
+  s.fs_ok_b.store(2, std::memory_order_release);
+}
+
+// A written atomic next to a read-mostly one: no remotely-written PAIR
+// forms, so sharing the line is fine.
+struct FsOkReadMostly {
+  std::atomic<std::uint64_t> fs_ok_hot;
+  std::atomic<std::uint64_t> fs_ok_cold;
+};
+
+inline std::uint64_t fs_ok_reader(FsOkReadMostly& s) {
+  s.fs_ok_hot.fetch_add(1, std::memory_order_acq_rel);
+  return s.fs_ok_cold.load(std::memory_order_acquire);
+}
+
+}  // namespace fix

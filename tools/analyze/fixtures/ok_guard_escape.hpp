@@ -1,0 +1,88 @@
+// A1/A4 clean fixture: every guard-derived pointer stays inside its
+// guard's scope, or the guard belongs to the caller.  The analyzer must
+// report NOTHING in this file.
+#include <atomic>
+#include <cstddef>
+
+namespace fix {
+
+struct OkNode {
+  int key;
+  std::atomic<OkNode*> nxt;
+};
+
+struct OkDomain {
+  struct OkGuard {
+    OkNode* protect(std::size_t slot, const std::atomic<OkNode*>& src);
+    void protect_raw(std::size_t slot, OkNode* p);
+    void clear(std::size_t slot);
+  };
+  OkGuard guard();
+  void retire(OkNode* p);
+};
+
+struct OkList {
+  std::atomic<OkNode*> root_;
+  OkDomain dom_;
+
+  using GuardT = OkDomain::OkGuard;
+
+  // The caller owns the guard (harris_list find() shape): pointers
+  // protected under it legitimately outlive this function.
+  OkNode* find_under(int key, GuardT& g) {
+    OkNode* cur = g.protect(0, root_);
+    while (cur != nullptr && cur->key < key) {
+      OkNode* nx = g.protect(1, cur->nxt);
+      cur = nx;
+    }
+    return cur;
+  }
+
+  // Local guard, but the protected pointer never leaves its scope and the
+  // return value is a bool conversion, not the pointer.
+  bool contains(int key) {
+    auto g = dom_.guard();
+    OkNode* cur = g.protect(0, root_);
+    while (cur != nullptr && cur->key < key) {
+      cur = g.protect(1, cur->nxt);
+    }
+    return cur != nullptr && cur->key == key;
+  }
+
+  // Link-field loads under a live local guard are guarded traversal.
+  int sum_guarded(int limit) {
+    auto g = dom_.guard();
+    int acc = 0;
+    OkNode* cur = g.protect(0, root_);
+    while (cur != nullptr && acc < limit) {
+      acc += cur->key;
+      cur = cur->nxt.load(std::memory_order_acquire);
+      g.protect_raw(0, cur);
+    }
+    return acc;
+  }
+
+  // retire() takes the detached node by value — handing it to the domain
+  // after the guard closed is not a dereference.
+  void remove_head() {
+    OkNode* victim = nullptr;
+    {
+      auto g = dom_.guard();
+      victim = g.protect(0, root_);
+    }
+    dom_.retire(victim);
+  }
+
+  // Destructors run at quiescence by contract: the unguarded teardown
+  // walk is exempt from A4.
+  ~OkList() {
+    OkNode* cur = root_.load(std::memory_order_acquire);
+    while (cur != nullptr) {
+      OkNode* nx = cur->nxt.load(std::memory_order_acquire);
+      delete cur;
+      cur = nx;
+    }
+  }
+};
+
+}  // namespace fix

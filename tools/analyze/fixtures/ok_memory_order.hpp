@@ -1,0 +1,26 @@
+// A2 clean fixture: every relaxation and every default order binds to a
+// house justification comment; the self-test asserts the audit records
+// these bindings.
+#include <atomic>
+#include <cstdint>
+
+namespace fix {
+
+// relaxed: pure statistics counter — readers tolerate any interleaving
+// and no other memory is published through it.
+inline void mo_ok_stat_bump(std::atomic<std::uint64_t>& mo_ok_stat) {
+  mo_ok_stat.fetch_add(1, std::memory_order_relaxed);
+}
+
+// seq_cst: this flag is the linearization point of shutdown; the default
+// strongest order is deliberate, not an accident.
+inline void mo_ok_shutdown(std::atomic<bool>& mo_ok_done) {
+  mo_ok_done.store(true);
+}
+
+inline std::uint64_t mo_ok_ordered(std::atomic<std::uint64_t>& mo_ok_val) {
+  mo_ok_val.store(1, std::memory_order_release);
+  return mo_ok_val.load(std::memory_order_acquire);
+}
+
+}  // namespace fix
