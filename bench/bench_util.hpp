@@ -22,11 +22,48 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
+#include <thread>
 
 #include "core/arch.hpp"
 #include "core/rng.hpp"
+#include "core/zipf.hpp"
 
 namespace ccds::bench {
+
+// Thread counts for scaling series (value mirrored by CCDS_BENCH_THREADS
+// below; kept as a constant so the context block can record it).
+inline constexpr int kBenchMaxThreads = 8;
+
+// Bench-context hygiene (ISSUE 7 satellite).  Every bench binary includes
+// this header, so the static initializer below stamps every BENCH_*.json
+// context block with:
+//   ccds_build_type        — "release" iff this binary's own TUs were
+//     compiled with NDEBUG.  The library_build_type key google-benchmark
+//     emits describes the PACKAGED benchmark library (debug on distro
+//     packages), not our code — scripts/run_benchmarks.sh keys its
+//     debug-build refusal on ccds_build_type for exactly that reason.
+//   hardware_concurrency   — what the host actually offers, next to
+//   requested_max_threads  — what the scaling series asks for, and
+//   oversubscribed         — requested > offered.  On small hosts the T=8
+//     series is a preemption-storm measurement, not a parallelism one; the
+//     flag makes every artifact self-describing instead of relying on a
+//     footnote in EXPERIMENTS.md.
+inline const bool kContextRegistered = [] {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("ccds_build_type", "release");
+#else
+  benchmark::AddCustomContext("ccds_build_type", "debug");
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  benchmark::AddCustomContext("hardware_concurrency", std::to_string(hw));
+  benchmark::AddCustomContext("requested_max_threads",
+                              std::to_string(kBenchMaxThreads));
+  benchmark::AddCustomContext(
+      "oversubscribed",
+      static_cast<unsigned>(kBenchMaxThreads) > hw ? "true" : "false");
+  return true;
+}();
 
 // Per-thread deterministic generator, distinct per (thread, run).
 inline Xoshiro256 make_rng(const benchmark::State& state) {
@@ -172,6 +209,56 @@ void run_set_mix(Set& set, benchmark::State& state, std::uint64_t key_range,
   ops.finish();
 }
 
+// Zipfian hot-range mix for set-like structures (E17): 90% of operations
+// draw a zipfian rank over a small CONTIGUOUS hot range at the HIGH end of
+// the key space, 10% are uniform background over the full range (so the
+// structure keeps realistic size and tower height while the hot range
+// concentrates the conflicts).  Rank r maps to key key_range-1-r: the
+// hottest keys sit at the far right of the key space, so (a) the
+// bottom-level predecessors of the most-contended keys are the other
+// most-contended keys, and (b) a traversal to a hot key crosses the full
+// O(log n) descent — hot keys adjacent to the head would make a restart
+// re-descent artificially cheap.  (a) is deliberate and adversarial for
+// recovery: the window a thread holds when it gets interrupted near a hot
+// key is built from exactly the nodes most likely to have churned away by
+// the time it resumes — every conflict then pays the recovery path under
+// ablation.
+// hot.size() and key_range must be powers of two.
+//
+// `progress`, when non-null, is bumped once per operation; a caller that
+// pairs this loop with paced background threads (E17's churners) reads it
+// to stay in lockstep with the measured threads.
+template <typename Set>
+void run_set_mix_zipf(Set& set, benchmark::State& state,
+                      std::uint64_t key_range, const ZipfianGenerator& hot,
+                      int read_pct, int insert_pct,
+                      std::atomic<std::uint64_t>* progress = nullptr) {
+  Xoshiro256 rng = make_rng(state);
+  ThreadOps ops(state);
+  for (auto _ : state) {
+    const std::uint64_t r = rng.next();
+    std::uint64_t key;
+    if (r % 10 != 0) {
+      key = key_range - 1 - hot.next(rng);
+    } else {
+      key = (r >> 32) & (key_range - 1);
+    }
+    const int op = static_cast<int>((r >> 8) % 100);
+    if (op < read_pct) {
+      benchmark::DoNotOptimize(set.contains(key));
+    } else if (op < read_pct + insert_pct) {
+      benchmark::DoNotOptimize(set.insert(key));
+    } else {
+      benchmark::DoNotOptimize(set.remove(key));
+    }
+    if (progress != nullptr) {
+      progress->fetch_add(1, std::memory_order_relaxed);  // relaxed: pacing counter, no data guarded
+    }
+    ops.tick();
+  }
+  ops.finish();
+}
+
 // Same for map-like structures (get/insert/erase).
 template <typename Map>
 void run_map_mix(Map& map, benchmark::State& state, std::uint64_t key_range,
@@ -225,7 +312,7 @@ void prefill_map(Map& map, std::uint64_t key_range) {
 #define CCDS_BENCH_MIX_ARGS                    \
   ->Args({90, 9})->Args({70, 20})->Args({50, 25})->Args({0, 50})
 
-// Thread counts for scaling series.
+// Thread counts for scaling series (max must match kBenchMaxThreads above).
 #define CCDS_BENCH_THREADS ->ThreadRange(1, 8)->UseRealTime()
 
 }  // namespace ccds::bench

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Gate BENCH_skiplists.json on the E17 recovery-ablation contract.
+
+Two layers, because CI smoke runs (min_time ~1ms) produce real rows but
+meaningless timings:
+
+  structural (always):
+    - every E17 row is present: Uniform{Local,Restart} x T in {1,4,8} and
+      Zipf{Local,Restart}Preempt x alpha in {9,12} x T in {1,4,8}, as
+      median aggregates (repetitions are baked into the registrations);
+    - the context block proves the artifact is honest: ccds_build_type is
+      "release" and the oversubscription facts are recorded;
+    - the recovery counters segregate by knob: zipf rows carry the
+      *_per_op counter schema, and neither variant leaks the other's
+      recovery events (backtracks stay zero under kRestart, head restarts
+      stay zero under kLocal) at any run length.
+
+  performance (--perf, for real artifacts):
+    - conflict evidence: the contended zipf cells actually recorded
+      recovery events (backtracks under kLocal, head restarts under
+      kRestart) — a perf artifact with idle counters means the harness
+      silently stopped producing conflicts and every ratio below it is
+      measuring nothing;
+    - comparison-work ratio at T=8: Restart burns >= CPO_FLOOR x the
+      comparisons per op of Local for each alpha.  comparisons_per_op
+      comes from an instrumented comparator on the measured threads only,
+      so it is immune to wall-clock noise (scheduler, churner dilution,
+      heap layout) — it is the direct mechanism evidence that restart
+      recovery re-pays whole descents where backlinks re-pay 2-3 links;
+    - wall-clock at T=8: Local >= RATIO_FLOOR x Restart (median
+      items_per_second) for each alpha;
+    - uniform legs (the "backlinks are free when idle" claim): Local's
+      comparisons_per_op matches Restart's within UNIFORM_CPO_TOLERANCE
+      at every thread count — the two variants run identical code until a
+      conflict, and the uniform mix's conflicts are negligible, so work
+      done must be equal.  Wall clock only backstops gross regressions
+      (UNIFORM_TOLERANCE): the uniform rows at T >= 4 are oversubscribed
+      fast rows whose median-of-5 wall clock still carries cv 0.12-0.23
+      on this host, swamping any real sub-10% effect.
+
+RATIO_FLOOR is 1.05 on this repo's 1-CPU measurement host, NOT the >= 1.5x
+a multicore host shows: with an honest restart baseline (full re-descent,
+no O(n) strawman) and unbiased preemption injection, conflicts/op are
+structurally capped around 0.3 when only one operation can run at a time,
+which caps the ablation ratio near 1 + restarts/op ~= 1.2-1.3; measured
+medians land at 1.11-1.25x wall clock and 1.11-1.17x comparison work,
+with run-to-run wall-clock scatter of ~0.1.  (T=1 legs pin the harness
+noise floor: with deterministic keyed towers both variants run identical
+instruction streams there and measure within 2% wall / 0.1% comparisons.)
+See the E17 section of EXPERIMENTS.md for the model, the measured
+counters, and the strawman baselines that were rejected on the way here.
+The floors assert the mechanism's direction survives noise; the counters
+assert its magnitude evidence is present.
+"""
+import json
+import sys
+
+RATIO_FLOOR = 1.05
+CPO_FLOOR = 1.05
+UNIFORM_TOLERANCE = 0.25
+UNIFORM_CPO_TOLERANCE = 0.02
+
+THREADS = (1, 4, 8)
+ALPHAS = (9, 12)
+
+
+def median_rows(benchmarks):
+    rows = {}
+    for b in benchmarks:
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        rows[b["name"]] = b
+    return rows
+
+
+def uniform_name(variant, threads):
+    return ("BM_SkipRecoveryUniform<LockFreeSkip%s>/repeats:5/"
+            "real_time/threads:%d_median" % (variant, threads))
+
+
+def zipf_name(variant, alpha, threads):
+    return ("BM_SkipRecoveryZipf<LockFreeSkip%sPreempt>/%d/repeats:5/"
+            "real_time/threads:%d_median" % (variant, alpha, threads))
+
+
+def main():
+    perf = "--perf" in sys.argv
+    path = next((a for a in sys.argv[1:] if not a.startswith("--")),
+                "BENCH_skiplists.json")
+    data = json.load(open(path))
+    errors = []
+
+    ctx = data.get("context", {})
+    if ctx.get("ccds_build_type") != "release":
+        errors.append("context.ccds_build_type=%r, need 'release'"
+                      % ctx.get("ccds_build_type"))
+    for key in ("hardware_concurrency", "requested_max_threads",
+                "oversubscribed"):
+        if key not in ctx:
+            errors.append("context missing %r (bench_util.hpp stamps it)" % key)
+
+    rows = median_rows(data.get("benchmarks", []))
+    need = [uniform_name(v, t) for v in ("Local", "Restart") for t in THREADS]
+    need += [zipf_name(v, a, t) for v in ("Local", "Restart")
+             for a in ALPHAS for t in THREADS]
+    missing = [n for n in need if n not in rows]
+    if missing:
+        errors.append("missing E17 rows: %s" % ", ".join(missing))
+
+    if not missing:
+        # Counter schema + knob purity on every zipf cell (safe at any run
+        # length: absence of the other variant's events is expected even in
+        # a 1ms smoke run, presence is a leak).
+        for a in ALPHAS:
+            for t in THREADS:
+                loc = rows[zipf_name("Local", a, t)]
+                res = rows[zipf_name("Restart", a, t)]
+                for row in (loc, res):
+                    for c in ("backtracks_per_op", "head_restarts_per_op",
+                              "helps_per_op", "comparisons_per_op"):
+                        if c not in row:
+                            errors.append("%s: missing counter %s"
+                                          % (row["name"], c))
+                if loc.get("head_restarts_per_op", 0) != 0:
+                    errors.append("%s: head restarts on the Local variant "
+                                  "(knob leak)" % loc["name"])
+                if res.get("backtracks_per_op", 0) != 0:
+                    errors.append("%s: backtracks on the Restart variant "
+                                  "(knob leak)" % res["name"])
+        for v in ("Local", "Restart"):
+            for t in THREADS:
+                if "comparisons_per_op" not in rows[uniform_name(v, t)]:
+                    errors.append("%s: missing counter comparisons_per_op"
+                                  % uniform_name(v, t))
+
+    if perf and not missing:
+        # Conflict evidence: a perf artifact with idle counters means the
+        # contention harness silently stopped producing conflicts and the
+        # ratio below is measuring nothing.
+        for a in ALPHAS:
+            for t in (4, 8):
+                if rows[zipf_name("Local", a, t)].get("backtracks_per_op", 0) <= 0:
+                    errors.append("%s: no backtracks - harness produced no "
+                                  "conflicts" % zipf_name("Local", a, t))
+                if rows[zipf_name("Restart", a, t)].get(
+                        "head_restarts_per_op", 0) <= 0:
+                    errors.append("%s: no head restarts - harness produced "
+                                  "no conflicts" % zipf_name("Restart", a, t))
+        for a in ALPHAS:
+            loc = rows[zipf_name("Local", a, 8)]
+            res = rows[zipf_name("Restart", a, 8)]
+            cpo = (res.get("comparisons_per_op", 0) /
+                   max(loc.get("comparisons_per_op", 0), 1e-9))
+            ratio = loc["items_per_second"] / res["items_per_second"]
+            print("zipf alpha=%.1f T=8: local/restart = %.3f wall, "
+                  "restart/local = %.3f comparisons" % (a / 10, ratio, cpo))
+            if cpo < CPO_FLOOR:
+                errors.append("zipf alpha=%.1f T=8 comparison-work ratio "
+                              "%.3f < floor %.2f" % (a / 10, cpo, CPO_FLOOR))
+            if ratio < RATIO_FLOOR:
+                errors.append("zipf alpha=%.1f T=8 ratio %.3f < floor %.2f"
+                              % (a / 10, ratio, RATIO_FLOOR))
+        for t in THREADS:
+            loc = rows[uniform_name("Local", t)]
+            res = rows[uniform_name("Restart", t)]
+            cpo = (loc.get("comparisons_per_op", 0) /
+                   max(res.get("comparisons_per_op", 0), 1e-9))
+            ratio = loc["items_per_second"] / res["items_per_second"]
+            print("uniform T=%d: local/restart = %.3f wall, %.3f comparisons"
+                  % (t, ratio, cpo))
+            if abs(cpo - 1.0) > UNIFORM_CPO_TOLERANCE:
+                errors.append("uniform T=%d: comparison work differs %.1f%% "
+                              "(tolerance %.0f%%) - backlinks are not free "
+                              "when idle" % (t, abs(cpo - 1) * 100,
+                                             UNIFORM_CPO_TOLERANCE * 100))
+            if ratio < 1.0 - UNIFORM_TOLERANCE:
+                errors.append("uniform T=%d: local regresses %.1f%% vs "
+                              "restart (gross-regression backstop %.0f%%)"
+                              % (t, (1 - ratio) * 100, UNIFORM_TOLERANCE * 100))
+
+    if errors:
+        sys.exit("check_skiplist_recovery: FAIL\n  " + "\n  ".join(errors))
+    print("check_skiplist_recovery: %d E17 rows OK%s"
+          % (len(need), " (+perf gates)" if perf else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -29,11 +29,34 @@ for b in "$root/$build"/bench/bench_*; do
   fi
   out="$root/BENCH_${suite}.json"
   echo "== bench_${suite} -> $(basename "$out")"
+  # Random interleaving spreads the repetitions of repeated benchmarks
+  # across the run instead of back-to-back, so slow drift (heap layout,
+  # thermal, background load) lands on every benchmark's median instead of
+  # whichever ran last.  No-op for suites that register single runs.
   if ! timeout 1800 "$b" \
       --benchmark_min_time="$min_time" \
+      --benchmark_enable_random_interleaving=true \
       --benchmark_format=json > "$out.tmp" 2> "$out.err"; then
     echo "!! bench_${suite} FAILED:" >&2
     tail -20 "$out.err" >&2
+    rm -f "$out.tmp" "$out.err"
+    failures=$((failures + 1))
+    continue
+  fi
+  # Debug-build refusal: a debug-compiled bench binary produces numbers
+  # that look plausible and mean nothing.  The binary stamps its own build
+  # type into the JSON context as ccds_build_type (bench_util.hpp; the
+  # library_build_type key only describes the packaged google-benchmark
+  # library, which distros ship as debug).  Refuse to publish the artifact
+  # unless our own TUs were built with NDEBUG.
+  ctype="$(python3 -c '
+import json, sys
+print(json.load(open(sys.argv[1]))["context"].get("ccds_build_type", "missing"))
+' "$out.tmp")"
+  if [ "$ctype" != "release" ]; then
+    echo "!! bench_${suite}: refusing to emit $(basename "$out"):" \
+         "ccds_build_type=\"$ctype\" (need a release/NDEBUG build," \
+         "e.g. -DCMAKE_BUILD_TYPE=Release)" >&2
     rm -f "$out.tmp" "$out.err"
     failures=$((failures + 1))
     continue

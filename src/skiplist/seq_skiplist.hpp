@@ -22,6 +22,25 @@ inline int skiplist_random_level() noexcept {
   return zeros >= kSkipListMaxLevel ? kSkipListMaxLevel : zeros + 1;
 }
 
+// Deterministic geometric level draw keyed on a hash of the element: the
+// same key always gets the same tower height, so a set's shape is a pure
+// function of its key set, independent of insertion order, thread
+// interleaving, or churn history.  The E17 ablation harness uses this
+// (SkipListLevels::kKeyed) to compare two variants on structurally
+// identical sets — with RNG levels, remove/reinsert churn makes two
+// long-lived sets drift apart structurally, and the resulting few-percent
+// traversal-cost asymmetry is the same order as the effect under test.
+// Mixer is splitmix64's finalizer (avalanches low bits, which ctz reads).
+inline int skiplist_keyed_level(std::uint64_t h) noexcept {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  const int zeros = h == 0 ? 63 : __builtin_ctzll(h);
+  return zeros >= kSkipListMaxLevel ? kSkipListMaxLevel : zeros + 1;
+}
+
 template <typename Key, typename Compare = std::less<Key>>
 class SeqSkipListSet {
  public:

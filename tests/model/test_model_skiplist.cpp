@@ -1,0 +1,349 @@
+// Bounded model checking of the Fomitchev–Ruppert deletion protocol that
+// skiplist/lockfree_skiplist.hpp runs at every level: flag the predecessor's
+// link, set the victim's backlink and mark its link, then help-unlink — with
+// failed operations recovering through the backlink chain instead of
+// restarting from the head.
+//
+// The full skiplist has too many schedule points to exhaust, so this suite
+// distills ONE level of the protocol to its moves, exactly as
+// test_model_reclaim.cpp distills the hazard-pointer Dekker: nodes are small
+// integer ids, each node's link is a single Atomic word packing
+// (successor << 2) | bits with bit0 = mark and bit1 = flag, and backlinks
+// are plain Atomic ids.  The move sequence per operation is the same as the
+// header's (try_flag / mark-with-backlink / help_unlink; insert splices only
+// through a clean link and escapes marked predecessors via the backlink), so
+// every interleaving the explorer enumerates is an interleaving the real
+// per-level protocol admits.
+//
+// The seeded bug is the classic ordering mistake the protocol exists to
+// rule out: unlinking the victim BEFORE marking its link.  In the window
+// between those two steps the victim's link is clean, so a concurrent
+// insert can splice behind an already-unlinked node and the key vanishes.
+// The explorer finds that schedule and replays it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/atomic.hpp"
+#include "model/scheduler.hpp"
+#include "model/shim.hpp"
+
+namespace ccds {
+namespace {
+
+using model::Options;
+using model::Result;
+
+// ---------------------------------------------------------------------------
+// Distilled single-level protocol state.
+//
+//   id:   0 = head (key min), 1..5 = real nodes, 7 = null sentinel
+//   link: (succ << 2) | bits,  bit0 = kMark, bit1 = kFlag (never both)
+// ---------------------------------------------------------------------------
+
+constexpr int kNull = 7;
+constexpr std::uint64_t kMark = 1;
+constexpr std::uint64_t kFlag = 2;
+constexpr int kHead = 0;
+
+constexpr std::uint64_t pack(int succ, std::uint64_t bits) {
+  return (static_cast<std::uint64_t>(succ) << 2) | bits;
+}
+constexpr int succ_of(std::uint64_t link) { return static_cast<int>(link >> 2); }
+constexpr std::uint64_t bits_of(std::uint64_t link) { return link & 3; }
+
+struct Level {
+  Atomic<std::uint64_t> link[8];
+  Atomic<int> backlink[8];
+  int key[8] = {};
+
+  // Build head -> chain[0] -> chain[1] -> ... -> null.
+  void init(std::initializer_list<int> ids, std::initializer_list<int> keys) {
+    key[kHead] = -1;
+    key[kNull] = 1 << 20;
+    auto k = keys.begin();
+    for (int id : ids) key[id] = *k++;
+    int prev = kHead;
+    for (int id : ids) {
+      if (key[id] >= (1 << 10)) continue;  // staged node, not yet linked
+      link[prev].store(pack(id, 0), std::memory_order_relaxed);  // relaxed: pre-spawn init, ordered by the spawn edge
+      prev = id;
+    }
+    link[prev].store(pack(kNull, 0), std::memory_order_relaxed);  // relaxed: pre-spawn init
+  }
+
+  // Finish a flagged predecessor: mark the flagged successor (setting its
+  // backlink first) and swing pred's link past it.  Mirrors
+  // help_flagged()/help_marked() in the header.
+  void help_flagged(int pred, int victim) {
+    backlink[victim].store(pred, std::memory_order_release);
+    for (;;) {
+      std::uint64_t vs = link[victim].load(std::memory_order_acquire);
+      if (bits_of(vs) & kMark) break;
+      if (bits_of(vs) & kFlag) {  // victim is itself deleting its successor
+        help_flagged(victim, succ_of(vs));
+        continue;
+      }
+      std::uint64_t expected = vs;
+      if (link[victim].compare_exchange_strong(
+              expected, vs | kMark, std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {  // relaxed: failure value unused, loop re-reads
+        break;
+      }
+    }
+    std::uint64_t vs = link[victim].load(std::memory_order_acquire);
+    std::uint64_t expected = pack(victim, kFlag);
+    link[pred].compare_exchange_strong(
+        expected, pack(succ_of(vs), 0), std::memory_order_acq_rel,
+        std::memory_order_relaxed);  // relaxed: failure value unused, someone else unlinked
+  }
+
+  // Insert key[node] starting the window search at `pred` (the head in
+  // these tests).  Returns once spliced.  Marked predecessors are escaped
+  // through the backlink chain — the local-recovery move under test.
+  void insert(int node, int pred) {
+    for (;;) {
+      std::uint64_t ps = link[pred].load(std::memory_order_acquire);
+      if (bits_of(ps) & kMark) {
+        pred = backlink[pred].load(std::memory_order_acquire);
+        continue;
+      }
+      const int next = succ_of(ps);
+      if (bits_of(ps) & kFlag) {
+        // Help BEFORE the key comparison: walking right through a flagged
+        // link can land on a marked node whose backlink points straight
+        // back here — an escape cycle that never terminates if the deleter
+        // is starved.  Helping first makes the searcher itself guarantee
+        // progress, which is what makes the protocol lock-free.
+        help_flagged(pred, next);
+        continue;
+      }
+      if (key[next] < key[node]) {
+        pred = next;
+        continue;
+      }
+      link[node].store(pack(next, 0), std::memory_order_release);
+      std::uint64_t expected = ps;  // bits are 0 here
+      if (link[pred].compare_exchange_strong(
+              expected, pack(node, 0), std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {  // relaxed: failure value unused, loop re-reads
+        return;
+      }
+    }
+  }
+
+  // Remove the node with key `k`, searching from `pred`.  Returns true iff
+  // THIS call won the flag CAS — flagging is exclusive and confers
+  // ownership of the deletion (a helper may legitimately perform the mark
+  // on the owner's behalf), so two concurrent removers of the same key see
+  // exactly one success.  `unlink_before_mark` seeds the ordering bug.
+  bool remove(int k, int pred, bool unlink_before_mark = false) {
+    int victim;
+    for (;;) {  // try_flag
+      std::uint64_t ps = link[pred].load(std::memory_order_acquire);
+      if (bits_of(ps) & kMark) {
+        pred = backlink[pred].load(std::memory_order_acquire);
+        continue;
+      }
+      victim = succ_of(ps);
+      if (bits_of(ps) & kFlag) {
+        // Help before walking right (same escape-cycle hazard as in
+        // insert()).  If the flagged node carried our key, the competitor
+        // owns its deletion and we lost the race.
+        help_flagged(pred, victim);
+        if (key[victim] == k) return false;
+        continue;
+      }
+      if (key[victim] > k) return false;  // already gone
+      if (key[victim] < k) {
+        pred = victim;
+        continue;
+      }
+      std::uint64_t expected = ps;
+      if (link[pred].compare_exchange_strong(
+              expected, pack(victim, kFlag), std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {  // relaxed: failure value unused, loop re-reads
+        break;
+      }
+    }
+
+    if (unlink_before_mark) {
+      // SEEDED BUG: swing pred past the victim while the victim's own link
+      // is still clean, then mark.  A concurrent insert that chose the
+      // victim as its predecessor sees no mark, splices behind an unlinked
+      // node, and loses its key.
+      std::uint64_t vs = link[victim].load(std::memory_order_acquire);
+      std::uint64_t expected = pack(victim, kFlag);
+      link[pred].compare_exchange_strong(
+          expected, pack(succ_of(vs), 0), std::memory_order_acq_rel,
+          std::memory_order_relaxed);  // relaxed: failure value unused
+      backlink[victim].store(pred, std::memory_order_release);
+      expected = vs;
+      link[victim].compare_exchange_strong(
+          expected, vs | kMark, std::memory_order_acq_rel,
+          std::memory_order_relaxed);  // relaxed: failure value unused
+      return true;
+    }
+
+    // Correct order: backlink, mark, THEN unlink.  A helper may beat us to
+    // the mark (it is helping OUR flagged deletion), so the mark loop just
+    // ensures completion; ownership was decided by the flag CAS above.
+    backlink[victim].store(pred, std::memory_order_release);
+    for (;;) {
+      std::uint64_t vs = link[victim].load(std::memory_order_acquire);
+      if (bits_of(vs) & kMark) break;
+      if (bits_of(vs) & kFlag) {
+        help_flagged(victim, succ_of(vs));
+        continue;
+      }
+      std::uint64_t expected = vs;
+      if (link[victim].compare_exchange_strong(
+              expected, vs | kMark, std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {  // relaxed: failure value unused, loop re-reads
+        break;
+      }
+    }
+    const std::uint64_t vs = link[victim].load(std::memory_order_acquire);
+    std::uint64_t expected = pack(victim, kFlag);
+    link[pred].compare_exchange_strong(
+        expected, pack(succ_of(vs), 0), std::memory_order_acq_rel,
+        std::memory_order_relaxed);  // relaxed: failure value unused, someone else unlinked
+    return true;
+  }
+
+  // Post-join structural check: walk the list and assert every link is
+  // clean (all flags resolved, all marked nodes physically unlinked) and
+  // the surviving keys are exactly `expect`.
+  void check_final(std::initializer_list<int> expect) {
+    auto it = expect.begin();
+    int cur = kHead;
+    for (;;) {
+      const std::uint64_t l = link[cur].load(std::memory_order_acquire);
+      CCDS_MODEL_ASSERT(bits_of(l) == 0);
+      cur = succ_of(l);
+      if (cur == kNull) break;
+      CCDS_MODEL_ASSERT(it != expect.end());
+      CCDS_MODEL_ASSERT(key[cur] == *it);
+      ++it;
+    }
+    CCDS_MODEL_ASSERT(it == expect.end());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 1. Two concurrent removers of the same key: the flag CAS arbitrates, the
+// loser helps, exactly one mark wins, and helping leaves the list clean on
+// every schedule.
+// ---------------------------------------------------------------------------
+
+void duel_remove() {
+  Level lv;
+  // head -> A(10) -> B(20) -> C(30)
+  lv.init({1, 2, 3}, {10, 20, 30});
+  Atomic<int> wins{0};
+
+  model::thread other([&] {
+    if (lv.remove(20, kHead)) {
+      wins.fetch_add(1, std::memory_order_acq_rel);
+    }
+  });
+
+  if (lv.remove(20, kHead)) {
+    wins.fetch_add(1, std::memory_order_acq_rel);
+  }
+  other.join();
+
+  CCDS_MODEL_ASSERT(wins.load(std::memory_order_acquire) == 1);
+  lv.check_final({10, 30});
+}
+
+TEST(ModelSkiplist, ConcurrentRemoveOneWinnerAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, duel_remove);
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 10);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Insert racing a remove of its predecessor: the inserter's splice CAS
+// fails on the marked link, escapes through the backlink, and re-splices
+// after the survivor — the key must never be lost, on any schedule.
+// ---------------------------------------------------------------------------
+
+void insert_vs_remove(bool unlink_before_mark) {
+  Level lv;
+  // head -> A(10) -> B(20) -> C(30); D(25) staged (key >= 2^10 marks a
+  // node as unlinked in init, so stage D with its real key set after).
+  lv.init({1, 2, 3, 4}, {10, 20, 30, 1 << 10});
+  lv.key[4] = 25;
+
+  model::thread remover([&] { lv.remove(20, kHead, unlink_before_mark); });
+
+  lv.insert(4, kHead);  // D's window is (B, C) unless B's deletion intervenes
+  remover.join();
+
+  lv.check_final({10, 25, 30});
+}
+
+TEST(ModelSkiplist, InsertSurvivesPredecessorRemovalAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] { insert_vs_remove(false); });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 10);
+}
+
+TEST(ModelSkiplist, UnlinkBeforeMarkBugCaught) {
+  Options opts;
+  Result res = model::explore(opts, [] { insert_vs_remove(true); });
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("CCDS_MODEL_ASSERT"), std::string::npos)
+      << res.error;
+  EXPECT_FALSE(res.schedule.empty());
+
+  // The recorded schedule replays the exact lost-insert interleaving.
+  Options replay;
+  replay.replay = res.schedule;
+  Result again = model::explore(replay, [] { insert_vs_remove(true); });
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.executions, 1);
+  EXPECT_EQ(again.error, res.error);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Backlink chain escape: both of the inserter's candidate predecessors
+// are deleted out from under it (B then A), so recovery may have to take
+// TWO backlink hops (B -> A -> head) before the splice lands.
+// ---------------------------------------------------------------------------
+
+void chain_escape() {
+  Level lv;
+  // head -> A(10) -> B(20) -> C(30); D(25) staged.
+  lv.init({1, 2, 3, 4}, {10, 20, 30, 1 << 10});
+  lv.key[4] = 25;
+
+  model::thread remover([&] {
+    lv.remove(20, kHead);  // unlink B first so A's backlink matters next
+    lv.remove(10, kHead);
+  });
+
+  lv.insert(4, kHead);
+  remover.join();
+
+  lv.check_final({25, 30});
+}
+
+TEST(ModelSkiplist, BacklinkChainEscapeAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, chain_escape);
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 10);
+}
+
+}  // namespace
+}  // namespace ccds

@@ -275,6 +275,35 @@ TYPED_TEST(PolicyTest, LockFreeSkipListConcurrentChurn) {
   expect_drained(s.domain());
 }
 
+// The kRestart ablation baseline (bench_skiplists.cpp E17) is shipped code
+// and must hold up across the same six-policy matrix as the default
+// local-recovery build — including the pointer-based domains, where the
+// knob is moot (HP always restarts) but the instantiation must still
+// compile and run.
+TYPED_TEST(PolicyTest, LockFreeSkipListRestartConcurrentChurn) {
+  LockFreeSkipListSet<std::uint64_t, std::less<std::uint64_t>, TypeParam,
+                      SkipListRecovery::kRestart>
+      s;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1200;
+  std::atomic<int> failures{0};
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    const std::uint64_t base = idx * kPerThread;
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      if (!s.insert(base + i)) failures.fetch_add(1);
+      if (!s.contains(base + i)) failures.fetch_add(1);
+    }
+    for (std::uint64_t i = 0; i < kPerThread; i += 2) {
+      if (!s.remove(base + i)) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+  for (std::uint64_t i = 0; i < kThreads * kPerThread; ++i) {
+    ASSERT_EQ(s.contains(i), (i % 2) == 1) << "key " << i;
+  }
+  expect_drained(s.domain());
+}
+
 TYPED_TEST(PolicyTest, LazySkipListConcurrentChurn) {
   LazySkipListSet<std::uint64_t, std::less<std::uint64_t>, TtasLock,
                   TypeParam>
@@ -294,6 +323,42 @@ TYPED_TEST(PolicyTest, LazySkipListConcurrentChurn) {
   EXPECT_EQ(failures.load(), 0);
   for (std::uint64_t i = 0; i < kThreads * kPerThread; ++i) {
     ASSERT_EQ(s.contains(i), (i % 2) == 1) << "key " << i;
+  }
+  expect_drained(s.domain());
+}
+
+// Contended flavor: all threads fight over one 32-key range, so the lazy
+// list's unlock-validate-retry path and its deferred node retirement both
+// run hot under every policy.  Per-thread net counters make the final
+// state checkable without any cross-thread coordination during the run.
+TYPED_TEST(PolicyTest, LazySkipListContendedConservation) {
+  LazySkipListSet<std::uint64_t, std::less<std::uint64_t>, TtasLock,
+                  TypeParam>
+      s;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kKeys = 32;
+  constexpr int kOps = 8000;
+  std::vector<std::vector<std::int64_t>> net(
+      kThreads, std::vector<std::int64_t>(kKeys, 0));
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    auto& mine = net[idx];
+    std::uint64_t state = idx * 77779 + 3;
+    for (int i = 0; i < kOps; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t key = (state >> 33) % kKeys;
+      if ((state >> 13) & 1) {
+        if (s.insert(key)) mine[key] += 1;
+      } else {
+        if (s.remove(key)) mine[key] -= 1;
+      }
+    }
+  });
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    std::int64_t total = 0;
+    for (std::size_t t = 0; t < kThreads; ++t) total += net[t][k];
+    ASSERT_GE(total, 0) << "key " << k;
+    ASSERT_LE(total, 1) << "key " << k;
+    EXPECT_EQ(s.contains(k), total == 1) << "key " << k;
   }
   expect_drained(s.domain());
 }

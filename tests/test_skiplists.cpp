@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "reclaim/hazard.hpp"
 #include "skiplist/lazy_skiplist.hpp"
 #include "skiplist/lockfree_skiplist.hpp"
 #include "skiplist/seq_skiplist.hpp"
@@ -17,6 +18,18 @@
 namespace ccds {
 namespace {
 
+// Both recovery modes of the lock-free list run the full set suites: the
+// kRestart ablation baseline is shipped code (bench_skiplists.cpp measures
+// it), and the hazard-domain build exercises the pointer-based mark-only
+// protocol (backlinks are unvalidatable under HP, so that configuration
+// takes the restart path regardless of the knob).
+using LockFreeSkipRestart =
+    LockFreeSkipListSet<std::uint64_t, std::less<std::uint64_t>, EpochDomain,
+                        SkipListRecovery::kRestart>;
+using LockFreeSkipHazard =
+    LockFreeSkipListSet<std::uint64_t, std::less<std::uint64_t>,
+                        WideHazardDomain>;
+
 template <typename S>
 class SkipListSetTest : public ::testing::Test {};
 
@@ -24,7 +37,8 @@ using SkipListSetTypes =
     ::testing::Types<SeqSkipListSet<std::uint64_t>,
                      CoarseSkipListSet<std::uint64_t>,
                      LazySkipListSet<std::uint64_t>,
-                     LockFreeSkipListSet<std::uint64_t>>;
+                     LockFreeSkipListSet<std::uint64_t>, LockFreeSkipRestart,
+                     LockFreeSkipHazard>;
 TYPED_TEST_SUITE(SkipListSetTest, SkipListSetTypes);
 
 TYPED_TEST(SkipListSetTest, BasicSetSemantics) {
@@ -80,7 +94,8 @@ class ConcurrentSkipListTest : public ::testing::Test {};
 using ConcurrentSkipListTypes =
     ::testing::Types<CoarseSkipListSet<std::uint64_t>,
                      LazySkipListSet<std::uint64_t>,
-                     LockFreeSkipListSet<std::uint64_t>>;
+                     LockFreeSkipListSet<std::uint64_t>, LockFreeSkipRestart,
+                     LockFreeSkipHazard>;
 TYPED_TEST_SUITE(ConcurrentSkipListTest, ConcurrentSkipListTypes);
 
 TYPED_TEST(ConcurrentSkipListTest, DisjointKeyRanges) {

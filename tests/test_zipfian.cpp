@@ -1,0 +1,95 @@
+// Distribution-mass sanity for the zipfian sampler behind the E17
+// contention benches: if the sampler is wrong, the "hot-key" benchmark is
+// measuring a different workload than it claims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/zipf.hpp"
+
+namespace ccds {
+namespace {
+
+std::vector<double> empirical_mass(const ZipfianGenerator& z,
+                                   std::uint64_t samples) {
+  Xoshiro256 rng(0xE17);
+  std::vector<double> freq(z.size(), 0.0);
+  for (std::uint64_t i = 0; i < samples; ++i) freq[z.next(rng)] += 1.0;
+  for (auto& f : freq) f /= static_cast<double>(samples);
+  return freq;
+}
+
+// Exact target mass: p(rank) = rank^-alpha / H_n(alpha).
+std::vector<double> exact_mass(std::uint64_t n, double alpha) {
+  std::vector<double> p(n);
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    p[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    total += p[i];
+  }
+  for (auto& v : p) v /= total;
+  return p;
+}
+
+TEST(Zipfian, AlphaZeroIsUniform) {
+  constexpr std::uint64_t kN = 256;
+  constexpr std::uint64_t kSamples = 1 << 20;
+  ZipfianGenerator z(kN, 0.0);
+  const auto freq = empirical_mass(z, kSamples);
+  // Every rank's empirical mass within 15% relative of 1/n (expected count
+  // 4096 per rank; 3-sigma binomial noise is ~4.7% relative).
+  const double uniform = 1.0 / static_cast<double>(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(freq[i], uniform, 0.15 * uniform) << "rank " << i;
+  }
+}
+
+TEST(Zipfian, AlphaTwelveTenthsMatchesExactMass) {
+  constexpr std::uint64_t kN = 1024;
+  constexpr std::uint64_t kSamples = 1 << 20;
+  ZipfianGenerator z(kN, 1.2);
+  const auto freq = empirical_mass(z, kSamples);
+  const auto p = exact_mass(kN, 1.2);
+
+  // Head ranks carry enough mass for tight relative checks.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(freq[i], p[i], 0.05 * p[i]) << "rank " << i;
+  }
+  // Rank 0 alone must dominate: ~23% of all draws at these parameters.
+  EXPECT_GT(freq[0], 0.20);
+  // Aggregate tail mass (ranks 512..1023) is tiny but nonzero.
+  double tail_freq = 0.0;
+  double tail_p = 0.0;
+  for (std::uint64_t i = kN / 2; i < kN; ++i) {
+    tail_freq += freq[i];
+    tail_p += p[i];
+  }
+  EXPECT_NEAR(tail_freq, tail_p, 0.10 * tail_p);
+  // Mass decreases with rank (checked on decile sums to average out noise).
+  double prev = 1.0;
+  for (int d = 0; d < 10; ++d) {
+    double decile = 0.0;
+    for (std::uint64_t i = d * (kN / 10); i < (d + 1) * (kN / 10); ++i) {
+      decile += freq[i];
+    }
+    EXPECT_LT(decile, prev) << "decile " << d;
+    prev = decile;
+  }
+}
+
+TEST(Zipfian, DrawsStayInRangeAndDeterministic) {
+  ZipfianGenerator z(37, 0.9);  // non-power-of-two n
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t va = z.next(a);
+    ASSERT_LT(va, 37u);
+    ASSERT_EQ(va, z.next(b));  // same seed, same stream
+  }
+}
+
+}  // namespace
+}  // namespace ccds
