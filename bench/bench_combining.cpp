@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -69,6 +70,11 @@ void BM_QueueMix(benchmark::State& state) {
     ops.tick();
   }
   ops.finish();
+  if constexpr (std::is_same_v<Queue, CombiningQueue<std::uint64_t, CcSynch>> ||
+                std::is_same_v<Queue,
+                               CombiningQueue<std::uint64_t, FlatCombiner>>) {
+    ccds::bench::report_combining_front(state);
+  }
   if (state.thread_index() == 0) {
     delete q;
     q = nullptr;
@@ -109,6 +115,8 @@ void BM_QueueBatch8(benchmark::State& state) {
   }
   ops.finish();
   state.SetItemsProcessed(static_cast<std::int64_t>(batched));
+  ccds::bench::report_batch_size(state, kBatch);
+  ccds::bench::report_combining_front(state);
   if (state.thread_index() == 0) {
     delete q;
     q = nullptr;
@@ -140,6 +148,11 @@ void BM_StackMix(benchmark::State& state) {
     ops.tick();
   }
   ops.finish();
+  if constexpr (std::is_same_v<Stack, CombiningStack<std::uint64_t, CcSynch>> ||
+                std::is_same_v<Stack,
+                               CombiningStack<std::uint64_t, FlatCombiner>>) {
+    ccds::bench::report_combining_front(state);
+  }
   if (state.thread_index() == 0) {
     delete s;
     s = nullptr;
@@ -170,6 +183,10 @@ void BM_CounterAdd(benchmark::State& state) {
     ops.tick();
   }
   ops.finish();
+  if constexpr (std::is_same_v<Counter, CombiningCounter<CcSynch>> ||
+                std::is_same_v<Counter, CombiningCounter<FlatCombiner>>) {
+    ccds::bench::report_combining_front(state);
+  }
   if (state.thread_index() == 0) {
     delete c;
     c = nullptr;

@@ -100,6 +100,19 @@ inline Xoshiro256 make_rng(const benchmark::State& state) {
 // under test, so relative comparisons are unaffected.  Rows too short to
 // produce two samples per thread report min = max = 0 and fairness = 1.0
 // (smoke runs); real artifact runs sample thousands of times.
+//
+// ATTRIBUTION CONTRACT (combining rows): ticks are REQUESTER-attributed.
+// A thread ticks when ITS operation completes, regardless of which thread's
+// CPU executed it — under a combining engine the combiner performs other
+// threads' operations while they spin, and under batch fan-out helper
+// threads apply segments of a batch the submitter owns.  That is the right
+// attribution for a fairness metric (the question is "did every requester
+// make progress", not "which CPU did the work"), but it means fairness on
+// combining rows measures request-completion fairness, not CPU-time
+// fairness: a combiner thread that spends its quantum serving others still
+// ticks only its own requests.  Rows produced by combining/batched fronts
+// carry the combining_front flag (report_combining_front below) so readers
+// and gates can tell which interpretation applies.
 class ThreadOps {
  public:
   static constexpr int kMaxBenchThreads = 64;
@@ -185,6 +198,24 @@ class ThreadOps {
   const int tid_;
   std::uint64_t local_ = 0;
 };
+
+// Batched-row schema (E18 + the E16 batch rows).  batch_size is a
+// first-class JSON field: every row whose operations ride combining
+// requests in groups reports the ops-per-request count, so cross-row
+// comparisons ("B=64 vs B=1") key on a machine-readable field instead of
+// parsing row names.  combining_front marks rows produced through a
+// combining engine (see the ThreadOps attribution contract above).  Both
+// are thread-0-only: google-benchmark sums counters across threads, which
+// would multiply a flag by the thread count.
+inline void report_batch_size(benchmark::State& state, std::uint64_t b) {
+  if (state.thread_index() != 0) return;
+  state.counters["batch_size"] = benchmark::Counter(static_cast<double>(b));
+}
+
+inline void report_combining_front(benchmark::State& state) {
+  if (state.thread_index() != 0) return;
+  state.counters["combining_front"] = benchmark::Counter(1.0);
+}
 
 // Mixed read/insert/remove loop over a key range for set-like structures
 // (contains/insert/remove).  Returns ops performed.

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Gate BENCH_batched.json on the E18 sorted-batch contract.
+
+Two layers, because CI smoke runs (min_time ~1ms) produce real rows but
+meaningless timings:
+
+  structural (always):
+    - every E18 row is present: BulkLoad{Seq,Random} x B in {1,8,64,512},
+      MixedWrite x B in {1,8,64,512} x T in {1,8}, MixedWriteFanout x
+      B in {64,512} x T in {1,8}, and the Lfsl{Local,Restart} baselines at
+      T in {1,8}, as median aggregates;
+    - the context block proves the artifact is honest: ccds_build_type is
+      "release" and the oversubscription facts are recorded;
+    - schema: every batched row carries batch_size (== its sweep arg),
+      the combining_front flag, and comparisons_per_op; the baselines
+      carry comparisons_per_op and do NOT carry batch_size (they are
+      point-op rows — a baseline that grew the flag is mislabeled);
+    - fan-out evidence: the Fanout B=512 rows dispatched sub-batches
+      (fanout_subbatches_per_batch > 0).  One B=512 batch over the 64k
+      uniform key space spans all 8 shards, so even a single smoke
+      iteration must fan out; zero means the executor attach or the
+      threshold plumbing silently broke and the rows are measuring the
+      inline path while claiming otherwise.
+
+  performance (--perf, for real artifacts):
+    - worker participation: the Fanout B=512 T=8 row shows
+      worker_tasks_per_batch > 0 — the pool workers, not just the helping
+      combiner, actually executed segment jobs (a smoke run is too short
+      to guarantee a worker wins a task; a real run is not);
+    - bulk-load amortization: sequential-order bulk load at B=64 does
+      >= BULK_FLOOR x fewer comparisons per op than B=1.  This is the
+      O(B + B*log(N/B)) claim in its cleanest form — same keys, same
+      final structure, only the batch size moves;
+    - mixed-write win: the B=512 T=8 batched row does >= MIXED_CPO_FLOOR x
+      fewer comparisons per op than the lock-free skip list (kLocal) at
+      T=8 under the identical 50/50 insert/erase uniform mix.
+
+Floors are pinned from this repo's 1-CPU measurement host.  Measured
+medians: seq bulk-load B1/B64 = 2.06x (deterministic — the counting
+comparator's tally has cv 0.0% across repetitions); mixed-write
+LfslLocal/Batched512 = 1.21-1.22x at T=8 (batched side cv 0.4%, baseline
+cv ~3%, medians-of-5 stable to ~0.1%).  BULK_FLOOR=1.3 leaves the seq leg
+a 1.6x cushion; MIXED_CPO_FLOOR=1.2 is the acceptance bar itself with a
+~1.5% cushion on this host — comparison counts, unlike wall clock, do not
+drift with scheduler noise, so the thin margin is safe for a gate that
+only ever sees checked-in artifacts.  Wall-clock rows are recorded in the
+artifact but NOT gated: on one CPU a T=8 combining row measures the
+preemption storm, and fan-out "parallelism" is time-sliced (the
+structural witnesses above are the honest cross-thread claim).  See the
+E18 section of EXPERIMENTS.md.
+"""
+import json
+import sys
+
+BULK_FLOOR = 1.3
+MIXED_CPO_FLOOR = 1.2
+
+BATCHES = (1, 8, 64, 512)
+FAN_BATCHES = (64, 512)
+THREADS = (1, 8)
+
+
+def median_rows(benchmarks):
+    rows = {}
+    for b in benchmarks:
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        rows[b["name"]] = b
+    return rows
+
+
+def bulk_name(leg, batch):
+    return "BM_BatchedBulkLoad%s/%d/repeats:5_median" % (leg, batch)
+
+
+def mixed_name(batch, threads):
+    return ("BM_BatchedMixedWrite/%d/repeats:5/real_time/threads:%d_median"
+            % (batch, threads))
+
+
+def fanout_name(batch, threads):
+    return ("BM_BatchedMixedWriteFanout/%d/repeats:5/real_time/"
+            "threads:%d_median" % (batch, threads))
+
+
+def lfsl_name(variant, threads):
+    return ("BM_LfslMixedWrite<Lfsl%s>/repeats:5/real_time/threads:%d_median"
+            % (variant, threads))
+
+
+def main():
+    perf = "--perf" in sys.argv
+    path = next((a for a in sys.argv[1:] if not a.startswith("--")),
+                "BENCH_batched.json")
+    data = json.load(open(path))
+    errors = []
+
+    ctx = data.get("context", {})
+    if ctx.get("ccds_build_type") != "release":
+        errors.append("context.ccds_build_type=%r, need 'release'"
+                      % ctx.get("ccds_build_type"))
+    for key in ("hardware_concurrency", "requested_max_threads",
+                "oversubscribed"):
+        if key not in ctx:
+            errors.append("context missing %r (bench_util.hpp stamps it)" % key)
+
+    rows = median_rows(data.get("benchmarks", []))
+    batched = [bulk_name(leg, b) for leg in ("Seq", "Random") for b in BATCHES]
+    batched += [mixed_name(b, t) for b in BATCHES for t in THREADS]
+    batched += [fanout_name(b, t) for b in FAN_BATCHES for t in THREADS]
+    baseline = [lfsl_name(v, t) for v in ("Local", "Restart") for t in THREADS]
+    missing = [n for n in batched + baseline if n not in rows]
+    if missing:
+        errors.append("missing E18 rows: %s" % ", ".join(missing))
+
+    if not missing:
+        # Schema: batched rows are flagged and counted; baselines are
+        # counted but unflagged (a baseline carrying batch_size is
+        # mislabeled and would poison downstream batch-size pivots).
+        for name in batched:
+            row = rows[name]
+            want = int(name.split("/")[1])
+            if row.get("batch_size") != want:
+                errors.append("%s: batch_size=%r, want %d"
+                              % (name, row.get("batch_size"), want))
+            if row.get("combining_front") != 1:
+                errors.append("%s: missing combining_front flag" % name)
+            if "comparisons_per_op" not in row:
+                errors.append("%s: missing comparisons_per_op" % name)
+        for name in baseline:
+            if "comparisons_per_op" not in rows[name]:
+                errors.append("%s: missing comparisons_per_op" % name)
+            if "batch_size" in rows[name]:
+                errors.append("%s: point-op baseline carries batch_size"
+                              % name)
+        # Fan-out evidence: one 512-op uniform batch spans all 8 shards,
+        # so every iteration — even a smoke run's single one — must
+        # dispatch sub-batches.
+        for t in THREADS:
+            row = rows[fanout_name(512, t)]
+            if row.get("fanout_subbatches_per_batch", 0) <= 0:
+                errors.append("%s: no sub-batches dispatched - fan-out path "
+                              "not exercised" % row["name"])
+
+    if perf and not missing:
+        # Worker participation: helpers (pool workers) executed segment
+        # jobs; the combiner's own help path does not count here.
+        if rows[fanout_name(512, 8)].get("worker_tasks_per_batch", 0) <= 0:
+            errors.append("%s: workers executed no segment tasks"
+                          % fanout_name(512, 8))
+        for leg in ("Seq", "Random"):
+            b1 = rows[bulk_name(leg, 1)].get("comparisons_per_op", 0)
+            b64 = rows[bulk_name(leg, 64)].get("comparisons_per_op", 0)
+            ratio = b1 / max(b64, 1e-9)
+            print("bulk-load %s: B=1/B=64 = %.3f comparisons" % (leg, ratio))
+            if leg == "Seq" and ratio < BULK_FLOOR:
+                errors.append("bulk-load Seq B1/B64 comparison ratio %.3f < "
+                              "floor %.2f" % (ratio, BULK_FLOOR))
+        lfsl = rows[lfsl_name("Local", 8)].get("comparisons_per_op", 0)
+        bat = rows[mixed_name(512, 8)].get("comparisons_per_op", 0)
+        ratio = lfsl / max(bat, 1e-9)
+        print("mixed-write T=8: LfslLocal/Batched512 = %.3f comparisons"
+              % ratio)
+        if ratio < MIXED_CPO_FLOOR:
+            errors.append("mixed-write T=8 comparison ratio %.3f < floor %.2f"
+                          % (ratio, MIXED_CPO_FLOOR))
+
+    if errors:
+        sys.exit("check_batched: FAIL\n  " + "\n  ".join(errors))
+    print("check_batched: %d E18 rows OK%s"
+          % (len(batched) + len(baseline), " (+perf gates)" if perf else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -72,6 +72,8 @@
 #include "hash/swiss_hash_map.hpp"
 
 // skiplist: concurrent skip lists and priority queues.
+#include "skiplist/batched_map.hpp"
+#include "skiplist/batched_skiplist.hpp"
 #include "skiplist/lazy_skiplist.hpp"
 #include "skiplist/lockfree_skiplist.hpp"
 #include "skiplist/seq_skiplist.hpp"

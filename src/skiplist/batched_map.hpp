@@ -1,0 +1,138 @@
+// Batch-parallel ordered map: a thin key/value veneer over
+// BatchedSkipListSet.
+//
+// The set stores BatchedMapEntry{key, value} ordered (and deduplicated) by
+// key only; the value rides along as the mutable half of the element.  The
+// mapping of map verbs onto the set's op kinds:
+//
+//   put(k, v)    -> kAssign    insert-or-assign; result = "was absent"
+//   get(k)       -> kContains  on a hit the combiner copies the STORED
+//                              entry back into the op, which is where the
+//                              value comes from
+//   erase(k)     -> kErase     result = "was present"
+//
+// Batches work exactly as on the set: build Ops with the factories below,
+// hand them to apply_batch, read per-op results (and values) afterwards.
+// Everything about atomicity, last-writer-wins and fan-out is inherited —
+// see skiplist/batched_skiplist.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "skiplist/batched_skiplist.hpp"
+#include "skiplist/seq_skiplist.hpp"
+#include "sync/ccsynch.hpp"
+
+namespace ccds {
+
+// Map element: ordered and hashed by key alone, so the value half may be
+// mutated in place (SeqSkipListSet::found_ref's ordering-preservation
+// contract holds trivially).
+template <typename Key, typename Value>
+struct BatchedMapEntry {
+  Key key{};
+  Value value{};
+};
+
+// kKeyed tower draws must ignore the value: same key, same tower height,
+// whatever value rides along.
+template <typename Key, typename Value>
+struct SkipListKeyHash<BatchedMapEntry<Key, Value>> {
+  std::uint64_t operator()(const BatchedMapEntry<Key, Value>& e) const {
+    return static_cast<std::uint64_t>(std::hash<Key>{}(e.key));
+  }
+};
+
+template <typename Key, typename Value, typename Compare = std::less<Key>,
+          template <typename> class Engine = CcSynch,
+          SkipListLevels Levels = SkipListLevels::kRandom>
+class BatchedMap {
+ public:
+  using Entry = BatchedMapEntry<Key, Value>;
+
+  struct EntryCompare {
+    [[no_unique_address]] Compare comp{};
+    bool operator()(const Entry& a, const Entry& b) const {
+      return comp(a.key, b.key);
+    }
+  };
+
+  using Set = BatchedSkipListSet<Entry, EntryCompare, Engine, Levels>;
+  using Op = typename Set::Op;
+
+  BatchedMap() = default;
+
+  // Key-space partition points, forwarded to the set as entry splitters
+  // (values don't participate in ordering, so defaulted ones are fine).
+  explicit BatchedMap(std::vector<Key> splitters)
+      : set_(to_entries(std::move(splitters))) {}
+
+  // Insert-or-assign; true if the key was absent (a fresh insert).
+  bool put(const Key& k, Value v) {
+    Op op = Op::assign(Entry{k, std::move(v)});
+    set_.apply_batch(std::span<Op>(&op, 1));
+    return op.result;
+  }
+
+  std::optional<Value> get(const Key& k) const {
+    Op op = Op::contains(Entry{k, Value{}});
+    set_.apply_batch(std::span<Op>(&op, 1));
+    if (!op.result) return std::nullopt;
+    return std::move(op.key.value);  // op.key now holds the stored entry
+  }
+
+  bool contains(const Key& k) const {
+    Op op = Op::contains(Entry{k, Value{}});
+    set_.apply_batch(std::span<Op>(&op, 1));
+    return op.result;
+  }
+
+  bool erase(const Key& k) {
+    Op op = Op::erase(Entry{k, Value{}});
+    set_.apply_batch(std::span<Op>(&op, 1));
+    return op.result;
+  }
+
+  // Batch entry points: build Ops with the factories (Op::assign for put,
+  // Op::contains for get — read the value out of op.key.value on a hit,
+  // Op::erase), then submit.  One atomic batch, last-writer-wins per key,
+  // results in submission-slot order.
+  static Op put_op(Key k, Value v) {
+    return Op::assign(Entry{std::move(k), std::move(v)});
+  }
+  static Op get_op(Key k) { return Op::contains(Entry{std::move(k), Value{}}); }
+  static Op erase_op(Key k) { return Op::erase(Entry{std::move(k), Value{}}); }
+
+  void apply_batch(std::span<Op> ops) { set_.apply_batch(ops); }
+
+  std::size_t size() const { return set_.size(); }
+  std::size_t shard_count() const { return set_.shard_count(); }
+
+  template <typename Exec>
+  void attach_executor(Exec& e) {
+    set_.attach_executor(e);
+  }
+  void detach_executor() { set_.detach_executor(); }
+  void set_fanout_threshold(std::size_t n) { set_.set_fanout_threshold(n); }
+
+  BatchedSkipListStats stats() const { return set_.stats(); }
+  void reset_stats() { set_.reset_stats(); }
+
+ private:
+  static std::vector<Entry> to_entries(std::vector<Key> keys) {
+    std::vector<Entry> es;
+    es.reserve(keys.size());
+    for (Key& k : keys) es.push_back(Entry{std::move(k), Value{}});
+    return es;
+  }
+
+  // mutable: get()/contains() serialize through the combining engine too.
+  mutable Set set_;
+};
+
+}  // namespace ccds

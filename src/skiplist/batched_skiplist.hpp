@@ -1,0 +1,516 @@
+// Batch-parallel ordered set: an OBATCHER-style combining front over
+// per-key-range sequential skip lists ("Concurrent Data Structures Made
+// Easy" — see PAPERS.md; the combining engines are the Synch-framework
+// reproductions in sync/).
+//
+// The pipeline, per combining episode:
+//
+//   submitters                         combiner
+//   ----------                        ---------------------------------
+//   sort own run (Op::prepare)   -->  gather ALL pending sorted runs
+//   publish mergeable request         (CcSynch: consecutive list nodes;
+//   spin locally                       FlatCombiner: slot scan)
+//                                     k-way MERGE the runs (winner tree,
+//                                      ~log2 k comparisons per op)
+//                                     group equal keys, LAST-WRITER-WINS
+//                                      (each op's result slot still filled)
+//                                     apply each group once, left-to-right,
+//                                      resuming the search from the
+//                                      previous key's position (finger
+//                                      seek: O(log d) for gap d, so a batch
+//                                      of B over N keys costs
+//                                      O(B + B·log(N/B)) instead of
+//                                      O(B·log N))
+//                                     above a size threshold, fan disjoint
+//                                      key-range segments out to helper
+//                                      threads (pool/stealing_pool.hpp)
+//                                      and HELP until the latch drains
+//
+// Sorting happens on the SUBMITTING threads (it parallelizes across them);
+// merging, deduplication and application happen inside one combining
+// episode, so a batch — and the union of merged batches — is atomic with
+// respect to every other operation on the structure.  Per-op results are
+// written into the ops before any submitter's wait drops.
+//
+// The state is partitioned into disjoint key ranges by a fixed splitter
+// vector (empty = one range).  Ranges give two things: single operations
+// descend a shard of N/P keys (cheaper than N), and a merged run splits at
+// range boundaries into segments that helper threads can apply in parallel
+// against independent sequential structures — no synchronization inside a
+// segment at all, which is the OBATCHER bet: batch-level parallelism with
+// sequential-structure simplicity.
+//
+// When batching LOSES: tiny batches (sort + merge overhead, nothing to
+// amortize), batches wider than the key locality (gaps d ~ N/B approach N
+// and the finger seek degenerates to a full descent), and read-mostly
+// single-op workloads where a lock-free traversal would not serialize at
+// all (see docs/algorithms.md and EXPERIMENTS.md E18).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "skiplist/seq_skiplist.hpp"
+#include "sync/ccsynch.hpp"
+#include "sync/combiner.hpp"
+
+namespace ccds {
+
+// Hard cap on key-range shards (and thus fan-out width per batch).
+inline constexpr std::size_t kBatchedSkipListMaxShards = 64;
+
+struct BatchedSkipListStats {
+  std::uint64_t batches = 0;           // merged applications (apply_runs calls)
+  std::uint64_t merged_runs = 0;       // submitted runs folded into them
+  std::uint64_t ops = 0;               // operations across all runs
+  std::uint64_t dedup_folded = 0;      // ops beyond the first in a same-key group
+  std::uint64_t fanout_batches = 0;    // batches that dispatched to helpers
+  std::uint64_t fanout_subbatches = 0; // segments dispatched across all of those
+};
+
+namespace detail {
+
+// The sequential state a combining engine serializes: the range shards,
+// the splitters that route keys to them, and combiner-owned scratch.
+template <typename Key, typename Compare, SkipListLevels Levels>
+struct BatchedSkipState {
+  using Seq = SeqSkipListSet<Key, Compare, Levels>;
+
+  // One operation of a (sorted) batch.  Built by the static factories;
+  // `result` and (for kContains hits) `key` are written by the combiner
+  // before the submitting call returns.
+  struct Op {
+    enum class Kind : std::uint8_t {
+      kContains,  // result = present; on hit, key is overwritten with the
+                  // STORED element (how BatchedMap reads values back)
+      kInsert,    // set insert: result = "was absent"; no-op when present
+      kAssign,    // insert-or-assign: result = "was absent"; overwrites the
+                  // stored element when present (map put)
+      kErase,     // result = "was present"
+    };
+
+    static Op contains(Key k) { return Op{std::move(k), Kind::kContains}; }
+    static Op insert(Key k) { return Op{std::move(k), Kind::kInsert}; }
+    static Op assign(Key k) { return Op{std::move(k), Kind::kAssign}; }
+    static Op erase(Key k) { return Op{std::move(k), Kind::kErase}; }
+
+    Op() = default;
+    Op(Key k, Kind ki) : key(std::move(k)), kind(ki) {}
+
+    Key key{};
+    // Sorted chain through the run, threaded by prepare() so the caller's
+    // array order (= result slot order) is never permuted; sorted_head is
+    // meaningful on the run's first element only.
+    Op* next_sorted = nullptr;
+    Op* sorted_head = nullptr;
+    Kind kind = Kind::kContains;
+    bool result = false;
+
+    // Single-op execution (the engines' apply/apply_batch path): same
+    // semantics as a one-op sorted batch, minus the merge machinery.
+    void operator()(BatchedSkipState& s) {
+      Compare comp{};
+      std::size_t sh = 0;
+      while (sh < s.splitters.size() && !comp(key, s.splitters[sh])) ++sh;
+      Seq& shard = *s.shards[sh];
+      typename Seq::Finger f = shard.finger();
+      shard.seek(f, key);
+      const bool present = shard.found_at(f, key);
+      switch (kind) {
+        case Kind::kContains:
+          result = present;
+          if (present) key = shard.found_ref(f);
+          break;
+        case Kind::kInsert:
+          result = !present;
+          if (!present) shard.insert_new_at(f, key);
+          break;
+        case Kind::kAssign:
+          result = !present;
+          if (present) {
+            shard.found_ref(f) = key;
+          } else {
+            shard.insert_new_at(f, key);
+          }
+          break;
+        case Kind::kErase:
+          result = present;
+          if (present) shard.remove_found_at(f);
+          break;
+      }
+    }
+
+    // Submitter-side sort (CombinerBatchOps::apply_sorted_batch calls this
+    // before publishing).  Stable by submission order, so last-writer-wins
+    // inside a run follows program order.
+    static void prepare(std::span<Op> ops) {
+      if (ops.size() == 1) {
+        ops[0].next_sorted = nullptr;
+        ops[0].sorted_head = ops.data();
+        return;
+      }
+      std::vector<Op*> idx(ops.size());
+      for (std::size_t i = 0; i < ops.size(); ++i) idx[i] = &ops[i];
+      std::stable_sort(idx.begin(), idx.end(), [](const Op* a, const Op* b) {
+        return Compare{}(a->key, b->key);
+      });
+      for (std::size_t i = 0; i + 1 < idx.size(); ++i) {
+        idx[i]->next_sorted = idx[i + 1];
+      }
+      idx.back()->next_sorted = nullptr;
+      ops[0].sorted_head = idx[0];
+    }
+
+    // Merged application: every pending sorted run of one combining
+    // episode, in combining order.  Runs in the combiner; see the member
+    // functions below for the merge / dedup / apply pipeline.
+    static void apply_runs(std::span<std::span<Op>> runs,
+                           BatchedSkipState& s) {
+      s.apply_runs_impl(runs);
+    }
+  };
+
+  BatchedSkipState() { shards.push_back(std::make_unique<Seq>()); }
+
+  // Splitters partition the key space into shards: shard i holds the keys
+  // with exactly i splitters <= key.  They are fixed for the structure's
+  // lifetime (a static partition; re-balancing is future work).
+  explicit BatchedSkipState(std::vector<Key> splits)
+      : splitters(std::move(splits)) {
+    Compare comp{};
+    std::sort(splitters.begin(), splitters.end(), comp);
+    splitters.erase(std::unique(splitters.begin(), splitters.end(),
+                                [&comp](const Key& a, const Key& b) {
+                                  return !comp(a, b) && !comp(b, a);
+                                }),
+                    splitters.end());
+    if (splitters.size() > kBatchedSkipListMaxShards - 1) {
+      splitters.resize(kBatchedSkipListMaxShards - 1);
+    }
+    for (std::size_t i = 0; i <= splitters.size(); ++i) {
+      shards.push_back(std::make_unique<Seq>());
+    }
+  }
+
+  // A contiguous slice of the merged op sequence, all routed to one shard.
+  struct Seg {
+    std::size_t begin;
+    std::size_t end;
+    std::size_t shard;
+  };
+
+  // One fan-out unit: a segment plus its output (the dedup count), written
+  // by whichever thread runs it and summed by the combiner after the wait.
+  struct SegJob {
+    BatchedSkipState* state;
+    Seg seg;
+    std::uint64_t folded;
+
+    static void run(void* ctx) {
+      SegJob* j = static_cast<SegJob*>(ctx);
+      j->folded = j->state->apply_segment(j->seg);
+    }
+  };
+
+  void apply_runs_impl(std::span<std::span<Op>> runs) {
+    std::size_t total = 0;
+    for (const auto& r : runs) total += r.size();
+    stats.batches += 1;
+    stats.merged_runs += runs.size();
+    stats.ops += total;
+
+    merge_runs(runs, total);
+    segment_scratch();
+
+    const bool fan = dispatch != nullptr && segs.size() > 1 &&
+                     total >= fanout_threshold;
+    if (fan) {
+      stats.fanout_batches += 1;
+      stats.fanout_subbatches += segs.size();
+      jobs.clear();
+      for (const Seg& g : segs) jobs.push_back(SegJob{this, g, 0});
+      dispatch(exec, jobs.data(), jobs.size());
+      for (const SegJob& j : jobs) stats.dedup_folded += j.folded;
+    } else {
+      for (const Seg& g : segs) stats.dedup_folded += apply_segment(g);
+    }
+  }
+
+  // k-way merge of the pre-sorted chains into `scratch` via a winner
+  // (tournament) tree: exactly ceil(log2 k) comparisons per op, and ties
+  // resolve to the lower run index (= combining order), preserving
+  // last-writer-wins across runs.  In-order leaves make "left subtree ==
+  // lower runs" hold, so one strict comparison per match suffices.
+  void merge_runs(std::span<std::span<Op>> runs, std::size_t total) {
+    scratch.clear();
+    scratch.reserve(total);
+    const std::size_t k = runs.size();
+    if (k == 1) {
+      for (Op* op = runs[0].front().sorted_head; op != nullptr;
+           op = op->next_sorted) {
+        scratch.push_back(op);
+      }
+      return;
+    }
+    Compare comp{};
+    std::size_t m = 1;
+    while (m < k) m <<= 1;  // leaf count, padded to a power of two
+    CCDS_ASSERT(m <= 2 * kMaxThreads);
+    Op* heads[2 * kMaxThreads];
+    std::size_t tree[4 * kMaxThreads];  // tree[j]: winning run of match j
+    for (std::size_t i = 0; i < m; ++i) {
+      heads[i] = i < k ? runs[i].front().sorted_head : nullptr;
+    }
+    const auto match = [&](std::size_t a, std::size_t b) {
+      Op* ha = heads[a];
+      Op* hb = heads[b];
+      if (ha == nullptr) return b;
+      if (hb == nullptr) return a;
+      // Strictly-smaller right head wins; ties go left (lower run index).
+      return comp(hb->key, ha->key) ? b : a;
+    };
+    for (std::size_t j = m; j < 2 * m; ++j) tree[j] = j - m;
+    for (std::size_t j = m - 1; j >= 1; --j) {
+      tree[j] = match(tree[2 * j], tree[2 * j + 1]);
+    }
+    for (;;) {
+      const std::size_t w = tree[1];
+      Op* op = heads[w];
+      if (op == nullptr) break;  // every run exhausted
+      scratch.push_back(op);
+      heads[w] = op->next_sorted;
+      for (std::size_t j = (m + w) >> 1; j >= 1; j >>= 1) {
+        tree[j] = match(tree[2 * j], tree[2 * j + 1]);
+      }
+    }
+  }
+
+  // Split the merged (ascending) op sequence at shard boundaries.  The
+  // cursor only moves forward: cost is one comparison per op plus one per
+  // crossed splitter — and zero comparisons with a single shard.
+  void segment_scratch() {
+    segs.clear();
+    Compare comp{};
+    std::size_t cursor = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+      std::size_t sh = cursor;
+      while (sh < splitters.size() && !comp(scratch[i]->key, splitters[sh])) {
+        ++sh;
+      }
+      if (sh != cursor) {
+        if (i > start) segs.push_back(Seg{start, i, cursor});
+        cursor = sh;
+        start = i;
+      }
+    }
+    if (scratch.size() > start) {
+      segs.push_back(Seg{start, scratch.size(), cursor});
+    }
+  }
+
+  // Apply one shard's segment: walk the sorted ops with a finger (each key
+  // resumes from the previous key's position), folding same-key groups —
+  // every op's result slot is written, but the structure sees at most ONE
+  // mutation per key (the group's net effect), so no intermediate state
+  // ever materializes.  Returns the number of folded (non-first) ops.
+  std::uint64_t apply_segment(const Seg& seg) {
+    Seq& shard = *shards[seg.shard];
+    typename Seq::Finger f = shard.finger();
+    Compare comp{};
+    std::uint64_t folded = 0;
+    std::size_t i = seg.begin;
+    while (i < seg.end) {
+      Op* first = scratch[i];
+      const Key& key = first->key;
+      shard.seek(f, key);
+      const bool initial = shard.found_at(f, key);
+      // The group's live element image: the stored one initially, then the
+      // key slot of the latest kInsert/kAssign that took effect.
+      Key* stored = initial ? &shard.found_ref(f) : nullptr;
+      const Key* current = stored;
+      bool present = initial;
+      std::size_t j = i;
+      for (; j < seg.end; ++j) {
+        Op* op = scratch[j];
+        if (j > i && comp(key, op->key)) break;  // next key group
+        switch (op->kind) {
+          case Op::Kind::kContains:
+            op->result = present;
+            if (present) op->key = *current;
+            break;
+          case Op::Kind::kInsert:
+            op->result = !present;
+            if (!present) {
+              current = &op->key;
+              present = true;
+            }
+            break;
+          case Op::Kind::kAssign:
+            op->result = !present;
+            current = &op->key;
+            present = true;
+            break;
+          case Op::Kind::kErase:
+            op->result = present;
+            present = false;
+            break;
+        }
+      }
+      folded += (j - i) - 1;
+      if (present != initial) {
+        if (present) {
+          shard.insert_new_at(f, *current);
+        } else {
+          shard.remove_found_at(f);
+        }
+      } else if (present && current != stored) {
+        *stored = *current;  // net effect of a kAssign chain on a live key
+      }
+      i = j;
+    }
+    return folded;
+  }
+
+  std::vector<Key> splitters;
+  std::vector<std::unique_ptr<Seq>> shards;
+  BatchedSkipListStats stats;
+
+  // Fan-out hook (type-erased so this header needs no executor type): set
+  // by BatchedSkipListSet::attach_executor, called by the combiner with the
+  // per-shard jobs of one batch.  Null = apply segments inline.
+  void (*dispatch)(void* exec, SegJob* jobs, std::size_t n) = nullptr;
+  void* exec = nullptr;
+  std::size_t fanout_threshold = 256;
+
+  // Combiner-owned scratch, reused across batches (helper threads only
+  // read scratch/segs and write their own SegJob slot).
+  std::vector<Op*> scratch;
+  std::vector<Seg> segs;
+  std::vector<SegJob> jobs;
+};
+
+}  // namespace detail
+
+// The combining front.  Engine-templated exactly like the PR 4 fronts
+// (CcSynch default, FlatCombiner drop-in); Levels picks the tower-height
+// policy of the underlying sequential shards (kKeyed for deterministic
+// shapes in ablations and model tests).
+template <typename Key, typename Compare = std::less<Key>,
+          template <typename> class Engine = CcSynch,
+          SkipListLevels Levels = SkipListLevels::kRandom>
+class BatchedSkipListSet {
+ public:
+  using State = detail::BatchedSkipState<Key, Compare, Levels>;
+  using Op = typename State::Op;
+  static_assert(CombinerFor<Engine<State>, State>,
+                "Engine must model the Combiner policy (sync/combiner.hpp)");
+
+  BatchedSkipListSet() = default;
+
+  // Partition the key space at `splitters` (sorted/deduped internally):
+  // one sequential shard per range, fan-out across them.
+  explicit BatchedSkipListSet(std::vector<Key> splitters)
+      : engine_(State(std::move(splitters))) {}
+
+  bool contains(const Key& key) const {
+    Op op = Op::contains(key);
+    engine_.apply_sorted_batch(std::span<Op>(&op, 1));
+    return op.result;
+  }
+
+  bool insert(const Key& key) {
+    Op op = Op::insert(key);
+    engine_.apply_sorted_batch(std::span<Op>(&op, 1));
+    return op.result;
+  }
+
+  bool remove(const Key& key) {
+    Op op = Op::erase(key);
+    engine_.apply_sorted_batch(std::span<Op>(&op, 1));
+    return op.result;
+  }
+
+  // Submit `ops` as ONE sorted batch: sorted + deduplicated by key
+  // (last-writer-wins in submission order), applied in a single
+  // left-to-right pass, atomic w.r.t. every other operation.  Results land
+  // in each op's `result` (and `key` for kContains hits) in the caller's
+  // original slot order.
+  void apply_batch(std::span<Op> ops) { engine_.apply_sorted_batch(ops); }
+
+  std::size_t size() const {
+    return engine_.apply([](State& s) {
+      std::size_t n = 0;
+      for (const auto& sh : s.shards) n += sh->size();
+      return n;
+    });
+  }
+
+  std::size_t shard_count() const {
+    return engine_.apply([](State& s) { return s.shards.size(); });
+  }
+
+  // Attach a helper-thread executor (e.g. StealingExecutor): batches of at
+  // least the fan-out threshold whose merged run spans >1 shard are split
+  // into per-shard sub-batches, bulk-submitted, and helped to completion.
+  // The executor must outlive the attachment (detach before destroying it).
+  template <typename Exec>
+  void attach_executor(Exec& e) {
+    Exec* ep = &e;
+    engine_.apply_locked([ep](State& s) {
+      s.exec = ep;
+      s.dispatch = &dispatch_to<Exec>;
+    });
+  }
+
+  void detach_executor() {
+    engine_.apply_locked([](State& s) {
+      s.exec = nullptr;
+      s.dispatch = nullptr;
+    });
+  }
+
+  // Minimum merged-batch size that triggers fan-out (default 256): below
+  // it, dispatch overhead beats the parallelism.
+  void set_fanout_threshold(std::size_t n) {
+    engine_.apply_locked([n](State& s) { s.fanout_threshold = n; });
+  }
+
+  BatchedSkipListStats stats() const {
+    return engine_.apply([](State& s) { return s.stats; });
+  }
+
+  void reset_stats() {
+    engine_.apply_locked([](State& s) { s.stats = BatchedSkipListStats{}; });
+  }
+
+ private:
+  // Type-erased fan-out trampoline: builds the executor's task span on the
+  // stack, bulk-submits, and helps until done (the combiner making
+  // progress on its own sub-batches is what keeps a 1-CPU host live).
+  template <typename Exec>
+  static void dispatch_to(void* exec, typename State::SegJob* jobs,
+                          std::size_t n) {
+    Exec& e = *static_cast<Exec*>(exec);
+    typename Exec::Task tasks[kBatchedSkipListMaxShards];
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks[i].fn = &State::SegJob::run;
+      tasks[i].ctx = &jobs[i];
+    }
+    typename Exec::Latch latch;
+    e.submit_bulk(std::span<typename Exec::Task>(tasks, n), latch);
+    e.wait(latch);
+  }
+
+  // mutable: combining serializes logically-const reads through apply too.
+  mutable Engine<State> engine_{};
+};
+
+}  // namespace ccds

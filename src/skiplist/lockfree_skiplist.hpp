@@ -99,12 +99,8 @@ namespace ccds {
 // kept selectable so E17 can ablate recovery in isolation).
 enum class SkipListRecovery { kLocal, kRestart };
 
-// Tower-height policy: kRandom draws from the per-thread RNG (default);
-// kKeyed derives the height from std::hash of the key, so towers are
-// reproducible and a set's shape depends only on which keys it holds.
-// Benchmarks that compare variants on separate long-lived sets use kKeyed
-// to keep the sets structurally identical under churn.
-enum class SkipListLevels { kRandom, kKeyed };
+// SkipListLevels (kRandom / kKeyed tower-height policy) lives in
+// skiplist/seq_skiplist.hpp, shared with the sequential structure.
 
 // Optional recovery-event counters (define CCDS_SKIPLIST_STATS before
 // including): how often each recovery path actually fired, so the E17

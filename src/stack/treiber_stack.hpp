@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <utility>
 
 #include "core/atomic.hpp"
@@ -42,6 +43,32 @@ class TreiberStack {
       n->next = h;
       // release: publish n (value + link) to the popper's acquire load.
       if (head_.compare_exchange_weak(h, n, std::memory_order_release,
+                                      std::memory_order_relaxed)) {  // relaxed: failure re-reads via expected
+        return;
+      }
+      backoff.spin();
+    }
+  }
+
+  // Splice a whole batch in with ONE successful CAS: the chain is linked
+  // privately (vs[0] ends on top, so pops see span order), then its bottom
+  // is pointed at head and the head CAS installs all of it.  This
+  // is what makes bulk task submission O(1) synchronization instead of one
+  // contended CAS per element.
+  void push_bulk(std::span<const T> vs) {
+    if (vs.empty()) return;
+    Node* top = nullptr;
+    Node* bottom = nullptr;
+    for (std::size_t i = vs.size(); i-- > 0;) {
+      top = new Node{vs[i], top};
+      if (bottom == nullptr) bottom = top;
+    }
+    Node* h = head_.load(std::memory_order_relaxed);  // relaxed: the CAS below validates
+    Backoff backoff;
+    for (;;) {
+      bottom->next = h;
+      // release: publish the whole chain (values + links) to poppers.
+      if (head_.compare_exchange_weak(h, top, std::memory_order_release,
                                       std::memory_order_relaxed)) {  // relaxed: failure re-reads via expected
         return;
       }

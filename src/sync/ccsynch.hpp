@@ -62,8 +62,9 @@ namespace ccds {
 inline constexpr int kCcSynchWindow = 3 * static_cast<int>(kMaxThreads);
 
 template <typename State, int Window = kCcSynchWindow>
-class CcSynch {
+class CcSynch : public CombinerBatchOps<CcSynch<State, Window>, State> {
   static_assert(Window >= 1, "combining window must admit the own request");
+  friend class CombinerBatchOps<CcSynch<State, Window>, State>;
 
  public:
   CcSynch() : CcSynch(State{}) {}
@@ -107,6 +108,7 @@ class CcSynch {
     cur->run = &detail::run_erased<State, std::remove_reference_t<F>>;
     cur->ctx = &op;
     cur->result = &result;
+    cur->run_merged = nullptr;  // nodes recycle: clear the mergeable tag
     // release: hand the fully-written request to whichever combiner follows
     // this link (its acquire load of `next` pairs with this).
     cur->next.store(fresh, std::memory_order_release);
@@ -133,18 +135,8 @@ class CcSynch {
     if constexpr (!std::is_void_v<R>) return result.take();
   }
 
-  // OBATCHER-style batch submission: all of `ops` execute back-to-back as
-  // one combining request — one exchange and one spin episode for the whole
-  // batch, and no foreign operation interleaves inside it.  Each op is a
-  // callable `void(State&)`; per-op results live inside the ops themselves
-  // (see the structure fronts' Op types).
-  template <typename Op>
-  void apply_batch(std::span<Op> ops) {
-    if (ops.empty()) return;
-    apply([ops](State& s) {
-      for (Op& op : ops) op(s);
-    });
-  }
+  // apply_batch / apply_sorted_batch come from CombinerBatchOps (the shared
+  // batch-episode surface, identical across engines).
 
   // Direct exclusive access (initialization / inspection).  Combining is
   // already a total serialization of operations, so this is just apply.
@@ -164,18 +156,103 @@ class CcSynch {
     void (*run)(void* ctx, void* res, State& s) = nullptr;
     void* ctx = nullptr;
     void* result = nullptr;
+    // Non-null marks a mergeable sorted-run request (apply_sorted_batch):
+    // the combiner may execute a consecutive group of requests bearing the
+    // SAME function through one call (see combine()).  `ctx` then points at
+    // the submitter's detail::SortedRun.
+    detail::MergedRunFn<State> run_merged = nullptr;
   };
+
+  // Mergeable publication for CombinerBatchOps::apply_sorted_batch: same
+  // protocol as apply(), but the request is tagged with the merged-run
+  // entry point instead of a per-op trampoline, and carries no result slot
+  // (results live inside the submitter's ops).
+  void submit_merged(detail::MergedRunFn<State> fn, detail::SortedRun* run) {
+    const std::size_t tid = thread_id();
+    Node* fresh = spare_[tid].value;
+    // unguarded: nodes are the engine's fixed pool, recycled via handoff,
+    // never freed — no reclaimer in play (same as apply()).
+    // relaxed: all three stores are published by the exchange's release.
+    fresh->next.store(nullptr, std::memory_order_relaxed);
+    fresh->wait.store(true, std::memory_order_relaxed);
+    fresh->completed.store(false, std::memory_order_relaxed);
+    Node* cur = tail_.exchange(fresh, std::memory_order_acq_rel);
+    spare_[tid].value = cur;
+
+    cur->run = nullptr;
+    cur->ctx = run;
+    cur->result = nullptr;
+    cur->run_merged = fn;
+    // release: hand the fully-written request to whichever combiner follows
+    // this link (its acquire load of `next` pairs with this).  unguarded:
+    // fixed-pool node, see above.
+    cur->next.store(fresh, std::memory_order_release);
+
+    std::uint32_t spins = 0;
+    // acquire: pairs with the combiner's releasing wait-drop (results /
+    // handoff visibility, as in apply()).
+    while (cur->wait.load(std::memory_order_acquire)) {
+      spin_wait(spins);
+    }
+    // relaxed: the acquire above ordered this flag.
+    if (!cur->completed.load(std::memory_order_relaxed)) {
+      combine(cur);
+    }
+  }
 
   // Serve requests from `head` (our own, always first) in list order.
   void combine(Node* head) {
     // unguarded: Nodes are per-thread slots recycled through the handoff
     // protocol, never freed while the lock is live — no reclaimer in play.
     Node* node = head;
-    for (int served = 0; served < Window; ++served) {
+    int served = 0;
+    while (served < Window) {
       // acquire: pairs with the requester's release link store — if we see
-      // `next`, we see the request fields written before it.
+      // `next`, we see the request fields written before it.  unguarded:
+      // fixed-pool node, see above.
       Node* next = node->next.load(std::memory_order_acquire);
       if (next == nullptr) break;  // `node` is the tail: no request in it yet
+      if (node->run_merged != nullptr) {
+        // Gather the consecutive run of mergeable requests with the same
+        // entry point and execute them as ONE merged application.  A thread
+        // has at most one pending request, so kMaxThreads bounds the group.
+        const detail::MergedRunFn<State> fn = node->run_merged;
+        void* ctxs[kMaxThreads];
+        Node* members[kMaxThreads];
+        std::size_t count = 0;
+        Node* n = node;
+        Node* n_next = next;
+        for (;;) {
+          members[count] = n;
+          ctxs[count] = n->ctx;
+          ++count;
+          if (served + static_cast<int>(count) >= Window ||
+              count == kMaxThreads) {
+            break;
+          }
+          Node* cand = n_next;
+          // acquire: cand's request fields (run_merged, ctx) are only
+          // published — and safe to read — once its next link is set.
+          // unguarded: fixed-pool node, see above.
+          Node* cand_next = cand->next.load(std::memory_order_acquire);
+          if (cand_next == nullptr || cand->run_merged != fn) break;
+          n = cand;
+          n_next = cand_next;
+        }
+        fn(ctxs, count, state_);
+        // Complete every member only now: all runs' results are written
+        // before any submitter's wait drops.  Each member's `next` was read
+        // during the gather, before its owner can re-arm the node.
+        for (std::size_t i = 0; i < count; ++i) {
+          // relaxed: sequenced before the wait release, which publishes it.
+          members[i]->completed.store(true, std::memory_order_relaxed);
+          // release: publishes results and state mutations to the owner.
+          members[i]->wait.store(false, std::memory_order_release);
+        }
+        served += static_cast<int>(count);
+        node = n_next;  // first node NOT in the merged group
+        continue;
+      }
       node->run(node->ctx, node->result, state_);
       // Read order matters: `next` was loaded above, BEFORE the wait-drop —
       // after it the owner may return and re-arm the node for its next call.
@@ -184,6 +261,7 @@ class CcSynch {
       // release: publishes the result and all state mutations to the owner.
       node->wait.store(false, std::memory_order_release);
       node = next;
+      ++served;
     }
     // Hand off.  `node` is either the current tail (its future owner will
     // find the combiner role free and self-serve) or, when the window is

@@ -10,12 +10,26 @@
 //                          batch is executed back-to-back with no other
 //                          operation interleaved, paying one synchronization
 //                          episode for k operations);
+//   * apply_sorted_batch(ops)
+//                        — the ordered-structure extension point: the
+//                          submitter pre-sorts its run (Op::prepare), the
+//                          request is published as MERGEABLE, and a combiner
+//                          that finds several pending runs of the same Op
+//                          type executes them as one Op::apply_runs call —
+//                          the OBATCHER shape, where the combining episode
+//                          sees the union of all pending batches and can
+//                          apply it in key order / fan it out by key range;
 //   * apply_locked(op)   — direct exclusive access for initialization and
 //                          inspection, serialized with combining passes.
 //
 // `CombinerFor<Engine, State>` spells that contract out as a C++20 concept
 // so the combining fronts (CombiningQueue / CombiningStack /
-// CombiningCounter) can accept either engine as a drop-in template argument.
+// CombiningCounter / BatchedSkipListSet) can accept either engine as a
+// drop-in template argument.  Both engines get apply_batch and
+// apply_sorted_batch from the CombinerBatchOps CRTP base below, so the
+// batch-episode semantics are identical by construction; each engine only
+// implements the mergeable-request publication (submit_merged) its protocol
+// requires.
 //
 // This header also owns detail::ResultSlot<R>: aligned storage for a
 // combined-op result that the *combiner* constructs in place.  Results are
@@ -29,6 +43,8 @@
 #include <span>
 #include <type_traits>
 #include <utility>
+
+#include "core/thread_registry.hpp"
 
 namespace ccds {
 
@@ -82,7 +98,79 @@ void run_erased(void* ctx, void* res, State& s) {
   }
 }
 
+// A mergeable sorted run as published to the engine: the submitter's
+// contiguous Op array, already sorted by Op::prepare.  Lives on the
+// submitter's stack for the duration of the request.
+struct SortedRun {
+  void* data;
+  std::size_t len;
+};
+
+// The type-erased entry point a combiner calls for a GROUP of pending
+// sorted runs of the same Op type: each ctx is a SortedRun*, in combining
+// (linearization) order.
+template <typename State>
+using MergedRunFn = void (*)(void* const* ctxs, std::size_t n, State& s);
+
+template <typename State, typename Op>
+void run_merged_erased(void* const* ctxs, std::size_t n, State& s) {
+  std::span<Op> runs[kMaxThreads];
+  for (std::size_t i = 0; i < n; ++i) {
+    const SortedRun& r = *static_cast<const SortedRun*>(ctxs[i]);
+    runs[i] = std::span<Op>(static_cast<Op*>(r.data), r.len);
+  }
+  Op::apply_runs(std::span<std::span<Op>>(runs, n), s);
+}
+
+// Concept archetype for the sorted-batch surface (a function pointer cannot
+// carry the static prepare/apply_runs hooks a real batch Op type provides).
+template <typename State>
+struct BatchProbeOp {
+  static void prepare(std::span<BatchProbeOp>) {}
+  static void apply_runs(std::span<std::span<BatchProbeOp>>, State&) {}
+  void operator()(State&) {}
+};
+
 }  // namespace detail
+
+// Shared batch-episode surface, CRTP'd onto both engines so their semantics
+// are identical by construction:
+//
+//   * apply_batch: the whole span runs back-to-back inside one combining
+//     request (one publication, one spin episode), no foreign op inside;
+//   * apply_sorted_batch: Op::prepare sorts the caller's run on the
+//     SUBMITTING thread (so sort work parallelizes across submitters), then
+//     the run is published as a mergeable request via the engine's
+//     submit_merged.  A combiner that encounters several pending runs of
+//     the same Op type hands them ALL to one Op::apply_runs call, in
+//     combining order — that call merges the sorted runs and applies the
+//     union in key order (and may fan disjoint key ranges out to helper
+//     threads; see skiplist/batched_skiplist.hpp).  Per-op results live in
+//     the ops themselves; every member request completes only after
+//     apply_runs returns, so results are fully written before any
+//     submitter's wait drops.
+template <typename Derived, typename State>
+class CombinerBatchOps {
+ public:
+  template <typename Op>
+  void apply_batch(std::span<Op> ops) {
+    if (ops.empty()) return;
+    derived().apply([ops](State& s) {
+      for (Op& op : ops) op(s);
+    });
+  }
+
+  template <typename Op>
+  void apply_sorted_batch(std::span<Op> ops) {
+    if (ops.empty()) return;
+    Op::prepare(ops);
+    detail::SortedRun run{ops.data(), ops.size()};
+    derived().submit_merged(&detail::run_merged_erased<State, Op>, &run);
+  }
+
+ private:
+  Derived& derived() { return static_cast<Derived&>(*this); }
+};
 
 // A combining engine over sequential `State`.  Modeled by FlatCombiner and
 // CcSynch; the structure fronts static_assert it so a third engine (e.g. a
@@ -91,11 +179,13 @@ template <typename C, typename State>
 concept CombinerFor =
     std::is_default_constructible_v<C> &&
     requires(C c, void (*vop)(State&), int (*iop)(State&),
-             std::span<void (*)(State&)> batch) {
+             std::span<void (*)(State&)> batch,
+             std::span<detail::BatchProbeOp<State>> sorted) {
       { c.apply(vop) } -> std::same_as<void>;
       { c.apply(iop) } -> std::same_as<int>;
       { c.apply_locked(iop) } -> std::same_as<int>;
       { c.apply_batch(batch) } -> std::same_as<void>;
+      { c.apply_sorted_batch(sorted) } -> std::same_as<void>;
     };
 
 }  // namespace ccds

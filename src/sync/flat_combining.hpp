@@ -35,7 +35,9 @@
 namespace ccds {
 
 template <typename State>
-class FlatCombiner {
+class FlatCombiner : public CombinerBatchOps<FlatCombiner<State>, State> {
+  friend class CombinerBatchOps<FlatCombiner<State>, State>;
+
  public:
   FlatCombiner() = default;
   explicit FlatCombiner(State initial) : state_(std::move(initial)) {}
@@ -71,18 +73,8 @@ class FlatCombiner {
     if constexpr (!std::is_void_v<R>) return result.take();
   }
 
-  // OBATCHER-style batch submission: all of `ops` execute back-to-back as
-  // one combining record — one publication and one combiner handoff for the
-  // whole batch, with no foreign operation interleaved inside it.  Each op
-  // is a callable `void(State&)` carrying its own result storage (see the
-  // structure fronts' Op types).
-  template <typename Op>
-  void apply_batch(std::span<Op> ops) {
-    if (ops.empty()) return;
-    apply([ops](State& s) {
-      for (Op& op : ops) op(s);
-    });
-  }
+  // apply_batch / apply_sorted_batch come from CombinerBatchOps (the shared
+  // batch-episode surface, identical across engines).
 
   // Direct exclusive access (initialization / inspection).  Takes the
   // combiner lock, so it serializes with combining passes.
@@ -101,23 +93,82 @@ class FlatCombiner {
     void (*run)(void* ctx, void* res, State& s) = nullptr;
     void* ctx = nullptr;
     void* result = nullptr;
+    // Non-null marks a mergeable sorted-run request (apply_sorted_batch);
+    // `ctx` then points at the submitter's detail::SortedRun.  Records are
+    // stack-fresh per call, so the default null is the non-merged case.
+    detail::MergedRunFn<State> run_merged = nullptr;
     std::atomic<bool> done{false};
   };
 
+  // Mergeable publication for CombinerBatchOps::apply_sorted_batch: same
+  // protocol as apply(), with the merged-run tag set and no result slot
+  // (results live inside the submitter's ops).
+  void submit_merged(detail::MergedRunFn<State> fn, detail::SortedRun* run) {
+    Record rec;
+    rec.ctx = run;
+    rec.run_merged = fn;
+
+    Padded<std::atomic<Record*>>& slot = slots_[thread_id()];
+    // release: publish the fully-initialized record to the combiner.
+    slot->store(&rec, std::memory_order_release);
+
+    std::uint32_t spins = 0;
+    while (!rec.done.load(std::memory_order_acquire)) {
+      if (lock_.try_lock()) {
+        combine();
+        lock_.unlock();
+        CCDS_ASSERT(rec.done.load(std::memory_order_relaxed));  // relaxed: re-check of an observed flag
+        break;
+      }
+      spin_wait(spins);
+    }
+  }
+
   void combine() {
     // A few passes per lock tenure: each pass picks up operations published
-    // while the previous pass ran, improving combining density.
+    // while the previous pass ran, improving combining density.  Mergeable
+    // sorted-run records found in a pass are grouped by their entry point
+    // and executed as ONE merged application per group (slot-scan order =
+    // combining order), completing every member only after the group ran —
+    // the same batch-episode semantics CcSynch::combine provides.
     for (int pass = 0; pass < kCombinePasses; ++pass) {
       bool any = false;
+      Record* merged[kMaxThreads];
+      std::size_t n_merged = 0;
       for (std::size_t i = 0; i < kMaxThreads; ++i) {
         // acquire: pairs with the publisher's release store.
         Record* rec = slots_[i]->load(std::memory_order_acquire);
         if (rec == nullptr) continue;
         slots_[i]->store(nullptr, std::memory_order_relaxed);  // relaxed: combiner holds the lock
+        if (rec->run_merged != nullptr) {
+          merged[n_merged++] = rec;  // grouped and executed after the scan
+          any = true;
+          continue;
+        }
         rec->run(rec->ctx, rec->result, state_);
         // release: publish both the result and slot consumption.
         rec->done.store(true, std::memory_order_release);
         any = true;
+      }
+      for (std::size_t i = 0; i < n_merged; ++i) {
+        if (merged[i] == nullptr) continue;
+        const detail::MergedRunFn<State> fn = merged[i]->run_merged;
+        void* ctxs[kMaxThreads];
+        Record* group[kMaxThreads];
+        std::size_t count = 0;
+        for (std::size_t j = i; j < n_merged; ++j) {
+          if (merged[j] != nullptr && merged[j]->run_merged == fn) {
+            group[count] = merged[j];
+            ctxs[count] = merged[j]->ctx;
+            ++count;
+            merged[j] = nullptr;
+          }
+        }
+        fn(ctxs, count, state_);
+        for (std::size_t j = 0; j < count; ++j) {
+          // release: publish the results written by the merged application.
+          group[j]->done.store(true, std::memory_order_release);
+        }
       }
       if (!any) break;
     }

@@ -1,0 +1,262 @@
+// Bounded model checking of the sorted-batch combining pipeline
+// (skiplist/batched_skiplist.hpp): on every explored interleaving a batch
+// must apply atomically (no probe sees a partial batch), every op's result
+// slot must be written before its submitter's wait drops, merged combining
+// episodes (two sorted runs gathered into one application) must conserve
+// both runs' effects, and a deliberately mis-ordered mini-combiner that
+// completes its members BEFORE running the merged application must be
+// caught with a replayable schedule.
+//
+// The sequential shards use plain pointers (no Atomics), so the only
+// schedule points are the combining engine's — whole-structure exploration
+// stays tractable, unlike the lock-free skiplist.  kKeyed tower draws keep
+// the explored code RNG-free (replay needs determinism).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+#include <span>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/atomic.hpp"
+#include "model/scheduler.hpp"
+#include "model/shim.hpp"
+#include "skiplist/batched_map.hpp"
+#include "skiplist/batched_skiplist.hpp"
+#include "sync/ccsynch.hpp"
+#include "sync/flat_combining.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ccds {
+namespace {
+
+using model::Options;
+using model::Result;
+
+using ModelSet = BatchedSkipListSet<int, std::less<int>, CcSynch,
+                                    SkipListLevels::kKeyed>;
+using ModelSetFc = BatchedSkipListSet<int, std::less<int>, FlatCombiner,
+                                      SkipListLevels::kKeyed>;
+using SetOp = ModelSet::Op;
+using SetOpFc = ModelSetFc::Op;
+
+// A two-op batch vs. a two-op probe batch: the probe must see none or both
+// of the batch's keys on every schedule — batch atomicity across keys.
+TEST(ModelBatched, BatchAppliesAtomicallyAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    ModelSet s;
+    model::thread t([&] {
+      SetOp ops[2] = {SetOp::insert(1), SetOp::insert(2)};
+      s.apply_batch(std::span<SetOp>(ops, 2));
+      CCDS_MODEL_ASSERT(ops[0].result && ops[1].result);
+    });
+    SetOp probe[2] = {SetOp::contains(1), SetOp::contains(2)};
+    s.apply_batch(std::span<SetOp>(probe, 2));
+    t.join();
+    const int hits = (probe[0].result ? 1 : 0) + (probe[1].result ? 1 : 0);
+    CCDS_MODEL_ASSERT(hits == 0 || hits == 2);
+    CCDS_MODEL_ASSERT(s.contains(1) && s.contains(2));
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 10);
+}
+
+// Result delivery: a batch with a duplicated key must fill EVERY slot per
+// last-writer-wins before the submitting call returns, on every schedule —
+// including the ones where the other thread's single op merges into the
+// same combining episode.
+TEST(ModelBatched, ResultSlotsFilledLwwAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    ModelSet s;
+    model::thread t([&] { CCDS_MODEL_ASSERT(s.insert(9)); });
+    SetOp ops[3] = {SetOp::insert(5), SetOp::erase(5), SetOp::contains(5)};
+    s.apply_batch(std::span<SetOp>(ops, 3));
+    t.join();
+    CCDS_MODEL_ASSERT(ops[0].result);   // 5 was absent
+    CCDS_MODEL_ASSERT(ops[1].result);   // the insert before it landed
+    CCDS_MODEL_ASSERT(!ops[2].result);  // erased again by the same batch
+    CCDS_MODEL_ASSERT(!s.contains(5));
+    CCDS_MODEL_ASSERT(s.contains(9));
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// Two sorted runs submitted concurrently: whichever schedules into a merged
+// episode (consecutive CcSynch list nodes) or separate ones, both runs'
+// effects and results must be conserved.
+TEST(ModelBatched, ConcurrentRunsConserveAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    ModelSet s;
+    model::thread t([&] {
+      SetOp ops[2] = {SetOp::insert(1), SetOp::insert(3)};
+      s.apply_batch(std::span<SetOp>(ops, 2));
+      CCDS_MODEL_ASSERT(ops[0].result && ops[1].result);
+    });
+    SetOp ops[2] = {SetOp::insert(2), SetOp::insert(4)};
+    s.apply_batch(std::span<SetOp>(ops, 2));
+    CCDS_MODEL_ASSERT(ops[0].result && ops[1].result);
+    t.join();
+    CCDS_MODEL_ASSERT(s.size() == 4);
+    CCDS_MODEL_ASSERT(s.contains(1) && s.contains(2) && s.contains(3) &&
+                      s.contains(4));
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// Same conservation witness through the FlatCombiner engine's slot-scan
+// grouping (the other half of the shared batch-episode contract).
+TEST(ModelBatched, FlatCombinerRunsConserveAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    ModelSetFc s;
+    model::thread t([&] {
+      SetOpFc ops[2] = {SetOpFc::insert(1), SetOpFc::erase(2)};
+      s.apply_batch(std::span<SetOpFc>(ops, 2));
+      CCDS_MODEL_ASSERT(ops[0].result);
+    });
+    SetOpFc ops[2] = {SetOpFc::insert(10), SetOpFc::insert(11)};
+    s.apply_batch(std::span<SetOpFc>(ops, 2));
+    CCDS_MODEL_ASSERT(ops[0].result && ops[1].result);
+    t.join();
+    CCDS_MODEL_ASSERT(s.contains(1) && s.contains(10) && s.contains(11));
+    CCDS_MODEL_ASSERT(!s.contains(2));
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// The map veneer end to end: a put and a get racing; the get sees the full
+// stored entry or nothing — never a torn value.
+TEST(ModelBatched, MapGetSeesWholeEntryAllSchedules) {
+  using Map = BatchedMap<int, int, std::less<int>, CcSynch,
+                         SkipListLevels::kKeyed>;
+  Options opts;
+  Result res = model::explore(opts, [] {
+    Map m;
+    model::thread t([&] { CCDS_MODEL_ASSERT(m.put(1, 42)); });
+    auto v = m.get(1);
+    t.join();
+    CCDS_MODEL_ASSERT(!v.has_value() || *v == 42);
+    CCDS_MODEL_ASSERT(m.get(1) == 42);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded bug: completion before application.
+//
+// A miniature merged-run combiner in the FlatCombiner mold, with the one
+// ordering mistake the real engines' combine() loops are written to avoid:
+// it marks every gathered member `done` BEFORE running the merged
+// application that writes their results.  A preemption in that window lets
+// a submitter wake, observe done == true, and read a result the combiner
+// has not produced yet — the "lost result" the batch contract forbids.
+// ---------------------------------------------------------------------------
+
+template <bool CompleteBeforeApply>
+struct MiniMergedCombiner {
+  struct Rec {
+    int* out = nullptr;
+    Atomic<bool> done{false};
+  };
+
+  void submit(std::size_t tid, int* out) {
+    Rec rec;
+    rec.out = out;
+    // release: publish the record to the combiner.
+    slots_[tid].store(&rec, std::memory_order_release);
+    std::uint32_t spins = 0;
+    while (!rec.done.load(std::memory_order_acquire)) {
+      if (lock_.try_lock()) {
+        combine();
+        lock_.unlock();
+      } else {
+        spin_wait(spins);
+      }
+    }
+  }
+
+  void combine() {
+    Rec* group[2];
+    int* outs[2];
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      Rec* r = slots_[i].load(std::memory_order_acquire);
+      if (r == nullptr) continue;
+      slots_[i].store(nullptr, std::memory_order_relaxed);  // relaxed: combiner holds the lock
+      group[n] = r;
+      outs[n] = r->out;
+      ++n;
+    }
+    if constexpr (CompleteBeforeApply) {
+      // BUG: the members are released before the merged application writes
+      // their results.
+      for (std::size_t i = 0; i < n; ++i) {
+        group[i]->done.store(true, std::memory_order_release);
+      }
+      for (std::size_t i = 0; i < n; ++i) *outs[i] = 42;
+    } else {
+      // The real engines' order: apply, then complete.
+      for (std::size_t i = 0; i < n; ++i) *outs[i] = 42;
+      for (std::size_t i = 0; i < n; ++i) {
+        group[i]->done.store(true, std::memory_order_release);
+      }
+    }
+  }
+
+  TtasLock lock_;
+  Atomic<Rec*> slots_[2]{};
+};
+
+template <bool CompleteBeforeApply>
+void mini_merged_scenario() {
+  MiniMergedCombiner<CompleteBeforeApply> cc;
+  int a = 0;
+  int b = 0;
+  model::thread t([&] {
+    cc.submit(1, &b);
+    CCDS_MODEL_ASSERT(b == 42);
+  });
+  cc.submit(0, &a);
+  CCDS_MODEL_ASSERT(a == 42);
+  t.join();
+}
+
+TEST(ModelBatched, CompleteBeforeApplyCaughtWithReplayableSchedule) {
+  Options opts;
+  Result res = model::explore(opts, mini_merged_scenario<true>);
+  ASSERT_FALSE(res.ok) << "explorer missed the complete-before-apply window";
+  EXPECT_FALSE(res.schedule.empty());
+  std::cout << "complete-before-apply caught: " << res.error
+            << "\nreplayable schedule: " << res.schedule << "\n";
+
+  Options replay;
+  replay.replay = res.schedule;
+  Result again = model::explore(replay, mini_merged_scenario<true>);
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.executions, 1);
+}
+
+TEST(ModelBatched, ApplyThenCompletePassesAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, mini_merged_scenario<false>);
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+}  // namespace
+}  // namespace ccds

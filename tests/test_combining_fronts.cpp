@@ -1,9 +1,11 @@
 // Tests for the combining fronts (CombiningQueue / CombiningStack /
-// CombiningCounter): sequential semantics, concurrent conservation, batch
-// atomicity, and engine interchangeability — every front must behave
-// identically whether backed by CcSynch or FlatCombiner.
+// CombiningCounter / BatchedSkipListSet / BatchedMap): sequential semantics,
+// concurrent conservation, batch atomicity, and engine interchangeability —
+// every front must behave identically whether backed by CcSynch or
+// FlatCombiner.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <set>
@@ -11,7 +13,10 @@
 #include <vector>
 
 #include "counter/combining_counter.hpp"
+#include "pool/stealing_pool.hpp"
 #include "queue/combining_queue.hpp"
+#include "skiplist/batched_map.hpp"
+#include "skiplist/batched_skiplist.hpp"
 #include "stack/combining_stack.hpp"
 #include "sync/ccsynch.hpp"
 #include "sync/flat_combining.hpp"
@@ -197,6 +202,283 @@ TYPED_TEST(CombiningCounterTest, InitialValue) {
   EXPECT_EQ(c.load(), 100u);
   EXPECT_EQ(c.fetch_add(5), 100u);
   EXPECT_EQ(c.load(), 105u);
+}
+
+// ---------------------------------------------------------------------------
+// BatchedSkipListSet: the sorted-batch front, both engines.
+// ---------------------------------------------------------------------------
+
+template <typename S>
+class BatchedSkipListTest : public ::testing::Test {};
+using BatchedTypes = ::testing::Types<
+    BatchedSkipListSet<std::uint64_t, std::less<std::uint64_t>, CcSynch>,
+    BatchedSkipListSet<std::uint64_t, std::less<std::uint64_t>, FlatCombiner>>;
+TYPED_TEST_SUITE(BatchedSkipListTest, BatchedTypes);
+
+TYPED_TEST(BatchedSkipListTest, BasicSetSemantics) {
+  TypeParam s;
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_TRUE(s.insert(10));
+  EXPECT_FALSE(s.insert(10));
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_FALSE(s.contains(9));
+  EXPECT_TRUE(s.remove(10));
+  EXPECT_FALSE(s.remove(10));
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_TRUE(s.insert(10));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TYPED_TEST(BatchedSkipListTest, BatchResultsLandInSubmissionOrder) {
+  TypeParam s;
+  using Op = typename TypeParam::Op;
+  // Unsorted keys with duplicates: results must come back in slot order,
+  // with last-writer-wins semantics inside the batch.
+  std::vector<Op> ops;
+  ops.push_back(Op::insert(30));    // 0: inserted
+  ops.push_back(Op::insert(10));    // 1: inserted
+  ops.push_back(Op::contains(30));  // 2: sees op 0
+  ops.push_back(Op::erase(30));     // 3: erases it
+  ops.push_back(Op::contains(30));  // 4: gone again
+  ops.push_back(Op::insert(30));    // 5: re-inserted
+  ops.push_back(Op::insert(20));    // 6: inserted
+  ops.push_back(Op::insert(10));    // 7: duplicate of op 1
+  s.apply_batch(std::span<Op>(ops));
+  EXPECT_TRUE(ops[0].result);
+  EXPECT_TRUE(ops[1].result);
+  EXPECT_TRUE(ops[2].result);
+  EXPECT_TRUE(ops[3].result);
+  EXPECT_FALSE(ops[4].result);
+  EXPECT_TRUE(ops[5].result);
+  EXPECT_TRUE(ops[6].result);
+  EXPECT_FALSE(ops[7].result);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_TRUE(s.contains(20));
+  EXPECT_TRUE(s.contains(30));
+}
+
+TYPED_TEST(BatchedSkipListTest, DedupAppliesNetEffectOnly) {
+  TypeParam s;
+  using Op = typename TypeParam::Op;
+  s.reset_stats();
+  // Five ops on one key, net effect: absent (insert/erase/insert/erase).
+  std::vector<Op> ops;
+  ops.push_back(Op::insert(7));
+  ops.push_back(Op::erase(7));
+  ops.push_back(Op::insert(7));
+  ops.push_back(Op::contains(7));
+  ops.push_back(Op::erase(7));
+  s.apply_batch(std::span<Op>(ops));
+  EXPECT_TRUE(ops[0].result);
+  EXPECT_TRUE(ops[1].result);
+  EXPECT_TRUE(ops[2].result);
+  EXPECT_TRUE(ops[3].result);
+  EXPECT_TRUE(ops[4].result);
+  EXPECT_FALSE(s.contains(7));
+  const auto st = s.stats();
+  EXPECT_EQ(st.dedup_folded, 4u);  // 5 ops, 1 group
+}
+
+TYPED_TEST(BatchedSkipListTest, ConcurrentDisjointBatchesConserve) {
+  TypeParam s;
+  using Op = typename TypeParam::Op;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kRounds = 60;
+  constexpr int kBatch = 32;
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int r = 0; r < kRounds; ++r) {
+      std::vector<Op> ops;
+      for (int i = 0; i < kBatch; ++i) {
+        const std::uint64_t k = (static_cast<std::uint64_t>(r) * kBatch + i) *
+                                    kThreads +
+                                idx;
+        // Even rounds insert fresh keys; odd rounds erase the previous
+        // round's (disjoint per thread, so every op must succeed).
+        ops.push_back(r % 2 == 0
+                          ? Op::insert(k)
+                          : Op::erase(k - static_cast<std::uint64_t>(kBatch) *
+                                              kThreads));
+      }
+      s.apply_batch(std::span<Op>(ops));
+      for (const Op& op : ops) ASSERT_TRUE(op.result);
+    }
+  });
+  // kRounds is even, so every insert round's block was erased by the odd
+  // round right after it: the set ends empty.
+  EXPECT_EQ(s.size(), 0u);
+  const auto st = s.stats();
+  EXPECT_EQ(st.ops, static_cast<std::uint64_t>(kThreads) * kRounds * kBatch);
+  EXPECT_GE(st.merged_runs, st.batches);
+}
+
+TYPED_TEST(BatchedSkipListTest, BatchesAreAtomicAcrossKeys) {
+  // Writer flips a 24-key block between all-present and all-absent, one
+  // batch per flip; probers batch-read the whole block and must never see a
+  // partial state.
+  TypeParam s;
+  using Op = typename TypeParam::Op;
+  constexpr int kKeys = 24;
+  constexpr int kFlips = 400;
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  test::run_threads(4, [&](std::size_t idx) {
+    if (idx == 0) {
+      for (int f = 0; f < kFlips; ++f) {
+        std::vector<Op> ops;
+        for (int k = 0; k < kKeys; ++k) {
+          ops.push_back(f % 2 == 0 ? Op::insert(k) : Op::erase(k));
+        }
+        s.apply_batch(std::span<Op>(ops));
+      }
+      done.store(true, std::memory_order_release);
+    } else {
+      while (!done.load(std::memory_order_acquire)) {
+        std::vector<Op> ops;
+        for (int k = 0; k < kKeys; ++k) ops.push_back(Op::contains(k));
+        s.apply_batch(std::span<Op>(ops));
+        int hits = 0;
+        for (const Op& op : ops) hits += op.result ? 1 : 0;
+        if (hits != 0 && hits != kKeys) torn.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TYPED_TEST(BatchedSkipListTest, ShardedPartitionMatchesReference) {
+  TypeParam s({1000, 2000, 3000});
+  EXPECT_EQ(s.shard_count(), 4u);
+  using Op = typename TypeParam::Op;
+  std::set<std::uint64_t> reference;
+  std::vector<Op> ops;
+  for (std::uint64_t i = 0; i < 4000; i += 3) {
+    ops.push_back(Op::insert(i));
+    reference.insert(i);
+  }
+  s.apply_batch(std::span<Op>(ops));
+  EXPECT_EQ(s.size(), reference.size());
+  // Splitter boundary keys land on the right side of their range.
+  for (std::uint64_t k : {999u, 1000u, 1001u, 1999u, 2000u, 2999u, 3000u}) {
+    EXPECT_EQ(s.contains(k), reference.count(k) == 1) << "key " << k;
+  }
+  std::vector<Op> erases;
+  for (std::uint64_t i = 0; i < 4000; i += 6) {
+    erases.push_back(Op::erase(i));
+    reference.erase(i);
+  }
+  s.apply_batch(std::span<Op>(erases));
+  for (std::uint64_t k = 0; k < 4000; ++k) {
+    ASSERT_EQ(s.contains(k), reference.count(k) == 1) << "key " << k;
+  }
+}
+
+TYPED_TEST(BatchedSkipListTest, FanOutProducesSameStateAsInline) {
+  // Same op stream with and without an attached executor: identical final
+  // state, and the executor run must actually have fanned out.
+  using Op = typename TypeParam::Op;
+  std::vector<std::uint64_t> splits = {250, 500, 750};
+  TypeParam inline_set(splits);
+  TypeParam fan_set(splits);
+  StealingExecutor<> exec(2);
+  fan_set.attach_executor(exec);
+  fan_set.set_fanout_threshold(8);
+
+  for (int round = 0; round < 6; ++round) {
+    std::vector<Op> a, b;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      const std::uint64_t k = (i * 37 + round * 13) % 1000;
+      auto op = round % 2 == 0 ? Op::insert(k) : Op::erase(k);
+      a.push_back(op);
+      b.push_back(op);
+    }
+    inline_set.apply_batch(std::span<Op>(a));
+    fan_set.apply_batch(std::span<Op>(b));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].result, b[i].result) << "slot " << i;
+    }
+  }
+  fan_set.detach_executor();
+  EXPECT_EQ(inline_set.size(), fan_set.size());
+  const auto st = fan_set.stats();
+  EXPECT_GT(st.fanout_batches, 0u);
+  EXPECT_GT(st.fanout_subbatches, st.fanout_batches);
+  EXPECT_EQ(inline_set.stats().fanout_batches, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BatchedMap: the key/value veneer, both engines.
+// ---------------------------------------------------------------------------
+
+template <typename M>
+class BatchedMapTest : public ::testing::Test {};
+using BatchedMapTypes = ::testing::Types<
+    BatchedMap<std::uint64_t, std::uint64_t, std::less<std::uint64_t>,
+               CcSynch>,
+    BatchedMap<std::uint64_t, std::uint64_t, std::less<std::uint64_t>,
+               FlatCombiner>>;
+TYPED_TEST_SUITE(BatchedMapTest, BatchedMapTypes);
+
+TYPED_TEST(BatchedMapTest, PutGetEraseRoundTrip) {
+  TypeParam m;
+  EXPECT_EQ(m.get(1), std::nullopt);
+  EXPECT_TRUE(m.put(1, 10));
+  EXPECT_FALSE(m.put(1, 11));  // overwrite: key was present
+  EXPECT_EQ(m.get(1), 11u);
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.get(1), std::nullopt);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TYPED_TEST(BatchedMapTest, BatchGetsReadValuesAndLwwApplies) {
+  TypeParam m;
+  using Op = typename TypeParam::Op;
+  std::vector<Op> ops;
+  ops.push_back(TypeParam::put_op(5, 100));
+  ops.push_back(TypeParam::get_op(5));      // sees 100
+  ops.push_back(TypeParam::put_op(5, 200)); // last writer
+  ops.push_back(TypeParam::get_op(7));      // miss
+  m.apply_batch(std::span<Op>(ops));
+  EXPECT_TRUE(ops[0].result);
+  EXPECT_TRUE(ops[1].result);
+  EXPECT_EQ(ops[1].key.value, 100u);
+  EXPECT_FALSE(ops[2].result);
+  EXPECT_FALSE(ops[3].result);
+  EXPECT_EQ(m.get(5), 200u);
+}
+
+TYPED_TEST(BatchedMapTest, ConcurrentPutsToDistinctKeys) {
+  TypeParam m;
+  constexpr std::size_t kThreads = 6;
+  constexpr std::uint64_t kPerThread = 400;
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      const std::uint64_t k = idx * kPerThread + i;
+      ASSERT_TRUE(m.put(k, k * 2));
+    }
+  });
+  EXPECT_EQ(m.size(), kThreads * kPerThread);
+  for (std::uint64_t k = 0; k < kThreads * kPerThread; ++k) {
+    ASSERT_EQ(m.get(k), k * 2) << "key " << k;
+  }
+}
+
+TYPED_TEST(BatchedMapTest, ShardedMapWithKeyedLevels) {
+  // Splitters + keyed towers together (the bench configuration).
+  BatchedMap<std::uint64_t, std::uint64_t, std::less<std::uint64_t>, CcSynch,
+             SkipListLevels::kKeyed>
+      m({100, 200});
+  EXPECT_EQ(m.shard_count(), 3u);
+  for (std::uint64_t k = 0; k < 300; k += 5) EXPECT_TRUE(m.put(k, k + 1));
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    if (k % 5 == 0) {
+      ASSERT_EQ(m.get(k), k + 1) << "key " << k;
+    } else {
+      ASSERT_EQ(m.get(k), std::nullopt) << "key " << k;
+    }
+  }
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "hash/split_ordered_set.hpp"
@@ -31,6 +32,7 @@
 #include "reclaim/qsbr.hpp"
 #include "reclaim/rcu_cell.hpp"
 #include "reclaim/reclaim.hpp"
+#include "skiplist/batched_skiplist.hpp"
 #include "skiplist/lazy_skiplist.hpp"
 #include "skiplist/lockfree_skiplist.hpp"
 #include "stack/elimination_stack.hpp"
@@ -381,6 +383,44 @@ TYPED_TEST(PolicyTest, StealingPoolConservation) {
   while (pool.try_get()) got.fetch_add(1, std::memory_order_relaxed);
   EXPECT_EQ(got.load(), kThreads * kPerThread);
   EXPECT_TRUE(pool.empty());
+}
+
+// ---------- batched skip list over a fan-out executor ----------
+
+// The whole batching pipeline — merged combining episodes, key-range
+// segmentation, bulk task submission, helper-thread application — churns
+// under every policy: the executor's pool shards are TreiberStacks whose
+// nodes go through TypeParam, so a policy bug anywhere in the fan-out path
+// surfaces as lost tasks (latch hang) or ASan-visible reuse.
+TYPED_TEST(PolicyTest, BatchedSkipListFanOutChurn) {
+  StealingExecutor<TypeParam> exec(2);
+  BatchedSkipListSet<std::uint64_t> s({500, 1000, 1500});
+  s.attach_executor(exec);
+  s.set_fanout_threshold(16);
+  using Op = typename BatchedSkipListSet<std::uint64_t>::Op;
+  constexpr std::size_t kThreads = 4;
+  constexpr int kRounds = 40;
+  constexpr int kBatch = 48;
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int r = 0; r < kRounds; ++r) {
+      std::vector<Op> ops;
+      for (int i = 0; i < kBatch; ++i) {
+        // Spread each batch across the whole 0..2000 key space so the
+        // merged run crosses shard boundaries (fan-out segments > 1).
+        const std::uint64_t k =
+            (static_cast<std::uint64_t>(i) * 2000 / kBatch) + idx * 7 + r;
+        ops.push_back(r % 2 == 0 ? Op::insert(k % 2000) : Op::erase(k % 2000));
+      }
+      s.apply_batch(std::span<Op>(ops));
+    }
+  });
+  const auto st = s.stats();
+  EXPECT_EQ(st.ops,
+            static_cast<std::uint64_t>(kThreads) * kRounds * kBatch);
+  EXPECT_GT(st.fanout_batches, 0u);
+  s.detach_executor();
+  exec.pool().collect_all();
+  EXPECT_EQ(exec.pool().retired_count(), 0u);
 }
 
 // ---------- RCU cell ----------

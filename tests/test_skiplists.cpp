@@ -87,6 +87,132 @@ TYPED_TEST(SkipListSetTest, RemoveEverythingThenReuse) {
   for (std::uint64_t i = 0; i < 500; ++i) EXPECT_TRUE(s.contains(i * 2));
 }
 
+// ---------- finger search (SeqSkipListSet) ----------
+
+TEST(SeqSkipListFinger, SortedPassMatchesReference) {
+  SeqSkipListSet<std::uint64_t> s;
+  for (std::uint64_t i = 0; i < 1000; i += 3) s.insert(i);
+  // One finger, ascending seeks: insert absents, remove every 30th present.
+  std::set<std::uint64_t> reference;
+  for (std::uint64_t i = 0; i < 1000; i += 3) reference.insert(i);
+  auto f = s.finger();
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    s.seek(f, k);
+    const bool present = s.found_at(f, k);
+    ASSERT_EQ(present, reference.count(k) == 1) << "key " << k;
+    if (!present) {
+      s.insert_new_at(f, k);
+      reference.insert(k);
+    } else if (k % 30 == 0) {
+      s.remove_found_at(f);
+      reference.erase(k);
+    }
+  }
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_EQ(s.contains(k), reference.count(k) == 1) << "key " << k;
+  }
+  EXPECT_EQ(s.size(), reference.size());
+}
+
+TEST(SeqSkipListFinger, RepeatedSeekOfSameKeyIsStable) {
+  SeqSkipListSet<std::uint64_t> s;
+  s.insert(10);
+  s.insert(20);
+  auto f = s.finger();
+  s.seek(f, 15);
+  EXPECT_FALSE(s.found_at(f, 15));
+  s.seek(f, 15);  // same key again: the fast path
+  EXPECT_FALSE(s.found_at(f, 15));
+  s.insert_new_at(f, 15);
+  s.seek(f, 15);
+  EXPECT_TRUE(s.found_at(f, 15));
+  s.seek(f, 20);
+  EXPECT_TRUE(s.found_at(f, 20));
+}
+
+TEST(SeqSkipListFinger, FreshFingerStartsBeforeEverything) {
+  SeqSkipListSet<std::uint64_t> s;
+  for (std::uint64_t i = 100; i < 200; ++i) s.insert(i);
+  auto f = s.finger();
+  s.seek(f, 0);  // before the first key
+  EXPECT_FALSE(s.found_at(f, 0));
+  s.insert_new_at(f, 0);
+  EXPECT_TRUE(s.contains(0));
+}
+
+TEST(SeqSkipListFinger, FoundRefMutationPreservingOrderIsVisible) {
+  // A map-style element ordered by the key half: mutate the value half in
+  // place through found_ref.
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t value;
+  };
+  struct KeyLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.key < b.key;
+    }
+  };
+  SeqSkipListSet<Entry, KeyLess> s;
+  s.insert(Entry{1, 10});
+  s.insert(Entry{2, 20});
+  auto f = s.finger();
+  s.seek(f, Entry{1, 0});
+  ASSERT_TRUE(s.found_at(f, Entry{1, 0}));
+  s.found_ref(f).value = 11;
+  s.seek(f, Entry{2, 0});
+  ASSERT_TRUE(s.found_at(f, Entry{2, 0}));
+  EXPECT_EQ(s.found_ref(f).value, 20u);
+  auto g = s.finger();
+  s.seek(g, Entry{1, 0});
+  ASSERT_TRUE(s.found_at(g, Entry{1, 0}));
+  EXPECT_EQ(s.found_ref(g).value, 11u);
+}
+
+TEST(SeqSkipListFinger, TallKeyMutationsThroughShortFinger) {
+  // Keyed towers make heights deterministic; interleave short seeks with
+  // inserts/removes of keys whose towers are taller than the finger's top,
+  // exercising the stale-upper-level refresh (extend_exact).
+  SeqSkipListSet<std::uint64_t, std::less<std::uint64_t>,
+                 SkipListLevels::kKeyed>
+      s;
+  std::set<std::uint64_t> reference;
+  for (std::uint64_t i = 0; i < 4000; i += 2) {
+    s.insert(i);
+    reference.insert(i);
+  }
+  auto f = s.finger();
+  for (std::uint64_t k = 0; k < 4000; ++k) {
+    s.seek(f, k);
+    if (k % 2 == 1) {
+      ASSERT_FALSE(s.found_at(f, k));
+      s.insert_new_at(f, k);
+      reference.insert(k);
+    } else if (k % 6 == 0) {
+      ASSERT_TRUE(s.found_at(f, k));
+      s.remove_found_at(f);
+      reference.erase(k);
+    }
+  }
+  for (std::uint64_t k = 0; k < 4000; ++k) {
+    ASSERT_EQ(s.contains(k), reference.count(k) == 1) << "key " << k;
+  }
+}
+
+TEST(SeqSkipList, KeyedLevelsAreDeterministic) {
+  for (std::uint64_t h : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    const int l = skiplist_keyed_level(h);
+    EXPECT_GE(l, 1);
+    EXPECT_LE(l, kSkipListMaxLevel);
+    EXPECT_EQ(l, skiplist_keyed_level(h));  // pure function of the hash
+  }
+  // The draw is geometric-ish: over many keys, most land on level 1-2.
+  int low = 0;
+  for (std::uint64_t h = 0; h < 1000; ++h) {
+    if (skiplist_keyed_level(h * 2654435761u + 1) <= 2) ++low;
+  }
+  EXPECT_GT(low, 600);
+}
+
 // Concurrent suites exclude the sequential baseline.
 template <typename S>
 class ConcurrentSkipListTest : public ::testing::Test {};
