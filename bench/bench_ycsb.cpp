@@ -1,0 +1,359 @@
+// E19: YCSB-style serving — shard-per-core KV tier vs. shared maps.
+//
+// The serving question E7 (hash map micro-ops) cannot answer: when a KV
+// tier fronts the map with routing and mailboxes, does deleting contention
+// via shard ownership (service/kv_service.hpp) beat the best shared map
+// under a skewed, update-heavy request stream?  Three tiers serve the SAME
+// YCSB-shaped workload — zipfian key popularity over a 2M-key space, A/B/C
+// read-update mixes — from the same prefilled population:
+//
+//   sharded  — KvService: requests hash-route through per-(client,shard)
+//              SpscRing mailboxes to 4 shard workers, each batch-draining
+//              into a private SwissHashMap partition (windowed async
+//              clients, 32 outstanding, so workers see real batches);
+//   swiss    — one shared SwissHashMap, every measured thread operates
+//              directly (the repo's best shared map, E7);
+//   striped  — one shared StripedHashMap, 64 stripe locks (the classic
+//              shared design and E7's foil).
+//
+// Measurement model (same discipline as E17/E18, documented in
+// EXPERIMENTS.md): this host has ONE CPU, so wall-clock items_per_second
+// mostly measures the scheduler — the sharded tier pays for 4 extra worker
+// threads in quanta, and SHOULD lose wall-clock here; that loss is
+// reported, not hidden.  The architectural comparison rides on
+// scheduler-noise-free WORK counters (hash/hash_stats.hpp, compiled in via
+// CCDS_HASH_STATS in this TU only):
+//
+//   probes_per_op     — structure-examination work units (16-slot group
+//                       visits for swiss tiers, bucket head + chain nodes
+//                       for striped);
+//   cas_fails_per_op  — contention episodes: group-lock waits/CAS losses,
+//                       seqlock torn-read retries, stripe try_lock
+//                       failures — counted once per DISTINCT colliding
+//                       writer session via seqlock generation distance
+//                       (hash_stats.hpp), never per spin iteration: a
+//                       convoy of k holders slept through counts k, a
+//                       whole quantum spinning behind one parked holder
+//                       counts 1 (spin counts scale with scheduler
+//                       latency, the noise this counter excludes);
+//   work_per_op       — their sum, the gated quantity
+//                       (scripts/check_ycsb.py --perf: sharded must do
+//                       >= 1.2x less work than shared swiss at T=8 on the
+//                       update-heavy A mix at alpha=1.2).
+//
+// Because critical sections (~100ns) never span a scheduling quantum
+// (~ms) on one CPU, real mid-operation preemption rounds to zero and every
+// tier's contention would read ~0.  HashStats::maybe-stall injection (the
+// E17 PreemptLess pattern) restores multicore-like interleaving: every
+// stall_every-th PROBE by an opted-in thread (measured clients on shared
+// tiers, shard workers on the sharded tier — identical per-probe rate, no
+// tier-dependent condition) yields the CPU for stall_burst quanta.  A
+// shared map turns a parked in-lock writer into waiter episodes on every
+// colliding thread; a shard-owned partition cannot contend however often
+// its worker stalls.  The residual counter difference is the architecture,
+// not the host.
+//
+// Witnesses on sharded rows: per-shard occupancy min/max (routing balance),
+// per-shard applied-ops min/max (load balance), drain_batch_avg/max (the
+// amortization actually happening), fallback_ops (requests that rode the
+// shared MpmcQueue because clients outnumbered ring slots — the T=8 series
+// runs 8 clients over 4 ring slots on purpose).
+#define CCDS_HASH_STATS 1
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/zipf.hpp"
+#include "hash/hash_stats.hpp"
+#include "hash/striped_hash_map.hpp"
+#include "hash/swiss_hash_map.hpp"
+#include "service/kv_service.hpp"
+#include "sync/oneshot.hpp"
+
+namespace ccds {
+namespace {
+
+using bench::make_rng;
+using bench::ThreadOps;
+
+constexpr std::uint64_t kKeyRange = 1ull << 21;  // 2M records, all resident
+constexpr std::size_t kShards = 4;
+constexpr std::size_t kRingClients = 4;  // T=8 puts 4 clients on fallback
+constexpr std::size_t kWindow = 32;      // outstanding requests per client
+// Injection magnitude: every 4th probe parks the prober for 8 yields
+// (E17's zipfian comparator yields on EVERY comparison — this is milder).
+// Calibration (this host): at 48/2 a parked writer exposes its locked
+// group to only ~30 other-thread ops and shared-swiss contention reads
+// 0.01 episodes/op — far below what 8 genuinely concurrent cores would
+// produce on an 18%-hot key (every hot write overlapping ~0.18x7 ops;
+// the sum over the zipf(1.2) key-collision distribution puts the
+// full-overlap collision probability near 0.2-0.35 per op).  4/8 lands
+// the shared map at ~0.3 episodes/op on the A mix at alpha=1.2 — inside
+// that physically expected band — while staying tier-blind: the sharded
+// workers stall at the identical per-probe rate and still read ~0,
+// because nobody else can touch their partition.
+constexpr int kStallEvery = 4;
+constexpr int kStallBurst = 8;
+
+// Pre-sized so the 2M-key prefill triggers no growth and the measured
+// phase (updates overwrite, nothing inserts new keys) never rehashes.
+constexpr std::size_t kSharedSlots = 1ull << 22;
+
+using Svc = KvService<std::uint64_t, std::uint64_t>;
+using SharedSwiss = SwissHashMap<std::uint64_t, std::uint64_t>;
+using SharedStriped = StripedHashMap<std::uint64_t, std::uint64_t>;
+
+const bool kYcsbContext = [] {
+  benchmark::AddCustomContext("ycsb_key_range", std::to_string(kKeyRange));
+  benchmark::AddCustomContext("ycsb_shard_count", std::to_string(kShards));
+  benchmark::AddCustomContext("ycsb_ring_clients",
+                              std::to_string(kRingClients));
+  benchmark::AddCustomContext(
+      "ycsb_clients_oversubscribe_rings",
+      bench::kBenchMaxThreads > static_cast<int>(kRingClients) ? "true"
+                                                               : "false");
+  benchmark::AddCustomContext("ycsb_window", std::to_string(kWindow));
+  benchmark::AddCustomContext("ycsb_stall_every", std::to_string(kStallEvery));
+  benchmark::AddCustomContext("ycsb_stall_burst", std::to_string(kStallBurst));
+  return true;
+}();
+
+// All three tiers live in one struct and prefill interleaved, for the same
+// allocation-locality fairness reason as E17's set bundle (matters for the
+// striped tier's nodes; the swiss tiers store entries inline).
+struct Tiers {
+  Tiers()
+      : svc([] {
+          Svc::Config cfg;
+          cfg.shards = kShards;
+          cfg.client_slots = kRingClients;
+          cfg.ring_capacity = 128;
+          cfg.fallback_capacity = 1024;
+          cfg.drain_batch = 64;
+          cfg.initial_slots_per_shard = kSharedSlots / kShards;
+          cfg.pin_workers = false;  // 1-CPU host: pinning would serialize
+          cfg.worker_init = [](std::size_t) { HashStats::enabled = true; };
+          return cfg;
+        }()),
+        swiss(kSharedSlots),
+        striped(kSharedSlots) {}
+
+  Svc svc;
+  SharedSwiss swiss;
+  SharedStriped striped;
+};
+
+Tiers& tiers() {
+  // Magic static + call_once, never destroyed: teardown rules out
+  // shutdown races with benchmark repetition teardown (see
+  // bench_lists.cpp).  The service's 4 shard workers idle at ~1ms sleeps
+  // between sharded rows — they touch no map while idle, so they neither
+  // pollute the work counters nor steal meaningful quanta from the shared
+  // tiers' rows.
+  static Tiers& t = *new Tiers();
+  static std::once_flag prefill_once;
+  std::call_once(prefill_once, [] {
+    HashStats::stall_every = 0;  // no injection during setup
+    for (std::uint64_t k = 0; k < kKeyRange; ++k) {
+      t.svc.prefill(k, k);
+      t.swiss.insert(k, k);
+      t.striped.insert(k, k);
+    }
+    HashStats::stall_every = kStallEvery;
+    HashStats::stall_burst = kStallBurst;
+  });
+  return t;
+}
+
+// Zipf alias tables built once per alpha (arg is alpha in tenths).
+const ZipfianGenerator& zipf_table(int alpha_tenths) {
+  static const ZipfianGenerator z09(kKeyRange, 0.9);
+  static const ZipfianGenerator z12(kKeyRange, 1.2);
+  return alpha_tenths == 9 ? z09 : z12;
+}
+
+// Snapshot the global work counters around the timed loop and report them
+// per measured operation (thread 0 only; the framework's loop barriers
+// order the snapshots, same pattern as E17's RecoveryEvents).  The window
+// tail of a sharded row (<= kWindow ops per client) completes after the
+// stop barrier, a <0.1% slack at artifact iteration counts.
+struct WorkCounters {
+  std::uint64_t probes0 = 0;
+  std::uint64_t cas0 = 0;
+  explicit WorkCounters(const benchmark::State& state) {
+    if (state.thread_index() != 0) return;
+    probes0 = HashStats::probes.load(std::memory_order_relaxed);  // relaxed: stats
+    cas0 = HashStats::cas_fails.load(std::memory_order_relaxed);  // relaxed: stats
+  }
+  void report(benchmark::State& state) const {
+    if (state.thread_index() != 0) return;
+    const double ops = static_cast<double>(state.iterations()) *
+                       static_cast<double>(state.threads());
+    const double probes =
+        static_cast<double>(HashStats::probes.load(std::memory_order_relaxed) -
+                            probes0);  // relaxed: stats
+    const double cas = static_cast<double>(
+        HashStats::cas_fails.load(std::memory_order_relaxed) - cas0);  // relaxed: stats
+    const double pp = ops > 0.0 ? probes / ops : 0.0;
+    const double cp = ops > 0.0 ? cas / ops : 0.0;
+    state.counters["probes_per_op"] = benchmark::Counter(pp);
+    state.counters["cas_fails_per_op"] = benchmark::Counter(cp);
+    state.counters["work_per_op"] = benchmark::Counter(pp + cp);
+  }
+};
+
+// ---- shared-map tiers ------------------------------------------------------
+
+// YCSB mix over a fully resident population: read_pct reads, the rest
+// updates (inserts that overwrite — the population neither grows nor
+// shrinks, so no tier rehashes mid-measurement).
+template <typename Map>
+void run_ycsb_shared(Map& map, benchmark::State& state, int read_pct,
+                     int alpha_tenths) {
+  const ZipfianGenerator& zipf = zipf_table(alpha_tenths);
+  Xoshiro256 rng = make_rng(state);
+  WorkCounters wc(state);
+  ThreadOps ops(state);
+  HashStats::enabled = true;  // measured threads opt into stall injection
+  for (auto _ : state) {
+    const std::uint64_t r = rng.next();
+    const std::uint64_t key = zipf.next(rng);
+    if (static_cast<int>(r % 100) < read_pct) {
+      benchmark::DoNotOptimize(map.get(key));
+    } else {
+      benchmark::DoNotOptimize(map.insert(key, r));
+    }
+    ops.tick();
+  }
+  HashStats::enabled = false;
+  ops.finish();
+  wc.report(state);
+}
+
+void BM_YcsbSharedSwiss(benchmark::State& state) {
+  run_ycsb_shared(tiers().swiss, state, static_cast<int>(state.range(0)),
+                  static_cast<int>(state.range(1)));
+}
+
+void BM_YcsbStriped(benchmark::State& state) {
+  run_ycsb_shared(tiers().striped, state, static_cast<int>(state.range(0)),
+                  static_cast<int>(state.range(1)));
+}
+
+// ---- sharded serving tier --------------------------------------------------
+
+// Per-shard witness deltas (thread 0 only).  max_batch is a lifetime
+// high-water mark (no reset API by design — it is monitoring state, not a
+// benchmark hook), so drain_batch_max reports the mark as of this row.
+struct ShardWitness {
+  Svc::ShardStats before[64] = {};
+  std::size_t n = 0;
+  explicit ShardWitness(const benchmark::State& state, const Svc& svc) {
+    if (state.thread_index() != 0) return;
+    n = svc.shards();
+    for (std::size_t s = 0; s < n; ++s) before[s] = svc.shard_stats(s);
+  }
+  void report(benchmark::State& state, const Svc& svc) const {
+    if (state.thread_index() != 0) return;
+    double ops_min = 0.0, ops_max = 0.0, occ_min = 0.0, occ_max = 0.0;
+    double episodes = 0.0, applied = 0.0, batch_max = 0.0, fallback = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto st = svc.shard_stats(s);
+      const double d_ops = static_cast<double>(st.ops - before[s].ops);
+      const double d_epi =
+          static_cast<double>(st.episodes - before[s].episodes);
+      const double occ = static_cast<double>(svc.shard_map(s).size());
+      ops_min = s == 0 ? d_ops : std::min(ops_min, d_ops);
+      ops_max = s == 0 ? d_ops : std::max(ops_max, d_ops);
+      occ_min = s == 0 ? occ : std::min(occ_min, occ);
+      occ_max = s == 0 ? occ : std::max(occ_max, occ);
+      applied += d_ops;
+      episodes += d_epi;
+      batch_max = std::max(batch_max, static_cast<double>(st.max_batch));
+      fallback += static_cast<double>(st.fallback_ops - before[s].fallback_ops);
+    }
+    state.counters["shard_ops_min"] = benchmark::Counter(ops_min);
+    state.counters["shard_ops_max"] = benchmark::Counter(ops_max);
+    state.counters["shard_occ_min"] = benchmark::Counter(occ_min);
+    state.counters["shard_occ_max"] = benchmark::Counter(occ_max);
+    state.counters["drain_batch_avg"] =
+        benchmark::Counter(episodes > 0.0 ? applied / episodes : 0.0);
+    state.counters["drain_batch_max"] = benchmark::Counter(batch_max);
+    state.counters["fallback_ops"] = benchmark::Counter(fallback);
+  }
+};
+
+// Windowed asynchronous client: kWindow requests outstanding, slot i
+// reclaimed (blocking in OneShot::take only when the pipeline is behind)
+// just before reuse.  Batching at the shard comes from the window — a
+// worker that wakes finds several of this client's requests queued and
+// drains them in one episode.
+void BM_YcsbSharded(benchmark::State& state) {
+  Svc& svc = tiers().svc;
+  const int read_pct = static_cast<int>(state.range(0));
+  const ZipfianGenerator& zipf = zipf_table(static_cast<int>(state.range(1)));
+  auto client = svc.make_client();
+  Xoshiro256 rng = make_rng(state);
+
+  std::vector<OneShot<Svc::Response>> slots(kWindow);
+  std::vector<bool> live(kWindow, false);
+  WorkCounters wc(state);
+  ShardWitness sw(state, svc);
+  ThreadOps ops(state);
+  // Clients never touch a map — the shard workers probe (and stall) on
+  // their behalf, enabled once at service construction via worker_init.
+  std::uint64_t issued = 0;
+  for (auto _ : state) {
+    const std::size_t i = issued % kWindow;
+    if (live[i]) {
+      benchmark::DoNotOptimize(slots[i].take());
+      ops.tick();  // requester-attributed completion, as everywhere
+    }
+    const std::uint64_t r = rng.next();
+    const std::uint64_t key = zipf.next(rng);
+    if (static_cast<int>(r % 100) < read_pct) {
+      client.get_async(key, &slots[i]);
+    } else {
+      client.put_async(key, r, &slots[i]);
+    }
+    live[i] = true;
+    ++issued;
+  }
+  for (std::size_t i = 0; i < kWindow; ++i) {  // drain the tail window
+    if (live[i]) slots[i].take();
+  }
+  ops.finish();
+  bench::report_batch_size(state, 0);  // batch size is emergent; see avg/max
+  wc.report(state);
+  sw.report(state, svc);
+}
+
+// Args: {read_pct, alpha_tenths}.  A = 50/50 update-heavy, B = 95/5,
+// C = 100/0 read-only; alpha 0.9 (mild skew) and 1.2 (hot-key regime —
+// rank 0 alone draws ~18% of requests).
+#define CCDS_YCSB_ARGS                                                 \
+  ->Args({50, 9})->Args({50, 12})->Args({95, 9})->Args({95, 12})       \
+      ->Args({100, 9})->Args({100, 12})
+
+#define CCDS_YCSB_THREADS ->Threads(1)->Threads(4)->Threads(8)->UseRealTime()
+
+BENCHMARK(BM_YcsbSharded)
+    CCDS_YCSB_ARGS CCDS_YCSB_THREADS->Repetitions(3)
+    ->ReportAggregatesOnly(true);
+BENCHMARK(BM_YcsbSharedSwiss)
+    CCDS_YCSB_ARGS CCDS_YCSB_THREADS->Repetitions(3)
+    ->ReportAggregatesOnly(true);
+BENCHMARK(BM_YcsbStriped)
+    CCDS_YCSB_ARGS CCDS_YCSB_THREADS->Repetitions(3)
+    ->ReportAggregatesOnly(true);
+
+}  // namespace
+}  // namespace ccds
+
+BENCHMARK_MAIN();

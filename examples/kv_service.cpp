@@ -1,0 +1,121 @@
+// kv_service — a shard-per-core KV tier serving concurrent clients.
+//
+// Build & run:   ./build/examples/kv_service [clients] [ops-per-client]
+//
+// Each client thread owns a KvService::Client handle and runs an 80/20
+// get/put mix over a prefilled key space: writes record a value derived
+// from (client, key) and every read validates that the value it observes
+// was written by SOME client's legitimate write to that exact key — never
+// torn, never another key's value.  The tail of each client is a burst of
+// async puts whose result slots OUTLIVE the service, so shutdown has real
+// work in flight: the destructor's graceful-drain contract says every one
+// of them is applied and completed before it returns, which the post-
+// destruction checks verify.  Runs with fewer ring slots than clients on
+// purpose, so both the SpscRing mailbox path and the MpmcQueue fallback
+// path carry traffic.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "service/kv_service.hpp"
+#include "sync/oneshot.hpp"
+
+using namespace ccds;
+
+namespace {
+
+using Svc = KvService<std::uint64_t, std::uint64_t>;
+
+constexpr std::uint64_t kKeySpace = 4096;
+constexpr std::uint64_t kTag = 1ull << 32;  // value = kTag*(client+1) + key
+
+bool value_ok(std::uint64_t key, std::uint64_t v, int clients) {
+  const std::uint64_t c = v / kTag;  // 0 = prefill, else client c-1 wrote it
+  return v % kTag == key && c <= static_cast<std::uint64_t>(clients);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::uint64_t ops =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+  const std::uint64_t tail = 512;  // in-flight async puts at shutdown
+
+  std::atomic<std::uint64_t> reads{0}, writes{0};
+  std::atomic<bool> torn{false};
+  // Declared before the service so these slots survive its destruction.
+  std::vector<OneShot<Svc::Response>> tail_slots(
+      static_cast<std::size_t>(clients) * tail);
+
+  std::uint64_t applied = 0, fallback = 0, violations = 0, occupancy = 0;
+  {
+    Svc::Config cfg;
+    cfg.shards = 4;
+    cfg.client_slots = 2;  // 2 slots, N clients: rings AND fallback in play
+    Svc svc(cfg);
+    for (std::uint64_t k = 0; k < kKeySpace; ++k) svc.prefill(k, k);
+
+    SpinBarrier start(static_cast<std::uint32_t>(clients));
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = svc.make_client();
+        std::uint64_t rng = 0x9e3779b97f4a7c15ull * (c + 1);
+        start.arrive_and_wait();
+        std::uint64_t r = 0, w = 0;
+        for (std::uint64_t i = 0; i < ops; ++i) {
+          rng ^= rng << 13, rng ^= rng >> 7, rng ^= rng << 17;  // xorshift
+          const std::uint64_t key = rng % kKeySpace;
+          if (rng % 100 < 80) {
+            const auto v = client.get(key);
+            if (!v || !value_ok(key, *v, clients)) torn.store(true);
+            ++r;
+          } else {
+            client.put(key, kTag * (c + 1) + key);
+            ++w;
+          }
+        }
+        // Shutdown fodder: submit and walk away; the service destructor
+        // owes us every completion.
+        for (std::uint64_t i = 0; i < tail; ++i) {
+          const std::uint64_t key = (rng + i) % kKeySpace;
+          client.put_async(key, kTag * (c + 1) + key,
+                           &tail_slots[c * tail + i]);
+        }
+        reads.fetch_add(r), writes.fetch_add(w + tail);
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    occupancy = svc.size();
+    violations = svc.route_violations();
+    // svc destroyed here: workers drain every mailbox, then join.
+  }
+
+  for (std::size_t s = 0; s < tail_slots.size(); ++s) {
+    if (!tail_slots[s].ready()) {
+      std::printf("BUG: tail slot %zu not completed by shutdown drain\n", s);
+      return 1;
+    }
+    applied += 1;
+    fallback += tail_slots[s].take().found ? 0 : 1;  // all keys prefilled
+  }
+
+  const bool ok = !torn.load() && violations == 0 && fallback == 0 &&
+                  occupancy == kKeySpace && applied == tail_slots.size();
+  std::printf(
+      "kv_service: %d clients, %llu reads + %llu writes, occupancy %llu\n"
+      "  drained at shutdown: %llu/%zu in-flight puts completed\n"
+      "  route violations: %llu   torn reads: %s\n%s\n",
+      clients, static_cast<unsigned long long>(reads.load()),
+      static_cast<unsigned long long>(writes.load()),
+      static_cast<unsigned long long>(occupancy),
+      static_cast<unsigned long long>(applied), tail_slots.size(),
+      static_cast<unsigned long long>(violations),
+      torn.load() ? "YES (BUG!)" : "none", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -54,12 +54,13 @@ import json, sys
 print(json.load(open(sys.argv[1]))["context"].get("ccds_build_type", "missing"))
 ' "$out.tmp")"
   if [ "$ctype" != "release" ]; then
-    echo "!! bench_${suite}: refusing to emit $(basename "$out"):" \
-         "ccds_build_type=\"$ctype\" (need a release/NDEBUG build," \
-         "e.g. -DCMAKE_BUILD_TYPE=Release)" >&2
     rm -f "$out.tmp" "$out.err"
-    failures=$((failures + 1))
-    continue
+    echo "!! bench_${suite}: build dir '$root/$build' is not a release build" \
+         "(ccds_build_type=\"$ctype\")." >&2
+    echo "!! Reconfigure it with -DCMAKE_BUILD_TYPE=Release (or point this" \
+         "script at a release build dir) and re-run; aborting before any" \
+         "further suite wastes time producing unpublishable numbers." >&2
+    exit 1
   fi
   mv "$out.tmp" "$out"
   rm -f "$out.err"

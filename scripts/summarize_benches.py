@@ -22,9 +22,14 @@ def parse_json(path):
     rows = defaultdict(dict)
     with open(path, errors="replace") as f:
         doc = json.load(f)
-    for b in doc.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
-            continue  # keep per-run medians out of the table
+    benches = doc.get("benchmarks", [])
+    # Prefer per-run rows; suites registered with ReportAggregatesOnly
+    # (e.g. bench_ycsb) emit nothing but aggregates, so fall back to
+    # their medians rather than printing an empty table.
+    runs = [b for b in benches if b.get("run_type") != "aggregate"]
+    if not runs:
+        runs = [b for b in benches if b.get("aggregate_name") == "median"]
+    for b in runs:
         full = b.get("name", "")
         ips = b.get("items_per_second")
         if ips is None:
@@ -33,7 +38,9 @@ def parse_json(path):
         parts = full.split("/")
         name = parts[0]
         args = "/".join(p for p in parts[1:]
-                        if p != "real_time" and not p.startswith("threads:"))
+                        if p != "real_time" and not p.startswith("threads:")
+                        and not p.startswith("repeats:")
+                        and p != "manual_time")
         rows[(name, args)][threads] = ips / 1e6
     return rows
 
@@ -64,9 +71,30 @@ def parse_console(path):
     return sections
 
 
-def print_table(title, rows):
+def parse_ycsb_work(path):
+    """BENCH_ycsb.json -> {(tier, mix, alpha) -> {threads: work_per_op}}.
+
+    E19's architectural claim rides on the scheduler-noise-free work
+    counter, not items/sec, so the ycsb artifact gets a second table
+    (medians only; see scripts/check_ycsb.py for the gated floors).
+    """
+    rows = defaultdict(dict)
+    with open(path, errors="replace") as f:
+        doc = json.load(f)
+    for b in doc.get("benchmarks", []):
+        if b.get("aggregate_name") != "median" or "work_per_op" not in b:
+            continue
+        parts = b["name"].split("/")
+        tier = parts[0].replace("BM_Ycsb", "")
+        mix, alpha = int(parts[1]), int(parts[2]) / 10.0
+        rows[(tier, "r%d%%/a%.1f" % (mix, alpha))][int(b.get("threads", 1))] = \
+            b["work_per_op"]
+    return rows
+
+
+def print_table(title, rows, units="items/sec, M"):
     threads = sorted({t for r in rows.values() for t in r})
-    print(f"\n== {title} (items/sec, M)")
+    print(f"\n== {title} ({units})")
     print(f"  {'benchmark':58s}" + "".join(f"{f'T={t}':>10s}" for t in threads))
     for (name, args), per_t in rows.items():
         label = name + (f" [{args}]" if args else "")
@@ -86,6 +114,10 @@ def main():
     for path in paths:
         if path.endswith(".json"):
             print_table(os.path.basename(path), parse_json(path))
+            if "ycsb" in os.path.basename(path):
+                print_table(os.path.basename(path) + " work counters",
+                            parse_ycsb_work(path),
+                            units="probes+cas_fails per op, median")
         else:
             for binary, rows in parse_console(path).items():
                 print_table(binary, rows)

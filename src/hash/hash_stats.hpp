@@ -1,0 +1,99 @@
+// Work counters + preemption injection for the hash maps (E19).
+//
+// Wall-clock throughput on an oversubscribed 1-CPU host measures the
+// scheduler, not the structure (EXPERIMENTS.md methodology, E17/E18).  The
+// YCSB serving experiment therefore gates on a scheduler-noise-free work
+// counter instead: how much probing and how much contention-induced retry
+// work each tier performs per operation.  This header owns those counters
+// and the injection hook that makes contention visible at all on one CPU.
+//
+//   probes     — structure-examination work units: one per 16-slot group a
+//     SwissHashMap operation visits (including a writer's locked group),
+//     one per bucket head + one per chain node a StripedHashMap operation
+//     traverses.  Units are design-relative — a swiss "probe" covers 16
+//     keys where a chained one covers 1 — so cross-DESIGN probe counts are
+//     not comparable; the E19 gate only ever compares swiss against swiss
+//     (sharded partitions vs one shared map), where the unit is identical.
+//   cas_fails  — contention episodes: a group-lock waiter blocked by a
+//     writer session, a seqlock reader waiting out a writer or retrying a
+//     torn snapshot, a stripe lock whose try_lock failed.  Counted once
+//     per DISTINCT colliding operation, never per spin iteration.  The
+//     swiss paths count by seqlock generation distance: every dirty
+//     unlock advances the group's generation, so the distance observed
+//     between entering a group and leaving it is exactly the number of
+//     writer sessions that raced the operation.  A waiter parked behind
+//     one descheduled holder spins (or sleeps) a whole scheduling quantum
+//     and still counts one episode — iteration counts would be
+//     proportional to scheduler latency, the noise this counter exists to
+//     exclude — while a waiter that sits through a convoy of k successive
+//     holders counts k, because it lost k real races.  The tally is
+//     therefore bounded by how often operations collide, the quantity a
+//     genuinely concurrent host would also produce.
+//
+// Preemption injection (same rationale and discipline as E17's
+// PreemptLess): on this repo's 1-CPU measurement host a map operation is
+// essentially never interrupted mid-flight — critical sections span ~100ns
+// while scheduling quanta span milliseconds — so cross-thread interleaving
+// inside an operation, the thing a multicore host produces constantly,
+// rounds to zero and every tier's contention counters read ~0.  maybe_stall
+// restores that interleaving at a controlled, tier-blind rate: every Nth
+// PROBE by an opted-in thread cedes the CPU for a burst of yields.  The
+// injection is unbiased by construction — it triggers per work unit
+// executed, with no key-, tier-, or code-path-dependent condition — so a
+// tier that executes the same probe count faces the same stall count, and
+// the residual counter difference is exactly the contention each tier's
+// architecture does or does not admit.  (A shard-owned partition cannot
+// contend however often its worker stalls; a shared map turns every
+// mid-critical-section stall into waiters.)
+//
+// Everything here is compiled out unless the including TU defines
+// CCDS_HASH_STATS (bench_ycsb.cpp does); the hooks are empty inlines
+// otherwise, so the maps pay nothing in normal builds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#ifdef CCDS_HASH_STATS
+#include <thread>
+#endif
+
+namespace ccds {
+
+struct HashStats {
+#ifdef CCDS_HASH_STATS
+  static inline std::atomic<std::uint64_t> probes{0};
+  static inline std::atomic<std::uint64_t> cas_fails{0};
+
+  // Injection knobs.  stall_every == 0 disables injection; `enabled` is
+  // per-thread so benchmark infrastructure threads (and the gbench timer
+  // thread) never stall.  Both measured client threads and shard workers
+  // opt in, so the stall rate per probe is identical across tiers.
+  static inline int stall_every = 0;
+  static inline int stall_burst = 2;
+  static inline thread_local bool enabled = false;
+  static inline thread_local std::uint64_t ticks = 0;
+
+  static void probe() noexcept {
+    probes.fetch_add(1, std::memory_order_relaxed);  // relaxed: stats
+    if (enabled && stall_every != 0 && ++ticks % stall_every == 0) {
+      for (int i = 0; i < stall_burst; ++i) std::this_thread::yield();
+    }
+  }
+
+  static void contended(std::uint64_t n = 1) noexcept {
+    cas_fails.fetch_add(n, std::memory_order_relaxed);  // relaxed: stats
+  }
+
+  static void reset() noexcept {
+    probes.store(0, std::memory_order_relaxed);     // relaxed: stats
+    cas_fails.store(0, std::memory_order_relaxed);  // relaxed: stats
+  }
+#else
+  static void probe() noexcept {}
+  static void contended(std::uint64_t = 1) noexcept {}
+  static void reset() noexcept {}
+#endif
+};
+
+}  // namespace ccds

@@ -20,6 +20,7 @@
 
 #include "core/hash.hpp"
 #include "core/padded.hpp"
+#include "hash/hash_stats.hpp"
 #include "sync/spinlock.hpp"
 
 namespace ccds {
@@ -54,9 +55,11 @@ class StripedHashMap {
   bool insert(const Key& key, Value value) {
     const std::uint64_t h = hash_(key);
     maybe_resize(h);
-    std::lock_guard<Lock> g(stripe(h));
+    auto g = lock_stripe(h);
+    HashStats::probe();  // E19: bucket-head work unit, counted in-lock
     Node*& head = buckets_[h & (buckets_.size() - 1)];
     for (Node* n = head; n != nullptr; n = n->next) {
+      HashStats::probe();  // E19: one work unit per chain node examined
       if (n->key == key) {
         n->value = std::move(value);
         return false;
@@ -71,9 +74,11 @@ class StripedHashMap {
 
   std::optional<Value> get(const Key& key) const {
     const std::uint64_t h = hash_(key);
-    std::lock_guard<Lock> g(stripe(h));
+    auto g = lock_stripe(h);
+    HashStats::probe();  // E19: bucket-head work unit
     for (Node* n = buckets_[h & (buckets_.size() - 1)]; n != nullptr;
          n = n->next) {
+      HashStats::probe();  // E19: per chain node
       if (n->key == key) return n->value;
     }
     return std::nullopt;
@@ -81,9 +86,11 @@ class StripedHashMap {
 
   bool contains(const Key& key) const {
     const std::uint64_t h = hash_(key);
-    std::lock_guard<Lock> g(stripe(h));
+    auto g = lock_stripe(h);
+    HashStats::probe();  // E19: bucket-head work unit
     for (Node* n = buckets_[h & (buckets_.size() - 1)]; n != nullptr;
          n = n->next) {
+      HashStats::probe();  // E19: per chain node
       if (n->key == key) return true;
     }
     return false;
@@ -91,9 +98,11 @@ class StripedHashMap {
 
   bool erase(const Key& key) {
     const std::uint64_t h = hash_(key);
-    std::lock_guard<Lock> g(stripe(h));
+    auto g = lock_stripe(h);
+    HashStats::probe();  // E19: bucket-head work unit
     Node** prev = &buckets_[h & (buckets_.size() - 1)];
     for (Node* n = *prev; n != nullptr; prev = &n->next, n = n->next) {
+      HashStats::probe();  // E19: per chain node
       if (n->key == key) {
         *prev = n->next;
         delete n;
@@ -128,6 +137,19 @@ class StripedHashMap {
 
   Lock& stripe(std::uint64_t h) const {
     return locks_[h & (kStripes - 1)].value;
+  }
+
+  // Acquire the key's stripe, counting one contention episode when the
+  // uncontended try_lock fast path loses (E19 work counters; free when
+  // CCDS_HASH_STATS is off — try_lock on an uncontended TtasLock is the
+  // same single CAS lock() would issue).
+  std::lock_guard<Lock> lock_stripe(std::uint64_t h) const {
+    Lock& l = stripe(h);
+    if (!l.try_lock()) {
+      HashStats::contended();
+      l.lock();
+    }
+    return std::lock_guard<Lock>(l, std::adopt_lock);
   }
 
   // Double the table when the caller's stripe looks overloaded.  Takes every

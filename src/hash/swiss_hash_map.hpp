@@ -66,6 +66,7 @@
 #include "core/hash.hpp"
 #include "core/padded.hpp"
 #include "core/thread_registry.hpp"
+#include "hash/hash_stats.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/reclaim.hpp"
 
@@ -312,10 +313,30 @@ class SwissHashMap {
   // nullopt (lock NOT taken) if the group has been drained by migration.
   std::optional<std::uint64_t> lock_group(Group& g) const {
     std::uint32_t spins = 0;
+    // E19 stats: one episode per DISTINCT race lost, never per spin
+    // iteration.  Every dirty unlock advances the seqlock generation
+    // (version / kSeqStep), so the generation distance observed between
+    // entering this loop and acquiring the lock is exactly the number of
+    // writer sessions that completed while we waited — each one a real
+    // race we lost.  Counting the distance (rather than "was I ever
+    // blocked") makes the tally immune to the waiter itself being
+    // descheduled: a waiter asleep through a convoy of k holders still
+    // counts k on its next load, while a waiter spinning a whole quantum
+    // behind one parked holder still counts 1.  (A clean unlock does not
+    // bump the generation; losing to a no-op writer is conservatively
+    // uncounted.)
+    std::uint64_t seen_gen = std::uint64_t(-1);
     for (;;) {
       // acquire: pairs with the releasing unlock so the critical section
       // we enter sees the previous writer's slot/tag stores.
       std::uint64_t v = g.hdr().version.load(std::memory_order_acquire);
+      const std::uint64_t gen = v / kSeqStep;
+      if (seen_gen == std::uint64_t(-1)) {
+        seen_gen = gen;
+      } else if (gen > seen_gen) {
+        HashStats::contended(gen - seen_gen);
+        seen_gen = gen;
+      }
       if (v & kMovedBit) return std::nullopt;
       if (v & kLockedBit) {
         spin_wait(spins);
@@ -330,6 +351,9 @@ class SwissHashMap {
         ccds::atomic_thread_fence(std::memory_order_release);
         return v | kLockedBit;
       }
+      // Lost the lock CAS to another writer: the winner's dirty unlock
+      // bumps the generation, so the next load counts it; no separate
+      // count here.
       spin_wait(spins);
     }
   }
@@ -370,11 +394,28 @@ class SwissHashMap {
     for (std::size_t i = 0; i < t->group_count; ++i) {
       const Group& g = t->groups[(home + i) & t->group_mask];
       prefetch_group_ro(g);
+      HashStats::probe();  // E19: one work unit per group visited
       std::uint32_t spins = 0;
+      // E19 stats: one contention episode per DISTINCT writer session this
+      // read collides with (same generation-distance discipline as
+      // lock_group).  Every dirty unlock advances the generation, so the
+      // distance between the first version load in this group and the one
+      // that finally validates counts exactly the writer sessions that
+      // raced this read — a torn snapshot, a waited-out writer, and a
+      // convoy slept through all fall out of the same rule, and spin
+      // iterations behind one parked writer still count once.
+      std::uint64_t seen_gen = std::uint64_t(-1);
       for (;;) {  // per-group seqlock retry loop
         // acquire: tag/slot loads below cannot float above this snapshot.
         const std::uint64_t v1 =
             g.hdr().version.load(std::memory_order_acquire);
+        const std::uint64_t gen = v1 / kSeqStep;
+        if (seen_gen == std::uint64_t(-1)) {
+          seen_gen = gen;
+        } else if (gen > seen_gen) {
+          HashStats::contended(gen - seen_gen);
+          seen_gen = gen;
+        }
         if (v1 & kLockedBit) {  // writer in the group; wait it out
           spin_wait(spins);
           continue;
@@ -414,6 +455,8 @@ class SwissHashMap {
         // guarantees a matching re-check implies an untorn snapshot.
         ccds::atomic_thread_fence(std::memory_order_acquire);
         if (g.hdr().version.load(std::memory_order_relaxed) != v1) {  // relaxed: the fence orders it
+          // Torn snapshot: a writer raced this read.  Its dirty unlock
+          // bumped the generation, so the retry's reload counts it.
           spin_wait(spins);
           continue;  // torn: retry this group
         }
@@ -442,6 +485,10 @@ class SwissHashMap {
       prefetch_group_rw(g);
       const auto lv = lock_group(g);
       if (!lv) return Wr::kStale;  // current table drained under us
+      // E19: probe counted inside the critical section so an injected stall
+      // parks this writer while it holds the group lock — the interleaving
+      // that makes shared-map contention visible on a 1-CPU host.
+      HashStats::probe();
       // relaxed: we hold the group lock; the lock CAS acquired the previous
       // writer's stores and our unlock will publish ours.
       const std::uint64_t w0 = g.hdr().tags[0].load(std::memory_order_relaxed);
@@ -490,6 +537,7 @@ class SwissHashMap {
       prefetch_group_rw(g);
       const auto lv = lock_group(g);
       if (!lv) return Wr::kStale;
+      HashStats::probe();  // E19: in-lock, same rationale as write_in
       // relaxed: group lock held (see write_in).
       const std::uint64_t w0 = g.hdr().tags[0].load(std::memory_order_relaxed);
       const std::uint64_t w1 = g.hdr().tags[1].load(std::memory_order_relaxed);

@@ -1,0 +1,45 @@
+// Best-effort CPU pinning for shard-per-core deployments.
+//
+// The serving tier (service/kv_service.hpp) gets its contention-free hot
+// path from ownership: shard s's map is touched by shard s's worker only.
+// Pinning each worker to its own core completes the picture — the shard's
+// working set stays resident in one core's private cache and the worker
+// never migrates away from it.  Pinning is strictly an optimization: the
+// ownership argument holds wherever the scheduler puts the threads, so
+// every caller treats failure (unsupported platform, restricted affinity
+// mask, fewer cores than shards) as advisory and carries on unpinned.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ccds {
+
+// Pin the calling thread to `cpu` (mod the addressable set).  Returns true
+// iff the affinity mask was actually installed.
+inline bool pin_current_thread(std::size_t cpu) noexcept {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % CPU_SETSIZE, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+// True when a shard-per-core layout of `shards` workers can give each its
+// own core on this host; callers use it to decide whether pinning is worth
+// requesting (pinning MORE workers than cores just handcuffs the scheduler).
+inline bool cores_cover(std::size_t shards) noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 && shards <= static_cast<std::size_t>(hw);
+}
+
+}  // namespace ccds

@@ -77,6 +77,96 @@ class MpmcQueue {
     return true;
   }
 
+  // Enqueue up to `n` contiguous items with ONE ticket CAS for the whole
+  // run (ISSUE 9 satellite).  Returns the number enqueued (0 when full);
+  // items [0, returned) are moved from.  Scans forward from the enqueue
+  // cursor counting cells that are free on this lap, claims that many
+  // tickets with a single compare_exchange, then fills the claimed cells —
+  // so a batch of B costs one RMW plus B cell publications, where B
+  // try_enqueue calls cost B RMWs racing every other producer each time.
+  // Caveat (same class as the base design): a producer stalled between the
+  // claim and a cell's publication stalls the consumer of that cell's lap.
+  std::size_t try_push_bulk(T* items, std::size_t n) {
+    if (n == 0) return 0;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);  // relaxed: hint; seq handshake orders
+    for (;;) {
+      std::size_t k = 0;
+      bool full = false;
+      while (k < n) {
+        Cell& cell = cells_[(pos + k) & mask_];
+        // acquire: pairs with the consumer's release that recycles the cell.
+        const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+        const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                  static_cast<std::intptr_t>(pos + k);
+        if (dif != 0) {
+          full = dif < 0 && k == 0;
+          break;
+        }
+        ++k;
+      }
+      if (k == 0) {
+        if (full) return 0;  // cell of a previous lap still being consumed
+        pos = enqueue_pos_.load(std::memory_order_relaxed);  // relaxed: hint refresh
+        continue;
+      }
+      // One CAS claims tickets [pos, pos+k): no other producer can touch
+      // those cells afterwards, and a free cell only transitions when its
+      // ticket holder (now us) writes it, so the scan above cannot go stale.
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + k,
+                                             std::memory_order_relaxed)) {  // relaxed: seq handshake carries ordering
+        for (std::size_t i = 0; i < k; ++i) {
+          Cell& cell = cells_[(pos + i) & mask_];
+          new (cell.raw) T(std::move(items[i]));
+          // release: publish the element to the dequeuer of this lap.
+          cell.seq.store(pos + i + 1, std::memory_order_release);
+        }
+        return k;
+      }
+    }
+  }
+
+  // Dequeue up to `max` items into `out` with ONE ticket CAS for the whole
+  // run.  Returns the number dequeued (0 when empty).  Mirror image of
+  // try_push_bulk: scan forward counting cells published for this lap,
+  // claim the run with a single compare_exchange, then consume and recycle
+  // each claimed cell.
+  std::size_t try_pop_bulk(T* out, std::size_t max) {
+    if (max == 0) return 0;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);  // relaxed: hint; seq handshake orders
+    for (;;) {
+      std::size_t k = 0;
+      bool empty = false;
+      while (k < max) {
+        Cell& cell = cells_[(pos + k) & mask_];
+        const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+        const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                  static_cast<std::intptr_t>(pos + k + 1);
+        if (dif != 0) {
+          empty = dif < 0 && k == 0;
+          break;
+        }
+        ++k;
+      }
+      if (k == 0) {
+        if (empty) return 0;
+        pos = dequeue_pos_.load(std::memory_order_relaxed);  // relaxed: hint refresh
+        continue;
+      }
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + k,
+                                             std::memory_order_relaxed)) {  // relaxed: seq handshake carries ordering
+        for (std::size_t i = 0; i < k; ++i) {
+          Cell& cell = cells_[(pos + i) & mask_];
+          T* p = cell.get();
+          out[i] = std::move(*p);
+          p->~T();
+          // release + lap bump: hand the cell to the producer one lap ahead.
+          cell.seq.store(pos + i + mask_ + 1, std::memory_order_release);
+        }
+        return k;
+      }
+    }
+  }
+
   std::optional<T> try_dequeue() {
     Cell* cell;
     std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);  // relaxed: hint; seq handshake orders

@@ -58,6 +58,35 @@ class SpscRing {
     return true;
   }
 
+  // Consumer side only: pop up to `max` elements, invoking `f(T&&)` on each,
+  // in FIFO order.  Returns the number consumed.
+  //
+  // This is the mailbox bulk-drain primitive (ISSUE 9 satellite): the whole
+  // run pays ONE acquire of the producer's tail (at most — usually zero, via
+  // the cached index) and ONE releasing publication of the consumer's head,
+  // instead of one release per element.  A shard worker draining B requests
+  // therefore performs a single synchronization episode where B try_pop
+  // calls would perform B, and the producer's next full-check sees all B
+  // slots returned at once.  `f` must not throw (elements would be lost).
+  template <typename F>
+  std::size_t drain(F&& f, std::size_t max) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);  // relaxed: consumer owns head_
+    if (h == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (h == cached_tail_) return 0;
+    }
+    const std::size_t avail = cached_tail_ - h;
+    const std::size_t n = avail < max ? avail : max;
+    for (std::size_t i = 0; i < n; ++i) {
+      T* p = slots_[(h + i) & mask_].get();
+      f(std::move(*p));
+      p->~T();
+    }
+    // release: hand all n slots back to the producer in one publication.
+    head_.store(h + n, std::memory_order_release);
+    return n;
+  }
+
   // Consumer side only.
   std::optional<T> try_pop() {
     const std::size_t h = head_.load(std::memory_order_relaxed);  // relaxed: consumer owns head_

@@ -1,0 +1,464 @@
+// Shard-per-core KV serving tier: batch-drained mailboxes over partitioned
+// swiss tables.
+//
+// The scalable-commutativity lesson running through this repo's combining
+// work (sync/combiner.hpp, E12/E15) is that the cheapest synchronization is
+// the synchronization you amortize; the partitioning lesson behind this
+// tier is that the cheapest synchronization is the synchronization you
+// DELETE.  A KvService splits the key space across S shards by hash; shard
+// s's SwissHashMap partition is mutated by shard s's worker thread only, so
+// the map hot path runs contention-free regardless of client count — no
+// group-lock collisions, no seqlock retries, no CAS failures, ever.  What
+// remains is moving requests to their owner, and that is a QUEUE problem,
+// which this repo already solved well:
+//
+//     client c                         shard worker s
+//        |                                   |
+//        |  route: shard_of(hash(key))       |
+//        v                                   v
+//   [SpscRing (c,s)] ----\             +-- pump_shard(s) --+
+//   [SpscRing (c',s)] ----+--> drain ->| collect batch     |
+//   [MpmcQueue fallback]--/            | apply ALL to map  |
+//                                      | THEN complete ALL |
+//                                      +-------------------+
+//
+// Each (client slot, shard) pair gets a private SpscRing mailbox — wait-free
+// on both sides, no RMW at all (E5) — and clients beyond the configured
+// slot count fall back to a per-shard MpmcQueue so the tier degrades to
+// "one Vyukov queue per shard" instead of refusing admission.  The worker
+// drains every mailbox in one pass (SpscRing::drain and
+// MpmcQueue::try_pop_bulk each take ONE synchronization episode per batch),
+// applies the whole batch to its private map, and only THEN completes the
+// requests' OneShot result slots.  Complete-after-apply is the tier's
+// linearization discipline — a requester that observes ready() observes a
+// map state in which its operation has happened (the model suite,
+// tests/model/test_model_service.cpp, falsifies the inverted order) — and
+// batching the completions keeps the response stores off the apply loop's
+// critical path, the CombinerBatchOps amortization argument applied to a
+// partitioned rather than a combined structure.
+//
+// What the tier does NOT buy: single-operation latency (a request crosses
+// two queues instead of touching the map directly), cross-shard atomicity
+// (each request touches one key; multi-key transactions would need 2PC on
+// top), or wall-clock wins on a 1-CPU host (EXPERIMENTS.md E19 measures
+// the architecture by scheduler-noise-free work counters instead).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/arch.hpp"
+#include "core/hash.hpp"
+#include "hash/swiss_hash_map.hpp"
+#include "pool/affinity.hpp"
+#include "queue/mpmc_queue.hpp"
+#include "queue/spsc_ring.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/reclaim.hpp"
+#include "sync/oneshot.hpp"
+
+namespace ccds {
+
+template <typename Key, typename Value, typename Hash = MixHash<Key>,
+          reclaimer Reclaimer = EpochDomain>
+class KvService {
+ public:
+  enum class Op : std::uint8_t { kGet, kPut, kErase };
+
+  struct Response {
+    Value value{};   // kGet: the value when found; kPut: the value written
+    bool found{false};  // kGet: present; kPut: pre-existing; kErase: erased
+  };
+
+  struct Request {
+    Key key{};
+    Value value{};
+    Op op{Op::kGet};
+    OneShot<Response>* done{nullptr};  // may be null: fire-and-forget write
+  };
+
+  struct Config {
+    std::size_t shards = 4;            // rounded up to a power of two
+    std::size_t client_slots = 8;      // ring-backed client handles
+    std::size_t ring_capacity = 128;   // per (client slot, shard) mailbox
+    std::size_t fallback_capacity = 1024;  // per-shard shared overflow queue
+    std::size_t drain_batch = 64;      // max drained per mailbox per pump
+    std::size_t initial_slots_per_shard = 64;
+    bool spawn_workers = true;   // false: caller pumps manually (tests/model)
+    bool pin_workers = false;    // best-effort shard-per-core affinity
+    std::function<void(std::size_t)> worker_init{};  // runs in worker threads
+  };
+
+  // Per-shard observability: written only by the shard's pump holder, read
+  // racily by monitors — these are the occupancy/queue-depth witnesses the
+  // E19 harness reports alongside its work counters.
+  struct ShardStats {
+    std::uint64_t ops = 0;           // requests applied
+    std::uint64_t episodes = 0;      // pumps that found work
+    std::uint64_t max_batch = 0;     // largest single-pump batch
+    std::uint64_t fallback_ops = 0;  // subset of ops arriving via fallback
+  };
+
+  explicit KvService(const Config& cfg)
+      : cfg_(normalize(cfg)),
+        free_slots_(cfg_.client_slots),
+        rings_(cfg_.client_slots * cfg_.shards) {
+    shards_.reserve(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(
+          cfg_.initial_slots_per_shard, cfg_.fallback_capacity));
+    }
+    for (auto& r : rings_) {
+      r = std::make_unique<SpscRing<Request>>(cfg_.ring_capacity);
+    }
+    for (std::size_t c = 0; c < cfg_.client_slots; ++c) {
+      free_slots_.try_enqueue(c);  // capacity covers all slots by ctor
+    }
+    if (cfg_.spawn_workers) {
+      const bool pin = cfg_.pin_workers && cores_cover(cfg_.shards);
+      workers_.reserve(cfg_.shards);
+      for (std::size_t s = 0; s < cfg_.shards; ++s) {
+        workers_.emplace_back([this, s, pin] { worker_main(s, pin); });
+      }
+    }
+  }
+
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  // Graceful shutdown: workers keep pumping until every mailbox and
+  // fallback queue is drained, so every request submitted before
+  // destruction is applied and completed.  Clients must be destroyed (or
+  // at least quiescent) first — a submit racing the destructor may block
+  // forever on a full mailbox nobody drains.
+  ~KvService() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& w : workers_) w.join();
+  }
+
+  // ---- client handles ------------------------------------------------------
+
+  // A Client is a single-threaded submission endpoint (it is the single
+  // producer of its mailboxes).  Handles beyond `client_slots` share the
+  // per-shard fallback queues instead — functionally identical, one
+  // amortized CAS slower per submit.
+  class Client {
+   public:
+    Client(Client&& o) noexcept
+        : svc_(o.svc_), slot_(o.slot_) {
+      o.svc_ = nullptr;
+    }
+    Client& operator=(Client&&) = delete;
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    ~Client() {
+      if (svc_ != nullptr && slot_ != kNoSlot) {
+        // A released slot's rings may still hold in-flight requests; the
+        // shard workers drain them regardless.  The slot itself only
+        // becomes reusable once returned here (enqueue cannot fail: the
+        // free list's capacity covers every slot).
+        svc_->free_slots_.try_enqueue(slot_);
+      }
+    }
+
+    bool uses_fallback() const noexcept { return slot_ == kNoSlot; }
+
+    // Asynchronous submission: the caller owns `done` (may be stack
+    // storage) and must keep it alive until ready().  Null `done` makes
+    // the request fire-and-forget.  Blocks (spin-then-yield) while the
+    // route's mailbox is full — spilling to another queue instead would
+    // reorder this client's requests to that shard and break per-client
+    // program order.
+    void submit(const Key& key, const Value& value, Op op,
+                OneShot<Response>* done) {
+      KvService& svc = *svc_;
+      const std::size_t s = svc.shard_of(svc.hash_(key));
+      const Request r{key, value, op, done};
+      std::uint32_t spins = 0;
+      if (slot_ != kNoSlot) {
+        auto& ring = *svc.rings_[slot_ * svc.cfg_.shards + s];
+        while (!ring.try_push(r)) spin_wait(spins);
+      } else {
+        auto& q = svc_->shards_[s]->fallback;
+        while (!q.try_enqueue(r)) spin_wait(spins);
+      }
+    }
+
+    void get_async(const Key& key, OneShot<Response>* done) {
+      submit(key, Value{}, Op::kGet, done);
+    }
+    void put_async(const Key& key, const Value& value,
+                   OneShot<Response>* done) {
+      submit(key, value, Op::kPut, done);
+    }
+    void erase_async(const Key& key, OneShot<Response>* done) {
+      submit(key, Value{}, Op::kErase, done);
+    }
+
+    // Synchronous convenience wrappers (submit + wait on a private slot).
+    // Only meaningful when workers are pumping (spawn_workers, or another
+    // thread driving pump_shard).
+    std::optional<Value> get(const Key& key) {
+      OneShot<Response> done;
+      submit(key, Value{}, Op::kGet, &done);
+      const Response r = done.take();
+      if (!r.found) return std::nullopt;
+      return r.value;
+    }
+    bool put(const Key& key, const Value& value) {  // true iff newly inserted
+      OneShot<Response> done;
+      submit(key, value, Op::kPut, &done);
+      return !done.take().found;
+    }
+    bool erase(const Key& key) {
+      OneShot<Response> done;
+      submit(key, Value{}, Op::kErase, &done);
+      return done.take().found;
+    }
+
+   private:
+    friend class KvService;
+    static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+    Client(KvService* svc, std::size_t slot) : svc_(svc), slot_(slot) {}
+
+    KvService* svc_;
+    std::size_t slot_;
+  };
+
+  Client make_client() {
+    const auto slot = free_slots_.try_dequeue();
+    return Client(this, slot ? *slot : Client::kNoSlot);
+  }
+
+  // ---- shard pump (the server side) ---------------------------------------
+
+  // Drain every mailbox routed to shard s, apply the whole batch to the
+  // shard's map, THEN complete the result slots.  Returns the number of
+  // requests applied.  Normally called only by shard s's worker; the
+  // `pumping` guard makes concurrent manual pumps (tests) mutually
+  // exclusive rather than corrupting, preserving the single-toucher
+  // discipline the tier is built on.
+  std::size_t pump_shard(std::size_t s) {
+    Shard& sh = *shards_[s];
+    if (sh.pumping.exchange(1, std::memory_order_acquire) != 0) return 0;
+    auto& batch = sh.batch;
+    batch.clear();
+
+    // Collect: one synchronization episode per non-empty source.
+    for (std::size_t c = 0; c < cfg_.client_slots; ++c) {
+      rings_[c * cfg_.shards + s]->drain(
+          [&](Request&& r) { batch.push_back(std::move(r)); },
+          cfg_.drain_batch);
+    }
+    if (sh.take_scratch.size() < cfg_.drain_batch) {
+      sh.take_scratch.resize(cfg_.drain_batch);
+    }
+    const std::size_t nf =
+        sh.fallback.try_pop_bulk(sh.take_scratch.data(), cfg_.drain_batch);
+    for (std::size_t i = 0; i < nf; ++i) {
+      batch.push_back(sh.take_scratch[i]);
+    }
+
+    // Apply: every request in the batch, against the private map, before
+    // any completion is published.
+    auto& results = sh.results;
+    results.clear();
+    results.reserve(batch.size());
+    for (const Request& r : batch) {
+      if (shard_of(hash_(r.key)) != s) {
+        // A mis-routed request would silently partition one key across two
+        // maps (lost updates, phantom misses).  Count it loudly; the model
+        // suite seeds exactly this bug and catches it here.
+        // relaxed: diagnostic tally, no ordering carried.
+        route_violations_.fetch_add(1, std::memory_order_relaxed);
+      }
+      results.push_back(apply(sh, r));
+    }
+
+    // Complete: publication strictly after application (release store in
+    // OneShot::complete pairs with the requester's acquire).
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].done != nullptr) {
+        batch[i].done->complete(results[i]);
+      }
+    }
+
+    const std::size_t n = batch.size();
+    if (n != 0) {
+      // relaxed (all stats below): single writer under the pumping guard;
+      // readers are monitoring witnesses, not synchronization.
+      sh.stats_ops.store(sh.stats_ops.load(std::memory_order_relaxed) + n,
+                         std::memory_order_relaxed);  // relaxed: stats
+      sh.stats_episodes.store(
+          sh.stats_episodes.load(std::memory_order_relaxed) + 1,  // relaxed: stats
+          std::memory_order_relaxed);
+      if (n > sh.stats_max_batch.load(std::memory_order_relaxed)) {  // relaxed: stats
+        sh.stats_max_batch.store(n, std::memory_order_relaxed);  // relaxed: stats
+      }
+      sh.stats_fallback.store(
+          sh.stats_fallback.load(std::memory_order_relaxed) + nf,  // relaxed: stats
+          std::memory_order_relaxed);
+    }
+    sh.pumping.store(0, std::memory_order_release);
+    return n;
+  }
+
+  // ---- setup & observation -------------------------------------------------
+
+  // Direct insert into the owning partition, bypassing the mailboxes.
+  // Safe at any time — SwissHashMap is itself thread-safe, so shard
+  // ownership is a contention architecture, not a memory-safety
+  // precondition — but intended for prefill before traffic starts.
+  void prefill(const Key& key, const Value& value) {
+    shards_[shard_of(hash_(key))]->map.insert(key, value);
+  }
+
+  std::size_t shards() const noexcept { return cfg_.shards; }
+  std::size_t client_slots() const noexcept { return cfg_.client_slots; }
+
+  std::size_t shard_of(std::uint64_t h) const noexcept {
+    // Middle bits: the swiss table derives its home group from the LOW
+    // hash bits and its tag byte from the TOP seven, so taking shard bits
+    // from either end would correlate shard choice with in-map placement
+    // (shard s's partition would only populate every S-th group).
+    return (h >> 32) & (cfg_.shards - 1);
+  }
+
+  // The shard's partition, for occupancy witnesses and read-only probes.
+  const SwissHashMap<Key, Value, Hash, Reclaimer>& shard_map(
+      std::size_t s) const {
+    return shards_[s]->map;
+  }
+
+  ShardStats shard_stats(std::size_t s) const {
+    const Shard& sh = *shards_[s];
+    ShardStats st;
+    // relaxed (all four): monitoring snapshot of single-writer counters;
+    // cross-counter consistency is not promised to callers.
+    st.ops = sh.stats_ops.load(std::memory_order_relaxed);  // relaxed: stats
+    st.episodes = sh.stats_episodes.load(std::memory_order_relaxed);  // relaxed: stats
+    st.max_batch = sh.stats_max_batch.load(std::memory_order_relaxed);  // relaxed: stats
+    st.fallback_ops = sh.stats_fallback.load(std::memory_order_relaxed);  // relaxed: stats
+    return st;
+  }
+
+  std::uint64_t route_violations() const noexcept {
+    // relaxed: diagnostic read; a nonzero value is the signal, not an edge.
+    return route_violations_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& sh : shards_) total += sh->map.size();
+    return total;
+  }
+
+ private:
+  struct Shard {
+    Shard(std::size_t initial_slots, std::size_t fallback_capacity)
+        : map(initial_slots), fallback(fallback_capacity) {}
+
+    SwissHashMap<Key, Value, Hash, Reclaimer> map;
+    MpmcQueue<Request> fallback;
+
+    // Pump-holder-private scratch (guarded by `pumping`), reused across
+    // episodes so the steady state allocates nothing.
+    std::vector<Request> batch;
+    std::vector<Request> take_scratch;
+    std::vector<Response> results;
+
+    std::atomic<std::uint32_t> pumping{0};
+    // Stats words are plain std::atomic on purpose: they are monitoring
+    // witnesses, not synchronization, and must not add model-checker
+    // schedule points to every pump.
+    std::atomic<std::uint64_t> stats_ops{0};
+    std::atomic<std::uint64_t> stats_episodes{0};
+    std::atomic<std::uint64_t> stats_max_batch{0};
+    std::atomic<std::uint64_t> stats_fallback{0};
+
+    // Shards are heap-allocated individually; pad so two shards' hot words
+    // never share a line even if the allocator packs them.
+    char pad_[kCacheLineSize];
+  };
+
+  static Config normalize(Config cfg) {
+    cfg.shards = static_cast<std::size_t>(
+        next_pow2(cfg.shards == 0 ? 1 : cfg.shards));
+    if (cfg.client_slots == 0) cfg.client_slots = 1;
+    if (cfg.drain_batch == 0) cfg.drain_batch = 1;
+    return cfg;
+  }
+
+  Response apply(Shard& sh, const Request& r) {
+    switch (r.op) {
+      case Op::kGet: {
+        const auto v = sh.map.get(r.key);
+        return Response{v ? *v : Value{}, v.has_value()};
+      }
+      case Op::kPut: {
+        const bool inserted = sh.map.insert(r.key, r.value);
+        return Response{r.value, !inserted};  // found == pre-existing
+      }
+      case Op::kErase:
+      default:
+        return Response{Value{}, sh.map.erase(r.key)};
+    }
+  }
+
+  void worker_main(std::size_t s, bool pin) {
+    if (pin) pin_current_thread(s);
+    if (cfg_.worker_init) cfg_.worker_init(s);
+    std::uint32_t idle = 0;
+    for (;;) {
+      if (pump_shard(s) != 0) {
+        idle = 0;
+        continue;
+      }
+      if (stop_.load(std::memory_order_acquire)) {
+        // Shutdown drain: by the destructor's contract no new submissions
+        // arrive after stop_, so one more empty pump proves the shard's
+        // mailboxes are dry.
+        if (pump_shard(s) == 0) return;
+        continue;
+      }
+      // Idle backoff, escalating to real sleeps: on an oversubscribed host
+      // a spinning idle worker steals whole quanta from the threads doing
+      // work (the same pathology E13's backoff ablation measures).
+      ++idle;
+      if (idle < 16) {
+        cpu_relax();
+      } else if (idle < 64) {
+        std::this_thread::yield();
+      } else {
+        const auto us = std::min<std::uint64_t>(1000, 50ull * (idle - 63));
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+      }
+    }
+  }
+
+  Config cfg_;
+  MpmcQueue<std::size_t> free_slots_;
+  // Row-major [client_slot][shard]; unique_ptr keeps each ring's padded
+  // indices stable and uncopied.
+  std::vector<std::unique_ptr<SpscRing<Request>>> rings_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  // unpadded: stop_ is written once at shutdown and route_violations_ only
+  // on a seeded-bug path; neither shares a hot line with per-request state
+  // (the rings and shards live behind unique_ptr indirection above).
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> route_violations_{0};
+  [[no_unique_address]] Hash hash_{};
+};
+
+}  // namespace ccds

@@ -1,0 +1,87 @@
+// One-shot completion slot: the future half of a submit/complete pair.
+//
+// A requester allocates a OneShot<R> (typically on its own stack), attaches
+// a pointer to it to a request record, and hands the record to a server —
+// a shard worker, a combiner, any thread that will eventually produce the
+// result.  The server constructs the value with complete(); the requester
+// observes readiness with ready() or blocks in take()/wait().
+//
+// This is the same storage discipline as detail::ResultSlot in
+// sync/combiner.hpp — the value is constructed in place by the COMPLETING
+// thread, so R need not be default-constructible — plus the publication
+// protocol ResultSlot leaves to the combining engines: a release store of
+// the state word after construction, paired with the requester's acquire
+// load, so observing ready() == true happens-after the value (and
+// everything the server did before completing, e.g. the map mutation the
+// response describes) is fully written.  That ordering is the
+// complete-after-apply invariant the service tier's model suite checks
+// (tests/model/test_model_service.cpp).
+//
+// Lifecycle: empty -> complete() -> ready -> take() -> empty (reusable).
+// complete() must be called exactly once per cycle, by one thread; any
+// number of threads may poll ready(), but one consumer takes.  The waiting
+// loops use spin_wait, which under the model checker yields to the
+// deterministic scheduler — so a model thread blocked in take() is explored
+// like any other waiter instead of deadlocking the exploration.
+#pragma once
+
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "core/arch.hpp"
+#include "core/atomic.hpp"
+
+namespace ccds {
+
+template <typename R>
+class OneShot {
+ public:
+  OneShot() = default;
+  OneShot(const OneShot&) = delete;
+  OneShot& operator=(const OneShot&) = delete;
+
+  ~OneShot() {
+    if (state_.load(std::memory_order_acquire) != 0) value_ptr()->~R();
+  }
+
+  // Server side: construct the result and publish it.  Exactly once per
+  // cycle.
+  void complete(R value) {
+    ::new (static_cast<void*>(buf_)) R(std::move(value));
+    // release: the requester's acquire of state_ must see the constructed
+    // value and every store the server made before completing.
+    state_.store(1, std::memory_order_release);
+  }
+
+  // acquire: pairs with complete()'s release (see above).
+  bool ready() const noexcept {
+    return state_.load(std::memory_order_acquire) != 0;
+  }
+
+  // Block (spin-then-yield) until completed, then move the value out and
+  // reset the slot for reuse.
+  R take() {
+    std::uint32_t spins = 0;
+    while (!ready()) spin_wait(spins);
+    R out = std::move(*value_ptr());
+    value_ptr()->~R();
+    // relaxed: the slot returns to the empty state for this thread's next
+    // cycle; handing it to a *different* server afterwards is synchronized
+    // by whatever channel carries the request record.
+    state_.store(0, std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  R* value_ptr() noexcept { return std::launder(reinterpret_cast<R*>(buf_)); }
+
+  // unpadded: a OneShot is a caller-owned single-use result slot — exactly
+  // one completer and one waiter ever touch it, and callers embed arrays of
+  // them (bench windows, request tails) where a cache line per slot would
+  // multiply the footprint 8x for no contention win.
+  Atomic<std::uint32_t> state_{0};
+  alignas(R) unsigned char buf_[sizeof(R)];
+};
+
+}  // namespace ccds

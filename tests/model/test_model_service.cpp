@@ -1,0 +1,255 @@
+// Bounded model checking of the shard-per-core serving tier
+// (service/kv_service.hpp): on every explored interleaving the mailbox
+// pipeline must conserve requests (nothing lost or double-applied across
+// SpscRing mailboxes and the MpmcQueue fallback), completions must be
+// published strictly AFTER application (a requester that observes ready()
+// observes its effect in the shard map), and the single-owner discipline
+// must actually be load-bearing — a seeded wrong-shard-route bug breaks a
+// conservation witness on some schedule and is caught with a replayable
+// trace.
+//
+// Tractability: the real service is explored with spawn_workers = false
+// (model threads pump manually — std::thread cannot run under the
+// explorer) and LeakyDomain partitions (no reclamation schedule points,
+// same choice as test_model_swiss.cpp).  The SpscRing mailboxes use
+// ccds::Atomic, so producer/consumer index races ARE explored; the
+// MpmcQueue fallback and the stats words are std::atomic by design —
+// functionally exercised, but contributing no interleaving fanout.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+
+#include "core/arch.hpp"
+#include "core/atomic.hpp"
+#include "model/scheduler.hpp"
+#include "model/shim.hpp"
+#include "queue/spsc_ring.hpp"
+#include "reclaim/leaky.hpp"
+#include "service/kv_service.hpp"
+
+namespace ccds {
+namespace {
+
+using model::Options;
+using model::Result;
+
+using ModelSvc =
+    KvService<std::uint64_t, std::uint64_t, MixHash<std::uint64_t>,
+              LeakyDomain>;
+
+ModelSvc::Config model_config() {
+  ModelSvc::Config cfg;
+  cfg.shards = 2;
+  cfg.client_slots = 1;
+  cfg.ring_capacity = 4;
+  cfg.fallback_capacity = 4;
+  cfg.drain_batch = 4;
+  cfg.initial_slots_per_shard = 16;  // one group per shard: no rehash paths
+  cfg.spawn_workers = false;
+  return cfg;
+}
+
+// Pump shard s until it reports no work, with a hard bound so a broken
+// pump cannot spin the explorer into its step budget.
+void pump_dry(ModelSvc& svc, std::size_t s) {
+  for (int i = 0; i < 8; ++i) {
+    if (svc.pump_shard(s) == 0) return;
+  }
+  CCDS_MODEL_ASSERT(false && "pump never drained");
+}
+
+// Two fire-and-forget puts race a concurrently pumping owner: whatever the
+// interleaving of submit vs. drain, after a final dry pump both effects are
+// in the shard maps, applied exactly once, and none leaked into the wrong
+// partition.
+TEST(ModelService, RequestConservationAcrossMailboxesAllSchedules) {
+  Options opts;
+  opts.stale_read_bound = 1;  // swiss + ring paths are long; trim wm fanout
+  Result res = model::explore(opts, [] {
+    ModelSvc svc(model_config());
+    auto c = svc.make_client();
+    CCDS_MODEL_ASSERT(!c.uses_fallback());
+
+    // Two keys landing in different shards (verified below), both written
+    // without completion slots so nothing blocks the producer.
+    model::thread producer([&] {
+      c.submit(1, 11, ModelSvc::Op::kPut, nullptr);
+      c.submit(2, 22, ModelSvc::Op::kPut, nullptr);
+    });
+    // Main races the producer as the pumping owner of both shards.
+    svc.pump_shard(0);
+    svc.pump_shard(1);
+    producer.join();
+    pump_dry(svc, 0);
+    pump_dry(svc, 1);
+
+    CCDS_MODEL_ASSERT(svc.size() == 2);
+    const std::uint64_t applied =
+        svc.shard_stats(0).ops + svc.shard_stats(1).ops;
+    CCDS_MODEL_ASSERT(applied == 2);  // nothing lost, nothing double-applied
+    CCDS_MODEL_ASSERT(svc.route_violations() == 0);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 10);
+}
+
+// Complete-after-apply on the REAL pipeline: the instant a requester
+// observes ready(), its put must be visible in the owning shard's map —
+// OneShot's release/acquire pairing plus the pump's apply-all-then-
+// complete-all ordering, checked on every schedule.
+TEST(ModelService, CompleteAfterApplyAllSchedules) {
+  Options opts;
+  opts.stale_read_bound = 1;
+  Result res = model::explore(opts, [] {
+    ModelSvc svc(model_config());
+    auto c = svc.make_client();
+    const std::uint64_t key = 7;
+
+    model::thread requester([&] {
+      OneShot<ModelSvc::Response> done;
+      c.put_async(key, 70, &done);
+      const auto r = done.take();  // spin_wait: yields to the explorer
+      CCDS_MODEL_ASSERT(!r.found);  // key was new
+      // The completion was observed, so the apply must already be in the
+      // shard map — the invariant this whole test exists for.
+      const auto s = svc.shard_of(MixHash<std::uint64_t>{}(key));
+      const auto v = svc.shard_map(s).get(key);
+      CCDS_MODEL_ASSERT(v.has_value() && *v == 70);
+    });
+    // Owner pumps until the one request has been applied; the yield hint
+    // hands the explorer a scheduling point whenever a pump comes up empty
+    // (same discipline as every model-safe wait loop).
+    std::uint32_t spins = 0;
+    while (svc.shard_stats(0).ops + svc.shard_stats(1).ops == 0) {
+      if (svc.pump_shard(0) + svc.pump_shard(1) == 0) spin_wait(spins);
+    }
+    requester.join();
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 10);
+}
+
+// Conservation through the shared fallback path: a second client (slot
+// budget exhausted) submits through the per-shard MpmcQueue while the ring
+// client and the pumping owner run — both clients' effects land exactly
+// once.
+TEST(ModelService, FallbackClientConservationAllSchedules) {
+  Options opts;
+  opts.stale_read_bound = 1;
+  Result res = model::explore(opts, [] {
+    ModelSvc svc(model_config());
+    auto ring_client = svc.make_client();
+    auto fb_client = svc.make_client();
+    CCDS_MODEL_ASSERT(!ring_client.uses_fallback());
+    CCDS_MODEL_ASSERT(fb_client.uses_fallback());
+
+    model::thread producer([&] {
+      fb_client.submit(1, 100, ModelSvc::Op::kPut, nullptr);
+    });
+    ring_client.submit(2, 200, ModelSvc::Op::kPut, nullptr);
+    svc.pump_shard(0);
+    svc.pump_shard(1);
+    producer.join();
+    pump_dry(svc, 0);
+    pump_dry(svc, 1);
+
+    CCDS_MODEL_ASSERT(svc.size() == 2);
+    std::uint64_t fallback_ops = 0;
+    for (std::size_t s = 0; s < svc.shards(); ++s) {
+      fallback_ops += svc.shard_stats(s).fallback_ops;
+    }
+    CCDS_MODEL_ASSERT(fallback_ops == 1);  // exactly the fallback client's op
+    CCDS_MODEL_ASSERT(svc.route_violations() == 0);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded bug: wrong-shard routing.
+//
+// A miniature sharded KV in the service's mold — per-shard SpscRing
+// mailbox, single-owner workers, and a shard "map" whose updates are a
+// deliberately non-atomic load-add-store, SAFE exactly while the
+// single-owner discipline holds (the real tier's SwissHashMap partitions
+// are safe regardless; the mini-map makes ownership itself the correctness
+// boundary so a routing bug becomes an observable lost update rather than
+// silent key partitioning).  The seeded router sends one of shard 0's keys
+// to shard 1's mailbox; on some interleaving both workers run the
+// read-modify-write on shard 0's cell concurrently, an increment is lost,
+// and the conservation witness fails with a replayable schedule.
+// ---------------------------------------------------------------------------
+
+template <bool kMisroute>
+struct MiniShardedKv {
+  static std::size_t shard_of(int key) { return key & 1; }
+
+  void submit(int key) {
+    std::size_t s = shard_of(key);
+    if constexpr (kMisroute) {
+      if (key == 2) s = 1;  // BUG: key 2 belongs to shard 0
+    }
+    const bool pushed = ring[s].try_push(key);
+    CCDS_MODEL_ASSERT(pushed);  // capacity covers the scenario
+  }
+
+  void pump(std::size_t s) {
+    ring[s].drain(
+        [&](int&& key) {
+          // Owner-exclusive by contract: plain load-add-store.
+          const std::size_t owner = shard_of(key);
+          const int v = cell[owner].load(std::memory_order_relaxed);
+          cell[owner].store(v + 1, std::memory_order_relaxed);
+        },
+        4);
+  }
+
+  SpscRing<int> ring[2]{SpscRing<int>(4), SpscRing<int>(4)};
+  Atomic<int> cell[2]{};
+};
+
+template <bool kMisroute>
+void mini_routing_scenario() {
+  MiniShardedKv<kMisroute> kv;
+  kv.submit(0);  // shard 0's key, routed correctly
+  kv.submit(2);  // shard 0's key, misrouted to shard 1 when seeded
+  model::thread w1([&] { kv.pump(1); });
+  kv.pump(0);
+  w1.join();
+  // Both applications targeted shard 0's cell; with single-owner routing
+  // they are sequential and conserve, with the misroute they race.
+  CCDS_MODEL_ASSERT(kv.cell[0].load(std::memory_order_relaxed) == 2);
+  CCDS_MODEL_ASSERT(kv.cell[1].load(std::memory_order_relaxed) == 0);
+}
+
+TEST(ModelService, MisroutedRequestCaughtWithReplayableSchedule) {
+  Options opts;
+  Result res = model::explore(opts, mini_routing_scenario<true>);
+  ASSERT_FALSE(res.ok) << "explorer missed the misroute lost-update window";
+  EXPECT_FALSE(res.schedule.empty());
+  std::cout << "wrong-shard route caught: " << res.error
+            << "\nreplayable schedule: " << res.schedule << "\n";
+
+  Options replay;
+  replay.replay = res.schedule;
+  Result again = model::explore(replay, mini_routing_scenario<true>);
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.executions, 1);
+}
+
+TEST(ModelService, CorrectRoutingConservesAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, mini_routing_scenario<false>);
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+}  // namespace
+}  // namespace ccds
