@@ -53,7 +53,7 @@
 #include "reclaim/epoch.hpp"
 #include "skiplist/batched_skiplist.hpp"
 #include "skiplist/lockfree_skiplist.hpp"
-#include "sync/ccsynch.hpp"
+#include "sync/engines.hpp"
 
 namespace {
 
@@ -77,9 +77,14 @@ struct AtomicCountingLess {
 };
 
 // Keyed towers throughout: every variant holding the same key set has the
-// same shape, so comparison counts compare structures, not RNG luck.
-using BatchedCc = BatchedSkipListSet<std::uint64_t, AtomicCountingLess,
-                                     CcSynch, SkipListLevels::kKeyed>;
+// same shape, so comparison counts compare structures, not RNG luck.  The
+// engine slot comes from the shared typelist (sync/engines.hpp); CcSynch
+// stays the primary E18 measurand, the other engines ride the
+// BM_BatchedMixedWriteEngine sweep below.
+template <template <typename> class E>
+using BatchedSet = BatchedSkipListSet<std::uint64_t, AtomicCountingLess, E,
+                                      SkipListLevels::kKeyed>;
+using BatchedCc = BatchedSet<CcSynch>;
 using BatchedOp = BatchedCc::Op;
 using LfslLocal =
     LockFreeSkipListSet<std::uint64_t, AtomicCountingLess, EpochDomain,
@@ -158,8 +163,10 @@ BENCHMARK(BM_BatchedBulkLoadRandom)
 // ---------------------------------------------------------------------------
 
 // Magic static + call_once: see bench_lists.cpp for why (no teardown race).
-BatchedCc& mixed_set() {
-  static BatchedCc& s = *new BatchedCc();
+// Templated over the engine: one prefilled shared set per engine.
+template <template <typename> class E>
+BatchedSet<E>& mixed_set() {
+  static BatchedSet<E>& s = *new BatchedSet<E>();
   static std::once_flag prefill_once;
   std::call_once(prefill_once, [] {
     const std::uint64_t half = kKeyRange / 2;
@@ -203,7 +210,8 @@ FanoutRig& fanout_rig() {
   return rig;
 }
 
-void run_batched_mixed(BatchedCc& set, benchmark::State& state) {
+template <typename Set>
+void run_batched_mixed(Set& set, benchmark::State& state) {
   const std::uint64_t batch = static_cast<std::uint64_t>(state.range(0));
   std::vector<BatchedOp> ops(batch);
   Xoshiro256 rng = make_rng(state);
@@ -230,7 +238,16 @@ void run_batched_mixed(BatchedCc& set, benchmark::State& state) {
 }
 
 void BM_BatchedMixedWrite(benchmark::State& state) {
-  run_batched_mixed(mixed_set(), state);
+  run_batched_mixed(mixed_set<CcSynch>(), state);
+}
+
+// Engine cross-check: the identical mixed workload through every enrolled
+// combining engine at one representative batch size, so the batched front
+// is exercised (and comparable) over the whole typelist, not just the E18
+// primary.  B=64 keeps the row inline (below the fan-out threshold).
+template <template <typename> class E>
+void BM_BatchedMixedWriteEngine(benchmark::State& state) {
+  run_batched_mixed(mixed_set<E>(), state);
 }
 
 // Structural fan-out witnesses, deltas across the timed loop: sub-batches
@@ -269,6 +286,10 @@ void BM_BatchedMixedWriteFanout(benchmark::State& state) {
 BENCHMARK(BM_BatchedMixedWrite)
     CCDS_E18_BATCH_ARGS CCDS_E18_THREADS->Repetitions(5)
     ->ReportAggregatesOnly(true);
+#define CCDS_ENGINE_MIX_ROW(E) \
+  BENCHMARK(BM_BatchedMixedWriteEngine<E>)->Arg(64) CCDS_E18_THREADS;
+CCDS_COMBINER_ENGINES(CCDS_ENGINE_MIX_ROW)
+#undef CCDS_ENGINE_MIX_ROW
 // Fan-out needs total batch ≥ threshold (256): only the B=512 sweep point
 // crosses it from a single submitter; B=64 rides along to show the
 // below-threshold behaviour staying inline (witness counters ~0).

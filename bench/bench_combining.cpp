@@ -1,25 +1,40 @@
-// E16 — combining engines head-to-head: CC-Synch vs flat combining, through
-// the structure fronts, against the lock-based and lock-free baselines.
+// E16/E20 — combining engines head-to-head: every enrolled engine
+// (sync/engines.hpp: FlatCombiner, CcSynch, HSynch, PSim), through the
+// structure fronts, against the lock-based and lock-free baselines.
 //
 // Survey / Fatourou-Kallimanis claim: the flat combiner's two fixed costs —
 // the combiner-lock acquisition and the O(threads) publication-slot scan —
 // are avoidable.  CC-Synch publishes a request with one wait-free exchange
-// onto a request list and the combiner walks exactly the pending requests,
-// so the per-operation synchronization cost is one exchange regardless of
-// how many threads exist.  The expected shape at high thread counts:
+// onto a request list and the combiner walks exactly the pending requests;
+// H-Synch splits that list per topology node so the combiner's cache
+// traffic stays node-local; P-Sim replaces the combiner lock with a
+// copy-apply-CAS universal construction and is wait-free.  The expected
+// shape at high thread counts:
 //
-//   CcSynch front  >  FlatCombiner front  >  coarse lock
-//   CcSynch front  >  MS queue / Treiber  (no per-op allocation or CAS
-//                                          retries; one exchange per op)
+//   CcSynch/HSynch fronts  >  FlatCombiner front  >  coarse lock
+//   CcSynch front          >  MS queue / Treiber  (no per-op allocation or
+//                                                  CAS retries)
+//   PSim pays the state copy per episode — slower on big states, but the
+//   ONLY engine whose throughput survives a preempted combiner (E20).
 //
 // The batch rows measure the OBATCHER-style apply_batch front: k operations
 // ride one combining request, so the per-op synchronization cost drops by
 // another factor of k.
 //
+// E20 rows (BM_CounterAddPreempt): the preemption-injection hook
+// (sync/combiner.hpp) stalls a serving thread at engine combine points a
+// few hundred times per second, modeling an OS preempting the combiner
+// mid-episode.  Blocking engines convoy behind the stalled combiner; the
+// wait-free engine's other threads keep finishing episodes via helping.
+// The per-thread fairness schema (bench_util.hpp ThreadOps) is emitted on
+// every combining row so the gate can compare fairness across engines.
+//
 // Rows: queue fronts (vs MS queue, coarse lock queue), stack fronts (vs
 // Treiber, coarse lock stack), counter fronts (vs single fetch_add word,
-// lock counter), and batched queue fronts.  All 50/50 mixed op workloads,
-// prefilled; thread counts from the shared CCDS_BENCH_THREADS sweep.
+// lock counter), batched queue fronts, and the E20 preemption sweep.  All
+// 50/50 mixed op workloads, prefilled; thread counts from the shared
+// CCDS_BENCH_THREADS sweep.  Engines enroll through the X-macro: a new
+// engine added to CCDS_COMBINER_ENGINES gets every row here for free.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -38,8 +53,7 @@
 #include "stack/coarse_stack.hpp"
 #include "stack/combining_stack.hpp"
 #include "stack/treiber_stack.hpp"
-#include "sync/ccsynch.hpp"
-#include "sync/flat_combining.hpp"
+#include "sync/engines.hpp"
 #include "sync/spinlock.hpp"
 
 namespace {
@@ -47,6 +61,27 @@ namespace {
 using namespace ccds;
 
 constexpr std::uint64_t kPrefill = 1024;
+
+// Combining fronts get the combining_front row flag; baselines don't.
+template <typename T>
+struct is_combining_front : std::false_type {};
+template <typename V, template <typename> class E>
+struct is_combining_front<CombiningQueue<V, E>> : std::true_type {};
+template <typename V, template <typename> class E>
+struct is_combining_front<CombiningStack<V, E>> : std::true_type {};
+template <template <typename> class E>
+struct is_combining_front<CombiningCounter<E>> : std::true_type {};
+
+// One alias per engine and front, spelled <Engine>Queue / <Engine>Stack /
+// <Engine>Counter so benchmark row names read as engine comparisons and
+// scripts/check_combining.py can derive the required row set from the same
+// engine list.
+#define CCDS_ENGINE_FRONT_ALIASES(E)                  \
+  using E##Queue = CombiningQueue<std::uint64_t, E>;  \
+  using E##Stack = CombiningStack<std::uint64_t, E>;  \
+  using E##Counter = CombiningCounter<E>;
+CCDS_COMBINER_ENGINES(CCDS_ENGINE_FRONT_ALIASES)
+#undef CCDS_ENGINE_FRONT_ALIASES
 
 // ---------------------------------------------------------------------------
 // Queues: 50/50 enqueue/dequeue.
@@ -70,9 +105,7 @@ void BM_QueueMix(benchmark::State& state) {
     ops.tick();
   }
   ops.finish();
-  if constexpr (std::is_same_v<Queue, CombiningQueue<std::uint64_t, CcSynch>> ||
-                std::is_same_v<Queue,
-                               CombiningQueue<std::uint64_t, FlatCombiner>>) {
+  if constexpr (is_combining_front<Queue>::value) {
     ccds::bench::report_combining_front(state);
   }
   if (state.thread_index() == 0) {
@@ -81,13 +114,12 @@ void BM_QueueMix(benchmark::State& state) {
   }
 }
 
-using CcSynchQueue = CombiningQueue<std::uint64_t, CcSynch>;
-using FcQueue = CombiningQueue<std::uint64_t, FlatCombiner>;
 using MsQueueEbr = MSQueue<std::uint64_t, EpochDomain>;
 using LockQueueTtas = LockQueue<std::uint64_t, TtasLock>;
 
-BENCHMARK(BM_QueueMix<CcSynchQueue>) CCDS_BENCH_THREADS;
-BENCHMARK(BM_QueueMix<FcQueue>) CCDS_BENCH_THREADS;
+#define CCDS_QUEUE_ROW(E) BENCHMARK(BM_QueueMix<E##Queue>) CCDS_BENCH_THREADS;
+CCDS_COMBINER_ENGINES(CCDS_QUEUE_ROW)
+#undef CCDS_QUEUE_ROW
 BENCHMARK(BM_QueueMix<MsQueueEbr>) CCDS_BENCH_THREADS;
 BENCHMARK(BM_QueueMix<LockQueueTtas>) CCDS_BENCH_THREADS;
 
@@ -123,8 +155,10 @@ void BM_QueueBatch8(benchmark::State& state) {
   }
 }
 
-BENCHMARK(BM_QueueBatch8<CcSynchQueue>) CCDS_BENCH_THREADS;
-BENCHMARK(BM_QueueBatch8<FcQueue>) CCDS_BENCH_THREADS;
+#define CCDS_QBATCH_ROW(E) \
+  BENCHMARK(BM_QueueBatch8<E##Queue>) CCDS_BENCH_THREADS;
+CCDS_COMBINER_ENGINES(CCDS_QBATCH_ROW)
+#undef CCDS_QBATCH_ROW
 
 // ---------------------------------------------------------------------------
 // Stacks: 50/50 push/pop.
@@ -148,9 +182,7 @@ void BM_StackMix(benchmark::State& state) {
     ops.tick();
   }
   ops.finish();
-  if constexpr (std::is_same_v<Stack, CombiningStack<std::uint64_t, CcSynch>> ||
-                std::is_same_v<Stack,
-                               CombiningStack<std::uint64_t, FlatCombiner>>) {
+  if constexpr (is_combining_front<Stack>::value) {
     ccds::bench::report_combining_front(state);
   }
   if (state.thread_index() == 0) {
@@ -159,13 +191,12 @@ void BM_StackMix(benchmark::State& state) {
   }
 }
 
-using CcSynchStack = CombiningStack<std::uint64_t, CcSynch>;
-using FcStack = CombiningStack<std::uint64_t, FlatCombiner>;
 using TreiberEbr = TreiberStack<std::uint64_t, EpochDomain>;
 using LockStackTtas = LockStack<std::uint64_t, TtasLock>;
 
-BENCHMARK(BM_StackMix<CcSynchStack>) CCDS_BENCH_THREADS;
-BENCHMARK(BM_StackMix<FcStack>) CCDS_BENCH_THREADS;
+#define CCDS_STACK_ROW(E) BENCHMARK(BM_StackMix<E##Stack>) CCDS_BENCH_THREADS;
+CCDS_COMBINER_ENGINES(CCDS_STACK_ROW)
+#undef CCDS_STACK_ROW
 BENCHMARK(BM_StackMix<TreiberEbr>) CCDS_BENCH_THREADS;
 BENCHMARK(BM_StackMix<LockStackTtas>) CCDS_BENCH_THREADS;
 
@@ -183,8 +214,7 @@ void BM_CounterAdd(benchmark::State& state) {
     ops.tick();
   }
   ops.finish();
-  if constexpr (std::is_same_v<Counter, CombiningCounter<CcSynch>> ||
-                std::is_same_v<Counter, CombiningCounter<FlatCombiner>>) {
+  if constexpr (is_combining_front<Counter>::value) {
     ccds::bench::report_combining_front(state);
   }
   if (state.thread_index() == 0) {
@@ -193,13 +223,60 @@ void BM_CounterAdd(benchmark::State& state) {
   }
 }
 
-using CcSynchCounter = CombiningCounter<CcSynch>;
-using FcCounter = CombiningCounter<FlatCombiner>;
-
-BENCHMARK(BM_CounterAdd<CcSynchCounter>) CCDS_BENCH_THREADS;
-BENCHMARK(BM_CounterAdd<FcCounter>) CCDS_BENCH_THREADS;
+#define CCDS_COUNTER_ROW(E) \
+  BENCHMARK(BM_CounterAdd<E##Counter>) CCDS_BENCH_THREADS;
+CCDS_COMBINER_ENGINES(CCDS_COUNTER_ROW)
+#undef CCDS_COUNTER_ROW
 BENCHMARK(BM_CounterAdd<AtomicCounter>) CCDS_BENCH_THREADS;
 BENCHMARK(BM_CounterAdd<LockCounter<TtasLock>>) CCDS_BENCH_THREADS;
+
+// ---------------------------------------------------------------------------
+// E20: the same counter mix with combiner preemption injected.
+//
+// The hook fires at every engine's combine-time preemption point; one call
+// in 128 stalls the serving thread for a busy window several episodes
+// long.  For the blocking engines every waiter behind the stalled combiner
+// eats the stall; for P-Sim the other threads install the stalled thread's
+// announced op themselves and keep going.  Rows carry the same fairness
+// schema plus a preempt_injected flag so check_combining.py can pair each
+// engine's clean and preempted rows.
+// ---------------------------------------------------------------------------
+
+void bench_stall_hook(void*) {
+  thread_local std::uint32_t calls = 0;
+  if ((++calls & 127u) != 0) return;
+  for (int spin = 0; spin < 20000; ++spin) {
+    benchmark::DoNotOptimize(spin);
+  }
+}
+
+template <typename Counter>
+void BM_CounterAddPreempt(benchmark::State& state) {
+  static Counter* c = nullptr;
+  if (state.thread_index() == 0) {
+    c = new Counter();
+    detail::set_preemption_hook(&bench_stall_hook, nullptr);
+  }
+  ccds::bench::ThreadOps ops(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c->fetch_add(1));
+    ops.tick();
+  }
+  ops.finish();
+  ccds::bench::report_combining_front(state);
+  state.counters["preempt_injected"] =
+      benchmark::Counter(1.0, benchmark::Counter::kAvgThreads);
+  if (state.thread_index() == 0) {
+    detail::set_preemption_hook(nullptr, nullptr);
+    delete c;
+    c = nullptr;
+  }
+}
+
+#define CCDS_PREEMPT_ROW(E) \
+  BENCHMARK(BM_CounterAddPreempt<E##Counter>) CCDS_BENCH_THREADS;
+CCDS_COMBINER_ENGINES(CCDS_PREEMPT_ROW)
+#undef CCDS_PREEMPT_ROW
 
 }  // namespace
 

@@ -8,9 +8,10 @@
 // hands anything off — tops the chart.
 //
 // The combining side is engine-templated over the shared Combiner policy
-// (sync/combiner.hpp), so the same workload runs over FlatCombiner and
-// CcSynch; the head-to-head engine comparison (plus structure fronts and
-// batching) lives in bench_combining.cpp (E16).  Thread counts come from
+// (sync/combiner.hpp), so the same workload runs over every enrolled
+// engine (sync/engines.hpp); the head-to-head engine comparison (plus
+// structure fronts, batching, and the E20 preemption sweep) lives in
+// bench_combining.cpp.  Thread counts come from
 // the shared CCDS_BENCH_THREADS sweep in bench_util.hpp.
 #include <benchmark/benchmark.h>
 
@@ -23,8 +24,7 @@
 #include "queue/coarse_queue.hpp"
 #include "queue/ms_queue.hpp"
 #include "reclaim/epoch.hpp"
-#include "sync/ccsynch.hpp"
-#include "sync/flat_combining.hpp"
+#include "sync/engines.hpp"
 #include "sync/spinlock.hpp"
 
 namespace {
@@ -65,10 +65,12 @@ void BM_CombinedSeqQueue(benchmark::State& state) {
   }
 }
 
-// Row names keep the historical BM_FlatCombiningQueue spelling via the
-// template argument, so summaries read FlatCombiner vs CcSynch directly.
-BENCHMARK(BM_CombinedSeqQueue<FlatCombiner>) CCDS_BENCH_THREADS;
-BENCHMARK(BM_CombinedSeqQueue<CcSynch>) CCDS_BENCH_THREADS;
+// Every enrolled engine (sync/engines.hpp) runs the identical sequential
+// FIFO workload; row names carry the engine identifier directly, so
+// summaries read FlatCombiner vs CcSynch vs HSynch vs PSim.
+#define CCDS_SEQQ_ROW(E) BENCHMARK(BM_CombinedSeqQueue<E>) CCDS_BENCH_THREADS;
+CCDS_COMBINER_ENGINES(CCDS_SEQQ_ROW)
+#undef CCDS_SEQQ_ROW
 
 template <typename Queue>
 void BM_BaselineQueue(benchmark::State& state) {

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Gate BENCH_combining.json on the E16/E20 combining-engine contract.
+
+Two layers, because CI smoke runs (min_time ~1ms) produce real rows but
+meaningless timings:
+
+  structural (always):
+    - every enrolled engine (ENGINES below mirrors CCDS_COMBINER_ENGINES in
+      src/sync/engines.hpp — a new engine must be added to BOTH or this
+      gate fails the next artifact) has rows in every front family:
+      BM_QueueMix<E*Queue>, BM_QueueBatch8<E*Queue>, BM_StackMix<E*Stack>,
+      BM_CounterAdd<E*Counter>, and the E20 preemption sweep
+      BM_CounterAddPreempt<E*Counter>, each at T in {1, 8};
+    - the lock-free and lock baselines are present (MS queue, Treiber,
+      plain atomic word, TTAS-lock queue/stack/counter);
+    - the context block proves the artifact is honest: ccds_build_type is
+      "release" and the oversubscription facts are recorded;
+    - schema: EVERY row carries the per-thread fairness fields from
+      bench_util.hpp (thread_ops_per_sec_min/max, fairness,
+      per_thread_ops_per_sec) — dropping ThreadOps from a loop must fail
+      here, not in the next perf-artifact run; combining-front rows carry
+      the combining_front flag, baselines must NOT; preempt rows carry
+      preempt_injected.
+
+  performance (--perf, for real artifacts):
+    - the wait-free claim, E20 — throughput retention: PSim's
+      preempted/clean throughput ratio at T=8 is at least RETENTION_EDGE
+      x the best blocking engine's ratio.  A stall in PSim delays only
+      the crossing thread (helpers complete its announced op); a stall
+      in a blocking engine convoys everyone behind the combiner, so
+      retention is where wait-freedom shows up in wall-clock even on
+      one CPU — and the ratio is stable run to run (~2x edge) because
+      both sides of it come from the same process.
+    - fairness is PRINTED but never gated: at T=8 on the 1-CPU
+      measurement host the per-thread min/max spread is scheduler-
+      quantum noise (the same clean PSim row has measured 0.39 and 0.01
+      across runs).  The starvation half of the wait-free claim is
+      carried deterministically by the unit test
+      test_psim.cpp/ProgressWitnessWithThreadParkedMidCombine instead.
+
+Floors are pinned from this repo's 1-CPU measurement host (see the E20
+section of EXPERIMENTS.md for measured values and cushions).
+"""
+import json
+import sys
+
+# Mirrors CCDS_COMBINER_ENGINES in src/sync/engines.hpp.
+ENGINES = ("FlatCombiner", "CcSynch", "HSynch", "PSim")
+
+THREADS = (1, 8)
+
+RETENTION_EDGE = 1.2
+
+FAIRNESS_SCHEMA = ("thread_ops_per_sec_min", "thread_ops_per_sec_max",
+                   "fairness", "per_thread_ops_per_sec")
+
+BASELINES = ("BM_QueueMix<MsQueueEbr>", "BM_QueueMix<LockQueueTtas>",
+             "BM_StackMix<TreiberEbr>", "BM_StackMix<LockStackTtas>",
+             "BM_CounterAdd<AtomicCounter>",
+             "BM_CounterAdd<LockCounter<TtasLock>>")
+
+
+def row_name(family, engine, front, threads):
+    return "BM_%s<%s%s>/real_time/threads:%d" % (family, engine, front,
+                                                 threads)
+
+
+def engine_rows(engine, threads):
+    return [row_name("QueueMix", engine, "Queue", threads),
+            row_name("QueueBatch8", engine, "Queue", threads),
+            row_name("StackMix", engine, "Stack", threads),
+            row_name("CounterAdd", engine, "Counter", threads),
+            row_name("CounterAddPreempt", engine, "Counter", threads)]
+
+
+def main():
+    perf = "--perf" in sys.argv
+    path = next((a for a in sys.argv[1:] if not a.startswith("--")),
+                "BENCH_combining.json")
+    data = json.load(open(path))
+    errors = []
+
+    ctx = data.get("context", {})
+    if ctx.get("ccds_build_type") != "release":
+        errors.append("context.ccds_build_type=%r, need 'release'"
+                      % ctx.get("ccds_build_type"))
+    for key in ("hardware_concurrency", "requested_max_threads",
+                "oversubscribed"):
+        if key not in ctx:
+            errors.append("context missing %r (bench_util.hpp stamps it)" % key)
+
+    rows = {b["name"]: b for b in data.get("benchmarks", [])
+            if b.get("run_type") != "aggregate"}
+
+    need = [n for e in ENGINES for t in THREADS for n in engine_rows(e, t)]
+    need += ["%s/real_time/threads:%d" % (b, t)
+             for b in BASELINES for t in THREADS]
+    missing = [n for n in need if n not in rows]
+    if missing:
+        errors.append("missing rows: %s" % ", ".join(missing))
+
+    # Fairness schema on EVERY row in the artifact, not just required ones.
+    bad = [n for n, b in rows.items()
+           if any(f not in b for f in FAIRNESS_SCHEMA)]
+    if bad:
+        errors.append("rows missing fairness fields: %s"
+                      % ", ".join(sorted(bad)[:5]))
+
+    if not missing:
+        for e in ENGINES:
+            for t in THREADS:
+                for n in engine_rows(e, t):
+                    if rows[n].get("combining_front") != 1:
+                        errors.append("%s: missing combining_front flag" % n)
+                pre = row_name("CounterAddPreempt", e, "Counter", t)
+                if rows[pre].get("preempt_injected", 0) <= 0:
+                    errors.append("%s: missing preempt_injected flag" % pre)
+        for b in BASELINES:
+            for t in THREADS:
+                n = "%s/real_time/threads:%d" % (b, t)
+                if "combining_front" in rows[n]:
+                    errors.append("%s: baseline carries combining_front" % n)
+
+    if perf and not missing:
+        def tput(name):
+            return rows[name].get("items_per_second", 0.0)
+
+        pre = row_name("CounterAddPreempt", "PSim", "Counter", 8)
+        clean = row_name("CounterAdd", "PSim", "Counter", 8)
+        print("E20 PSim fairness T=8 (informational, not gated): "
+              "clean %.3f, preempted %.3f"
+              % (rows[clean].get("fairness", 0.0),
+                 rows[pre].get("fairness", 0.0)))
+
+        def retention(engine):
+            clean = tput(row_name("CounterAdd", engine, "Counter", 8))
+            stalled = tput(row_name("CounterAddPreempt", engine, "Counter", 8))
+            return stalled / max(clean, 1e-9)
+
+        psim = retention("PSim")
+        blocking = {e: retention(e) for e in ENGINES if e != "PSim"}
+        best = max(blocking.values())
+        print("E20 throughput retention under stalls: PSim %.3f, %s"
+              % (psim, ", ".join("%s %.3f" % kv
+                                 for kv in sorted(blocking.items()))))
+        if psim < RETENTION_EDGE * best:
+            errors.append("PSim retention %.3f < %.1fx best blocking "
+                          "retention %.3f" % (psim, RETENTION_EDGE, best))
+
+    if errors:
+        sys.exit("check_combining: FAIL\n  " + "\n  ".join(errors))
+    print("check_combining: %d engine/baseline rows OK%s"
+          % (len(need), " (+perf gates)" if perf else ""))
+
+
+if __name__ == "__main__":
+    main()

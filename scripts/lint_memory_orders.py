@@ -471,6 +471,33 @@ def self_test():
         "  };\n"
         "};\n"
     )
+    # H-Synch shape: per-node request lists each hand nodes between a local
+    # winner and remote enqueuers while a global lock serializes winners —
+    # exactly the remote-handoff spin R5 protects.  The rule must fire on
+    # the bare node even though the enclosing engine holds other padded
+    # members, and stay quiet once the node owns its line.
+    bad_hsynch_shaped_node = (
+        "class H {\n"
+        "  struct NodeRec {\n"
+        "    Atomic<NodeRec*> next{nullptr};\n"
+        "    Atomic<bool> wait{true};\n"
+        "    Atomic<bool> completed{false};\n"
+        "  };\n"
+        "  CCDS_CACHELINE_ALIGNED TtasLock global_;\n"
+        "  Padded<NodeRec*> tail_[8];\n"
+        "};\n"
+    )
+    ok_hsynch_shaped_node = (
+        "class H {\n"
+        "  struct CCDS_CACHELINE_ALIGNED NodeRec {\n"
+        "    Atomic<NodeRec*> next{nullptr};\n"
+        "    Atomic<bool> wait{true};\n"
+        "    Atomic<bool> completed{false};\n"
+        "  };\n"
+        "  CCDS_CACHELINE_ALIGNED TtasLock global_;\n"
+        "  Padded<NodeRec*> tail_[8];\n"
+        "};\n"
+    )
     bad_concrete_domain = (
         "class C {\n  TreiberStack<int, EpochDomain> stacks_[8];\n};\n"
     )
@@ -517,6 +544,8 @@ def self_test():
         (ok_combining_node_padded_instances, 0),
         (ok_combining_node_excused, 0),
         (ok_link_only_node, 0),
+        (bad_hsynch_shaped_node, 1),
+        (ok_hsynch_shaped_node, 0),
         (bad_concrete_domain, 1),
         (ok_default_arg_domain, 0),
         (ok_multiline_default_arg_domain, 0),

@@ -92,16 +92,28 @@ def parse_ycsb_work(path):
     return rows
 
 
+# Combining-engine rows carry the engine in their template argument
+# (sync/engines.hpp aliases: FlatCombinerQueue, PSimCounter, ...); surface
+# it as its own column so per-engine comparisons read straight down.
+ENGINE_RE = re.compile(r"<(FlatCombiner|CcSynch|HSynch|PSim)")
+
+
+def engine_of(name):
+    m = ENGINE_RE.search(name)
+    return m.group(1) if m else "-"
+
+
 def print_table(title, rows, units="items/sec, M"):
     threads = sorted({t for r in rows.values() for t in r})
     print(f"\n== {title} ({units})")
-    print(f"  {'benchmark':58s}" + "".join(f"{f'T={t}':>10s}" for t in threads))
+    print(f"  {'benchmark':58s}{'engine':>13s}"
+          + "".join(f"{f'T={t}':>10s}" for t in threads))
     for (name, args), per_t in rows.items():
         label = name + (f" [{args}]" if args else "")
         cells = "".join(
             f"{per_t[t]:>10.2f}" if t in per_t else f"{'-':>10s}"
             for t in threads)
-        print(f"  {label:58.58s}{cells}")
+        print(f"  {label:58.58s}{engine_of(name):>13s}{cells}")
 
 
 def main():

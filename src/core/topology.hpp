@@ -1,0 +1,210 @@
+// Machine-topology service: how many memory locality domains ("nodes") does
+// this host have, and which one is the calling thread on right now?
+//
+// The hierarchical combining engine (sync/hsynch.hpp) keys its request
+// lists on the answer: threads sharing a node combine through a local list
+// and only the node winner touches the global lock, so the hot request
+// traffic stays inside one socket's cache hierarchy.  The shard-per-core
+// pool helpers (pool/affinity.hpp) use the same service so every layer
+// agrees on what "local" means.
+//
+// Three sources, in order:
+//
+//   1. sysfs NUMA — /sys/devices/system/node/node*/cpulist when present
+//      (Linux with CONFIG_NUMA).  Nodes are the kernel's memory nodes; the
+//      cpu->node table comes from each node's cpulist.
+//   2. cache-cluster fallback — no NUMA sysfs (containers, non-Linux,
+//      single-node desktops): CPUs are grouped into fixed-arity clusters of
+//      kFallbackClusterArity as a stand-in for shared-LLC domains.  A host
+//      whose CPUs all fit one cluster reports exactly ONE node, never zero.
+//   3. deterministic override — tests and the model checker install a
+//      ScopedOverride{node count, tid->node map} so topology-dependent
+//      code paths (H-Synch's per-node lists) are exercised identically on
+//      every host and on every explored schedule.
+//
+// current_node() is an affinity HINT: it may go stale when the scheduler
+// migrates the thread.  Every consumer must stay correct for an arbitrary
+// tid->node map; topology only decides which fast path a thread takes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+#include "core/thread_registry.hpp"
+
+namespace ccds {
+namespace topology {
+
+// Fixed cluster arity for hosts without NUMA sysfs: 16 CPUs per cluster
+// approximates a shared-LLC complex on current parts; the exact number
+// matters less than being deterministic and never yielding zero clusters.
+inline constexpr std::size_t kFallbackClusterArity = 16;
+
+// Highest node id the sysfs probe looks for.  Hosts with more memory nodes
+// than this are clamped (the extra nodes alias into the probed range's
+// count, which is still a valid — if coarser — locality map).
+inline constexpr std::size_t kMaxProbedNodes = 64;
+
+// Addressable CPUs, never zero (hardware_concurrency may legally return 0).
+inline std::size_t cpu_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+// The non-NUMA fallback as a pure function of the CPU count, so the
+// single-node guarantee ("one cluster, never zero") is unit-testable
+// without faking sysfs: ceil(cpus / arity), floored at one.
+constexpr std::size_t fallback_cluster_count(std::size_t cpus) noexcept {
+  if (cpus <= kFallbackClusterArity) return 1;
+  return (cpus + kFallbackClusterArity - 1) / kFallbackClusterArity;
+}
+
+// Deterministic override for tests and the model checker.
+struct Override {
+  std::size_t nodes;
+  std::size_t (*node_of_tid)(std::size_t tid);
+};
+
+namespace detail {
+
+// unguarded: the pointee is a caller-owned Override whose lifetime brackets
+// the installation (ScopedOverride's scope); no reclamation in play.
+inline std::atomic<const Override*>& override_slot() noexcept {
+  static std::atomic<const Override*> slot{nullptr};
+  return slot;
+}
+
+struct SysfsMap {
+  std::size_t nodes = 0;                 // 0 = no NUMA sysfs
+  std::size_t cpu_node[kMaxProbedNodes * 64] = {};  // cpu -> node, probed CPUs
+  std::size_t cpu_limit = 0;
+};
+
+// Parse "0-3,8-11\n" into per-cpu node assignments.
+inline void assign_cpulist(SysfsMap& map, const char* list, std::size_t node) {
+  const char* p = list;
+  while (*p != '\0' && *p != '\n') {
+    char* end = nullptr;
+    const unsigned long lo = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    unsigned long hi = lo;
+    p = end;
+    if (*p == '-') {
+      ++p;
+      hi = std::strtoul(p, &end, 10);
+      if (end == p) break;
+      p = end;
+    }
+    for (unsigned long c = lo; c <= hi && c < map.cpu_limit; ++c) {
+      map.cpu_node[c] = node;
+    }
+    if (*p == ',') ++p;
+  }
+}
+
+inline const SysfsMap& sysfs_map() {
+  static const SysfsMap map = [] {
+    SysfsMap m;
+    m.cpu_limit = sizeof(m.cpu_node) / sizeof(m.cpu_node[0]);
+#if defined(__linux__)
+    for (std::size_t n = 0; n < kMaxProbedNodes; ++n) {
+      char path[96];
+      std::snprintf(path, sizeof(path),
+                    "/sys/devices/system/node/node%zu/cpulist", n);
+      std::FILE* f = std::fopen(path, "re");
+      if (f == nullptr) {
+        if (n == 0) break;  // no NUMA sysfs at all
+        continue;           // sparse node ids: keep probing
+      }
+      char buf[1024];
+      const std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, f);
+      std::fclose(f);
+      buf[got] = '\0';
+      assign_cpulist(m, buf, n);
+      m.nodes = n + 1;
+    }
+#endif
+    return m;
+  }();
+  return map;
+}
+
+}  // namespace detail
+
+// Locality domains on this host: sysfs NUMA nodes when available, fixed-
+// arity cache clusters otherwise.  Always >= 1.  An installed override wins.
+inline std::size_t node_count() noexcept {
+  // relaxed: the override is installed before the threads that consult it
+  // start (test/model setup); staleness is impossible by construction.
+  if (const Override* o =
+          detail::override_slot().load(std::memory_order_relaxed)) {
+    return o->nodes == 0 ? 1 : o->nodes;
+  }
+  const std::size_t sysfs = detail::sysfs_map().nodes;
+  if (sysfs >= 1) return sysfs;
+  return fallback_cluster_count(cpu_count());
+}
+
+// The node a given CPU belongs to (always < node_count()).
+inline std::size_t node_of_cpu(std::size_t cpu) noexcept {
+  const detail::SysfsMap& m = detail::sysfs_map();
+  if (m.nodes >= 1) {
+    return cpu < m.cpu_limit ? m.cpu_node[cpu] % m.nodes : cpu % m.nodes;
+  }
+  return (cpu / kFallbackClusterArity) % fallback_cluster_count(cpu_count());
+}
+
+// The calling thread's current node — an affinity hint, cached per thread
+// (migration makes it stale; consumers must be correct for any map).
+inline std::size_t current_node() noexcept {
+  // relaxed: see node_count().
+  if (const Override* o =
+          detail::override_slot().load(std::memory_order_relaxed)) {
+    const std::size_t n = o->nodes == 0 ? 1 : o->nodes;
+    return o->node_of_tid != nullptr ? o->node_of_tid(thread_id()) % n
+                                     : thread_id() % n;
+  }
+#if defined(__linux__)
+  thread_local const std::size_t cached = [] {
+    const int cpu = sched_getcpu();
+    return node_of_cpu(cpu < 0 ? thread_id() : static_cast<std::size_t>(cpu));
+  }();
+  return cached;
+#else
+  return thread_id() % node_count();
+#endif
+}
+
+// RAII installation of a deterministic topology, for tests and the model
+// checker.  Install BEFORE constructing topology-aware engines (they size
+// their per-node structures at construction) and before worker threads
+// start.  Not reentrant; one override at a time.
+class ScopedOverride {
+ public:
+  ScopedOverride(std::size_t nodes, std::size_t (*node_of_tid)(std::size_t))
+      : ov_{nodes, node_of_tid} {
+    // release: publish ov_'s fields to threads that load the slot.
+    detail::override_slot().store(&ov_, std::memory_order_release);
+  }
+
+  ScopedOverride(const ScopedOverride&) = delete;
+  ScopedOverride& operator=(const ScopedOverride&) = delete;
+
+  ~ScopedOverride() {
+    detail::override_slot().store(nullptr, std::memory_order_release);
+  }
+
+ private:
+  Override ov_;
+};
+
+}  // namespace topology
+}  // namespace ccds

@@ -11,7 +11,8 @@
 #pragma once
 
 #include <cstddef>
-#include <thread>
+
+#include "core/topology.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -37,9 +38,11 @@ inline bool pin_current_thread(std::size_t cpu) noexcept {
 // True when a shard-per-core layout of `shards` workers can give each its
 // own core on this host; callers use it to decide whether pinning is worth
 // requesting (pinning MORE workers than cores just handcuffs the scheduler).
+// Core counting is the topology service's job (core/topology.hpp) — one
+// place answers "what does this machine look like", and its cpu_count()
+// already floors the can't-tell case at 1.
 inline bool cores_cover(std::size_t shards) noexcept {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw != 0 && shards <= static_cast<std::size_t>(hw);
+  return shards <= topology::cpu_count();
 }
 
 }  // namespace ccds

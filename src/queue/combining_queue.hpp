@@ -63,7 +63,9 @@ class CombiningQueue {
   CombiningQueue() = default;
 
   void enqueue(T v) {
-    engine_.apply([&v](State& q) { q.push_back(std::move(v)); });
+    // By-value capture: engines may copy the op and re-execute it against a
+    // different state copy (PSim helpers), so it must not reference locals.
+    engine_.apply([v = std::move(v)](State& q) { q.push_back(v); });
   }
 
   std::optional<T> try_dequeue() {

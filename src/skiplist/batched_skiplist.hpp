@@ -179,6 +179,25 @@ struct BatchedSkipState {
 
   BatchedSkipState() { shards.push_back(std::make_unique<Seq>()); }
 
+  // Deep copy for episode-copying engines (PSim copy-constructs the whole
+  // state per combining episode).  Shards and routing are copied; the
+  // fan-out hook carries over (the executor is engine-independent); the
+  // combiner scratch starts empty — it is per-episode working memory, and
+  // any SegJob entries in the source point into the SOURCE's scratch.
+  BatchedSkipState(const BatchedSkipState& o)
+      : splitters(o.splitters),
+        stats(o.stats),
+        dispatch(o.dispatch),
+        exec(o.exec),
+        fanout_threshold(o.fanout_threshold) {
+    shards.reserve(o.shards.size());
+    for (const auto& sh : o.shards) {
+      shards.push_back(std::make_unique<Seq>(*sh));
+    }
+  }
+
+  BatchedSkipState& operator=(const BatchedSkipState&) = delete;
+
   // Splitters partition the key space into shards: shard i holds the keys
   // with exactly i splitters <= key.  They are fixed for the structure's
   // lifetime (a static partition; re-balancing is future work).

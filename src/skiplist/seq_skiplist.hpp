@@ -84,7 +84,31 @@ class SeqSkipListSet {
 
  public:
   SeqSkipListSet() : head_(new Node{}) {}
-  SeqSkipListSet(const SeqSkipListSet&) = delete;
+
+  // Deep copy preserving every tower height (so the copy's shape — and
+  // therefore its traversal costs — is identical to the source's, even
+  // under SkipListLevels::kRandom).  One bottom-level walk with a per-level
+  // tail array: append each cloned node to the levels its height spans.
+  // PSim-backed batched structures copy-construct their state per episode
+  // through this.
+  SeqSkipListSet(const SeqSkipListSet& o)
+      : head_(new Node{}),
+        size_(o.size_),
+        level_(o.level_),
+        comp_(o.comp_) {
+    Node* tails[kSkipListMaxLevel];
+    for (int l = 0; l < kSkipListMaxLevel; ++l) tails[l] = head_;
+    for (Node* n = o.head_->next[0]; n != nullptr; n = n->next[0]) {
+      Node* c = new Node{};
+      c->key = n->key;
+      c->height = n->height;
+      for (int l = 0; l < n->height; ++l) {
+        tails[l]->next[l] = c;
+        tails[l] = c;
+      }
+    }
+  }
+
   SeqSkipListSet& operator=(const SeqSkipListSet&) = delete;
 
   ~SeqSkipListSet() {

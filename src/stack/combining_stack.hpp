@@ -60,7 +60,9 @@ class CombiningStack {
   CombiningStack() = default;
 
   void push(T v) {
-    engine_.apply([&v](State& s) { s.push_back(std::move(v)); });
+    // By-value capture: engines may copy the op and re-execute it against a
+    // different state copy (PSim helpers), so it must not reference locals.
+    engine_.apply([v = std::move(v)](State& s) { s.push_back(v); });
   }
 
   std::optional<T> try_pop() {

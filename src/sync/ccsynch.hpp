@@ -41,18 +41,21 @@
 // forever serving a firehose of arrivals; larger windows amortize handoffs
 // better, smaller ones bound latency (and let the model checker exercise
 // the window-exhausted handoff with a tiny state space).
+//
+// The request-list mechanism itself — node lifecycle, publication, local
+// wait, window-bounded serving with merged-run gathering, handoff — lives
+// in sync/combining_core.hpp (detail::CombiningList), shared with the
+// hierarchical HSynch engine; CcSynch is that machinery over exactly one
+// list and the engine protocol glue.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <type_traits>
 #include <utility>
 
-#include "core/arch.hpp"
-#include "core/atomic.hpp"
-#include "core/padded.hpp"
 #include "core/thread_registry.hpp"
 #include "sync/combiner.hpp"
+#include "sync/combining_core.hpp"
 
 namespace ccds {
 
@@ -63,21 +66,21 @@ inline constexpr int kCcSynchWindow = 3 * static_cast<int>(kMaxThreads);
 
 template <typename State, int Window = kCcSynchWindow>
 class CcSynch : public CombinerBatchOps<CcSynch<State, Window>, State> {
-  static_assert(Window >= 1, "combining window must admit the own request");
   friend class CombinerBatchOps<CcSynch<State, Window>, State>;
+  using List = detail::CombiningList<State, Window>;
+  using Node = typename List::Node;
 
  public:
+  // Engine traits (sync/combiner.hpp): a preempted combiner stalls every
+  // spinning requester, so CC-Synch is blocking; one flat list, so it is
+  // not topology-aware.
+  static constexpr bool kIsWaitFree = false;
+  static constexpr bool kIsHierarchical = false;
+  static constexpr std::size_t kMaxEngineThreads = kMaxThreads;
+
   CcSynch() : CcSynch(State{}) {}
 
-  explicit CcSynch(State initial) : state_(std::move(initial)) {
-    // pool_[i] starts as thread i's spare; the extra node is the initial
-    // global tail.  The tail node must read as "combiner role free":
-    // wait=false / completed=false, so the first arrival combines.
-    for (std::size_t i = 0; i < kMaxThreads; ++i) {
-      spare_[i].value = &pool_[i];
-    }
-    tail_.store(&pool_[kMaxThreads], std::memory_order_relaxed);  // relaxed: constructor, pre-publication
-  }
+  explicit CcSynch(State initial) : state_(std::move(initial)) {}
 
   CcSynch(const CcSynch&) = delete;
   CcSynch& operator=(const CcSynch&) = delete;
@@ -87,50 +90,11 @@ class CcSynch : public CombinerBatchOps<CcSynch<State, Window>, State> {
   auto apply(F&& op) -> std::invoke_result_t<F&, State&> {
     using R = std::invoke_result_t<F&, State&>;
     detail::ResultSlot<R> result;
-
-    const std::size_t tid = thread_id();
-    Node* fresh = spare_[tid].value;
-    // Re-arm the node we are about to install as the global tail.
-    // relaxed: all three stores are published by the exchange's release.
-    fresh->next.store(nullptr, std::memory_order_relaxed);
-    fresh->wait.store(true, std::memory_order_relaxed);
-    fresh->completed.store(false, std::memory_order_relaxed);
-
-    // Swap-append: the only global synchronization action of the fast path.
-    // acq_rel: release publishes fresh's re-armed fields to the next
-    // arrival; acquire pairs with the previous arrival's release so cur's
-    // fields are ours to write.
-    Node* cur = tail_.exchange(fresh, std::memory_order_acq_rel);
-    // cur is now our request node; recycle it as our spare for the next
-    // call (it is quiescent by the time this call returns — see combine()).
-    spare_[tid].value = cur;
-
-    cur->run = &detail::run_erased<State, std::remove_reference_t<F>>;
-    cur->ctx = &op;
-    cur->result = &result;
-    cur->run_merged = nullptr;  // nodes recycle: clear the mergeable tag
-    // release: hand the fully-written request to whichever combiner follows
-    // this link (its acquire load of `next` pairs with this).
-    cur->next.store(fresh, std::memory_order_release);
-
-    // Local spin on our own node.  The waiter can make no progress until
-    // the current combiner executes (or hands off to) its request, so the
-    // spin must eventually yield: on an oversubscribed host a pure
-    // cpu_relax loop burns the combiner's own scheduler quantum.
-    // spin_wait is spin-then-yield natively and a deterministic scheduler
-    // yield under the model checker.
-    std::uint32_t spins = 0;
-    // acquire: pairs with the combiner's releasing wait-drop, making the
-    // result (completed path) or all prior state mutations (handoff path)
-    // visible.
-    while (cur->wait.load(std::memory_order_acquire)) {
-      spin_wait(spins);
-    }
-
-    // relaxed: the acquire above ordered this flag; it was written before
-    // the wait-drop we just observed.
-    if (!cur->completed.load(std::memory_order_relaxed)) {
-      combine(cur);
+    Node* mine = list_.publish(
+        thread_id(), &detail::run_erased<State, std::remove_reference_t<F>>,
+        &op, &result, nullptr);
+    if (!List::await(mine)) {
+      List::handoff(list_.serve_window(mine, state_));
     }
     if constexpr (!std::is_void_v<R>) return result.take();
   }
@@ -146,143 +110,19 @@ class CcSynch : public CombinerBatchOps<CcSynch<State, Window>, State> {
   }
 
  private:
-  // A combining request node.  `wait` is spun on by its owner and dropped
-  // remotely by the combiner, so the node owns a full cache line (the
-  // memory-order lint's unpadded-combining-node rule enforces this shape).
-  struct CCDS_CACHELINE_ALIGNED Node {
-    Atomic<Node*> next{nullptr};
-    Atomic<bool> wait{false};
-    Atomic<bool> completed{false};
-    void (*run)(void* ctx, void* res, State& s) = nullptr;
-    void* ctx = nullptr;
-    void* result = nullptr;
-    // Non-null marks a mergeable sorted-run request (apply_sorted_batch):
-    // the combiner may execute a consecutive group of requests bearing the
-    // SAME function through one call (see combine()).  `ctx` then points at
-    // the submitter's detail::SortedRun.
-    detail::MergedRunFn<State> run_merged = nullptr;
-  };
-
   // Mergeable publication for CombinerBatchOps::apply_sorted_batch: same
   // protocol as apply(), but the request is tagged with the merged-run
   // entry point instead of a per-op trampoline, and carries no result slot
   // (results live inside the submitter's ops).
   void submit_merged(detail::MergedRunFn<State> fn, detail::SortedRun* run) {
-    const std::size_t tid = thread_id();
-    Node* fresh = spare_[tid].value;
-    // unguarded: nodes are the engine's fixed pool, recycled via handoff,
-    // never freed — no reclaimer in play (same as apply()).
-    // relaxed: all three stores are published by the exchange's release.
-    fresh->next.store(nullptr, std::memory_order_relaxed);
-    fresh->wait.store(true, std::memory_order_relaxed);
-    fresh->completed.store(false, std::memory_order_relaxed);
-    Node* cur = tail_.exchange(fresh, std::memory_order_acq_rel);
-    spare_[tid].value = cur;
-
-    cur->run = nullptr;
-    cur->ctx = run;
-    cur->result = nullptr;
-    cur->run_merged = fn;
-    // release: hand the fully-written request to whichever combiner follows
-    // this link (its acquire load of `next` pairs with this).  unguarded:
-    // fixed-pool node, see above.
-    cur->next.store(fresh, std::memory_order_release);
-
-    std::uint32_t spins = 0;
-    // acquire: pairs with the combiner's releasing wait-drop (results /
-    // handoff visibility, as in apply()).
-    while (cur->wait.load(std::memory_order_acquire)) {
-      spin_wait(spins);
+    Node* mine = list_.publish(thread_id(), nullptr, run, nullptr, fn);
+    if (!List::await(mine)) {
+      List::handoff(list_.serve_window(mine, state_));
     }
-    // relaxed: the acquire above ordered this flag.
-    if (!cur->completed.load(std::memory_order_relaxed)) {
-      combine(cur);
-    }
-  }
-
-  // Serve requests from `head` (our own, always first) in list order.
-  void combine(Node* head) {
-    // unguarded: Nodes are per-thread slots recycled through the handoff
-    // protocol, never freed while the lock is live — no reclaimer in play.
-    Node* node = head;
-    int served = 0;
-    while (served < Window) {
-      // acquire: pairs with the requester's release link store — if we see
-      // `next`, we see the request fields written before it.  unguarded:
-      // fixed-pool node, see above.
-      Node* next = node->next.load(std::memory_order_acquire);
-      if (next == nullptr) break;  // `node` is the tail: no request in it yet
-      if (node->run_merged != nullptr) {
-        // Gather the consecutive run of mergeable requests with the same
-        // entry point and execute them as ONE merged application.  A thread
-        // has at most one pending request, so kMaxThreads bounds the group.
-        const detail::MergedRunFn<State> fn = node->run_merged;
-        void* ctxs[kMaxThreads];
-        Node* members[kMaxThreads];
-        std::size_t count = 0;
-        Node* n = node;
-        Node* n_next = next;
-        for (;;) {
-          members[count] = n;
-          ctxs[count] = n->ctx;
-          ++count;
-          if (served + static_cast<int>(count) >= Window ||
-              count == kMaxThreads) {
-            break;
-          }
-          Node* cand = n_next;
-          // acquire: cand's request fields (run_merged, ctx) are only
-          // published — and safe to read — once its next link is set.
-          // unguarded: fixed-pool node, see above.
-          Node* cand_next = cand->next.load(std::memory_order_acquire);
-          if (cand_next == nullptr || cand->run_merged != fn) break;
-          n = cand;
-          n_next = cand_next;
-        }
-        fn(ctxs, count, state_);
-        // Complete every member only now: all runs' results are written
-        // before any submitter's wait drops.  Each member's `next` was read
-        // during the gather, before its owner can re-arm the node.
-        for (std::size_t i = 0; i < count; ++i) {
-          // relaxed: sequenced before the wait release, which publishes it.
-          members[i]->completed.store(true, std::memory_order_relaxed);
-          // release: publishes results and state mutations to the owner.
-          members[i]->wait.store(false, std::memory_order_release);
-        }
-        served += static_cast<int>(count);
-        node = n_next;  // first node NOT in the merged group
-        continue;
-      }
-      node->run(node->ctx, node->result, state_);
-      // Read order matters: `next` was loaded above, BEFORE the wait-drop —
-      // after it the owner may return and re-arm the node for its next call.
-      // relaxed: sequenced before the wait release below, which publishes it.
-      node->completed.store(true, std::memory_order_relaxed);
-      // release: publishes the result and all state mutations to the owner.
-      node->wait.store(false, std::memory_order_release);
-      node = next;
-      ++served;
-    }
-    // Hand off.  `node` is either the current tail (its future owner will
-    // find the combiner role free and self-serve) or, when the window is
-    // exhausted, a pending request whose spinning owner now becomes the
-    // combiner.  completed stays false in both cases.
-    // release: the next combiner's acquire of `wait` inherits our state
-    // mutations.
-    node->wait.store(false, std::memory_order_release);
   }
 
   State state_;
-  CCDS_CACHELINE_ALIGNED Atomic<Node*> tail_{nullptr};
-  // Node pool: one per possible thread plus the initial tail.  Nodes
-  // migrate between threads via the exchange but never leave the pool, so
-  // destruction frees everything wholesale and no reclamation is needed.
-  Node pool_[kMaxThreads + 1];
-  // spare_[t] is thread t's private node for its next apply.  Only the
-  // owner of dense id t touches entry t (the registry hands each id to one
-  // live thread at a time), so the entries are plain pointers; padding
-  // keeps neighbouring threads' re-arm writes off each other's line.
-  Padded<Node*> spare_[kMaxThreads];
+  List list_;
 };
 
 }  // namespace ccds

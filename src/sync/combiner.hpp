@@ -1,8 +1,12 @@
-// The Combiner policy concept and shared plumbing for combining engines.
+// The Combiner engine protocol: the policy concept, the engine-traits
+// layer, and the shared plumbing every combining engine builds on.
 //
-// ccds has two combining engines — FlatCombiner (scan-all-slots, Hendler et
-// al. 2010) and CcSynch (swap-append list, Fatourou & Kallimanis 2012) — and
-// both expose the same surface:
+// ccds has four combining engines — FlatCombiner (scan-all-slots, Hendler
+// et al. 2010), CcSynch (swap-append list, Fatourou & Kallimanis 2012),
+// HSynch (per-topology-node CC-Synch lists under a global lock, the
+// NUMA-aware member of the Synch framework) and PSim (the P-Sim wait-free
+// universal construction: announce array + copy-apply-SC) — and all four
+// expose the same surface:
 //
 //   * apply(op)          — execute `op(state)` atomically, return its result;
 //   * apply_batch(ops)   — submit a contiguous batch of operations as ONE
@@ -24,12 +28,30 @@
 //
 // `CombinerFor<Engine, State>` spells that contract out as a C++20 concept
 // so the combining fronts (CombiningQueue / CombiningStack /
-// CombiningCounter / BatchedSkipListSet) can accept either engine as a
-// drop-in template argument.  Both engines get apply_batch and
+// CombiningCounter / BatchedSkipListSet) can accept any engine as a
+// drop-in template argument.  The list-based engines get apply_batch and
 // apply_sorted_batch from the CombinerBatchOps CRTP base below, so the
 // batch-episode semantics are identical by construction; each engine only
 // implements the mergeable-request publication (submit_merged) its protocol
-// requires.
+// requires.  (PSim implements the batch surface directly: its helpers
+// re-execute operations against discarded state copies, so batches are
+// snapshotted into the announce record rather than run in place.)
+//
+// The engine-TRAITS layer (`combiner_traits<E>`) is how callers pick an
+// engine without reading its header: every engine publishes
+//
+//   kIsWaitFree      — operations complete in a bounded number of the
+//                      CALLING thread's steps, regardless of scheduling
+//                      (PSim; the lock/handoff engines are blocking);
+//   kIsHierarchical  — the engine consults core/topology.hpp and routes
+//                      requests through per-node structures (HSynch);
+//   kMaxEngineThreads— the dense-thread-id capacity the engine's fixed
+//                      per-thread structures are sized for.
+//
+// sync/engines.hpp is the single enrollment point: the
+// CCDS_COMBINER_ENGINES X-macro and the typed-test/bench helpers there are
+// what fronts, typed suites, model suites and benches consume, so a new
+// engine enrolls everywhere by one edit.
 //
 // This header also owns detail::ResultSlot<R>: aligned storage for a
 // combined-op result that the *combiner* constructs in place.  Results are
@@ -38,6 +60,7 @@
 // for void nothing is stored at all.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <new>
 #include <span>
@@ -49,6 +72,45 @@
 namespace ccds {
 
 namespace detail {
+
+// Preemption-injection hook, shared by every engine: combiners call
+// preemption_point() between serving steps (and PSim between building a
+// state copy and its SC attempt), so tests and benches can park or delay a
+// combiner exactly where a real preemption would hurt most.  Unset costs
+// one relaxed load; the model checker needs no hook (its scheduler explores
+// preemptions natively), so this stays a plain std::atomic.
+using PreemptHook = void (*)(void* arg);
+
+inline std::atomic<PreemptHook>& preempt_hook() noexcept {
+  static std::atomic<PreemptHook> hook{nullptr};
+  return hook;
+}
+
+inline std::atomic<void*>& preempt_hook_arg() noexcept {
+  static std::atomic<void*> arg{nullptr};
+  return arg;
+}
+
+// Install order matters: arg first, then fn (a caller seeing the fn sees
+// its arg).  Passing nullptr uninstalls.
+inline void set_preemption_hook(PreemptHook fn, void* arg) noexcept {
+  if (fn == nullptr) {
+    preempt_hook().store(nullptr, std::memory_order_release);
+    preempt_hook_arg().store(nullptr, std::memory_order_release);
+    return;
+  }
+  preempt_hook_arg().store(arg, std::memory_order_release);
+  preempt_hook().store(fn, std::memory_order_release);
+}
+
+inline void preemption_point() noexcept {
+  // relaxed: the fast path must be one load; installers synchronize with
+  // the hooked threads externally (install-before-start / uninstall-after-
+  // join, or an always-safe hook body).
+  if (PreemptHook fn = preempt_hook().load(std::memory_order_relaxed)) {
+    fn(preempt_hook_arg().load(std::memory_order_acquire));
+  }
+}
 
 // Uninitialized, correctly-aligned storage for one combined-op result.  The
 // submitting thread owns the slot (it lives on its stack); the combiner
@@ -172,9 +234,22 @@ class CombinerBatchOps {
   Derived& derived() { return static_cast<Derived&>(*this); }
 };
 
-// A combining engine over sequential `State`.  Modeled by FlatCombiner and
-// CcSynch; the structure fronts static_assert it so a third engine (e.g. a
-// future DSM-Synch for cacheless/NUMA machines) plugs in by conforming.
+// The engine-traits layer: a uniform, compile-time view of what an engine
+// guarantees, read off constants every engine must publish.  Callers pick
+// engines by traits (docs/choosing_a_structure.md has the selection table)
+// and the typed trait suite pins each engine's row down.
+template <typename E>
+struct combiner_traits {
+  static constexpr bool is_wait_free = E::kIsWaitFree;
+  static constexpr bool is_hierarchical = E::kIsHierarchical;
+  static constexpr std::size_t max_threads = E::kMaxEngineThreads;
+};
+
+// A combining engine over sequential `State`.  Modeled by FlatCombiner,
+// CcSynch, HSynch and PSim; the structure fronts static_assert it so a
+// further engine (e.g. a future DSM-Synch for cacheless machines) plugs in
+// by conforming.  The trait constants are part of the protocol: an engine
+// that cannot state its progress guarantee does not enroll.
 template <typename C, typename State>
 concept CombinerFor =
     std::is_default_constructible_v<C> &&
@@ -186,6 +261,9 @@ concept CombinerFor =
       { c.apply_locked(iop) } -> std::same_as<int>;
       { c.apply_batch(batch) } -> std::same_as<void>;
       { c.apply_sorted_batch(sorted) } -> std::same_as<void>;
+      { combiner_traits<C>::is_wait_free } -> std::convertible_to<bool>;
+      { combiner_traits<C>::is_hierarchical } -> std::convertible_to<bool>;
+      { combiner_traits<C>::max_threads } -> std::convertible_to<std::size_t>;
     };
 
 }  // namespace ccds

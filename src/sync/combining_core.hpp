@@ -1,0 +1,228 @@
+// Extracted building blocks of the list-based combining protocol.
+//
+// CcSynch and HSynch share one request-list mechanism — the Fatourou &
+// Kallimanis swap-append list: a thread publishes a cache-line-padded
+// request node with a single atomic exchange, spins locally on its own
+// node, and either finds its result (a combiner served it) or inherits the
+// combiner role and serves the list itself.  detail::CombiningList owns
+// that mechanism end to end:
+//
+//   publish()       re-arm the caller's spare node, swap-append it, write
+//                   the request into the adopted predecessor node;
+//   await()         local spin on the caller's own node; true = a combiner
+//                   completed the request, false = the caller IS now the
+//                   combiner and must serve from its node;
+//   serve_window()  walk the list in arrival order for up to Window
+//                   requests, executing scalar requests directly and
+//                   gathering consecutive mergeable sorted runs with the
+//                   same entry point into ONE merged application; returns
+//                   the first unserved node (the handoff point);
+//   handoff()       drop the handoff node's wait flag, transferring the
+//                   combiner role (or, on the tail sentinel, leaving it
+//                   free for the next arrival).
+//
+// CcSynch is publish + await + serve + handoff over one list; HSynch runs
+// one list per topology node and brackets serve_window() in a global lock
+// so node winners serialize against each other (sync/hsynch.hpp).  Keeping
+// the machinery here means a protocol fix lands in every list-based engine
+// at once — and the model suites exercising CcSynch cover the shared core
+// HSynch runs on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/arch.hpp"
+#include "core/atomic.hpp"
+#include "core/padded.hpp"
+#include "core/thread_registry.hpp"
+#include "sync/combiner.hpp"
+
+namespace ccds {
+namespace detail {
+
+template <typename State, int Window>
+class CombiningList {
+  static_assert(Window >= 1, "combining window must admit the own request");
+
+ public:
+  // A combining request node.  `wait` is spun on by its owner and dropped
+  // remotely by the combiner, so the node owns a full cache line (the
+  // memory-order lint's unpadded-combining-node rule enforces this shape).
+  struct CCDS_CACHELINE_ALIGNED Node {
+    Atomic<Node*> next{nullptr};
+    Atomic<bool> wait{false};
+    Atomic<bool> completed{false};
+    void (*run)(void* ctx, void* res, State& s) = nullptr;
+    void* ctx = nullptr;
+    void* result = nullptr;
+    // Non-null marks a mergeable sorted-run request (apply_sorted_batch):
+    // the combiner may execute a consecutive group of requests bearing the
+    // SAME function through one call (see serve_window()).  `ctx` then
+    // points at the submitter's detail::SortedRun.
+    MergedRunFn<State> run_merged = nullptr;
+  };
+
+  CombiningList() {
+    // pool_[i] starts as thread i's spare; the extra node is the initial
+    // list tail.  The tail node must read as "combiner role free":
+    // wait=false / completed=false, so the first arrival combines.
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      spare_[i].value = &pool_[i];
+    }
+    tail_.store(&pool_[kMaxThreads], std::memory_order_relaxed);  // relaxed: constructor, pre-publication
+  }
+
+  CombiningList(const CombiningList&) = delete;
+  CombiningList& operator=(const CombiningList&) = delete;
+
+  // Publish one request and return OUR node (the adopted predecessor).
+  // A null `run` with non-null `run_merged` publishes a mergeable sorted
+  // run; `result` may be null for void/merged requests.
+  Node* publish(std::size_t tid, void (*run)(void*, void*, State&), void* ctx,
+                void* result, MergedRunFn<State> run_merged) {
+    Node* fresh = spare_[tid].value;
+    // Re-arm the node we are about to install as the list tail.
+    // unguarded: nodes are the list's fixed pool, recycled via handoff,
+    // never freed — no reclaimer in play.
+    // relaxed: all three stores are published by the exchange's release.
+    fresh->next.store(nullptr, std::memory_order_relaxed);
+    fresh->wait.store(true, std::memory_order_relaxed);
+    fresh->completed.store(false, std::memory_order_relaxed);
+
+    // Swap-append: the only global synchronization action of the fast path.
+    // acq_rel: release publishes fresh's re-armed fields to the next
+    // arrival; acquire pairs with the previous arrival's release so cur's
+    // fields are ours to write.
+    Node* cur = tail_.exchange(fresh, std::memory_order_acq_rel);
+    // cur is now our request node; recycle it as our spare for the next
+    // call (it is quiescent by the time the call returns — see
+    // serve_window()).
+    spare_[tid].value = cur;
+
+    cur->run = run;
+    cur->ctx = ctx;
+    cur->result = result;
+    cur->run_merged = run_merged;  // nodes recycle: always (re)written
+    // release: hand the fully-written request to whichever combiner follows
+    // this link (its acquire load of `next` pairs with this).  unguarded:
+    // fixed-pool node, see above.
+    cur->next.store(fresh, std::memory_order_release);
+    return cur;
+  }
+
+  // Local spin on our own node until a combiner serves it or hands the
+  // combiner role to us.  True = completed (result ready); false = we are
+  // the combiner and must serve starting from `mine`.
+  static bool await(Node* mine) {
+    // The waiter can make no progress until the current combiner executes
+    // (or hands off to) its request, so the spin must eventually yield: on
+    // an oversubscribed host a pure cpu_relax loop burns the combiner's own
+    // scheduler quantum.  spin_wait is spin-then-yield natively and a
+    // deterministic scheduler yield under the model checker.
+    std::uint32_t spins = 0;
+    // acquire: pairs with the combiner's releasing wait-drop, making the
+    // result (completed path) or all prior state mutations (handoff path)
+    // visible.
+    while (mine->wait.load(std::memory_order_acquire)) {
+      spin_wait(spins);
+    }
+    // relaxed: the acquire above ordered this flag; it was written before
+    // the wait-drop we just observed.
+    return mine->completed.load(std::memory_order_relaxed);
+  }
+
+  // Serve requests from `head` (our own, always first) in list order, up to
+  // Window of them, against `state`.  Returns the first UNSERVED node: the
+  // current tail (whose future owner will find the combiner role free) or,
+  // when the window is exhausted, a pending request whose spinning owner
+  // inherits the role via handoff().
+  Node* serve_window(Node* head, State& state) {
+    // unguarded: Nodes are per-thread slots recycled through the handoff
+    // protocol, never freed while the list is live — no reclaimer in play.
+    Node* node = head;
+    int served = 0;
+    while (served < Window) {
+      preemption_point();
+      // acquire: pairs with the requester's release link store — if we see
+      // `next`, we see the request fields written before it.  unguarded:
+      // fixed-pool node, see above.
+      Node* next = node->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;  // `node` is the tail: no request in it yet
+      if (node->run_merged != nullptr) {
+        // Gather the consecutive run of mergeable requests with the same
+        // entry point and execute them as ONE merged application.  A thread
+        // has at most one pending request, so kMaxThreads bounds the group.
+        const MergedRunFn<State> fn = node->run_merged;
+        void* ctxs[kMaxThreads];
+        Node* members[kMaxThreads];
+        std::size_t count = 0;
+        Node* n = node;
+        Node* n_next = next;
+        for (;;) {
+          members[count] = n;
+          ctxs[count] = n->ctx;
+          ++count;
+          if (served + static_cast<int>(count) >= Window ||
+              count == kMaxThreads) {
+            break;
+          }
+          Node* cand = n_next;
+          // acquire: cand's request fields (run_merged, ctx) are only
+          // published — and safe to read — once its next link is set.
+          // unguarded: fixed-pool node, see above.
+          Node* cand_next = cand->next.load(std::memory_order_acquire);
+          if (cand_next == nullptr || cand->run_merged != fn) break;
+          n = cand;
+          n_next = cand_next;
+        }
+        fn(ctxs, count, state);
+        // Complete every member only now: all runs' results are written
+        // before any submitter's wait drops.  Each member's `next` was read
+        // during the gather, before its owner can re-arm the node.
+        for (std::size_t i = 0; i < count; ++i) {
+          // relaxed: sequenced before the wait release, which publishes it.
+          members[i]->completed.store(true, std::memory_order_relaxed);
+          // release: publishes results and state mutations to the owner.
+          members[i]->wait.store(false, std::memory_order_release);
+        }
+        served += static_cast<int>(count);
+        node = n_next;  // first node NOT in the merged group
+        continue;
+      }
+      node->run(node->ctx, node->result, state);
+      // Read order matters: `next` was loaded above, BEFORE the wait-drop —
+      // after it the owner may return and re-arm the node for its next call.
+      // relaxed: sequenced before the wait release below, which publishes it.
+      node->completed.store(true, std::memory_order_relaxed);
+      // release: publishes the result and all state mutations to the owner.
+      node->wait.store(false, std::memory_order_release);
+      node = next;
+      ++served;
+    }
+    return node;
+  }
+
+  // Transfer the combiner role (completed stays false: the woken owner —
+  // present or future — serves, exactly as the original combiner did).
+  static void handoff(Node* node) {
+    // release: the next combiner's acquire of `wait` inherits our state
+    // mutations.
+    node->wait.store(false, std::memory_order_release);
+  }
+
+ private:
+  CCDS_CACHELINE_ALIGNED Atomic<Node*> tail_{nullptr};
+  // Node pool: one per possible thread plus the initial tail.  Nodes
+  // migrate between threads via the exchange but never leave the pool, so
+  // destruction frees everything wholesale and no reclamation is needed.
+  Node pool_[kMaxThreads + 1];
+  // spare_[t] is thread t's private node for its next publish.  Only the
+  // owner of dense id t touches entry t (the registry hands each id to one
+  // live thread at a time), so the entries are plain pointers; padding
+  // keeps neighbouring threads' re-arm writes off each other's line.
+  Padded<Node*> spare_[kMaxThreads];
+};
+
+}  // namespace detail
+}  // namespace ccds

@@ -1,0 +1,69 @@
+// The single combining-engine enrollment point.
+//
+// Everything that is generic over "a combining engine" — the typed front
+// suites, the model suites' generic sections, the batched-structure policy
+// rows, the combining benches, the traits suite — consumes the X-macro
+// below instead of keeping its own engine list.  Enrolling a new engine is
+// ONE edit here (plus its header include); every suite and bench picks it
+// up on the next build, and the CombinerFor concept check in each front
+// rejects an engine that does not honor the protocol.
+//
+// Engines are named by their class template (all take State as the first
+// parameter with any extras defaulted, so they bind to the fronts'
+// `template <typename> class Engine` slot):
+//
+//   FlatCombiner — slot-scan combining under a TTAS lock (Hendler et al.)
+//   CcSynch      — swap-append request list, lock-free publication
+//   HSynch       — per-topology-node CC-Synch lists + global lock
+//   PSim         — wait-free universal construction (announce + copy-SC)
+//
+// Usage patterns:
+//
+//   // Apply a macro to every engine identifier (statement-ish contexts):
+//   #define ROW(E) do_something_with<ccds::E>(#E);
+//   CCDS_COMBINER_ENGINES(ROW)
+//   #undef ROW
+//
+//   // Build a comma-separated list (typelists, ::testing::Types<...>):
+//   #define WRAP(E) MyFixture<ccds::E>
+//   using EngineFixtures = ::testing::Types<CCDS_COMBINER_ENGINE_LIST(WRAP)>;
+//   #undef WRAP
+//
+//   // Display name for bench rows / diagnostics:
+//   ccds::combining_engine_name<ccds::CcSynch>::value  // "CcSynch"
+#pragma once
+
+#include "sync/ccsynch.hpp"
+#include "sync/flat_combining.hpp"
+#include "sync/hsynch.hpp"
+#include "sync/psim.hpp"
+
+// Every combining engine, in documentation order.  X receives the bare
+// engine identifier (unqualified; expand inside namespace ccds or qualify
+// in the macro you pass).
+#define CCDS_COMBINER_ENGINES(X) \
+  X(FlatCombiner)                \
+  X(CcSynch)                     \
+  X(HSynch)                      \
+  X(PSim)
+
+// The same list comma-separated, for typelist contexts.
+#define CCDS_COMBINER_ENGINE_LIST(W) \
+  W(FlatCombiner), W(CcSynch), W(HSynch), W(PSim)
+
+namespace ccds {
+
+// Compile-time display name per engine template, for bench row names and
+// typed-test diagnostics.
+template <template <typename> class E>
+struct combining_engine_name;
+
+#define CCDS_ENGINE_NAME_SPEC(E)               \
+  template <>                                  \
+  struct combining_engine_name<E> {            \
+    static constexpr const char* value = #E;   \
+  };
+CCDS_COMBINER_ENGINES(CCDS_ENGINE_NAME_SPEC)
+#undef CCDS_ENGINE_NAME_SPEC
+
+}  // namespace ccds

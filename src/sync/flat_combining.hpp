@@ -12,13 +12,15 @@
 // the combiner.
 //
 // FlatCombiner models the Combiner policy (sync/combiner.hpp), so it is
-// drop-in interchangeable with the CcSynch engine in the combining fronts
-// (CombiningQueue / CombiningStack / CombiningCounter).  Structurally the
-// two differ in how requests reach the combiner: FlatCombiner scans ALL
+// drop-in interchangeable with the other engines (CcSynch / HSynch / PSim —
+// sync/engines.hpp) in the combining fronts (CombiningQueue /
+// CombiningStack / CombiningCounter / BatchedSkipListSet).  Structurally it
+// differs in how requests reach the combiner: FlatCombiner scans ALL
 // kMaxThreads publication slots per pass and arbitrates the combiner role
-// with a lock; CcSynch swap-appends requests onto a list and walks exactly
-// the pending ones.  Under high thread counts the O(threads) scan and the
-// lock handoff are what CC-Synch's single-exchange protocol removes.
+// with a lock; the list engines swap-append requests onto a list and walk
+// exactly the pending ones.  Under high thread counts the O(threads) scan
+// and the lock handoff are what CC-Synch's single-exchange protocol
+// removes.
 #pragma once
 
 #include <atomic>
@@ -39,6 +41,13 @@ class FlatCombiner : public CombinerBatchOps<FlatCombiner<State>, State> {
   friend class CombinerBatchOps<FlatCombiner<State>, State>;
 
  public:
+  // Engine traits (sync/combiner.hpp): a preempted lock-holding combiner
+  // stalls every spinning requester, so flat combining is blocking; one
+  // flat slot array, so it is not topology-aware.
+  static constexpr bool kIsWaitFree = false;
+  static constexpr bool kIsHierarchical = false;
+  static constexpr std::size_t kMaxEngineThreads = kMaxThreads;
+
   FlatCombiner() = default;
   explicit FlatCombiner(State initial) : state_(std::move(initial)) {}
 
@@ -132,6 +141,7 @@ class FlatCombiner : public CombinerBatchOps<FlatCombiner<State>, State> {
     // combining order), completing every member only after the group ran —
     // the same batch-episode semantics CcSynch::combine provides.
     for (int pass = 0; pass < kCombinePasses; ++pass) {
+      detail::preemption_point();
       bool any = false;
       Record* merged[kMaxThreads];
       std::size_t n_merged = 0;

@@ -1,0 +1,145 @@
+// H-Synch: hierarchical (topology-aware) combining (Fatourou & Kallimanis,
+// PPoPP 2012 — the NUMA member of the Synch framework).
+//
+// On a multi-socket machine a flat request list makes every combining
+// episode ping the list tail and the request nodes across sockets.  H-Synch
+// keeps the request traffic local: each topology node (core/topology.hpp —
+// a NUMA node when sysfs says so, a fixed-arity cache cluster otherwise)
+// has its OWN CC-Synch request list, and only the per-node combiner (the
+// "node winner") competes for a global lock.  Per apply:
+//
+//   1. publish on the local node's list and spin locally — the swap-append,
+//      the request node, and the wait flag all stay inside one node's cache
+//      hierarchy;
+//   2. a thread whose wait drops un-completed is its node's combiner: it
+//      acquires the global lock, serves its local list (up to Window
+//      requests) against the shared state, releases the lock, and only
+//      then hands the local combiner role off — so the handoff wake-up
+//      never happens while the state is still locked.
+//
+// The request-list mechanics are the extracted detail::CombiningList
+// (sync/combining_core.hpp), byte-for-byte the protocol CcSynch runs; the
+// hierarchy is just WHERE the lists live and the global-lock bracket around
+// serve_window().  With one topology node (the fallback on small hosts)
+// H-Synch degenerates to CC-Synch plus an uncontended lock acquisition per
+// episode.
+//
+// current_node() is an affinity HINT (threads migrate): a request published
+// on the "wrong" node's list is still served correctly — the node index
+// only decides which list absorbs the thread's cache traffic.  Correctness
+// never depends on the topology map.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "core/thread_registry.hpp"
+#include "core/topology.hpp"
+#include "sync/ccsynch.hpp"
+#include "sync/combiner.hpp"
+#include "sync/combining_core.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ccds {
+
+// Cap on per-engine node lists: each list owns a kMaxThreads+1 node pool,
+// so unbounded node counts would make one engine instance enormous.  Hosts
+// with more topology nodes fold them modulo the cap (coarser locality, same
+// protocol).
+inline constexpr std::size_t kHSynchMaxNodes = 8;
+
+template <typename State, int Window = kCcSynchWindow>
+class HSynch : public CombinerBatchOps<HSynch<State, Window>, State> {
+  friend class CombinerBatchOps<HSynch<State, Window>, State>;
+  using List = detail::CombiningList<State, Window>;
+  using Node = typename List::Node;
+
+ public:
+  // Engine traits (sync/combiner.hpp): the global lock and the local
+  // handoff both block behind a preempted holder, and the whole point is
+  // consulting the topology service.
+  static constexpr bool kIsWaitFree = false;
+  static constexpr bool kIsHierarchical = true;
+  static constexpr std::size_t kMaxEngineThreads = kMaxThreads;
+
+  HSynch() : HSynch(State{}) {}
+
+  // The per-node list count is fixed at construction from the topology
+  // service (tests install topology::ScopedOverride BEFORE constructing).
+  explicit HSynch(State initial) : state_(std::move(initial)) {
+    std::size_t n = topology::node_count();
+    if (n > kHSynchMaxNodes) n = kHSynchMaxNodes;
+    if (n == 0) n = 1;
+    nodes_ = n;
+    lists_ = std::make_unique<List[]>(nodes_);
+  }
+
+  HSynch(const HSynch&) = delete;
+  HSynch& operator=(const HSynch&) = delete;
+
+  // Execute `op(state)` with hierarchical combining; returns op's result.
+  template <typename F>
+  auto apply(F&& op) -> std::invoke_result_t<F&, State&> {
+    using R = std::invoke_result_t<F&, State&>;
+    detail::ResultSlot<R> result;
+    List& list = local_list();
+    Node* mine = list.publish(
+        thread_id(), &detail::run_erased<State, std::remove_reference_t<F>>,
+        &op, &result, nullptr);
+    if (!List::await(mine)) {
+      serve_as_node_winner(list, mine);
+    }
+    if constexpr (!std::is_void_v<R>) return result.take();
+  }
+
+  // apply_batch / apply_sorted_batch come from CombinerBatchOps (the shared
+  // batch-episode surface, identical across engines).
+
+  // How many per-node request lists this instance actually built (the
+  // topology's node count, clamped; diagnostics and tests).
+  std::size_t node_list_count() const noexcept { return nodes_; }
+
+  // Direct exclusive access (initialization / inspection).  Combining is
+  // already a total serialization of operations, so this is just apply.
+  template <typename F>
+  auto apply_locked(F&& op) -> std::invoke_result_t<F&, State&> {
+    return apply(std::forward<F>(op));
+  }
+
+ private:
+  // Mergeable publication for CombinerBatchOps::apply_sorted_batch — the
+  // CcSynch shape, on the local node's list.
+  void submit_merged(detail::MergedRunFn<State> fn, detail::SortedRun* run) {
+    List& list = local_list();
+    Node* mine = list.publish(thread_id(), nullptr, run, nullptr, fn);
+    if (!List::await(mine)) {
+      serve_as_node_winner(list, mine);
+    }
+  }
+
+  List& local_list() noexcept {
+    return lists_[topology::current_node() % nodes_];
+  }
+
+  // The node winner's episode: global lock -> serve the LOCAL list ->
+  // unlock -> local handoff.  Unlocking before the handoff keeps the woken
+  // successor from immediately blocking on a lock we still hold; state
+  // visibility to it is carried by the lock itself once it acquires.
+  void serve_as_node_winner(List& list, Node* head) {
+    global_lock_.lock();
+    Node* next = list.serve_window(head, state_);
+    global_lock_.unlock();
+    List::handoff(next);
+  }
+
+  State state_;
+  TtasLock global_lock_;
+  std::size_t nodes_ = 1;
+  // One request list per topology node, heap-held (each list embeds its
+  // kMaxThreads+1 node pool; sizing is runtime, from the topology service).
+  std::unique_ptr<List[]> lists_;
+};
+
+}  // namespace ccds

@@ -22,10 +22,10 @@
 #include "core/atomic.hpp"
 #include "model/scheduler.hpp"
 #include "model/shim.hpp"
+#include "core/topology.hpp"
 #include "skiplist/batched_map.hpp"
 #include "skiplist/batched_skiplist.hpp"
-#include "sync/ccsynch.hpp"
-#include "sync/flat_combining.hpp"
+#include "sync/engines.hpp"
 #include "sync/spinlock.hpp"
 
 namespace ccds {
@@ -36,10 +36,7 @@ using model::Result;
 
 using ModelSet = BatchedSkipListSet<int, std::less<int>, CcSynch,
                                     SkipListLevels::kKeyed>;
-using ModelSetFc = BatchedSkipListSet<int, std::less<int>, FlatCombiner,
-                                      SkipListLevels::kKeyed>;
 using SetOp = ModelSet::Op;
-using SetOpFc = ModelSetFc::Op;
 
 // A two-op batch vs. a two-op probe batch: the probe must see none or both
 // of the batch's keys on every schedule — batch atomicity across keys.
@@ -88,48 +85,40 @@ TEST(ModelBatched, ResultSlotsFilledLwwAllSchedules) {
   EXPECT_TRUE(res.exhausted);
 }
 
-// Two sorted runs submitted concurrently: whichever schedules into a merged
-// episode (consecutive CcSynch list nodes) or separate ones, both runs'
-// effects and results must be conserved.
-TEST(ModelBatched, ConcurrentRunsConserveAllSchedules) {
+// Two sorted runs submitted concurrently, typed over EVERY enrolled engine
+// (sync/engines.hpp): whether they schedule into one merged episode (list
+// engines), a slot-scan group (FlatCombiner), a node-winner episode under
+// a 2-node topology (HSynch), or one copy-apply-SC cell (PSim), both runs'
+// effects and results must be conserved on every schedule.
+std::size_t model_tid_mod2(std::size_t tid) { return tid % 2; }
+
+template <typename Set>
+class ModelBatchedEngineTest : public ::testing::Test {};
+#define CCDS_WRAP_MSET(E) \
+  BatchedSkipListSet<int, std::less<int>, E, SkipListLevels::kKeyed>
+using ModelEngineSets =
+    ::testing::Types<CCDS_COMBINER_ENGINE_LIST(CCDS_WRAP_MSET)>;
+#undef CCDS_WRAP_MSET
+TYPED_TEST_SUITE(ModelBatchedEngineTest, ModelEngineSets);
+
+TYPED_TEST(ModelBatchedEngineTest, ConcurrentRunsConserveAllSchedules) {
   Options opts;
   Result res = model::explore(opts, [] {
-    ModelSet s;
+    using Op = typename TypeParam::Op;
+    topology::ScopedOverride ov(2, &model_tid_mod2);
+    TypeParam s;
     model::thread t([&] {
-      SetOp ops[2] = {SetOp::insert(1), SetOp::insert(3)};
-      s.apply_batch(std::span<SetOp>(ops, 2));
+      Op ops[2] = {Op::insert(1), Op::insert(3)};
+      s.apply_batch(std::span<Op>(ops, 2));
       CCDS_MODEL_ASSERT(ops[0].result && ops[1].result);
     });
-    SetOp ops[2] = {SetOp::insert(2), SetOp::insert(4)};
-    s.apply_batch(std::span<SetOp>(ops, 2));
+    Op ops[2] = {Op::insert(2), Op::insert(4)};
+    s.apply_batch(std::span<Op>(ops, 2));
     CCDS_MODEL_ASSERT(ops[0].result && ops[1].result);
     t.join();
     CCDS_MODEL_ASSERT(s.size() == 4);
     CCDS_MODEL_ASSERT(s.contains(1) && s.contains(2) && s.contains(3) &&
                       s.contains(4));
-  });
-  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
-                      << res.trace;
-  EXPECT_TRUE(res.exhausted);
-}
-
-// Same conservation witness through the FlatCombiner engine's slot-scan
-// grouping (the other half of the shared batch-episode contract).
-TEST(ModelBatched, FlatCombinerRunsConserveAllSchedules) {
-  Options opts;
-  Result res = model::explore(opts, [] {
-    ModelSetFc s;
-    model::thread t([&] {
-      SetOpFc ops[2] = {SetOpFc::insert(1), SetOpFc::erase(2)};
-      s.apply_batch(std::span<SetOpFc>(ops, 2));
-      CCDS_MODEL_ASSERT(ops[0].result);
-    });
-    SetOpFc ops[2] = {SetOpFc::insert(10), SetOpFc::insert(11)};
-    s.apply_batch(std::span<SetOpFc>(ops, 2));
-    CCDS_MODEL_ASSERT(ops[0].result && ops[1].result);
-    t.join();
-    CCDS_MODEL_ASSERT(s.contains(1) && s.contains(10) && s.contains(11));
-    CCDS_MODEL_ASSERT(!s.contains(2));
   });
   EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
                       << res.trace;

@@ -1,0 +1,190 @@
+// Bounded model checking of the hierarchical H-Synch engine: on every
+// explored interleaving requests published on per-node lists must be
+// applied exactly once, node winners from different nodes must serialize
+// through the global lock, and the window-exhausted node-winner handoff
+// must pass the combiner role without dropping the pending request.  A
+// deliberately broken miniature — whose node winner serves its list WITHOUT
+// taking the global lock — must be caught with a replayable schedule,
+// while the identical miniature WITH the lock passes all schedules: the
+// pair pins down that the global-lock bracket is exactly what makes
+// cross-node combining sound.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+
+#include "core/arch.hpp"
+#include "core/atomic.hpp"
+#include "core/topology.hpp"
+#include "model/scheduler.hpp"
+#include "model/shim.hpp"
+#include "sync/hsynch.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ccds {
+namespace {
+
+using model::Options;
+using model::Result;
+
+std::size_t tid_mod2(std::size_t tid) { return tid % 2; }
+std::size_t all_node_zero(std::size_t) { return 0; }
+
+// Two threads on two DIFFERENT topology nodes: each becomes its own node's
+// winner, and the two winners must serialize on the global lock.  Distinct
+// decimal digits make any lost or duplicated request visible in the sum.
+TEST(ModelHSynch, CrossNodeIncrementsExactAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    topology::ScopedOverride ov(2, &tid_mod2);
+    HSynch<int> h;
+    model::thread t([&] { h.apply([](int& v) { v += 1; }); });
+    h.apply([](int& v) { v += 10; });
+    t.join();
+    CCDS_MODEL_ASSERT(h.apply([](int& v) { return v; }) == 11);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 10);
+}
+
+// Both threads on ONE node with Window = 1: every node-winner episode
+// serves exactly one request, so a second pending request is delivered via
+// the handoff — which in H-Synch happens AFTER the global lock is released.
+// The woken owner must re-acquire the lock and serve; the request must not
+// be lost and the sum must be exact on every schedule.
+TEST(ModelHSynch, NodeWinnerHandoffAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    topology::ScopedOverride ov(1, &all_node_zero);
+    HSynch<int, 1> h;
+    model::thread t([&] { h.apply([](int& v) { v += 1; }); });
+    h.apply([](int& v) { v += 10; });
+    t.join();
+    CCDS_MODEL_ASSERT(h.apply([](int& v) { return v; }) == 11);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// Result routing across nodes: concurrent fetch_adds from different nodes
+// must observe distinct priors on every schedule.
+TEST(ModelHSynch, FetchAddPriorsUniqueAcrossNodesAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    topology::ScopedOverride ov(2, &tid_mod2);
+    HSynch<int> h;
+    int p0 = -1;
+    int p1 = -1;
+    model::thread t([&] { p1 = h.apply([](int& v) { return v++; }); });
+    p0 = h.apply([](int& v) { return v++; });
+    t.join();
+    CCDS_MODEL_ASSERT(p0 != p1);
+    CCDS_MODEL_ASSERT((p0 == 0 || p0 == 1) && (p1 == 0 || p1 == 1));
+    CCDS_MODEL_ASSERT(h.apply([](int& v) { return v; }) == 2);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// Miniature H-Synch: two single-thread nodes, each with the real swap-append
+// publication, and a node winner that serves its own list.  The state is an
+// Atomic<int> mutated as load-then-store so the explorer can preempt INSIDE
+// a winner's read-modify-write.  Template knob: serve under the global lock
+// (the real engine's bracket) or without it (the seeded bug).
+template <bool TakeGlobalLock>
+struct MiniHSynch {
+  struct CCDS_CACHELINE_ALIGNED Node {
+    Atomic<Node*> next{nullptr};
+    Atomic<bool> wait{false};
+    Atomic<bool> completed{false};
+    int delta = 0;
+  };
+
+  MiniHSynch() {
+    for (int n = 0; n < 2; ++n) {
+      spare_[n] = &pool_[n][0];
+      // relaxed: constructor, pre-publication.
+      tail_[n].store(&pool_[n][1], std::memory_order_relaxed);
+    }
+  }
+
+  void add(std::size_t node, int d) {
+    Node* fresh = spare_[node];
+    // relaxed: published by the exchange's release, as in the real engine.
+    fresh->next.store(nullptr, std::memory_order_relaxed);
+    fresh->wait.store(true, std::memory_order_relaxed);
+    fresh->completed.store(false, std::memory_order_relaxed);
+    Node* cur = tail_[node].exchange(fresh, std::memory_order_acq_rel);
+    spare_[node] = cur;
+    cur->delta = d;
+    cur->next.store(fresh, std::memory_order_release);
+    std::uint32_t spins = 0;
+    while (cur->wait.load(std::memory_order_acquire)) spin_wait(spins);
+    if (cur->completed.load(std::memory_order_relaxed)) return;
+    // Node winner: serve the local list.  BUG when !TakeGlobalLock — two
+    // winners from different nodes interleave inside the read-modify-write
+    // below and lose an update.
+    if constexpr (TakeGlobalLock) global_.lock();
+    Node* nd = cur;
+    for (;;) {
+      Node* nx = nd->next.load(std::memory_order_acquire);
+      if (nx == nullptr) break;
+      // relaxed: the global lock (when taken) orders winners; the point of
+      // the bug variant is exactly that nothing else does.
+      const int s = value_.load(std::memory_order_relaxed);
+      value_.store(s + nd->delta, std::memory_order_relaxed);
+      nd->completed.store(true, std::memory_order_relaxed);
+      nd->wait.store(false, std::memory_order_release);
+      nd = nx;
+    }
+    if constexpr (TakeGlobalLock) global_.unlock();
+    nd->wait.store(false, std::memory_order_release);
+  }
+
+  int total() { return value_.load(std::memory_order_relaxed); }
+
+  TtasLock global_;
+  Atomic<int> value_{0};
+  Atomic<Node*> tail_[2];
+  Node pool_[2][2];
+  Node* spare_[2];
+};
+
+template <bool TakeGlobalLock>
+void two_node_winner_scenario() {
+  MiniHSynch<TakeGlobalLock> h;
+  model::thread t([&] { h.add(1, 1); });
+  h.add(0, 1);
+  t.join();
+  CCDS_MODEL_ASSERT(h.total() == 2);
+}
+
+TEST(ModelHSynch, UnlockedNodeWinnerCaughtWithReplayableSchedule) {
+  Options opts;
+  Result res = model::explore(opts, two_node_winner_scenario<false>);
+  ASSERT_FALSE(res.ok) << "explorer missed the unlocked cross-node window";
+  EXPECT_FALSE(res.schedule.empty());
+  std::cout << "unlocked node winner caught: " << res.error
+            << "\nreplayable schedule: " << res.schedule << "\n";
+
+  Options replay;
+  replay.replay = res.schedule;
+  Result again = model::explore(replay, two_node_winner_scenario<false>);
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.executions, 1);
+}
+
+TEST(ModelHSynch, LockedNodeWinnerPassesAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, two_node_winner_scenario<true>);
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+}  // namespace
+}  // namespace ccds

@@ -1,0 +1,219 @@
+// Bounded model checking of the P-Sim wait-free engine: on every explored
+// interleaving every announced operation must be applied exactly once in
+// the installed cell lineage (helpers may execute it many times against
+// DISCARDED candidates — only the CAS-installed copies count), results
+// must route back through the cells, and batches must stay atomic.  A
+// miniature Sim whose combiner ignores the per-thread applied-sequence
+// guard — so a still-announced request gets re-applied by a later episode
+// ("lost announce" bookkeeping) — must be caught with a replayable
+// schedule, while the guarded twin passes all schedules.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+#include <span>
+
+#include "core/arch.hpp"
+#include "core/atomic.hpp"
+#include "model/scheduler.hpp"
+#include "model/shim.hpp"
+#include "sync/psim.hpp"
+
+namespace ccds {
+namespace {
+
+using model::Options;
+using model::Result;
+
+// Two threads through the real engine (announce array, epoch-guarded cell
+// CAS, helping): distinct deltas make any lost or duplicated application
+// visible in the sum on every schedule.
+TEST(ModelPSim, ConcurrentIncrementsExactAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    PSim<int> e;
+    model::thread t([&] { e.apply([](int& v) { v += 1; }); });
+    e.apply([](int& v) { v += 10; });
+    t.join();
+    CCDS_MODEL_ASSERT(e.apply([](int& v) { return v; }) == 11);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GE(res.executions, 10);
+}
+
+// Result routing through the cells' per-thread result buffers: concurrent
+// fetch_adds must observe distinct priors on every schedule — even when a
+// helper computed one thread's result inside the OTHER thread's cell.
+TEST(ModelPSim, FetchAddPriorsUniqueAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    PSim<int> e;
+    int p0 = -1;
+    int p1 = -1;
+    model::thread t([&] { p1 = e.apply([](int& v) { return v++; }); });
+    p0 = e.apply([](int& v) { return v++; });
+    t.join();
+    CCDS_MODEL_ASSERT(p0 != p1);
+    CCDS_MODEL_ASSERT((p0 == 0 || p0 == 1) && (p1 == 0 || p1 == 1));
+    CCDS_MODEL_ASSERT(e.apply([](int& v) { return v; }) == 2);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// A batch is one announce record applied in one episode: the probe must see
+// none or all of the batch's deltas, never a half-batch, and the mutated
+// ops must come back to the submitter from the installed cell.
+TEST(ModelPSim, BatchAppliesAtomicallyAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, [] {
+    PSim<int> e;
+    struct AddOp {
+      int delta;
+      int seen;
+      void operator()(int& v) {
+        seen = v;
+        v += delta;
+      }
+    };
+    AddOp ops[2] = {{1, -1}, {10, -1}};
+    model::thread t([&] { e.apply_batch(std::span<AddOp>(ops)); });
+    const int seen = e.apply([](int& v) {
+      const int s = v;
+      v += 100;
+      return s;
+    });
+    t.join();
+    CCDS_MODEL_ASSERT(seen == 0 || seen == 11);  // never a half-batch
+    CCDS_MODEL_ASSERT(ops[1].seen == ops[0].seen + 1);  // back-to-back
+    CCDS_MODEL_ASSERT(e.apply([](int& v) { return v; }) == 111);
+  });
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+// Miniature Sim: announce slots + copy-apply-CAS over arena-allocated
+// cells, with plain (model-invisible) cell payloads exactly like the real
+// engine — the protocol's atomics are the announce slots, the cell pointer,
+// and the arena bump counter.  Template knob: honor the per-thread
+// applied-sequence guard (the real engine's check) or ignore it (the seeded
+// bug: the combiner "loses" the announce bookkeeping, so a request whose
+// owner has not yet cleared its slot is re-applied by a later episode).
+template <bool GuardApplied>
+struct MiniPSim {
+  struct Cell {
+    int value = 0;
+    std::uint64_t applied[2] = {0, 0};
+  };
+  struct Req {
+    std::uint64_t seq = 0;
+    int delta = 0;
+  };
+
+  MiniPSim() {
+    // relaxed: constructor, pre-publication.
+    cur_.store(&arena_[0], std::memory_order_relaxed);
+    arena_next_.store(1, std::memory_order_relaxed);
+  }
+
+  Cell* alloc() {
+    // relaxed: the slot index is claimed by the fetch_add itself; the cell
+    // is published (if ever) by the installing CAS's release.
+    const int i = arena_next_.fetch_add(1, std::memory_order_relaxed);
+    CCDS_MODEL_ASSERT(i < kArenaCells);
+    return &arena_[i];
+  }
+
+  void add(std::size_t tid, int d) {
+    Req* r = &rpool_[tid][nops_[tid]++];
+    r->seq = ++next_seq_[tid];
+    r->delta = d;
+    // release: publish the request fields to helpers.
+    slot_[tid].store(r, std::memory_order_release);
+    for (;;) {
+      // acquire: pairs with the installing CAS's release.
+      Cell* c = cur_.load(std::memory_order_acquire);
+      if (c->applied[tid] >= r->seq) break;
+      Cell* cand = alloc();
+      *cand = *c;  // plain copy: cells are immutable once installed
+      for (std::size_t t = 0; t < 2; ++t) {
+        // acquire: pairs with the announcing release store.
+        Req* pending = slot_[t].load(std::memory_order_acquire);
+        if (pending == nullptr) continue;
+        if (GuardApplied && cand->applied[t] >= pending->seq) continue;
+        cand->value += pending->delta;
+        cand->applied[t] = pending->seq;
+      }
+      // acq_rel on success: release publishes the candidate; acquire orders
+      // the loser's reload.  Failed candidates are simply abandoned to the
+      // arena (per-execution storage, reclaimed wholesale).
+      if (cur_.compare_exchange_strong(c, cand, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        break;
+      }
+      Cell* now = cur_.load(std::memory_order_acquire);
+      if (now->applied[tid] >= r->seq) break;
+    }
+    // Completion: clear the announce slot (the real engine does this before
+    // retiring the record).  The double-apply window of the bug variant is
+    // exactly a helper episode running between our completion and this
+    // clear — or before it.
+    slot_[tid].store(nullptr, std::memory_order_release);
+  }
+
+  int total() {
+    return cur_.load(std::memory_order_acquire)->value;
+  }
+
+  static constexpr int kArenaCells = 16;
+  Atomic<Cell*> cur_{nullptr};
+  Atomic<Req*> slot_[2]{};
+  Atomic<int> arena_next_{0};
+  Cell arena_[kArenaCells];
+  Req rpool_[2][2];
+  std::uint64_t next_seq_[2] = {0, 0};
+  int nops_[2] = {0, 0};
+};
+
+// Main performs TWO ops so its second episode can observe the other
+// thread's still-announced (already applied, not yet cleared) request and
+// — without the guard — apply it again.
+template <bool GuardApplied>
+void helping_scenario() {
+  MiniPSim<GuardApplied> e;
+  model::thread t([&] { e.add(1, 100); });
+  e.add(0, 1);
+  e.add(0, 10);
+  t.join();
+  CCDS_MODEL_ASSERT(e.total() == 111);
+}
+
+TEST(ModelPSim, LostAnnounceGuardCaughtWithReplayableSchedule) {
+  Options opts;
+  Result res = model::explore(opts, helping_scenario<false>);
+  ASSERT_FALSE(res.ok) << "explorer missed the unguarded re-apply window";
+  EXPECT_FALSE(res.schedule.empty());
+  std::cout << "unguarded announce re-apply caught: " << res.error
+            << "\nreplayable schedule: " << res.schedule << "\n";
+
+  Options replay;
+  replay.replay = res.schedule;
+  Result again = model::explore(replay, helping_scenario<false>);
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.executions, 1);
+}
+
+TEST(ModelPSim, GuardedHelpingPassesAllSchedules) {
+  Options opts;
+  Result res = model::explore(opts, helping_scenario<true>);
+  EXPECT_TRUE(res.ok) << res.error << "\nschedule: " << res.schedule << "\n"
+                      << res.trace;
+  EXPECT_TRUE(res.exhausted);
+}
+
+}  // namespace
+}  // namespace ccds

@@ -1,8 +1,13 @@
 // Tests for the combining fronts (CombiningQueue / CombiningStack /
 // CombiningCounter / BatchedSkipListSet / BatchedMap): sequential semantics,
 // concurrent conservation, batch atomicity, and engine interchangeability —
-// every front must behave identically whether backed by CcSynch or
-// FlatCombiner.
+// every front must behave identically on EVERY enrolled engine.  The engine
+// lists below come from the sync/engines.hpp X-macro, so a newly enrolled
+// engine is exercised by this whole file with no edit here.
+//
+// A two-node topology override is installed for the entire binary so the
+// hierarchical engine (HSynch) actually runs multiple per-node lists even
+// on a single-socket CI host; the flat engines ignore it.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -18,21 +23,39 @@
 #include "skiplist/batched_map.hpp"
 #include "skiplist/batched_skiplist.hpp"
 #include "stack/combining_stack.hpp"
-#include "sync/ccsynch.hpp"
-#include "sync/flat_combining.hpp"
+#include "core/topology.hpp"
+#include "sync/engines.hpp"
 #include "test_util.hpp"
 
 namespace ccds {
 namespace {
 
+std::size_t two_node_map(std::size_t tid) { return tid % 2; }
+
+// Deterministic 2-node topology for the whole binary: HSynch sizes its
+// per-node lists at construction, so this must be live before any engine
+// is built (gtest environments bracket every test).
+class TwoNodeTopologyEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { override_.emplace(2, &two_node_map); }
+  void TearDown() override { override_.reset(); }
+
+ private:
+  std::optional<topology::ScopedOverride> override_;
+};
+
+::testing::Environment* const kTwoNodeTopologyEnv =
+    ::testing::AddGlobalTestEnvironment(new TwoNodeTopologyEnv);
+
 // ---------------------------------------------------------------------------
-// Typed fixtures: each front is instantiated with both engines.
+// Typed fixtures: each front is instantiated with every enrolled engine.
 // ---------------------------------------------------------------------------
 
 template <typename Q>
 class CombiningQueueTest : public ::testing::Test {};
-using QueueTypes = ::testing::Types<CombiningQueue<std::uint64_t, CcSynch>,
-                                    CombiningQueue<std::uint64_t, FlatCombiner>>;
+#define CCDS_WRAP_QUEUE(E) CombiningQueue<std::uint64_t, E>
+using QueueTypes = ::testing::Types<CCDS_COMBINER_ENGINE_LIST(CCDS_WRAP_QUEUE)>;
+#undef CCDS_WRAP_QUEUE
 TYPED_TEST_SUITE(CombiningQueueTest, QueueTypes);
 
 TYPED_TEST(CombiningQueueTest, FifoOrder) {
@@ -99,8 +122,9 @@ TYPED_TEST(CombiningQueueTest, BatchExecutesInOrderAtomically) {
 
 template <typename S>
 class CombiningStackTest : public ::testing::Test {};
-using StackTypes = ::testing::Types<CombiningStack<std::uint64_t, CcSynch>,
-                                    CombiningStack<std::uint64_t, FlatCombiner>>;
+#define CCDS_WRAP_STACK(E) CombiningStack<std::uint64_t, E>
+using StackTypes = ::testing::Types<CCDS_COMBINER_ENGINE_LIST(CCDS_WRAP_STACK)>;
+#undef CCDS_WRAP_STACK
 TYPED_TEST_SUITE(CombiningStackTest, StackTypes);
 
 TYPED_TEST(CombiningStackTest, LifoOrder) {
@@ -160,8 +184,10 @@ TYPED_TEST(CombiningStackTest, BatchPushPopRoundTrip) {
 
 template <typename C>
 class CombiningCounterTest : public ::testing::Test {};
-using CounterTypes = ::testing::Types<CombiningCounter<CcSynch>,
-                                      CombiningCounter<FlatCombiner>>;
+#define CCDS_WRAP_COUNTER(E) CombiningCounter<E>
+using CounterTypes =
+    ::testing::Types<CCDS_COMBINER_ENGINE_LIST(CCDS_WRAP_COUNTER)>;
+#undef CCDS_WRAP_COUNTER
 TYPED_TEST_SUITE(CombiningCounterTest, CounterTypes);
 
 TYPED_TEST(CombiningCounterTest, UniquePriorsUnderContention) {
@@ -205,14 +231,15 @@ TYPED_TEST(CombiningCounterTest, InitialValue) {
 }
 
 // ---------------------------------------------------------------------------
-// BatchedSkipListSet: the sorted-batch front, both engines.
+// BatchedSkipListSet: the sorted-batch front, every engine.
 // ---------------------------------------------------------------------------
 
 template <typename S>
 class BatchedSkipListTest : public ::testing::Test {};
-using BatchedTypes = ::testing::Types<
-    BatchedSkipListSet<std::uint64_t, std::less<std::uint64_t>, CcSynch>,
-    BatchedSkipListSet<std::uint64_t, std::less<std::uint64_t>, FlatCombiner>>;
+#define CCDS_WRAP_BSET(E) \
+  BatchedSkipListSet<std::uint64_t, std::less<std::uint64_t>, E>
+using BatchedTypes = ::testing::Types<CCDS_COMBINER_ENGINE_LIST(CCDS_WRAP_BSET)>;
+#undef CCDS_WRAP_BSET
 TYPED_TEST_SUITE(BatchedSkipListTest, BatchedTypes);
 
 TYPED_TEST(BatchedSkipListTest, BasicSetSemantics) {
@@ -407,16 +434,16 @@ TYPED_TEST(BatchedSkipListTest, FanOutProducesSameStateAsInline) {
 }
 
 // ---------------------------------------------------------------------------
-// BatchedMap: the key/value veneer, both engines.
+// BatchedMap: the key/value veneer, every engine.
 // ---------------------------------------------------------------------------
 
 template <typename M>
 class BatchedMapTest : public ::testing::Test {};
-using BatchedMapTypes = ::testing::Types<
-    BatchedMap<std::uint64_t, std::uint64_t, std::less<std::uint64_t>,
-               CcSynch>,
-    BatchedMap<std::uint64_t, std::uint64_t, std::less<std::uint64_t>,
-               FlatCombiner>>;
+#define CCDS_WRAP_BMAP(E) \
+  BatchedMap<std::uint64_t, std::uint64_t, std::less<std::uint64_t>, E>
+using BatchedMapTypes =
+    ::testing::Types<CCDS_COMBINER_ENGINE_LIST(CCDS_WRAP_BMAP)>;
+#undef CCDS_WRAP_BMAP
 TYPED_TEST_SUITE(BatchedMapTest, BatchedMapTypes);
 
 TYPED_TEST(BatchedMapTest, PutGetEraseRoundTrip) {

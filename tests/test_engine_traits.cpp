@@ -1,0 +1,78 @@
+// Compile-time coverage of the engine-traits layer (sync/combiner.hpp) for
+// every enrolled engine (sync/engines.hpp): each engine models CombinerFor
+// over a representative state, publishes the trait row documented in
+// docs/choosing_a_structure.md, and the traits are readable both directly
+// (E::kIsWaitFree) and through combiner_traits<E>.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sync/engines.hpp"
+
+namespace ccds {
+namespace {
+
+// Every enrolled engine models the Combiner policy over scalar and
+// container states alike — enrollment is the protocol check.
+#define CCDS_ASSERT_MODELS(E)                                              \
+  static_assert(CombinerFor<E<std::uint64_t>, std::uint64_t>);             \
+  static_assert(                                                           \
+      CombinerFor<E<std::deque<std::uint64_t>>, std::deque<std::uint64_t>>); \
+  static_assert(CombinerFor<E<std::vector<std::uint64_t>>,                 \
+                            std::vector<std::uint64_t>>);
+CCDS_COMBINER_ENGINES(CCDS_ASSERT_MODELS)
+#undef CCDS_ASSERT_MODELS
+
+// combiner_traits must agree with the engines' own constants for any State.
+#define CCDS_ASSERT_TRAITS_AGREE(E)                                        \
+  static_assert(combiner_traits<E<std::uint64_t>>::is_wait_free ==         \
+                E<std::uint64_t>::kIsWaitFree);                            \
+  static_assert(combiner_traits<E<std::uint64_t>>::is_hierarchical ==      \
+                E<std::uint64_t>::kIsHierarchical);                        \
+  static_assert(combiner_traits<E<std::uint64_t>>::max_threads ==          \
+                E<std::uint64_t>::kMaxEngineThreads);
+CCDS_COMBINER_ENGINES(CCDS_ASSERT_TRAITS_AGREE)
+#undef CCDS_ASSERT_TRAITS_AGREE
+
+// The selection table itself, engine by engine: PSim is the only wait-free
+// engine, HSynch the only hierarchical one, and every fixed per-thread
+// structure is sized for the registry's capacity.
+static_assert(!combiner_traits<FlatCombiner<std::uint64_t>>::is_wait_free);
+static_assert(!combiner_traits<FlatCombiner<std::uint64_t>>::is_hierarchical);
+static_assert(!combiner_traits<CcSynch<std::uint64_t>>::is_wait_free);
+static_assert(!combiner_traits<CcSynch<std::uint64_t>>::is_hierarchical);
+static_assert(!combiner_traits<HSynch<std::uint64_t>>::is_wait_free);
+static_assert(combiner_traits<HSynch<std::uint64_t>>::is_hierarchical);
+static_assert(combiner_traits<PSim<std::uint64_t>>::is_wait_free);
+static_assert(!combiner_traits<PSim<std::uint64_t>>::is_hierarchical);
+
+#define CCDS_ASSERT_CAPACITY(E) \
+  static_assert(combiner_traits<E<std::uint64_t>>::max_threads == kMaxThreads);
+CCDS_COMBINER_ENGINES(CCDS_ASSERT_CAPACITY)
+#undef CCDS_ASSERT_CAPACITY
+
+// Engine display names (bench rows, diagnostics) match the identifiers.
+TEST(EngineTraits, NamesMatchIdentifiers) {
+  EXPECT_STREQ(combining_engine_name<FlatCombiner>::value, "FlatCombiner");
+  EXPECT_STREQ(combining_engine_name<CcSynch>::value, "CcSynch");
+  EXPECT_STREQ(combining_engine_name<HSynch>::value, "HSynch");
+  EXPECT_STREQ(combining_engine_name<PSim>::value, "PSim");
+}
+
+// Runtime sanity: the traits describe constructible, usable engines.
+TEST(EngineTraits, EveryEngineAppliesAnOp) {
+#define CCDS_APPLY_ONE(E)                                      \
+  {                                                            \
+    E<std::uint64_t> e;                                        \
+    e.apply([](std::uint64_t& v) { v += 7; });                 \
+    EXPECT_EQ(e.apply([](std::uint64_t& v) { return v; }), 7u) \
+        << combining_engine_name<E>::value;                    \
+  }
+  CCDS_COMBINER_ENGINES(CCDS_APPLY_ONE)
+#undef CCDS_APPLY_ONE
+}
+
+}  // namespace
+}  // namespace ccds

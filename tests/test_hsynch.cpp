@@ -1,0 +1,173 @@
+// Tests for the hierarchical H-Synch engine (sync/hsynch.hpp): per-node
+// list sizing from the topology service, exactness and conservation with
+// threads spread across several deterministic nodes, the node-winner /
+// global-lock bracket, and the batch surfaces on a multi-node hierarchy.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "core/thread_registry.hpp"
+#include "core/topology.hpp"
+#include "queue/combining_queue.hpp"
+#include "sync/hsynch.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+std::size_t node_mod2(std::size_t tid) { return tid % 2; }
+std::size_t node_mod4(std::size_t tid) { return tid % 4; }
+std::size_t node_all_zero(std::size_t) { return 0; }
+
+TEST(HSynch, ListCountFollowsTopologyAtConstruction) {
+  {
+    topology::ScopedOverride ov(1, nullptr);
+    HSynch<std::uint64_t> e;
+    EXPECT_EQ(e.node_list_count(), 1u);
+  }
+  {
+    topology::ScopedOverride ov(4, &node_mod4);
+    HSynch<std::uint64_t> e;
+    EXPECT_EQ(e.node_list_count(), 4u);
+  }
+  {
+    // More topology nodes than the engine caps at: clamped, never zero.
+    topology::ScopedOverride ov(64, nullptr);
+    HSynch<std::uint64_t> e;
+    EXPECT_EQ(e.node_list_count(), kHSynchMaxNodes);
+  }
+  // No override: whatever the host reports, the engine builds >= 1 list.
+  HSynch<std::uint64_t> e;
+  EXPECT_GE(e.node_list_count(), 1u);
+  EXPECT_LE(e.node_list_count(), kHSynchMaxNodes);
+}
+
+// With every thread mapped to ONE node, H-Synch degenerates to CC-Synch
+// plus an uncontended lock — exactness must hold.
+TEST(HSynch, SingleNodeDegeneratesToExactCombining) {
+  topology::ScopedOverride ov(1, &node_all_zero);
+  HSynch<std::uint64_t> e;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kOps = 20000;
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kOps; ++i) {
+      e.apply([](std::uint64_t& v) { ++v; });
+    }
+  });
+  EXPECT_EQ(e.apply([](std::uint64_t& v) { return v; }),
+            kThreads * static_cast<std::uint64_t>(kOps));
+}
+
+// The core hierarchical claim: concurrent node winners from DIFFERENT nodes
+// serialize through the global lock, so a plain read-modify-write state
+// stays exact.  Threads spread over 4 deterministic nodes; any unlocked
+// window between two node winners would lose increments.
+TEST(HSynch, CrossNodeWinnersSerializeExactly) {
+  topology::ScopedOverride ov(4, &node_mod4);
+  HSynch<std::uint64_t> e;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kOps = 20000;
+  std::vector<std::uint64_t> done(kThreads, 0);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      e.apply([](std::uint64_t& v) { ++v; });
+      ++done[idx];
+    }
+  });
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(done[t], static_cast<std::uint64_t>(kOps)) << "thread " << t;
+  }
+  EXPECT_EQ(e.apply([](std::uint64_t& v) { return v; }),
+            kThreads * static_cast<std::uint64_t>(kOps));
+}
+
+// fetch_add-style results across nodes must be unique: two node winners
+// whose episodes overlapped would hand the same prior out twice.
+TEST(HSynch, FetchAddPriorsUniqueAcrossNodes) {
+  topology::ScopedOverride ov(2, &node_mod2);
+  HSynch<std::uint64_t> e;
+  constexpr std::size_t kThreads = 6;
+  constexpr int kOps = 10000;
+  std::vector<std::vector<std::uint64_t>> priors(kThreads);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    priors[idx].reserve(kOps);
+    for (int i = 0; i < kOps; ++i) {
+      priors[idx].push_back(e.apply([](std::uint64_t& v) { return v++; }));
+    }
+  });
+  std::set<std::uint64_t> uniq;
+  for (auto& v : priors) uniq.insert(v.begin(), v.end());
+  EXPECT_EQ(uniq.size(), kThreads * static_cast<std::size_t>(kOps));
+}
+
+// Batch atomicity through the hierarchy: a {read, add, read} batch
+// published on one node's list must see no foreign op in between, even
+// though other nodes are combining concurrently.
+TEST(HSynch, BatchesStayAtomicAcrossNodes) {
+  topology::ScopedOverride ov(2, &node_mod2);
+  struct AddOp {
+    std::uint64_t delta;
+    std::uint64_t seen;
+    void operator()(std::uint64_t& v) {
+      seen = v;
+      v += delta;
+    }
+  };
+  HSynch<std::uint64_t> e;
+  constexpr std::size_t kThreads = 6;
+  constexpr int kIters = 4000;
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kIters; ++i) {
+      AddOp ops[3] = {{0, 0}, {10, 0}, {0, 0}};
+      e.apply_batch(std::span<AddOp>(ops));
+      ASSERT_EQ(ops[1].seen, ops[0].seen);
+      ASSERT_EQ(ops[2].seen, ops[0].seen + 10);
+    }
+  });
+  EXPECT_EQ(e.apply([](std::uint64_t& v) { return v; }),
+            kThreads * static_cast<std::uint64_t>(kIters) * 10);
+}
+
+// The queue front on a 2-node hierarchy: conservation and no duplicate
+// delivery under mixed batch/single traffic.
+TEST(HSynch, QueueFrontConservesAcrossNodes) {
+  topology::ScopedOverride ov(2, &node_mod2);
+  CombiningQueue<std::uint64_t, HSynch> q;
+  using Op = QueueOp<std::uint64_t>;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      const std::uint64_t v = static_cast<std::uint64_t>(idx) * kOps + i;
+      if (i % 2 == 0) {
+        q.enqueue(v);
+        if (auto d = q.try_dequeue()) got[idx].push_back(*d);
+      } else {
+        std::vector<Op> ops;
+        ops.push_back(Op::enqueue(v));
+        ops.push_back(Op::dequeue());
+        q.apply_batch(std::span<Op>(ops));
+        if (ops[1].result) got[idx].push_back(*ops[1].result);
+      }
+    }
+  });
+  std::size_t residue = 0;
+  while (q.try_dequeue()) ++residue;
+  std::set<std::uint64_t> uniq;
+  std::size_t total = residue;
+  for (auto& v : got) {
+    total += v.size();
+    uniq.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, kThreads * static_cast<std::size_t>(kOps));
+  EXPECT_EQ(uniq.size(), total - residue) << "duplicate dequeue";
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace ccds

@@ -29,8 +29,8 @@
 #include "skiplist/lockfree_skiplist.hpp"
 #include "stack/elimination_stack.hpp"
 #include "stack/treiber_stack.hpp"
-#include "sync/ccsynch.hpp"
-#include "sync/flat_combining.hpp"
+#include "core/topology.hpp"
+#include "sync/engines.hpp"
 #include "sync/mcs_lock.hpp"
 #include "sync/spinlock.hpp"
 #include "test_util.hpp"
@@ -195,62 +195,68 @@ TEST(Oversubscribed, McsLockMutualExclusion) {
   EXPECT_EQ(counter, kThreads * static_cast<std::uint64_t>(kOps));
 }
 
-TEST(Oversubscribed, FlatCombinerExactness) {
-  FlatCombiner<std::uint64_t> fc(0);
-  test::run_threads(kThreads, [&](std::size_t) {
-    for (int i = 0; i < kOps; ++i) {
-      fc.apply([](std::uint64_t& v) { ++v; });
-    }
-  });
-  EXPECT_EQ(fc.apply([](std::uint64_t& v) { return v; }),
-            kThreads * static_cast<std::uint64_t>(kOps));
-}
+std::size_t oversub_two_node_map(std::size_t tid) { return tid % 2; }
 
-// CC-Synch at 4x hardware concurrency: every thread's full quota of
-// operations must be applied (conservation) and every thread must finish its
-// loop (forward progress — a dropped handoff would leave a spinner stuck and
-// hang the test).  Per-thread completion counts make a partial stall visible
-// as a specific count, not just a timeout.
-TEST(Oversubscribed, CcSynchExactnessAt4xHardware) {
+// Two deterministic topology nodes for the whole binary, so HSynch runs a
+// real multi-list hierarchy under oversubscription even on one socket.
+class OversubTopologyEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { override_.emplace(2, &oversub_two_node_map); }
+  void TearDown() override { override_.reset(); }
+
+ private:
+  std::optional<topology::ScopedOverride> override_;
+};
+
+::testing::Environment* const kOversubTopologyEnv =
+    ::testing::AddGlobalTestEnvironment(new OversubTopologyEnv);
+
+// Every combining engine at 4x hardware concurrency: every thread's full
+// quota of operations must be applied (conservation) and every thread must
+// finish its loop (forward progress — for the blocking engines a dropped
+// handoff would leave a spinner stuck and hang the test; for PSim a lost
+// announce would strand a request).  Per-thread completion counts make a
+// partial stall visible as a specific count, not just a timeout.  Engines
+// come from the sync/engines.hpp X-macro.
+template <typename E>
+class CombiningEngineOversubTest : public ::testing::Test {};
+#define CCDS_WRAP_U64(E) E<std::uint64_t>
+using OversubEngineTypes =
+    ::testing::Types<CCDS_COMBINER_ENGINE_LIST(CCDS_WRAP_U64)>;
+#undef CCDS_WRAP_U64
+TYPED_TEST_SUITE(CombiningEngineOversubTest, OversubEngineTypes);
+
+TYPED_TEST(CombiningEngineOversubTest, ExactnessAt4xHardware) {
   const std::size_t n = oversub_threads();
-  CcSynch<std::uint64_t> cc;
+  TypeParam engine;
   std::vector<std::uint64_t> done(n, 0);
   test::run_threads(n, [&](std::size_t idx) {
     for (int i = 0; i < kOps; ++i) {
-      cc.apply([](std::uint64_t& v) { ++v; });
+      engine.apply([](std::uint64_t& v) { ++v; });
       ++done[idx];
     }
   });
   for (std::size_t t = 0; t < n; ++t) {
     EXPECT_EQ(done[t], static_cast<std::uint64_t>(kOps)) << "thread " << t;
   }
-  EXPECT_EQ(cc.apply([](std::uint64_t& v) { return v; }),
+  EXPECT_EQ(engine.apply([](std::uint64_t& v) { return v; }),
             n * static_cast<std::uint64_t>(kOps));
 }
 
-TEST(Oversubscribed, FlatCombinerExactnessAt4xHardware) {
-  const std::size_t n = oversub_threads();
-  FlatCombiner<std::uint64_t> fc(0);
-  std::vector<std::uint64_t> done(n, 0);
-  test::run_threads(n, [&](std::size_t idx) {
-    for (int i = 0; i < kOps; ++i) {
-      fc.apply([](std::uint64_t& v) { ++v; });
-      ++done[idx];
-    }
-  });
-  for (std::size_t t = 0; t < n; ++t) {
-    EXPECT_EQ(done[t], static_cast<std::uint64_t>(kOps)) << "thread " << t;
-  }
-  EXPECT_EQ(fc.apply([](std::uint64_t& v) { return v; }),
-            n * static_cast<std::uint64_t>(kOps));
-}
-
-// The CombiningQueue front (CC-Synch engine) under heavy oversubscription,
+// The CombiningQueue front under heavy oversubscription, every engine,
 // mixing single ops and batches: enqueues and successful dequeues must
 // balance exactly.
-TEST(Oversubscribed, CombiningQueueConservationAt4xHardware) {
+template <typename Q>
+class CombiningQueueOversubTest : public ::testing::Test {};
+#define CCDS_WRAP_QUEUE(E) CombiningQueue<std::uint64_t, E>
+using OversubQueueTypes =
+    ::testing::Types<CCDS_COMBINER_ENGINE_LIST(CCDS_WRAP_QUEUE)>;
+#undef CCDS_WRAP_QUEUE
+TYPED_TEST_SUITE(CombiningQueueOversubTest, OversubQueueTypes);
+
+TYPED_TEST(CombiningQueueOversubTest, ConservationAt4xHardware) {
   const std::size_t n = oversub_threads();
-  CombiningQueue<std::uint64_t, CcSynch> q;
+  TypeParam q;
   using Op = QueueOp<std::uint64_t>;
   std::atomic<std::uint64_t> enq{0}, deq{0};
   test::run_threads(n, [&](std::size_t idx) {

@@ -1,0 +1,199 @@
+// Tests for the P-Sim wait-free engine (sync/psim.hpp): exactness and
+// unique results under contention, batch atomicity, exactly-once
+// application despite helper re-execution, and the wait-free progress
+// witness — with one thread preempted (parked) mid-combine via the
+// preemption-injection hook, every other thread completes its full quota
+// AND the parked thread's announced operation completes through helping.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/thread_registry.hpp"
+#include "queue/combining_queue.hpp"
+#include "sync/psim.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+TEST(PSim, ExactnessUnderContention) {
+  PSim<std::uint64_t> e;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kOps = 20000;
+  std::vector<std::uint64_t> done(kThreads, 0);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      e.apply([](std::uint64_t& v) { ++v; });
+      ++done[idx];
+    }
+  });
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(done[t], static_cast<std::uint64_t>(kOps)) << "thread " << t;
+  }
+  EXPECT_EQ(e.apply([](std::uint64_t& v) { return v; }),
+            kThreads * static_cast<std::uint64_t>(kOps));
+}
+
+// Every fetch_add must hand out a distinct prior even though helpers may
+// execute the op several times against DISCARDED state copies — only the
+// installed lineage counts, exactly once.
+TEST(PSim, FetchAddPriorsUniqueUnderHelping) {
+  PSim<std::uint64_t> e;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kOps = 10000;
+  std::vector<std::vector<std::uint64_t>> priors(kThreads);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    priors[idx].reserve(kOps);
+    for (int i = 0; i < kOps; ++i) {
+      priors[idx].push_back(e.apply([](std::uint64_t& v) { return v++; }));
+    }
+  });
+  std::set<std::uint64_t> uniq;
+  for (auto& v : priors) uniq.insert(v.begin(), v.end());
+  EXPECT_EQ(uniq.size(), kThreads * static_cast<std::size_t>(kOps));
+  EXPECT_EQ(e.apply([](std::uint64_t& v) { return v; }),
+            kThreads * static_cast<std::uint64_t>(kOps));
+}
+
+// Batches are snapshotted into the announce record and applied as one
+// atomic unit; the two reads in {read, add 10, read} bracketing the add
+// must differ by exactly the batch's own delta, and mutated ops must be
+// copied back to the caller from the installed cell.
+TEST(PSim, BatchesAtomicWithResultsCopiedBack) {
+  struct AddOp {
+    std::uint64_t delta;
+    std::uint64_t seen;
+    void operator()(std::uint64_t& v) {
+      seen = v;
+      v += delta;
+    }
+  };
+  PSim<std::uint64_t> e;
+  constexpr std::size_t kThreads = 6;
+  constexpr int kIters = 4000;
+  test::run_threads(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kIters; ++i) {
+      AddOp ops[3] = {{0, 0}, {10, 0}, {0, 0}};
+      e.apply_batch(std::span<AddOp>(ops));
+      ASSERT_EQ(ops[1].seen, ops[0].seen);
+      ASSERT_EQ(ops[2].seen, ops[0].seen + 10);
+    }
+  });
+  EXPECT_EQ(e.apply([](std::uint64_t& v) { return v; }),
+            kThreads * static_cast<std::uint64_t>(kIters) * 10);
+}
+
+// The queue front over PSim: conservation and unique delivery (dequeues
+// return results by value through the cell's result buffers).
+TEST(PSim, QueueFrontConserves) {
+  CombiningQueue<std::uint64_t, PSim> q;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      q.enqueue(static_cast<std::uint64_t>(idx) * kOps + i);
+      if (auto v = q.try_dequeue()) got[idx].push_back(*v);
+    }
+  });
+  std::size_t residue = 0;
+  while (q.try_dequeue()) ++residue;
+  std::set<std::uint64_t> uniq;
+  std::size_t total = residue;
+  for (auto& v : got) {
+    total += v.size();
+    uniq.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, kThreads * static_cast<std::size_t>(kOps));
+  EXPECT_EQ(uniq.size(), total - residue) << "duplicate dequeue";
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------------
+// The wait-free progress witness (EXPERIMENTS.md E20).
+//
+// The preemption-injection hook (sync/combiner.hpp) fires at PSim's
+// combine-time preemption point — after a thread has announced its request
+// and built a candidate cell, right BEFORE its SC.  A designated victim
+// thread parks there, modeling a combiner preempted mid-episode at the
+// worst moment.  A blocking engine would now stall everyone behind the
+// victim; under PSim:
+//
+//   * every other thread must finish its complete operation quota while
+//     the victim stays parked (the wait-freedom claim), and
+//   * the victim's announced operation must be completed FOR it by
+//     helpers' episodes — visible in the state total before release —
+//     and applied exactly once overall (no double count after release).
+// ---------------------------------------------------------------------------
+
+struct ParkControl {
+  std::atomic<std::size_t> victim{static_cast<std::size_t>(-1)};
+  std::atomic<bool> armed{false};
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+};
+
+void park_victim_hook(void* arg) {
+  auto* ctl = static_cast<ParkControl*>(arg);
+  if (!ctl->armed.load(std::memory_order_acquire)) return;
+  if (thread_id() != ctl->victim.load(std::memory_order_acquire)) return;
+  if (ctl->parked.exchange(true, std::memory_order_acq_rel)) return;
+  while (!ctl->release.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+TEST(PSim, ProgressWitnessWithThreadParkedMidCombine) {
+  PSim<std::uint64_t> e;
+  ParkControl ctl;
+  detail::set_preemption_hook(&park_victim_hook, &ctl);
+
+  constexpr std::size_t kWorkers = 6;
+  constexpr int kOps = 5000;
+
+  std::thread victim([&] {
+    ctl.victim.store(thread_id(), std::memory_order_release);
+    ctl.armed.store(true, std::memory_order_release);
+    // Announces, builds a candidate, parks at the pre-SC preemption point.
+    e.apply([](std::uint64_t& v) { ++v; });
+  });
+  while (!ctl.parked.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  // With the victim parked mid-combine, every worker completes its FULL
+  // quota — run_threads joining at all is the progress claim; per-thread
+  // counts make a partial stall a specific failure, not a hang.
+  std::vector<std::uint64_t> done(kWorkers, 0);
+  test::run_threads(kWorkers, [&](std::size_t idx) {
+    for (int i = 0; i < kOps; ++i) {
+      e.apply([](std::uint64_t& v) { ++v; });
+      ++done[idx];
+    }
+  });
+  for (std::size_t t = 0; t < kWorkers; ++t) {
+    EXPECT_EQ(done[t], static_cast<std::uint64_t>(kOps)) << "worker " << t;
+  }
+
+  // The parked victim's announced increment was applied FOR it by helping
+  // episodes: the total already includes it.
+  EXPECT_EQ(e.apply([](std::uint64_t& v) { return v; }),
+            kWorkers * static_cast<std::uint64_t>(kOps) + 1);
+
+  ctl.release.store(true, std::memory_order_release);
+  victim.join();
+  detail::set_preemption_hook(nullptr, nullptr);
+
+  // Exactly once: the victim's resumed SC must not re-apply its op.
+  EXPECT_EQ(e.apply([](std::uint64_t& v) { return v; }),
+            kWorkers * static_cast<std::uint64_t>(kOps) + 1);
+}
+
+}  // namespace
+}  // namespace ccds

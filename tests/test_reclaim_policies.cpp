@@ -38,6 +38,7 @@
 #include "stack/elimination_stack.hpp"
 #include "stack/treiber_stack.hpp"
 #include "sync/atomic_snapshot.hpp"
+#include "sync/engines.hpp"
 #include "sync/spinlock.hpp"
 #include "test_util.hpp"
 
@@ -389,15 +390,20 @@ TYPED_TEST(PolicyTest, StealingPoolConservation) {
 
 // The whole batching pipeline — merged combining episodes, key-range
 // segmentation, bulk task submission, helper-thread application — churns
-// under every policy: the executor's pool shards are TreiberStacks whose
-// nodes go through TypeParam, so a policy bug anywhere in the fan-out path
-// surfaces as lost tasks (latch hang) or ASan-visible reuse.
-TYPED_TEST(PolicyTest, BatchedSkipListFanOutChurn) {
-  StealingExecutor<TypeParam> exec(2);
-  BatchedSkipListSet<std::uint64_t> s({500, 1000, 1500});
+// under every policy AND every combining engine (sync/engines.hpp): the
+// executor's pool shards are TreiberStacks whose nodes go through the
+// policy TypeParam, so a policy bug anywhere in the fan-out path surfaces
+// as lost tasks (latch hang) or ASan-visible reuse, and an engine bug
+// (lost episode, torn batch) as a stats mismatch.
+template <template <typename> class Engine, typename Policy>
+void batched_fanout_churn_one() {
+  using Set = BatchedSkipListSet<std::uint64_t, std::less<std::uint64_t>,
+                                 Engine>;
+  StealingExecutor<Policy> exec(2);
+  Set s({500, 1000, 1500});
   s.attach_executor(exec);
   s.set_fanout_threshold(16);
-  using Op = typename BatchedSkipListSet<std::uint64_t>::Op;
+  using Op = typename Set::Op;
   constexpr std::size_t kThreads = 4;
   constexpr int kRounds = 40;
   constexpr int kBatch = 48;
@@ -416,11 +422,20 @@ TYPED_TEST(PolicyTest, BatchedSkipListFanOutChurn) {
   });
   const auto st = s.stats();
   EXPECT_EQ(st.ops,
-            static_cast<std::uint64_t>(kThreads) * kRounds * kBatch);
-  EXPECT_GT(st.fanout_batches, 0u);
+            static_cast<std::uint64_t>(kThreads) * kRounds * kBatch)
+      << "engine " << combining_engine_name<Engine>::value;
+  EXPECT_GT(st.fanout_batches, 0u)
+      << "engine " << combining_engine_name<Engine>::value;
   s.detach_executor();
   exec.pool().collect_all();
-  EXPECT_EQ(exec.pool().retired_count(), 0u);
+  EXPECT_EQ(exec.pool().retired_count(), 0u)
+      << "engine " << combining_engine_name<Engine>::value;
+}
+
+TYPED_TEST(PolicyTest, BatchedSkipListFanOutChurn) {
+#define CCDS_CHURN_ROW(E) batched_fanout_churn_one<E, TypeParam>();
+  CCDS_COMBINER_ENGINES(CCDS_CHURN_ROW)
+#undef CCDS_CHURN_ROW
 }
 
 // ---------- RCU cell ----------

@@ -1,0 +1,120 @@
+// Tests for the machine-topology service (core/topology.hpp): the
+// single-node fallback guarantee, the sysfs cpulist parser, the override
+// mechanism, and the affinity helper rebased on it (pool/affinity.hpp).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "core/thread_registry.hpp"
+#include "core/topology.hpp"
+#include "pool/affinity.hpp"
+#include "test_util.hpp"
+
+namespace ccds {
+namespace {
+
+// The satellite guarantee: a host whose CPUs fit one cluster yields exactly
+// ONE node — never zero — and bigger hosts get ceil(cpus/arity).  Pure
+// function, so every interesting CPU count is testable on any machine.
+TEST(Topology, FallbackClusterCountFloorsAtOne) {
+  EXPECT_EQ(topology::fallback_cluster_count(0), 1u);
+  EXPECT_EQ(topology::fallback_cluster_count(1), 1u);
+  EXPECT_EQ(topology::fallback_cluster_count(topology::kFallbackClusterArity),
+            1u);
+  EXPECT_EQ(
+      topology::fallback_cluster_count(topology::kFallbackClusterArity + 1),
+      2u);
+  EXPECT_EQ(
+      topology::fallback_cluster_count(4 * topology::kFallbackClusterArity),
+      4u);
+  EXPECT_EQ(topology::fallback_cluster_count(
+                4 * topology::kFallbackClusterArity + 1),
+            5u);
+  static_assert(topology::fallback_cluster_count(1) == 1);
+}
+
+TEST(Topology, HostReportsAtLeastOneNodeAndCpu) {
+  EXPECT_GE(topology::node_count(), 1u);
+  EXPECT_GE(topology::cpu_count(), 1u);
+  // Whatever this host looks like, the calling thread lands on a valid node.
+  EXPECT_LT(topology::current_node(), topology::node_count());
+}
+
+TEST(Topology, NodeOfCpuAlwaysBelowNodeCount) {
+  const std::size_t nodes = topology::node_count();
+  for (std::size_t cpu = 0; cpu < 4096; ++cpu) {
+    ASSERT_LT(topology::node_of_cpu(cpu), nodes) << "cpu " << cpu;
+  }
+}
+
+TEST(Topology, CpulistParserHandlesRangesAndSingles) {
+  topology::detail::SysfsMap m;
+  m.cpu_limit = 64;
+  topology::detail::assign_cpulist(m, "0-3,8,10-11\n", 5);
+  for (std::size_t c : {0u, 1u, 2u, 3u, 8u, 10u, 11u}) {
+    EXPECT_EQ(m.cpu_node[c], 5u) << "cpu " << c;
+  }
+  for (std::size_t c : {4u, 5u, 7u, 9u, 12u}) {
+    EXPECT_EQ(m.cpu_node[c], 0u) << "cpu " << c;
+  }
+}
+
+TEST(Topology, CpulistParserClampsToLimitAndSurvivesGarbage) {
+  topology::detail::SysfsMap m;
+  m.cpu_limit = 8;
+  topology::detail::assign_cpulist(m, "6-300", 3);  // clamped at cpu_limit
+  EXPECT_EQ(m.cpu_node[6], 3u);
+  EXPECT_EQ(m.cpu_node[7], 3u);
+  topology::detail::assign_cpulist(m, "", 4);       // empty: no effect
+  topology::detail::assign_cpulist(m, "x,y\n", 4);  // garbage: no effect
+  EXPECT_EQ(m.cpu_node[0], 0u);
+}
+
+std::size_t mod3_map(std::size_t tid) { return tid % 3; }
+
+TEST(Topology, OverrideWinsAndUninstallsOnScopeExit) {
+  {
+    topology::ScopedOverride ov(3, &mod3_map);
+    EXPECT_EQ(topology::node_count(), 3u);
+    EXPECT_EQ(topology::current_node(), thread_id() % 3);
+  }
+  // Uninstalled: back to the real host topology.
+  EXPECT_GE(topology::node_count(), 1u);
+  EXPECT_LT(topology::current_node(), topology::node_count());
+}
+
+TEST(Topology, OverrideWithZeroNodesFloorsAtOne) {
+  topology::ScopedOverride ov(0, nullptr);
+  EXPECT_EQ(topology::node_count(), 1u);
+  EXPECT_EQ(topology::current_node(), 0u);
+}
+
+TEST(Topology, OverrideMapsEveryThreadDeterministically) {
+  topology::ScopedOverride ov(2, &mod3_map);
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::size_t> node(kThreads, ~0u);
+  std::vector<std::size_t> tid(kThreads, ~0u);
+  test::run_threads(kThreads, [&](std::size_t idx) {
+    tid[idx] = thread_id();
+    node[idx] = topology::current_node();
+  });
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    // node_of_tid maps through the override then folds into the node count.
+    EXPECT_EQ(node[i], (tid[i] % 3) % 2) << "thread " << i;
+  }
+}
+
+// pool/affinity.hpp rides the same service: shard counts up to the CPU
+// count are coverable, beyond it are not, and the answer is never derived
+// from a zero CPU count.
+TEST(Topology, CoresCoverTracksCpuCount) {
+  const std::size_t cpus = topology::cpu_count();
+  EXPECT_TRUE(cores_cover(1));
+  EXPECT_TRUE(cores_cover(cpus));
+  EXPECT_FALSE(cores_cover(cpus + 1));
+}
+
+}  // namespace
+}  // namespace ccds
